@@ -1,0 +1,28 @@
+//! Criterion: cost of the adversarial construction itself (per item),
+//! for the three standing targets — the harness must scale to the T1
+//! sweep sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cqs_bench::{attack, Target};
+use cqs_core::Eps;
+
+fn bench_adversary(c: &mut Criterion) {
+    let eps = Eps::from_inverse(32);
+    let mut g = c.benchmark_group("adversary_run");
+    g.sample_size(10);
+    for k in [4u32, 6] {
+        g.throughput(Throughput::Elements(eps.stream_len(k)));
+        for target in [Target::Gk, Target::GkGreedy] {
+            g.bench_with_input(
+                BenchmarkId::new(target.name(), format!("k{k}")),
+                &k,
+                |b, &k| b.iter(|| attack(eps, k, target).max_stored),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_adversary);
+criterion_main!(benches);

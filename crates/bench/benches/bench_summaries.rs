@@ -1,0 +1,117 @@
+//! Criterion: insert throughput and query latency of every summary
+//! (the microbenchmark counterpart of the T9 comparison table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cqs_ckms::CkmsSummary;
+use cqs_core::ComparisonSummary;
+use cqs_gk::{GkSummary, GreedyGk};
+use cqs_kll::KllSketch;
+use cqs_mrl::MrlSummary;
+use cqs_qdigest::QDigest;
+use cqs_sampling::ReservoirSummary;
+use cqs_streams::{workload, Workload};
+
+const N: u64 = 50_000;
+const EPS: f64 = 0.01;
+
+fn bench_inserts(c: &mut Criterion) {
+    let vals = workload(Workload::Shuffled, N, 3).expect("non-empty");
+    let mut g = c.benchmark_group("insert_shuffled_50k");
+    g.throughput(Throughput::Elements(N));
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("gk", EPS), |b| {
+        b.iter(|| {
+            let mut s = GkSummary::new(EPS);
+            for &v in &vals {
+                s.insert(v);
+            }
+            s.stored_count()
+        })
+    });
+    g.bench_function(BenchmarkId::new("gk-greedy", EPS), |b| {
+        b.iter(|| {
+            let mut s = GreedyGk::new(EPS);
+            for &v in &vals {
+                s.insert(v);
+            }
+            s.stored_count()
+        })
+    });
+    g.bench_function(BenchmarkId::new("mrl", EPS), |b| {
+        b.iter(|| {
+            let mut s = MrlSummary::new(EPS, N);
+            for &v in &vals {
+                s.insert(v);
+            }
+            s.stored_count()
+        })
+    });
+    g.bench_function(BenchmarkId::new("kll", EPS), |b| {
+        b.iter(|| {
+            let mut s = KllSketch::with_seed(200, 7);
+            for &v in &vals {
+                s.insert(v);
+            }
+            s.stored_count()
+        })
+    });
+    g.bench_function(BenchmarkId::new("ckms", EPS), |b| {
+        b.iter(|| {
+            let mut s = CkmsSummary::new(EPS);
+            for &v in &vals {
+                s.insert(v);
+            }
+            s.stored_count()
+        })
+    });
+    g.bench_function(BenchmarkId::new("reservoir", EPS), |b| {
+        b.iter(|| {
+            let mut s = ReservoirSummary::with_seed(EPS, 0.01, 9);
+            for &v in &vals {
+                s.insert(v);
+            }
+            s.stored_count()
+        })
+    });
+    g.bench_function(BenchmarkId::new("qdigest", EPS), |b| {
+        b.iter(|| {
+            let mut s = QDigest::new(17, EPS);
+            for &v in &vals {
+                s.insert(v);
+            }
+            s.node_count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let vals = workload(Workload::Shuffled, N, 5).expect("non-empty");
+    let mut gk = GkSummary::new(EPS);
+    let mut kll = KllSketch::with_seed(200, 11);
+    for &v in &vals {
+        gk.insert(v);
+        kll.insert(v);
+    }
+    let mut g = c.benchmark_group("query_rank");
+    g.bench_function("gk", |b| {
+        let mut r = 1u64;
+        b.iter(|| {
+            r = r % N + 997;
+            gk.query_rank(r.min(N))
+        })
+    });
+    g.bench_function("kll", |b| {
+        let mut r = 1u64;
+        b.iter(|| {
+            r = r % N + 997;
+            kll.query_rank(r.min(N))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_queries);
+criterion_main!(benches);

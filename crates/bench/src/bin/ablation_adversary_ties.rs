@@ -1,0 +1,54 @@
+//! Ablation A2 — gap tie-breaking in the adversarial construction.
+//!
+//! The paper: "Ties can be broken arbitrarily." This ablation runs the
+//! construction against GK with both extreme policies (first vs last
+//! maximal gap) and compares forced space and final gap. The theorem is
+//! policy-independent, so both runs must satisfy all audited
+//! inequalities; the measured space may differ slightly — that
+//! difference is the (benign) freedom the proof leaves the adversary.
+//!
+//! Run: `cargo run -p cqs-bench --release --bin ablation_adversary_ties`
+
+use cqs_bench::{emit, f1};
+use cqs_core::adversary::Adversary;
+use cqs_core::gap::TieBreak;
+use cqs_core::{Eps, Item};
+use cqs_gk::GkSummary;
+use cqs_streams::Table;
+
+fn main() {
+    let eps = Eps::from_inverse(32);
+    let mut t = Table::new(&[
+        "k", "tie-break", "gap", "ceil", "peak|I|", "thm2.2", "claim1-viol", "lemma52-viol",
+    ]);
+
+    for k in 4..=9u32 {
+        for (name, tie) in [("lowest", TieBreak::LowestIndex), ("highest", TieBreak::HighestIndex)] {
+            let adv = Adversary::new(
+                eps,
+                GkSummary::<Item>::new(eps.value()),
+                GkSummary::<Item>::new(eps.value()),
+            )
+            .with_tie_break(tie);
+            let out = adv.run(k);
+            assert!(out.equivalence_error.is_none());
+            let rep = out.report();
+            t.row(&[
+                &k.to_string(),
+                name,
+                &rep.final_gap.to_string(),
+                &rep.gap_ceiling.to_string(),
+                &rep.max_stored.to_string(),
+                &f1(rep.theorem22_bound),
+                &rep.claim1_violations.to_string(),
+                &rep.lemma52_violations.to_string(),
+            ]);
+        }
+    }
+
+    emit(
+        "Ablation — gap argmax tie-breaking (lowest vs highest index)",
+        &t,
+        "ablation_adversary_ties.csv",
+    );
+}

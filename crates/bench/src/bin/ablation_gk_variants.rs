@@ -1,0 +1,99 @@
+//! Ablation A1 — GK design choices: banded vs greedy COMPRESS, and the
+//! compression cadence.
+//!
+//! Section 6 of the paper recalls the open problem of whether the
+//! *greedy* merge keeps GK's O((1/ε)·log εN) bound; Luo et al. observed
+//! it does better in practice. This ablation measures both variants'
+//! peak space and wall time across compression periods, on a benign
+//! shuffled stream and on the lower-bound adversarial stream.
+//!
+//! Expected: greedy ≈ banded in space (slightly smaller, faster);
+//! compressing more often than 1/(2ε) buys little space for real time;
+//! the adversarial stream costs both variants the same Θ((1/ε)·log εN).
+//!
+//! Run: `cargo run -p cqs-bench --release --bin ablation_gk_variants`
+
+use std::time::Instant;
+
+use cqs_bench::{emit, f1};
+use cqs_core::adversary::run_adversary;
+use cqs_core::{ComparisonSummary, Eps, Item};
+use cqs_gk::{GkSummary, GreedyGk};
+use cqs_streams::{workload, Table, Workload};
+
+fn main() {
+    let n = 100_000u64;
+    let eps = 0.005;
+    let canonical = (1.0 / (2.0 * eps)) as u64; // 100
+    let vals = workload(Workload::Shuffled, n, 21).expect("non-empty");
+
+    let mut t = Table::new(&[
+        "variant", "period", "stream", "peak|I|", "final|I|", "ms",
+    ]);
+
+    for period in [canonical / 4, canonical, canonical * 4] {
+        // Banded.
+        let start = Instant::now();
+        let mut gk = GkSummary::with_compress_period(eps, period);
+        let mut peak = 0usize;
+        for &v in &vals {
+            gk.insert(v);
+            peak = peak.max(gk.stored_count());
+        }
+        t.row(&[
+            "banded",
+            &period.to_string(),
+            "shuffled",
+            &peak.to_string(),
+            &gk.stored_count().to_string(),
+            &f1(start.elapsed().as_secs_f64() * 1e3),
+        ]);
+        // Greedy.
+        let start = Instant::now();
+        let mut gg = GreedyGk::with_compress_period(eps, period);
+        let mut peak = 0usize;
+        for &v in &vals {
+            gg.insert(v);
+            peak = peak.max(gg.stored_count());
+        }
+        t.row(&[
+            "greedy",
+            &period.to_string(),
+            "shuffled",
+            &peak.to_string(),
+            &gg.stored_count().to_string(),
+            &f1(start.elapsed().as_secs_f64() * 1e3),
+        ]);
+    }
+
+    // Adversarial stream, canonical period, both variants.
+    let aeps = Eps::from_inverse(64);
+    for k in [7u32, 9] {
+        let start = Instant::now();
+        let rep = run_adversary(aeps, k, || GkSummary::<Item>::new(aeps.value())).report();
+        t.row(&[
+            "banded",
+            &((aeps.inverse() / 2).to_string()),
+            &format!("adversarial k={k}"),
+            &rep.max_stored.to_string(),
+            &rep.stored_final.to_string(),
+            &f1(start.elapsed().as_secs_f64() * 1e3),
+        ]);
+        let start = Instant::now();
+        let rep = run_adversary(aeps, k, || GreedyGk::<Item>::new(aeps.value())).report();
+        t.row(&[
+            "greedy",
+            &((aeps.inverse() / 2).to_string()),
+            &format!("adversarial k={k}"),
+            &rep.max_stored.to_string(),
+            &rep.stored_final.to_string(),
+            &f1(start.elapsed().as_secs_f64() * 1e3),
+        ]);
+    }
+
+    emit(
+        "Ablation — GK banded vs greedy, compression cadence",
+        &t,
+        "ablation_gk_variants.csv",
+    );
+}

@@ -1,0 +1,127 @@
+//! F1 — Figure 1 of the paper: the largest-gap computation on restricted
+//! item arrays.
+//!
+//! Recreates the figure's exact configuration: two indistinguishable
+//! streams of 14 items inside the current intervals, of which the
+//! summary stores the items of rank 1, 6, 11 and 14 (the boundary items
+//! ℓ and r count as restricted-array entries even where the summary has
+//! discarded them). The largest gap has size 5; the paper highlights the
+//! copy between `I'_π[2]` and `I'_ϱ[3]` and notes an equal-sized gap between
+//! the first pair — ties are broken arbitrarily.
+//!
+//! Run: `cargo run -p cqs-bench --release --bin fig1_gap_illustration`
+
+use cqs_bench::emit;
+use cqs_core::gap::compute_gap;
+use cqs_core::refine::refine_intervals;
+use cqs_core::state::StreamState;
+use cqs_core::{ComparisonSummary, Endpoint, Interval, Item};
+use cqs_streams::Table;
+use cqs_universe::generate_increasing;
+
+/// A summary scripted to store exactly the items at fixed arrival
+/// positions — the hypothetical D of the figure.
+struct ScriptedSummary {
+    keep_arrivals: Vec<u64>,
+    stored: Vec<Item>,
+    n: u64,
+}
+
+impl ScriptedSummary {
+    fn new(keep_arrivals: &[u64]) -> Self {
+        ScriptedSummary { keep_arrivals: keep_arrivals.to_vec(), stored: Vec::new(), n: 0 }
+    }
+}
+
+impl ComparisonSummary<Item> for ScriptedSummary {
+    fn insert(&mut self, item: Item) {
+        if self.keep_arrivals.contains(&self.n) {
+            let pos = self.stored.partition_point(|x| *x <= item);
+            self.stored.insert(pos, item);
+        }
+        self.n += 1;
+    }
+
+    fn item_array(&self) -> Vec<Item> {
+        self.stored.clone()
+    }
+
+    fn stored_count(&self) -> usize {
+        self.stored.len()
+    }
+
+    fn items_processed(&self) -> u64 {
+        self.n
+    }
+
+    fn query_rank(&self, _r: u64) -> Option<Item> {
+        self.stored.first().cloned()
+    }
+
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+fn main() {
+    // 14 items arrive in increasing order, so arrival position = rank−1.
+    // Stored ranks 1, 6, 11, 14 → arrivals 0, 5, 10, 13. The interval
+    // endpoints of the figure are the rank-1 and rank-14 items; to make
+    // ℓ_π/r_π genuine interval boundaries we treat the stream's first
+    // and last items as the current interval.
+    let kept = [0u64, 5, 10, 13];
+    let items = generate_increasing(&Interval::whole(), 14);
+    let mut pi = StreamState::new(ScriptedSummary::new(&kept));
+    let mut rho = StreamState::new(ScriptedSummary::new(&kept));
+    for it in &items {
+        pi.push(it.clone());
+        rho.push(it.clone());
+    }
+    let iv = Interval::open(items[0].clone(), items[13].clone());
+
+    // Restricted arrays: boundaries + stored items strictly inside.
+    let arr_pi = pi.restricted_item_array(&iv);
+    let arr_rho = rho.restricted_item_array(&iv);
+
+    let mut t = Table::new(&["i", "I'_pi rank", "I'_rho rank", "gap to I'_rho[i+1]"]);
+    for i in 0..arr_pi.len() {
+        let rp = pi.rank_in(&iv, &arr_pi[i]);
+        let rr = rho.rank_in(&iv, &arr_rho[i]);
+        let gap = if i + 1 < arr_rho.len() {
+            (rho.rank_in(&iv, &arr_rho[i + 1]) - rp).to_string()
+        } else {
+            "-".into()
+        };
+        t.row(&[&(i + 1).to_string(), &rp.to_string(), &rr.to_string(), &gap]);
+    }
+
+    let gap = compute_gap(&pi, &rho, &iv, &iv);
+    emit("Figure 1 — largest gap in restricted item arrays", &t, "fig1_gap_illustration.csv");
+    println!(
+        "\nrestricted arrays have {} entries; ranks are {:?} (paper: [1, 6, 11, 14])",
+        gap.restricted_len,
+        arr_pi.iter().map(|e| pi.rank_in(&iv, e)).collect::<Vec<_>>()
+    );
+    println!(
+        "largest gap = {} at i = {} (paper: 5; two maximal gaps exist, ties broken arbitrarily)",
+        gap.gap,
+        gap.index + 1
+    );
+
+    let refinement = refine_intervals(&pi, &rho, &iv, &iv);
+    let show = |e: &Endpoint| match e {
+        Endpoint::Finite(it) => format!("rank {}", pi.rank(it)),
+        other => format!("{other:?}"),
+    };
+    println!(
+        "new interval for pi : ({}, {})",
+        show(refinement.iv_pi.lo()),
+        show(refinement.iv_pi.hi())
+    );
+    println!(
+        "new interval for rho: ({}, {})",
+        show(refinement.iv_rho.lo()),
+        show(refinement.iv_rho.hi())
+    );
+    assert_eq!(gap.gap, 5, "figure's configuration must yield gap 5");
+}

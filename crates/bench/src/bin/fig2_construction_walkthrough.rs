@@ -1,0 +1,117 @@
+//! F2 — Figure 2 of the paper: a worked run of the adversarial
+//! construction with k = 3, ε = 1/6, N₃ = 48.
+//!
+//! The paper's figure shows a hypothetical summary; here the same
+//! construction drives a real space-starved summary (capped greedy GK),
+//! printing after each leaf the state Figure 2(a)–(d) illustrates: the
+//! stream items of each stream on a rank line (`|` stored, `.`
+//! forgotten), the largest gap in the current intervals, and the refined
+//! intervals chosen for the next leaf.
+//!
+//! Run: `cargo run -p cqs-bench --release --bin fig2_construction_walkthrough`
+
+use cqs_core::gap::compute_gap;
+use cqs_core::model::ComparisonSummary;
+use cqs_core::refine::refine_intervals;
+use cqs_core::state::StreamState;
+use cqs_core::{Endpoint, Eps, Interval, Item};
+use cqs_gk::CappedGk;
+use cqs_universe::generate_increasing;
+
+type State = StreamState<CappedGk<Item>>;
+
+fn rank_line(st: &State) -> String {
+    let stored = st.summary.item_array();
+    let n = st.len();
+    let mut line = vec!['.'; n as usize];
+    for it in &stored {
+        line[(st.rank(it) - 1) as usize] = '|';
+    }
+    line.into_iter().collect()
+}
+
+fn show_iv(st: &State, iv: &Interval) -> String {
+    let show = |e: &Endpoint| match e {
+        Endpoint::Finite(it) => format!("rank {}", st.rank(it)),
+        other => format!("{other:?}"),
+    };
+    format!("({}, {})", show(iv.lo()), show(iv.hi()))
+}
+
+fn leaf(pi: &mut State, rho: &mut State, eps: Eps, iv_pi: &Interval, iv_rho: &Interval) {
+    let n = eps.leaf_items() as usize;
+    let (a, b) = if iv_pi == iv_rho {
+        let shared = generate_increasing(iv_pi, n);
+        (shared.clone(), shared)
+    } else {
+        (generate_increasing(iv_pi, n), generate_increasing(iv_rho, n))
+    };
+    for (x, y) in a.into_iter().zip(b) {
+        pi.push(x);
+        rho.push(y);
+    }
+}
+
+fn main() {
+    let eps = Eps::from_inverse(6); // the figure's ε = 1/6 (2/ε = 12 per leaf)
+    let k = 3u32;
+    let n_total = eps.stream_len(k);
+    println!("Figure 2 walkthrough: eps = {eps}, k = {k}, N_{k} = {n_total}");
+    println!("summary under attack: capped greedy GK (budget 6 items)\n");
+
+    let mut pi: State = StreamState::new(CappedGk::new(eps.value(), 6));
+    let mut rho: State = StreamState::new(CappedGk::new(eps.value(), 6));
+
+    // Manual in-order walk of the k = 3 recursion tree (4 leaves, with
+    // refinements at the internal nodes between them) — the same tree
+    // cqs_core::Adversary walks, unrolled for printing.
+    let whole = Interval::whole();
+
+    // Leaf 1 (panel a).
+    leaf(&mut pi, &mut rho, eps, &whole, &whole);
+    println!("(a) after {:2} items:", pi.len());
+    println!("    pi : {}", rank_line(&pi));
+    println!("    rho: {}", rank_line(&rho));
+    let r1 = refine_intervals(&pi, &rho, &whole, &whole);
+    println!("    largest gap in (-inf, +inf): {} at restricted index {}", r1.gap.gap, r1.gap.index + 1);
+    println!("    new interval for pi : {}", show_iv(&pi, &r1.iv_pi));
+    println!("    new interval for rho: {}\n", show_iv(&rho, &r1.iv_rho));
+
+    // Leaf 2 (panel b) — then back at the root, refine on the whole line.
+    leaf(&mut pi, &mut rho, eps, &r1.iv_pi, &r1.iv_rho);
+    println!("(b) after {:2} items:", pi.len());
+    println!("    pi : {}", rank_line(&pi));
+    println!("    rho: {}", rank_line(&rho));
+    let g_left = compute_gap(&pi, &rho, &whole, &whole);
+    println!("    largest gap in (-inf, +inf): {} (bound 2*eps*N_2 = {})", g_left.gap, eps.gap_bound(eps.stream_len(2)));
+    let r2 = refine_intervals(&pi, &rho, &whole, &whole);
+    println!("    new interval for pi : {}", show_iv(&pi, &r2.iv_pi));
+    println!("    new interval for rho: {}\n", show_iv(&rho, &r2.iv_rho));
+
+    // Leaf 3 (panel c) — the right subtree's own internal refinement.
+    leaf(&mut pi, &mut rho, eps, &r2.iv_pi, &r2.iv_rho);
+    println!("(c) after {:2} items:", pi.len());
+    println!("    pi : {}", rank_line(&pi));
+    println!("    rho: {}", rank_line(&rho));
+    let g3 = compute_gap(&pi, &rho, &r2.iv_pi, &r2.iv_rho);
+    println!("    largest gap inside current intervals: {}", g3.gap);
+    let r3 = refine_intervals(&pi, &rho, &r2.iv_pi, &r2.iv_rho);
+    println!("    new interval for pi : {}", show_iv(&pi, &r3.iv_pi));
+    println!("    new interval for rho: {}\n", show_iv(&rho, &r3.iv_rho));
+
+    // Leaf 4 (panel d) — construction complete.
+    leaf(&mut pi, &mut rho, eps, &r3.iv_pi, &r3.iv_rho);
+    println!("(d) after {:2} items (construction complete):", pi.len());
+    println!("    pi : {}", rank_line(&pi));
+    println!("    rho: {}", rank_line(&rho));
+    let final_gap = compute_gap(&pi, &rho, &whole, &whole);
+    let ceiling = eps.gap_bound(n_total);
+    println!("\nfinal gap(pi, rho) = {} vs Lemma 3.4 ceiling 2*eps*N = {}", final_gap.gap, ceiling);
+    println!("stored items: {} of {} seen", pi.summary.stored_count(), pi.len());
+    if final_gap.gap > ceiling {
+        println!("=> the capped summary has blown the correctness ceiling: some quantile query must fail (see lemma34_failure_witness).");
+    } else {
+        println!("=> gap within ceiling: the summary paid with space instead.");
+    }
+    assert_eq!(pi.len(), n_total);
+}

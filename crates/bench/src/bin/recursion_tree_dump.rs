@@ -1,0 +1,41 @@
+//! Exports the full recursion-tree audit of one adversary run as CSV —
+//! plot-ready data for the space-gap inequality at every node
+//! (the raw material behind the Lemma 5.2 audit table).
+//!
+//! Run: `cargo run -p cqs-bench --release --bin recursion_tree_dump`
+
+use cqs_bench::{attack_gk_outcome, emit, f1};
+use cqs_core::Eps;
+use cqs_streams::Table;
+
+fn main() {
+    let eps = Eps::from_inverse(32);
+    let k = 7u32;
+    let out = attack_gk_outcome(eps, k);
+    assert!(out.equivalence_error.is_none());
+
+    let mut t = Table::new(&[
+        "node", "level", "N_k", "g", "g'", "g''", "S_k", "rhs", "slack", "claim1", "lemma52",
+    ]);
+    for (i, a) in out.audits.iter().enumerate() {
+        let opt = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "-".into());
+        t.row(&[
+            &i.to_string(),
+            &a.level.to_string(),
+            &a.n_k.to_string(),
+            &a.g.to_string(),
+            &opt(a.g_prime),
+            &opt(a.g_dprime),
+            &a.s_k.to_string(),
+            &f1(a.space_gap_rhs),
+            &f1(a.s_k as f64 - a.space_gap_rhs),
+            &a.claim1_ok.to_string(),
+            &a.lemma52_ok.to_string(),
+        ]);
+    }
+    emit(
+        &format!("Recursion-tree audit (GK, eps = {eps}, k = {k}, post-order)"),
+        &t,
+        "recursion_tree_dump.csv",
+    );
+}

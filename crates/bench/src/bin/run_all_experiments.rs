@@ -1,0 +1,52 @@
+//! Convenience driver: runs every experiment binary in DESIGN.md's index
+//! in sequence (the exact set EXPERIMENTS.md is generated from).
+//!
+//! Run: `cargo run -p cqs-bench --release --bin run_all_experiments`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1_gap_illustration",
+    "fig2_construction_walkthrough",
+    "thm22_lower_bound_sweep",
+    "lemma34_failure_witness",
+    "lemma52_space_gap_audit",
+    "gk_upper_bound_profile",
+    "thm61_median_reduction",
+    "thm62_rank_lower_bound",
+    "thm64_randomized_reduction",
+    "thm65_biased_phases",
+    "summary_comparison_table",
+    "offline_optimal_summary",
+    "bounds_landscape",
+    "ablation_gk_variants",
+    "ablation_adversary_ties",
+    "ablation_kll_decay",
+    "constant_factor_fit",
+    "recursion_tree_dump",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################");
+        let status = Command::new(exe_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    println!("\n================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed; CSVs in results/", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,119 @@
+//! T9 — the Luo-et-al.-style experimental comparison (Section 1.2
+//! context).
+//!
+//! All summaries in the workspace on four workloads at two ε values:
+//! peak space, worst observed rank error over a query grid, and update
+//! throughput. q-digest runs on the same streams through its own
+//! (non-comparison-based) integer interface — its flat-in-N space is
+//! the escape hatch the lower bound proves impossible for
+//! comparison-based structures.
+//!
+//! Run: `cargo run -p cqs-bench --release --bin summary_comparison_table`
+
+use std::time::Instant;
+
+use cqs_bench::{drive_u64, emit, f1, DriveStats};
+use cqs_ckms::CkmsSummary;
+use cqs_core::ComparisonSummary;
+use cqs_gk::{GkSummary, GreedyGk};
+use cqs_kll::{KllSketch, SampledKll};
+use cqs_mrl::MrlSummary;
+use cqs_qdigest::QDigest;
+use cqs_sampling::ReservoirSummary;
+use cqs_streams::{workload, Table, Workload};
+
+const GRID: usize = 256;
+
+fn bench_one<S, F>(t: &mut Table, name: &str, eps: f64, w: Workload, vals: &[u64], make: F)
+where
+    S: ComparisonSummary<u64>,
+    F: FnOnce() -> S,
+{
+    let mut s = make();
+    let start = Instant::now();
+    let stats: DriveStats = drive_u64(&mut s, vals, GRID);
+    let elapsed = start.elapsed();
+    let ns_per = elapsed.as_nanos() as f64 / vals.len() as f64;
+    let budget = (eps * vals.len() as f64).floor() as u64;
+    t.row(&[
+        name,
+        &format!("{eps}"),
+        w.name(),
+        &vals.len().to_string(),
+        &stats.peak_stored.to_string(),
+        &stats.max_rank_error.to_string(),
+        &budget.to_string(),
+        &(stats.max_rank_error <= budget).to_string(),
+        &f1(ns_per),
+    ]);
+}
+
+fn main() {
+    let n = 200_000u64;
+    let mut t = Table::new(&[
+        "summary", "eps", "workload", "N", "peak|I|", "max-rank-err", "eps*N", "within-eps",
+        "ns/insert",
+    ]);
+
+    for eps in [0.01f64, 0.001] {
+        for w in [Workload::Sorted, Workload::Shuffled, Workload::Zipf, Workload::Clustered] {
+            let vals = workload(w, n, 11).expect("non-empty");
+
+            bench_one(&mut t, "gk", eps, w, &vals, || GkSummary::new(eps));
+            bench_one(&mut t, "gk-greedy", eps, w, &vals, || GreedyGk::new(eps));
+            bench_one(&mut t, "mrl", eps, w, &vals, || MrlSummary::new(eps, n));
+            bench_one(&mut t, "kll", eps, w, &vals, || {
+                KllSketch::with_seed(((2.0 / eps) as usize).max(8), 0xBEEF)
+            });
+            bench_one(&mut t, "kll-sampled", eps, w, &vals, || {
+                SampledKll::with_seed(((2.0 / eps) as usize).max(8), 0xFADE)
+            });
+            bench_one(&mut t, "ckms", eps, w, &vals, || CkmsSummary::new(eps));
+            bench_one(&mut t, "reservoir", eps, w, &vals, || {
+                ReservoirSummary::with_seed(eps, 0.01, 0xFEED)
+            });
+
+            // q-digest via its own integer interface (values ≤ n+1).
+            let log_u = 64 - (n + 2).leading_zeros();
+            let mut qd = QDigest::new(log_u, eps);
+            let start = Instant::now();
+            let mut peak = 0usize;
+            for &v in &vals {
+                qd.insert(v);
+                peak = peak.max(qd.node_count());
+            }
+            let ns_per = start.elapsed().as_nanos() as f64 / vals.len() as f64;
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            let mut max_err = 0u64;
+            for j in 0..=GRID as u64 {
+                let r = (1 + j * (n - 1) / GRID as u64).clamp(1, n);
+                let ans = qd.quantile(r as f64 / n as f64);
+                let lo = sorted.partition_point(|&x| x < ans) as u64 + 1;
+                let hi = sorted.partition_point(|&x| x <= ans) as u64;
+                let err = if r < lo { lo - r } else { r.saturating_sub(hi) };
+                max_err = max_err.max(err);
+            }
+            let budget = (eps * n as f64).floor() as u64;
+            t.row(&[
+                "qdigest*",
+                &format!("{eps}"),
+                w.name(),
+                &n.to_string(),
+                &peak.to_string(),
+                &max_err.to_string(),
+                &budget.to_string(),
+                &(max_err <= budget).to_string(),
+                &f1(ns_per),
+            ]);
+        }
+    }
+
+    emit(
+        "Summary comparison (Luo et al. style) — space / accuracy / throughput",
+        &t,
+        "summary_comparison_table.csv",
+    );
+    println!("\n(*) q-digest is not comparison-based: bounded integer universe, answers may be");
+    println!("    non-stream values — the contrast the lower bound paper exempts explicitly.");
+}

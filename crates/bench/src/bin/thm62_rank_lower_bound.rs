@@ -1,0 +1,69 @@
+//! T6 — Theorem 6.2: the Estimating Rank lower bound.
+//!
+//! After the adversarial construction, fresh query items are minted just
+//! above the low gap extreme (on π) and just below the high gap extreme
+//! (on ϱ). A comparison-based estimator returns the same number on both
+//! — we verify the agreement — while the true ranks differ by the gap,
+//! so once the gap exceeds 2εN + 2 one answer is off by more than εN.
+//!
+//! Run: `cargo run -p cqs-bench --release --bin thm62_rank_lower_bound`
+
+use cqs_bench::{attack_capped_outcome, attack_gk_outcome, emit};
+use cqs_core::rank_estimation::rank_failure_witness;
+use cqs_core::Eps;
+use cqs_streams::Table;
+
+fn main() {
+    let eps = Eps::from_inverse(32);
+    let k = 8u32;
+    let mut t = Table::new(&[
+        "target", "gap", "2epsN+2", "est-pi", "est-rho", "agree", "true-pi", "true-rho",
+        "eps*N", "fails",
+    ]);
+
+    // Correct GK: gap under threshold, no witness — the space bound
+    // applies instead (reported as "-").
+    let out = attack_gk_outcome(eps, k);
+    match rank_failure_witness(&out) {
+        None => {
+            t.row(&[
+                "gk",
+                &out.final_gap().to_string(),
+                &(eps.gap_bound(eps.stream_len(k)) + 2).to_string(),
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                &eps.rank_budget(eps.stream_len(k)).to_string(),
+                "false",
+            ]);
+        }
+        Some(w) => {
+            t.row(&["gk", &w.gap.to_string(), &w.threshold.to_string(), &w.est_pi.to_string(), &w.est_rho.to_string(), &w.estimates_agree.to_string(), &w.true_pi.to_string(), &w.true_rho.to_string(), &w.budget.to_string(), &w.demonstrates_failure().to_string()]);
+        }
+    }
+
+    for budget in [8usize, 16, 32] {
+        let out = attack_capped_outcome(eps, k, budget);
+        let w = rank_failure_witness(&out).expect("capped summary must blow the threshold");
+        t.row(&[
+            &format!("gk-capped({budget})"),
+            &w.gap.to_string(),
+            &w.threshold.to_string(),
+            &w.est_pi.to_string(),
+            &w.est_rho.to_string(),
+            &w.estimates_agree.to_string(),
+            &w.true_pi.to_string(),
+            &w.true_rho.to_string(),
+            &w.budget.to_string(),
+            &w.demonstrates_failure().to_string(),
+        ]);
+    }
+
+    emit(
+        "Theorem 6.2 — Estimating Rank: agreeing estimates, diverging truths",
+        &t,
+        "thm62_rank_lower_bound.csv",
+    );
+}

@@ -1,0 +1,171 @@
+//! # cqs-bench — experiment harness
+//!
+//! Shared plumbing for the experiment binaries (`src/bin/*.rs`), one per
+//! figure/theorem of the paper (see DESIGN.md's per-experiment index),
+//! and for the Criterion benches in `benches/`.
+//!
+//! Every binary prints an aligned table and mirrors it to
+//! `results/<experiment>.csv` at the workspace root, so
+//! EXPERIMENTS.md's numbers are regenerable with
+//! `cargo run -p cqs-bench --release --bin <name>`.
+
+use std::path::PathBuf;
+
+use cqs_core::adversary::{run_adversary, AdversaryOutcome, AdversaryReport};
+use cqs_core::{ComparisonSummary, Eps, Item};
+use cqs_gk::{CappedGk, GkSummary, GreedyGk};
+use cqs_kll::KllSketch;
+use cqs_streams::Table;
+
+/// Which summary the adversary attacks in a sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// Banded Greenwald–Khanna.
+    Gk,
+    /// Greedy Greenwald–Khanna.
+    GkGreedy,
+    /// Fixed-seed KLL (the derandomized randomized sketch).
+    KllFixed,
+    /// Space-capped GK with the given item budget.
+    Capped(usize),
+}
+
+impl Target {
+    /// Display name.
+    pub fn name(self) -> String {
+        match self {
+            Target::Gk => "gk".into(),
+            Target::GkGreedy => "gk-greedy".into(),
+            Target::KllFixed => "kll-fixed".into(),
+            Target::Capped(b) => format!("gk-capped({b})"),
+        }
+    }
+}
+
+/// Runs the full adversarial construction against the chosen target and
+/// returns the flat report.
+pub fn attack(eps: Eps, k: u32, target: Target) -> AdversaryReport {
+    match target {
+        Target::Gk => run_adversary(eps, k, || GkSummary::<Item>::new(eps.value())).report(),
+        Target::GkGreedy => run_adversary(eps, k, || GreedyGk::<Item>::new(eps.value())).report(),
+        Target::KllFixed => {
+            let kcap = (4 * eps.inverse() as usize).max(8);
+            run_adversary(eps, k, || KllSketch::<Item>::with_seed(kcap, 0xD1CE)).report()
+        }
+        Target::Capped(b) => {
+            run_adversary(eps, k, || CappedGk::<Item>::new(eps.value(), b)).report()
+        }
+    }
+}
+
+/// Runs the adversary and returns the full outcome (streams + audits)
+/// for a capped GK target — used by the failure-witness experiments.
+pub fn attack_capped_outcome(eps: Eps, k: u32, budget: usize) -> AdversaryOutcome<CappedGk<Item>> {
+    run_adversary(eps, k, move || CappedGk::<Item>::new(eps.value(), budget))
+}
+
+/// Runs the adversary and returns the full outcome for banded GK.
+pub fn attack_gk_outcome(eps: Eps, k: u32) -> AdversaryOutcome<GkSummary<Item>> {
+    run_adversary(eps, k, || GkSummary::<Item>::new(eps.value()))
+}
+
+/// Resolves `results/<file>` at the workspace root.
+pub fn results_path(file: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    root.canonicalize().unwrap_or(root).join("results").join(file)
+}
+
+/// Prints a table under a titled banner and mirrors it to
+/// `results/<csv_name>` (errors on the mirror are reported, not fatal —
+/// the table on stdout is the experiment's primary output).
+pub fn emit(title: &str, table: &Table, csv_name: &str) {
+    println!("\n=== {title} ===\n");
+    print!("{}", table.render());
+    let path = results_path(csv_name);
+    match cqs_streams::write_csv(table, &path) {
+        Ok(()) => println!("\n[csv] {}", path.display()),
+        Err(e) => eprintln!("\n[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Formats a float with 1 decimal place (experiment tables).
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Drives any summary over a `u64` workload, returning (peak stored,
+/// final stored, max rank error over a grid of `grid` targets).
+///
+/// Values must be a permutation-like stream where the true rank of a
+/// value can be computed by sorting — the function sorts a copy for
+/// ground truth.
+pub fn drive_u64<S: ComparisonSummary<u64>>(summary: &mut S, values: &[u64], grid: usize) -> DriveStats {
+    let mut peak = 0usize;
+    for &v in values {
+        summary.insert(v);
+        peak = peak.max(summary.stored_count());
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    let mut max_err = 0u64;
+    for j in 0..=grid as u64 {
+        let r = (1 + j * (n - 1) / grid as u64).clamp(1, n);
+        if let Some(ans) = summary.query_rank(r) {
+            // True rank range of ans in the (multi)set.
+            let lo = sorted.partition_point(|&x| x < ans) as u64 + 1;
+            let hi = sorted.partition_point(|&x| x <= ans) as u64;
+            let err = if r < lo {
+                lo - r
+            } else { r.saturating_sub(hi) };
+            max_err = max_err.max(err);
+        }
+    }
+    DriveStats { peak_stored: peak, final_stored: summary.stored_count(), max_rank_error: max_err }
+}
+
+/// Outcome of [`drive_u64`].
+#[derive(Clone, Copy, Debug)]
+pub struct DriveStats {
+    /// Largest |I| observed.
+    pub peak_stored: usize,
+    /// |I| at end of stream.
+    pub final_stored: usize,
+    /// Worst rank error over the query grid.
+    pub max_rank_error: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_dispatches_all_targets() {
+        let eps = Eps::from_inverse(8);
+        for t in [Target::Gk, Target::GkGreedy, Target::KllFixed, Target::Capped(8)] {
+            let rep = attack(eps, 3, t);
+            assert_eq!(rep.n, eps.stream_len(3), "{:?}", t);
+            assert!(rep.equivalence_ok, "{:?} broke indistinguishability", t);
+        }
+    }
+
+    #[test]
+    fn drive_reports_sane_stats() {
+        let vals: Vec<u64> = (1..=1000).collect();
+        let mut gk = GkSummary::new(0.05);
+        let stats = drive_u64(&mut gk, &vals, 20);
+        assert!(stats.peak_stored >= stats.final_stored.min(stats.peak_stored));
+        assert!(stats.max_rank_error <= 50);
+    }
+
+    #[test]
+    fn results_path_lands_in_workspace_results() {
+        let p = results_path("x.csv");
+        assert!(p.to_string_lossy().contains("results"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Hand-rolled argument parsing for the `cqs` binary.
+
+use crate::commands::CliError;
+
+/// The parsed command line.
+#[derive(Clone, Debug)]
+pub enum Cli {
+    /// `cqs quantiles [--eps E] [--algo A] [--phi P1,P2,…]`.
+    Quantiles(QuantilesArgs),
+    /// `cqs adversary [--inv-eps I] [--k K] [--target A] [--budget B]`.
+    Adversary(AdversaryArgs),
+    /// `cqs compare [--eps E]`.
+    Compare(CompareArgs),
+    /// `cqs help` (or `--help`).
+    Help,
+}
+
+/// Which summary algorithm a command uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SummaryKind {
+    /// Banded Greenwald–Khanna.
+    Gk,
+    /// Greedy Greenwald–Khanna.
+    GkGreedy,
+    /// Space-capped GK (adversary demos only).
+    GkCapped,
+    /// Manku–Rajagopalan–Lindsay.
+    Mrl,
+    /// Karnin–Lang–Liberty.
+    Kll,
+    /// CKMS biased quantiles.
+    Ckms,
+    /// Reservoir sampling.
+    Reservoir,
+}
+
+impl SummaryKind {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        Ok(match s {
+            "gk" => SummaryKind::Gk,
+            "gk-greedy" => SummaryKind::GkGreedy,
+            "gk-capped" => SummaryKind::GkCapped,
+            "mrl" => SummaryKind::Mrl,
+            "kll" => SummaryKind::Kll,
+            "ckms" => SummaryKind::Ckms,
+            "reservoir" => SummaryKind::Reservoir,
+            other => return Err(CliError::new(format!("unknown algorithm: {other}"))),
+        })
+    }
+}
+
+/// Arguments of `cqs quantiles`.
+#[derive(Clone, Debug)]
+pub struct QuantilesArgs {
+    /// Approximation guarantee.
+    pub eps: f64,
+    /// Algorithm.
+    pub kind: SummaryKind,
+    /// Quantiles to print.
+    pub phis: Vec<f64>,
+    /// Expected stream length (MRL sizing only).
+    pub expected_n: u64,
+    /// RNG seed (randomized algorithms only).
+    pub seed: u64,
+}
+
+/// Arguments of `cqs adversary`.
+#[derive(Clone, Debug)]
+pub struct AdversaryArgs {
+    /// Integral 1/ε.
+    pub inv_eps: u64,
+    /// Recursion depth (stream length (1/ε)·2^k).
+    pub k: u32,
+    /// Summary under attack.
+    pub target: SummaryKind,
+    /// Item budget for `gk-capped` (0 = auto: 1/(2ε)).
+    pub budget: usize,
+}
+
+/// Arguments of `cqs compare`.
+#[derive(Clone, Debug)]
+pub struct CompareArgs {
+    /// Approximation guarantee.
+    pub eps: f64,
+    /// Expected stream length (MRL sizing only).
+    pub expected_n: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Usage text printed by `cqs help`.
+pub const USAGE: &str = "\
+cqs — comparison-based quantile summaries (and the proof they can't be smaller)
+
+USAGE:
+  cqs quantiles [--eps E] [--algo gk|gk-greedy|mrl|kll|ckms|reservoir]
+                [--phi P1,P2,...] [--expected-n N] [--seed S]   < numbers.txt
+  cqs adversary [--inv-eps I] [--k K]
+                [--target gk|gk-greedy|gk-capped|mrl|kll] [--budget B]
+  cqs compare   [--eps E] [--expected-n N] [--seed S]           < numbers.txt
+  cqs help
+";
+
+/// Parses an argument list (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
+    let mut it = args.into_iter();
+    let cmd = it.next().ok_or_else(|| CliError::new("missing command; try `cqs help`"))?;
+    let rest: Vec<String> = it.collect();
+    match cmd.as_str() {
+        "quantiles" => parse_quantiles(&rest).map(Cli::Quantiles),
+        "adversary" => parse_adversary(&rest).map(Cli::Adversary),
+        "compare" => parse_compare(&rest).map(Cli::Compare),
+        "help" | "--help" | "-h" => Ok(Cli::Help),
+        other => Err(CliError::new(format!("unknown command: {other}; try `cqs help`"))),
+    }
+}
+
+struct Flags<'a> {
+    words: &'a [String],
+    i: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn new(words: &'a [String]) -> Self {
+        Flags { words, i: 0 }
+    }
+
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let w = self.words.get(self.i)?;
+        self.i += 1;
+        Some(w.as_str())
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        let v = self
+            .words
+            .get(self.i)
+            .ok_or_else(|| CliError::new(format!("{flag} needs a value")))?;
+        self.i += 1;
+        Ok(v.as_str())
+    }
+}
+
+fn parse_f64(flag: &str, v: &str) -> Result<f64, CliError> {
+    v.parse::<f64>().map_err(|_| CliError::new(format!("{flag}: not a number: {v}")))
+}
+
+fn parse_u64(flag: &str, v: &str) -> Result<u64, CliError> {
+    v.parse::<u64>().map_err(|_| CliError::new(format!("{flag}: not an integer: {v}")))
+}
+
+fn check_eps(eps: f64) -> Result<f64, CliError> {
+    if eps > 0.0 && eps < 0.5 {
+        Ok(eps)
+    } else {
+        Err(CliError::new(format!("eps must be in (0, 0.5), got {eps}")))
+    }
+}
+
+fn parse_quantiles(words: &[String]) -> Result<QuantilesArgs, CliError> {
+    let mut out = QuantilesArgs {
+        eps: 0.01,
+        kind: SummaryKind::Gk,
+        phis: vec![0.5, 0.9, 0.99],
+        expected_n: 1_000_000,
+        seed: 0,
+    };
+    let mut f = Flags::new(words);
+    while let Some(flag) = f.next_flag() {
+        match flag {
+            "--eps" => out.eps = check_eps(parse_f64(flag, f.value(flag)?)?)?,
+            "--algo" => out.kind = SummaryKind::parse(f.value(flag)?)?,
+            "--expected-n" => out.expected_n = parse_u64(flag, f.value(flag)?)?.max(1),
+            "--seed" => out.seed = parse_u64(flag, f.value(flag)?)?,
+            "--phi" => {
+                let v = f.value(flag)?;
+                out.phis = v
+                    .split(',')
+                    .map(|p| {
+                        let phi = parse_f64("--phi", p)?;
+                        if (0.0..=1.0).contains(&phi) {
+                            Ok(phi)
+                        } else {
+                            Err(CliError::new(format!("phi must be in [0, 1], got {phi}")))
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            other => return Err(CliError::new(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_adversary(words: &[String]) -> Result<AdversaryArgs, CliError> {
+    let mut out = AdversaryArgs { inv_eps: 32, k: 6, target: SummaryKind::Gk, budget: 0 };
+    let mut f = Flags::new(words);
+    while let Some(flag) = f.next_flag() {
+        match flag {
+            "--inv-eps" => {
+                out.inv_eps = parse_u64(flag, f.value(flag)?)?;
+                if out.inv_eps == 0 {
+                    return Err(CliError::new("--inv-eps must be positive"));
+                }
+            }
+            "--k" => out.k = parse_u64(flag, f.value(flag)?)?.clamp(1, 24) as u32,
+            "--target" => out.target = SummaryKind::parse(f.value(flag)?)?,
+            "--budget" => out.budget = parse_u64(flag, f.value(flag)?)? as usize,
+            other => return Err(CliError::new(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_compare(words: &[String]) -> Result<CompareArgs, CliError> {
+    let mut out = CompareArgs { eps: 0.01, expected_n: 1_000_000, seed: 0 };
+    let mut f = Flags::new(words);
+    while let Some(flag) = f.next_flag() {
+        match flag {
+            "--eps" => out.eps = check_eps(parse_f64(flag, f.value(flag)?)?)?,
+            "--expected-n" => out.expected_n = parse_u64(flag, f.value(flag)?)?.max(1),
+            "--seed" => out.seed = parse_u64(flag, f.value(flag)?)?,
+            other => return Err(CliError::new(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,36 @@
+//! The `cqs` binary: thin stdin/stdout shim over `cqs_cli`.
+
+use std::io;
+use std::process::ExitCode;
+
+use cqs_cli::{parse_args, run_adversary_cmd, run_compare, run_quantiles, Cli};
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cqs_cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &cli {
+        Cli::Help => {
+            println!("{}", cqs_cli::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Cli::Quantiles(q) => run_quantiles(q, io::stdin().lock()),
+        Cli::Adversary(a) => run_adversary_cmd(a),
+        Cli::Compare(c) => run_compare(c, io::stdin().lock()),
+    };
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

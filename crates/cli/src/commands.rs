@@ -1,0 +1,196 @@
+//! Command implementations (pure: reader in, string out) so everything
+//! is unit-testable without spawning processes.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+use cqs_ckms::CkmsSummary;
+use cqs_core::adversary::run_adversary;
+use cqs_core::failure::quantile_failure_witness;
+use cqs_core::{ComparisonSummary, Eps, Item};
+use cqs_gk::{CappedGk, GkSummary, GreedyGk};
+use cqs_kll::KllSketch;
+use cqs_mrl::MrlSummary;
+use cqs_sampling::ReservoirSummary;
+use cqs_streams::{OrdF64, Table};
+
+use crate::args::{AdversaryArgs, CompareArgs, QuantilesArgs, SummaryKind};
+
+/// A user-facing CLI error (bad flags, bad input data).
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl CliError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        CliError(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn build_summary(
+    kind: SummaryKind,
+    eps: f64,
+    expected_n: u64,
+    seed: u64,
+) -> Result<Box<dyn ComparisonSummary<OrdF64>>, CliError> {
+    Ok(match kind {
+        SummaryKind::Gk => Box::new(GkSummary::new(eps)),
+        SummaryKind::GkGreedy => Box::new(GreedyGk::new(eps)),
+        SummaryKind::GkCapped => {
+            return Err(CliError::new("gk-capped is only meaningful under `cqs adversary`"))
+        }
+        SummaryKind::Mrl => Box::new(MrlSummary::new(eps, expected_n)),
+        SummaryKind::Kll => Box::new(KllSketch::with_seed(((2.0 / eps) as usize).max(8), seed)),
+        SummaryKind::Ckms => Box::new(CkmsSummary::new(eps)),
+        SummaryKind::Reservoir => Box::new(ReservoirSummary::with_seed(eps, 0.01, seed)),
+    })
+}
+
+fn read_numbers(input: impl BufRead) -> Result<Vec<f64>, CliError> {
+    let mut out = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| CliError::new(format!("read error: {e}")))?;
+        for tok in line.split_whitespace() {
+            let x: f64 = tok
+                .parse()
+                .map_err(|_| CliError::new(format!("line {}: not a number: {tok}", lineno + 1)))?;
+            if x.is_nan() {
+                return Err(CliError::new(format!("line {}: NaN is not orderable", lineno + 1)));
+            }
+            out.push(x);
+        }
+    }
+    Ok(out)
+}
+
+/// `cqs quantiles`: summarise stdin and print the requested quantiles.
+pub fn run_quantiles(args: &QuantilesArgs, input: impl BufRead) -> Result<String, CliError> {
+    let numbers = read_numbers(input)?;
+    if numbers.is_empty() {
+        return Err(CliError::new("no input numbers"));
+    }
+    let mut s = build_summary(args.kind, args.eps, args.expected_n, args.seed)?;
+    for &x in &numbers {
+        s.insert(OrdF64::new(x));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "algo = {}, eps = {}, n = {}, stored = {} items",
+        s.name(),
+        args.eps,
+        s.items_processed(),
+        s.stored_count()
+    );
+    for &phi in &args.phis {
+        let q = s.quantile(phi).expect("non-empty");
+        let _ = writeln!(out, "  phi = {phi:<8} -> {}", f64::from(q));
+    }
+    Ok(out)
+}
+
+/// `cqs adversary`: run the lower-bound construction and report.
+pub fn run_adversary_cmd(args: &AdversaryArgs) -> Result<String, CliError> {
+    let eps = Eps::from_inverse(args.inv_eps);
+    let n = eps.stream_len(args.k);
+    if n > 4_000_000 {
+        return Err(CliError::new(format!(
+            "stream length {n} too large; lower --k or --inv-eps"
+        )));
+    }
+    let budget = if args.budget == 0 {
+        (args.inv_eps / 2).max(4) as usize
+    } else {
+        args.budget.max(4)
+    };
+    macro_rules! run {
+        ($make:expr) => {
+            run_adversary(eps, args.k, $make)
+        };
+    }
+    let (report, witness) = match args.target {
+        SummaryKind::Gk => {
+            let out = run!(|| GkSummary::<Item>::new(eps.value()));
+            (out.report(), quantile_failure_witness(&out))
+        }
+        SummaryKind::GkGreedy => {
+            let out = run!(|| GreedyGk::<Item>::new(eps.value()));
+            (out.report(), quantile_failure_witness(&out))
+        }
+        SummaryKind::GkCapped => {
+            let out = run!(move || CappedGk::<Item>::new(eps.value(), budget));
+            (out.report(), quantile_failure_witness(&out))
+        }
+        SummaryKind::Mrl => {
+            let out = run!(move || MrlSummary::<Item>::new(eps.value(), n));
+            (out.report(), quantile_failure_witness(&out))
+        }
+        SummaryKind::Kll => {
+            let out = run!(move || KllSketch::<Item>::with_seed(
+                (4 * args.inv_eps as usize).max(8),
+                0xD1CE
+            ));
+            (out.report(), quantile_failure_witness(&out))
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "{other:?} is not an adversary target (use gk, gk-greedy, gk-capped, mrl, kll)"
+            )))
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "adversary vs {} (eps = {}, k = {}, N = {})", report.summary_name, eps, args.k, report.n);
+    let _ = writeln!(out, "  indistinguishability held : {}", report.equivalence_ok);
+    let _ = writeln!(out, "  final gap / 2*eps*N       : {} / {}", report.final_gap, report.gap_ceiling);
+    let _ = writeln!(out, "  peak items stored         : {}", report.max_stored);
+    let _ = writeln!(out, "  theorem 2.2 bound         : {:.1}", report.theorem22_bound);
+    let _ = writeln!(out, "  claim-1 / lemma-5.2 viol. : {} / {}", report.claim1_violations, report.lemma52_violations);
+    match witness {
+        None => {
+            let _ = writeln!(out, "  verdict: correct under attack; space >= bound: {}",
+                report.max_stored as f64 >= report.theorem22_bound);
+        }
+        Some(w) => {
+            let _ = writeln!(out, "  verdict: gap ceiling blown — FAILING QUERY extracted:");
+            let _ = writeln!(out, "    phi = {:.4} (rank {}), err_pi = {}, err_rho = {}, allowed = {}",
+                w.phi, w.target_rank, w.err_pi, w.err_rho, w.budget);
+        }
+    }
+    Ok(out)
+}
+
+/// `cqs compare`: every algorithm over the same stdin numbers.
+pub fn run_compare(args: &CompareArgs, input: impl BufRead) -> Result<String, CliError> {
+    let numbers = read_numbers(input)?;
+    if numbers.is_empty() {
+        return Err(CliError::new("no input numbers"));
+    }
+    let mut t = Table::new(&["algo", "stored", "p50", "p99"]);
+    for kind in [
+        SummaryKind::Gk,
+        SummaryKind::GkGreedy,
+        SummaryKind::Mrl,
+        SummaryKind::Kll,
+        SummaryKind::Ckms,
+        SummaryKind::Reservoir,
+    ] {
+        let mut s = build_summary(kind, args.eps, args.expected_n.max(numbers.len() as u64), args.seed)?;
+        for &x in &numbers {
+            s.insert(OrdF64::new(x));
+        }
+        let q = |phi: f64| {
+            s.quantile(phi).map(|v| format!("{}", f64::from(v))).unwrap_or_else(|| "-".into())
+        };
+        t.row(&[s.name(), &s.stored_count().to_string(), &q(0.5), &q(0.99)]);
+    }
+    Ok(format!("n = {}, eps = {}\n\n{}", numbers.len(), args.eps, t.render()))
+}

@@ -1,0 +1,152 @@
+#![warn(missing_docs)]
+
+//! # cqs-cli — command-line quantile summarisation
+//!
+//! The `cqs` binary wraps the workspace in three subcommands:
+//!
+//! * `cqs quantiles` — summarise numbers from stdin and print requested
+//!   percentiles;
+//! * `cqs adversary` — run the PODS'20 lower-bound construction against
+//!   a chosen summary and print the report;
+//! * `cqs compare` — run every algorithm over the same stdin data and
+//!   print a space/answer table.
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy
+//! admits no CLI framework); this library half holds the parsing and
+//! command logic so it is unit-testable, the `src/bin/cqs.rs` shim only
+//! wires stdin/stdout.
+
+mod args;
+mod commands;
+
+pub use args::{parse_args, AdversaryArgs, Cli, CompareArgs, QuantilesArgs, SummaryKind, USAGE};
+pub use commands::{run_adversary_cmd, run_compare, run_quantiles, CliError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Cli, CliError> {
+        parse_args(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_quantiles_defaults() {
+        let cli = parse(&["quantiles"]).unwrap();
+        match cli {
+            Cli::Quantiles(q) => {
+                assert_eq!(q.eps, 0.01);
+                assert_eq!(q.kind, SummaryKind::Gk);
+                assert_eq!(q.phis, vec![0.5, 0.9, 0.99]);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantiles_with_options() {
+        let cli = parse(&[
+            "quantiles", "--eps", "0.001", "--algo", "kll", "--phi", "0.25,0.75",
+        ])
+        .unwrap();
+        match cli {
+            Cli::Quantiles(q) => {
+                assert_eq!(q.eps, 0.001);
+                assert_eq!(q.kind, SummaryKind::Kll);
+                assert_eq!(q.phis, vec![0.25, 0.75]);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_adversary() {
+        let cli = parse(&["adversary", "--inv-eps", "64", "--k", "7", "--target", "gk-greedy"])
+            .unwrap();
+        match cli {
+            Cli::Adversary(a) => {
+                assert_eq!(a.inv_eps, 64);
+                assert_eq!(a.k, 7);
+                assert_eq!(a.target, SummaryKind::GkGreedy);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_compare() {
+        let cli = parse(&["compare", "--eps", "0.02"]).unwrap();
+        match cli {
+            Cli::Compare(c) => assert_eq!(c.eps, 0.02),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["quantiles", "--bogus"]).is_err());
+        assert!(parse(&["quantiles", "--eps", "not-a-number"]).is_err());
+        assert!(parse(&["adversary", "--k"]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_parameters() {
+        assert!(parse(&["quantiles", "--eps", "0.9"]).is_err());
+        assert!(parse(&["adversary", "--inv-eps", "0"]).is_err());
+        assert!(parse(&["quantiles", "--phi", "1.5"]).is_err());
+    }
+
+    #[test]
+    fn quantiles_command_end_to_end() {
+        let q = QuantilesArgs {
+            eps: 0.05,
+            kind: SummaryKind::Gk,
+            phis: vec![0.5],
+            expected_n: 10_000,
+            seed: 0,
+        };
+        let data = "1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n";
+        let out = run_quantiles(&q, data.as_bytes()).unwrap();
+        assert!(out.contains("0.5"), "output: {out}");
+        assert!(out.contains("n = 10"), "output: {out}");
+    }
+
+    #[test]
+    fn quantiles_rejects_garbage_input() {
+        let q = QuantilesArgs {
+            eps: 0.05,
+            kind: SummaryKind::Gk,
+            phis: vec![0.5],
+            expected_n: 100,
+            seed: 0,
+        };
+        assert!(run_quantiles(&q, "1\nbanana\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn adversary_command_end_to_end() {
+        let a = AdversaryArgs { inv_eps: 16, k: 4, target: SummaryKind::Gk, budget: 0 };
+        let out = run_adversary_cmd(&a).unwrap();
+        assert!(out.contains("gap"), "output: {out}");
+        assert!(out.contains("theorem"), "output: {out}");
+    }
+
+    #[test]
+    fn adversary_capped_reports_failure() {
+        let a = AdversaryArgs { inv_eps: 16, k: 6, target: SummaryKind::GkCapped, budget: 6 };
+        let out = run_adversary_cmd(&a).unwrap();
+        assert!(out.contains("FAILING QUERY"), "output: {out}");
+    }
+
+    #[test]
+    fn compare_command_end_to_end() {
+        let c = CompareArgs { eps: 0.05, expected_n: 1_000, seed: 1 };
+        let data: String = (1..=1000).map(|i| format!("{i}\n")).collect();
+        let out = run_compare(&c, data.as_bytes()).unwrap();
+        for name in ["gk", "gk-greedy", "mrl", "kll", "ckms", "reservoir"] {
+            assert!(out.contains(name), "missing {name} in: {out}");
+        }
+    }
+}

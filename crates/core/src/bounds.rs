@@ -1,0 +1,136 @@
+//! The space-bound landscape (Section 1.1): every bound the paper
+//! discusses, as evaluable shapes.
+//!
+//! All values are in *items* with the papers' unoptimised constants
+//! elided — these are for comparing growth shapes (who is above whom,
+//! and where crossovers fall), which is exactly how the paper positions
+//! its contribution against Hung–Ting and the trivial bound.
+
+use crate::eps::Eps;
+
+/// The trivial lower bound Ω(1/ε) that "holds even offline" (via the
+/// ⌈1/(2ε)⌉ interval-covering argument).
+pub fn trivial_lower(eps: Eps) -> f64 {
+    eps.inverse() as f64 / 2.0
+}
+
+/// Hung & Ting (2010): Ω((1/ε)·log(1/ε)) — the best bound before this
+/// paper. Independent of N; their construction needs
+/// N ≈ ((1/ε)·log(1/ε))².
+pub fn hung_ting_lower(eps: Eps) -> f64 {
+    let inv = eps.inverse() as f64;
+    inv * inv.log2().max(1.0)
+}
+
+/// The stream length Hung & Ting's construction realises its bound at.
+pub fn hung_ting_stream_len(eps: Eps) -> f64 {
+    let b = hung_ting_lower(eps);
+    b * b
+}
+
+/// Cormode & Veselý (this paper): Ω((1/ε)·log εN), valid at every
+/// N ≥ Ω(1/ε).
+pub fn cv_lower(eps: Eps, n: u64) -> f64 {
+    let inv = eps.inverse() as f64;
+    inv * (n as f64 / inv).max(2.0).log2()
+}
+
+/// The paper's concrete constant: c·(k+2)/(4ε) with c = 1/8 − 2ε at
+/// N = (1/ε)·2^k (see `spacegap::theorem22_bound` for the audited
+/// version; this one interpolates continuous N).
+pub fn cv_lower_concrete(eps: Eps, n: u64) -> f64 {
+    let inv = eps.inverse() as f64;
+    let k = (n as f64 / inv).max(1.0).log2();
+    (0.125 - 2.0 * eps.value()) * (k + 2.0) * inv / 4.0
+}
+
+/// Greenwald & Khanna upper bound O((1/ε)·log εN) — what the paper
+/// proves tight.
+pub fn gk_upper(eps: Eps, n: u64) -> f64 {
+    cv_lower(eps, n) // same shape; constants elided
+}
+
+/// Manku–Rajagopalan–Lindsay upper bound O((1/ε)·log²(εN)).
+pub fn mrl_upper(eps: Eps, n: u64) -> f64 {
+    let inv = eps.inverse() as f64;
+    let l = (n as f64 / inv).max(2.0).log2();
+    inv * l * l
+}
+
+/// q-digest upper bound O((1/ε)·log |U|) — escapes the lower bound by
+/// not being comparison-based.
+pub fn qdigest_upper(eps: Eps, log_universe: u32) -> f64 {
+    eps.inverse() as f64 * log_universe as f64
+}
+
+/// KLL randomized upper bound O((1/ε)·log log(1/εδ)).
+pub fn kll_upper(eps: Eps, delta: f64) -> f64 {
+    let inv = eps.inverse() as f64;
+    inv * (inv / delta).log2().max(2.0).log2()
+}
+
+/// The biased-quantiles lower bound of Theorem 6.5: Ω((1/ε)·log² εN).
+pub fn biased_lower(eps: Eps, n: u64) -> f64 {
+    mrl_upper(eps, n) // same shape
+}
+
+/// The N beyond which this paper's bound strictly exceeds Hung–Ting's:
+/// log₂ εN > log₂(1/ε), i.e. N > 1/ε².
+pub fn crossover_vs_hung_ting(eps: Eps) -> u64 {
+    eps.inverse() * eps.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_bounds_at_large_n() {
+        let eps = Eps::from_inverse(100);
+        let n = 1u64 << 30;
+        assert!(trivial_lower(eps) < hung_ting_lower(eps));
+        assert!(hung_ting_lower(eps) < cv_lower(eps, n));
+        assert!(cv_lower(eps, n) < mrl_upper(eps, n));
+        // q-digest with a 32-bit universe beats the comparison-based
+        // bound at this N — the paper's Section 2 remark.
+        assert!(qdigest_upper(eps, 32) < cv_lower(eps, 1u64 << 45));
+    }
+
+    #[test]
+    fn crossover_is_at_inverse_eps_squared() {
+        let eps = Eps::from_inverse(64);
+        let x = crossover_vs_hung_ting(eps);
+        assert_eq!(x, 4096);
+        // Strictly above the crossover, CV > HT; below, CV ≤ HT.
+        assert!(cv_lower(eps, 4 * x) > hung_ting_lower(eps));
+        assert!(cv_lower(eps, x / 4) < hung_ting_lower(eps));
+    }
+
+    #[test]
+    fn cv_concrete_is_below_shape_but_grows_identically() {
+        let eps = Eps::from_inverse(64);
+        for exp in [14u32, 20, 26] {
+            let n = 1u64 << exp;
+            assert!(cv_lower_concrete(eps, n) < cv_lower(eps, n));
+        }
+        let r1 = cv_lower_concrete(eps, 1 << 20) / cv_lower_concrete(eps, 1 << 14);
+        let r2 = (cv_lower(eps, 1 << 20) + 2.0 * 64.0) / (cv_lower(eps, 1 << 14) + 2.0 * 64.0);
+        assert!((r1 / r2 - 1.0).abs() < 0.2, "growth shapes diverge: {r1} vs {r2}");
+    }
+
+    #[test]
+    fn hung_ting_needs_quadratic_stream() {
+        let eps = Eps::from_inverse(32);
+        let n_ht = hung_ting_stream_len(eps);
+        // ((1/ε)·log 1/ε)² = (32·5)² = 25 600.
+        assert_eq!(n_ht as u64, 25_600);
+    }
+
+    #[test]
+    fn kll_is_doubly_logarithmic_in_delta() {
+        let eps = Eps::from_inverse(100);
+        let a = kll_upper(eps, 1e-3);
+        let b = kll_upper(eps, 1e-12);
+        assert!(b < a * 1.6, "δ from 1e-3 to 1e-12 should barely move the bound");
+    }
+}

@@ -1,0 +1,113 @@
+//! The approximation parameter ε, kept as an exact integer inverse.
+//!
+//! The paper "assume\[s\] for simplicity that 1/ε is an integer"; keeping
+//! the inverse exact avoids every floating-point rounding question in the
+//! construction (leaf sizes 2/ε, stream lengths N_k = (1/ε)·2^k, gap
+//! bounds 2εN = 2·N/inv, …).
+
+use std::fmt;
+
+/// An approximation guarantee ε = 1/inv with integral inverse.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Eps {
+    inv: u64,
+}
+
+impl Eps {
+    /// Constructs ε = 1/`inv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inv == 0`.
+    pub fn from_inverse(inv: u64) -> Self {
+        assert!(inv > 0, "1/eps must be positive");
+        Eps { inv }
+    }
+
+    /// 1/ε as an integer.
+    pub fn inverse(self) -> u64 {
+        self.inv
+    }
+
+    /// ε as a float (for reporting and for float-parameterised summaries).
+    pub fn value(self) -> f64 {
+        1.0 / self.inv as f64
+    }
+
+    /// The stream length N_k = (1/ε)·2^k used by the construction.
+    pub fn stream_len(self, k: u32) -> u64 {
+        self.inv
+            .checked_mul(1u64 << k)
+            .expect("N_k overflows u64")
+    }
+
+    /// The number of items appended per leaf of the recursion tree, 2/ε.
+    pub fn leaf_items(self) -> u64 {
+        2 * self.inv
+    }
+
+    /// The correctness gap bound of Lemma 3.4: 2εN = 2N/inv (exact when
+    /// `inv | 2N`, which holds for all N_k).
+    pub fn gap_bound(self, n: u64) -> u64 {
+        2 * n / self.inv
+    }
+
+    /// εn rounded down — the additive rank-error budget on a stream of
+    /// length `n`.
+    pub fn rank_budget(self, n: u64) -> u64 {
+        n / self.inv
+    }
+
+    /// Whether the paper's Theorem 2.2 precondition ε < 1/16 holds.
+    pub fn satisfies_theorem_precondition(self) -> bool {
+        self.inv > 16
+    }
+}
+
+impl fmt::Debug for Eps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "1/{}", self.inv)
+    }
+}
+
+impl fmt::Display for Eps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "1/{}", self.inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let e = Eps::from_inverse(16);
+        assert_eq!(e.value(), 0.0625);
+        assert_eq!(e.stream_len(3), 128);
+        assert_eq!(e.leaf_items(), 32);
+        assert_eq!(e.gap_bound(128), 16);
+        assert_eq!(e.rank_budget(128), 8);
+    }
+
+    #[test]
+    fn leaf_accounting_matches_stream_length() {
+        // 2^{k−1} leaves × 2/ε items each = N_k.
+        for k in 1..=10u32 {
+            let e = Eps::from_inverse(32);
+            assert_eq!((1u64 << (k - 1)) * e.leaf_items(), e.stream_len(k));
+        }
+    }
+
+    #[test]
+    fn theorem_precondition() {
+        assert!(!Eps::from_inverse(16).satisfies_theorem_precondition());
+        assert!(Eps::from_inverse(17).satisfies_theorem_precondition());
+    }
+
+    #[test]
+    #[should_panic(expected = "1/eps must be positive")]
+    fn zero_inverse_rejected() {
+        Eps::from_inverse(0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Lemma 3.4 made concrete: when the gap exceeds 2εN, *some* quantile
+//! query must be answered with error > εN — and we can exhibit it.
+//!
+//! The paper's argument: place ϕ·N in the middle of the oversized gap
+//! between `rank_π(I_π[i])` and `rank_ϱ(I_ϱ[i+1])`. The summary's answer
+//! to ϕ is the same array position j on both streams
+//! (indistinguishability + comparison-basedness); if j ≤ i the answer is
+//! too low on π, otherwise too high on ϱ. Running both live copies, we
+//! simply measure both errors and observe that at least one exceeds the
+//! budget.
+
+use cqs_universe::{Interval, Item};
+
+use crate::adversary::AdversaryOutcome;
+use crate::model::ComparisonSummary;
+
+/// A concrete quantile query on which the summary errs.
+#[derive(Clone, Debug)]
+pub struct FailureWitness {
+    /// The quantile ϕ placed in the middle of the gap.
+    pub phi: f64,
+    /// The corresponding target rank ⌊ϕ·N⌋.
+    pub target_rank: u64,
+    /// The top-level gap that made this possible.
+    pub gap: u64,
+    /// Lemma 3.4's ceiling 2εN that the gap exceeded.
+    pub gap_ceiling: u64,
+    /// True rank (w.r.t. π) of the answer the π-copy returned.
+    pub answer_rank_pi: u64,
+    /// True rank (w.r.t. ϱ) of the answer the ϱ-copy returned.
+    pub answer_rank_rho: u64,
+    /// |answer_rank_pi − target_rank|.
+    pub err_pi: u64,
+    /// |answer_rank_rho − target_rank|.
+    pub err_rho: u64,
+    /// The permitted budget ⌊εN⌋.
+    pub budget: u64,
+}
+
+impl FailureWitness {
+    /// Whether the witness indeed demonstrates failure (it must, for any
+    /// conforming summary).
+    pub fn demonstrates_failure(&self) -> bool {
+        self.err_pi > self.budget || self.err_rho > self.budget
+    }
+}
+
+/// Extracts a failing quantile query from a finished adversary run, or
+/// `None` if the summary kept the gap within the correctness ceiling
+/// (in which case Theorem 2.2's space bound applies instead — the two
+/// horns of the paper's dilemma).
+pub fn quantile_failure_witness<S: ComparisonSummary<Item>>(
+    outcome: &AdversaryOutcome<S>,
+) -> Option<FailureWitness> {
+    let n = outcome.eps.stream_len(outcome.k);
+    let ceiling = outcome.eps.gap_bound(n);
+    let root = outcome.root();
+    if root.g <= ceiling {
+        return None;
+    }
+
+    // Recover the gap extremes' global ranks. The root audit's gap was
+    // computed in the whole-universe intervals, where rank_in equals the
+    // global rank (with sentinels at 0 and N+1).
+    let whole = Interval::whole();
+    let gap = crate::gap::compute_gap(&outcome.pi, &outcome.rho, &whole, &whole);
+    let r_low = outcome.pi.rank_in(&whole, &gap.pi_low);
+    let r_high = outcome.rho.rank_in(&whole, &gap.rho_high);
+    debug_assert_eq!(r_high - r_low, gap.gap);
+
+    let target = ((r_low + r_high) / 2).clamp(1, n);
+    let phi = target as f64 / n as f64;
+    let budget = outcome.eps.rank_budget(n);
+
+    let ans_pi = outcome.pi.summary.query_rank(target).expect("non-empty summary");
+    let ans_rho = outcome.rho.summary.query_rank(target).expect("non-empty summary");
+    let rank_pi = outcome.pi.rank(&ans_pi);
+    let rank_rho = outcome.rho.rank(&ans_rho);
+
+    Some(FailureWitness {
+        phi,
+        target_rank: target,
+        gap: gap.gap,
+        gap_ceiling: ceiling,
+        answer_rank_pi: rank_pi,
+        answer_rank_rho: rank_rho,
+        err_pi: rank_pi.abs_diff(target),
+        err_rho: rank_rho.abs_diff(target),
+        budget,
+    })
+}
+
+/// Audits a summary's answers across a whole grid of target ranks
+/// against the true ranks of one live stream; returns the maximum
+/// observed rank error. Useful as a "the summary really is ε-approximate
+/// on this stream" check for the other side of the dilemma.
+pub fn max_rank_error_on_grid<S: ComparisonSummary<Item>>(
+    state: &crate::state::StreamState<S>,
+    grid: usize,
+) -> u64 {
+    let n = state.len();
+    if n == 0 {
+        return 0;
+    }
+    let steps = grid.max(1) as u64;
+    let mut worst = 0u64;
+    for j in 0..=steps {
+        let target = (1 + j * (n - 1) / steps).clamp(1, n);
+        if let Some(ans) = state.summary.query_rank(target) {
+            worst = worst.max(state.rank(&ans).abs_diff(target));
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::run_adversary;
+    use crate::eps::Eps;
+    use crate::reference::{DecimatedSummary, ExactSummary};
+
+    #[test]
+    fn exact_summary_yields_no_witness() {
+        let eps = Eps::from_inverse(8);
+        let out = run_adversary(eps, 4, ExactSummary::new);
+        assert!(quantile_failure_witness(&out).is_none());
+    }
+
+    #[test]
+    fn starved_summary_yields_demonstrated_failure() {
+        let eps = Eps::from_inverse(8);
+        let out = run_adversary(eps, 5, || DecimatedSummary::new(3));
+        let w = quantile_failure_witness(&out).expect("gap must exceed ceiling");
+        assert!(w.gap > w.gap_ceiling);
+        assert!(
+            w.demonstrates_failure(),
+            "one of the copies must err: pi={} rho={} budget={}",
+            w.err_pi,
+            w.err_rho,
+            w.budget
+        );
+        assert!(w.phi > 0.0 && w.phi <= 1.0);
+    }
+
+    #[test]
+    fn grid_audit_confirms_exact_summary_exactness() {
+        let eps = Eps::from_inverse(8);
+        let out = run_adversary(eps, 4, ExactSummary::new);
+        assert_eq!(max_rank_error_on_grid(&out.pi, 64), 0);
+    }
+
+    #[test]
+    fn grid_audit_detects_decimated_sloppiness() {
+        let eps = Eps::from_inverse(8);
+        let out = run_adversary(eps, 5, || DecimatedSummary::new(3));
+        let n = out.pi.len();
+        let budget = eps.rank_budget(n);
+        assert!(
+            max_rank_error_on_grid(&out.pi, 128) > budget,
+            "a 3-item summary cannot be eps-approximate on 256 items"
+        );
+    }
+}

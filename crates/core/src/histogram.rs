@@ -1,0 +1,137 @@
+//! Equi-depth histograms from quantile summaries.
+//!
+//! The paper's introduction lists "constructing equi-depth histograms
+//! (where the number of items in each bucket must be approximately
+//! equal)" among the applications a quantile summary immediately
+//! provides. This module builds one from any [`ComparisonSummary`]: the
+//! bucket boundaries are the i/b-quantiles, so each bucket holds
+//! N/b ± 2εN items.
+
+use crate::model::ComparisonSummary;
+
+/// An equi-depth histogram: `boundaries` split the value domain into
+/// buckets of approximately equal population.
+#[derive(Clone, Debug)]
+pub struct EquiDepthHistogram<T> {
+    /// Interior bucket boundaries (b − 1 of them for b buckets), each a
+    /// stored item of the underlying summary.
+    pub boundaries: Vec<T>,
+    /// Target items per bucket, N/b.
+    pub target_depth: u64,
+    /// Stream length at construction.
+    pub n: u64,
+}
+
+/// Builds a `buckets`-bucket equi-depth histogram from a summary.
+///
+/// Returns `None` on an empty summary or `buckets == 0`.
+pub fn equi_depth_histogram<T, S>(summary: &S, buckets: u32) -> Option<EquiDepthHistogram<T>>
+where
+    T: Ord + Clone,
+    S: ComparisonSummary<T>,
+{
+    let n = summary.items_processed();
+    if n == 0 || buckets == 0 {
+        return None;
+    }
+    let mut boundaries = Vec::with_capacity(buckets as usize - 1);
+    for i in 1..buckets as u64 {
+        let r = (i * n / buckets as u64).max(1);
+        boundaries.push(summary.query_rank(r)?);
+    }
+    Some(EquiDepthHistogram { boundaries, target_depth: n / buckets as u64, n })
+}
+
+impl<T: Ord + Clone> EquiDepthHistogram<T> {
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The bucket index (0-based) a value falls into.
+    pub fn bucket_of(&self, value: &T) -> usize {
+        self.boundaries.partition_point(|b| b < value)
+    }
+
+    /// Measures actual bucket depths against `values` (ground-truth
+    /// audit); returns per-bucket counts.
+    pub fn depths(&self, values: &[T]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.buckets()];
+        for v in values {
+            counts[self.bucket_of(v)] += 1;
+        }
+        counts
+    }
+
+    /// The worst absolute deviation of any bucket from the target depth,
+    /// measured against ground truth.
+    pub fn max_depth_error(&self, values: &[T]) -> u64 {
+        self.depths(values)
+            .iter()
+            .map(|&c| c.abs_diff(self.target_depth))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ExactSummary;
+
+    fn summary_over(n: u64) -> (ExactSummary<u64>, Vec<u64>) {
+        let mut s = ExactSummary::new();
+        let vals: Vec<u64> = (1..=n).collect();
+        for &v in &vals {
+            s.insert(v);
+        }
+        (s, vals)
+    }
+
+    #[test]
+    fn exact_summary_gives_perfectly_flat_histogram() {
+        let (s, vals) = summary_over(1000);
+        let h = equi_depth_histogram(&s, 10).unwrap();
+        assert_eq!(h.buckets(), 10);
+        assert_eq!(h.target_depth, 100);
+        // All depths within 1 of target (integer rounding only).
+        assert!(h.max_depth_error(&vals) <= 1, "{:?}", h.depths(&vals));
+    }
+
+    #[test]
+    fn bucket_of_respects_boundaries() {
+        let (s, _) = summary_over(100);
+        let h = equi_depth_histogram(&s, 4).unwrap();
+        assert_eq!(h.bucket_of(&1), 0);
+        assert_eq!(h.bucket_of(&100), 3);
+        // A boundary value belongs to the bucket left of it.
+        let b0 = h.boundaries[0];
+        assert_eq!(h.bucket_of(&b0), 0);
+    }
+
+    #[test]
+    fn single_bucket_histogram() {
+        let (s, vals) = summary_over(50);
+        let h = equi_depth_histogram(&s, 1).unwrap();
+        assert_eq!(h.buckets(), 1);
+        assert!(h.boundaries.is_empty());
+        assert_eq!(h.depths(&vals), vec![50]);
+    }
+
+    #[test]
+    fn empty_summary_and_zero_buckets() {
+        let s: ExactSummary<u64> = ExactSummary::new();
+        assert!(equi_depth_histogram(&s, 4).is_none());
+        let (s, _) = summary_over(10);
+        assert!(equi_depth_histogram(&s, 0).is_none());
+    }
+
+    #[test]
+    fn more_buckets_than_items_still_works() {
+        let (s, vals) = summary_over(3);
+        let h = equi_depth_histogram(&s, 10).unwrap();
+        assert_eq!(h.buckets(), 10);
+        let total: u64 = h.depths(&vals).iter().sum();
+        assert_eq!(total, 3);
+    }
+}

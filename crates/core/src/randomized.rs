@@ -1,0 +1,114 @@
+//! Theorems 6.3 / 6.4 — the randomized lower bound via derandomization.
+//!
+//! If a randomized comparison-based summary fails with probability
+//! δ < 1/N!, a union bound over all N! orderings of any fixed item set
+//! shows some choice of random bits succeeds on *every* stream of length
+//! N; hard-coding those bits yields a deterministic summary, to which the
+//! deterministic lower bound applies. Theorem 6.4 strengthens the prior
+//! Ω((1/ε)·log log 1/δ) bound to hold at every stream length because
+//! Theorem 2.2 holds at every stream length.
+//!
+//! This module provides the exact arithmetic of that reduction (log-space
+//! factorials, the bound values) — the executable side of the argument
+//! (a fixed-seed KLL sketch run through the adversary) lives in the
+//! bench crate.
+
+use crate::eps::Eps;
+
+/// ln(n!) via the log-gamma series (Stirling with correction terms);
+/// exact summation below 32 to keep small cases precise.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 32 {
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    let x = n as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+}
+
+/// log₂(1/δ) for the theorem's δ = 1/N!.
+pub fn log2_inv_delta(n: u64) -> f64 {
+    ln_factorial(n) / std::f64::consts::LN_2
+}
+
+/// The randomized space lower bound Ω((1/ε)·log log 1/δ) at δ = 1/N!,
+/// with the paper's unoptimised constants elided (we report the raw
+/// (1/ε)·log₂ log₂ (1/δ) shape).
+pub fn randomized_bound_shape(eps: Eps, n: u64) -> f64 {
+    let ll = log2_inv_delta(n).max(2.0).log2();
+    eps.inverse() as f64 * ll
+}
+
+/// The deterministic bound shape (1/ε)·log₂(εN) for comparison.
+pub fn deterministic_bound_shape(eps: Eps, n: u64) -> f64 {
+    let en = (n as f64 / eps.inverse() as f64).max(2.0);
+    eps.inverse() as f64 * en.log2()
+}
+
+/// Whether a failure probability δ (given as ln δ) is small enough for
+/// the union bound over all N! orderings: ln δ + ln N! < 0.
+pub fn union_bound_applies(ln_delta: f64, n: u64) -> bool {
+    ln_delta + ln_factorial(n) < 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_small_values_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_matches_summation() {
+        // At the switchover the series must agree with direct summation.
+        let direct: f64 = (2..=40u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(40) - direct).abs() / direct < 1e-9);
+    }
+
+    #[test]
+    fn union_bound_threshold() {
+        // δ = 1/N! is exactly the edge; slightly smaller passes.
+        let n = 100;
+        let ln_delta = -ln_factorial(n) - 1.0;
+        assert!(union_bound_applies(ln_delta, n));
+        let ln_delta_big = -ln_factorial(n) + 1.0;
+        assert!(!union_bound_applies(ln_delta_big, n));
+    }
+
+    #[test]
+    fn log_log_inv_delta_is_theta_log_n() {
+        // At δ = 1/N!: log₂(1/δ) = log₂ N! = Θ(N log N), so
+        // log₂ log₂ (1/δ) = log₂ N + Θ(log log N). This identity is the
+        // engine of Theorem 6.4 — it turns the deterministic Ω(log εN)
+        // into the randomized Ω(log log 1/δ) at every stream length.
+        for exp in [10u32, 16, 24] {
+            let n = 1u64 << exp;
+            let ll = log2_inv_delta(n).log2();
+            let lo = exp as f64;
+            let hi = exp as f64 + 2.0 * (exp as f64).log2() + 2.0;
+            assert!(ll >= lo && ll <= hi, "n=2^{exp}: loglog(1/δ)={ll} outside [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn randomized_and_deterministic_bounds_same_order() {
+        // Because log log(1/N!) = Θ(log N), the two bound shapes stay
+        // within a constant factor of each other at fixed ε as N grows.
+        let eps = Eps::from_inverse(64);
+        for exp in [16u32, 20, 24, 28] {
+            let n = 1u64 << exp;
+            let ratio = randomized_bound_shape(eps, n) / deterministic_bound_shape(eps, n);
+            assert!(
+                (0.5..=4.0).contains(&ratio),
+                "n=2^{exp}: ratio {ratio} not Θ(1)"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Theorem 6.2 — the Estimating Rank lower bound.
+//!
+//! A comparison-based data structure answering rank queries
+//! (#stream items ≤ q, within ±εN) is subject to the same construction:
+//! if the final gap exceeds 2εN + 2, draw fresh query items just above
+//! the low gap extreme on π and just below the high gap extreme on ϱ.
+//! Both copies see comparison-identical queries, so they return the same
+//! estimate — but the true ranks differ by more than 2εN, so one answer
+//! is off by more than εN.
+
+use cqs_universe::{between_labels, Endpoint, Interval, Item};
+
+use crate::adversary::AdversaryOutcome;
+use crate::gap::compute_gap;
+use crate::model::{ComparisonSummary, MaxSpaceTracker, RankEstimator};
+
+/// A concrete rank query pair on which the estimator errs.
+#[derive(Clone, Debug)]
+pub struct RankWitness {
+    /// The gap that made the witness possible.
+    pub gap: u64,
+    /// The threshold 2εN + 2.
+    pub threshold: u64,
+    /// Estimate returned for q_π on the π-copy.
+    pub est_pi: u64,
+    /// Estimate returned for q_ϱ on the ϱ-copy.
+    pub est_rho: u64,
+    /// True rank of q_π w.r.t. π.
+    pub true_pi: u64,
+    /// True rank of q_ϱ w.r.t. ϱ.
+    pub true_rho: u64,
+    /// Whether the two copies returned the same estimate (they must, for
+    /// a conforming comparison-based estimator).
+    pub estimates_agree: bool,
+    /// Permitted budget ⌊εN⌋.
+    pub budget: u64,
+}
+
+impl RankWitness {
+    /// Whether at least one of the two answers exceeds the budget.
+    pub fn demonstrates_failure(&self) -> bool {
+        self.est_pi.abs_diff(self.true_pi) > self.budget
+            || self.est_rho.abs_diff(self.true_rho) > self.budget
+    }
+}
+
+/// Extracts a failing rank query from a finished adversary run, or
+/// `None` when the gap stayed within 2εN + 2 (then the space bound
+/// applies).
+///
+/// The summary must implement both traits: it was attacked through its
+/// quantile interface and is now probed through its rank interface.
+pub fn rank_failure_witness<S>(outcome: &AdversaryOutcome<S>) -> Option<RankWitness>
+where
+    S: ComparisonSummary<Item> + RankEstimator<Item>,
+{
+    let eps = outcome.eps;
+    let n = eps.stream_len(outcome.k);
+    let threshold = eps.gap_bound(n) + 2;
+    let whole = Interval::whole();
+    let gap = compute_gap(&outcome.pi, &outcome.rho, &whole, &whole);
+    if gap.gap <= threshold {
+        return None;
+    }
+
+    // q_π ∈ (I_π[i], next(π, I_π[i])): strictly between the low extreme
+    // and its stream successor, so its true rank is rank_π(I_π[i]).
+    let q_pi = fresh_above(&outcome.pi, &gap.pi_low);
+    // q_ϱ ∈ (prev(ϱ, I_ϱ[i+1]), I_ϱ[i+1]).
+    let q_rho = fresh_below(&outcome.rho, &gap.rho_high);
+
+    // True ranks: # items ≤ q (q itself never occurred in the stream).
+    let true_pi = outcome.pi.rank(&q_pi) - 1;
+    let true_rho = outcome.rho.rank(&q_rho) - 1;
+    debug_assert!(true_rho - true_pi >= gap.gap - 2);
+
+    let est_pi = outcome.pi.summary.inner().estimate_rank(&q_pi);
+    let est_rho = outcome.rho.summary.inner().estimate_rank(&q_rho);
+
+    Some(RankWitness {
+        gap: gap.gap,
+        threshold,
+        est_pi,
+        est_rho,
+        true_pi,
+        true_rho,
+        estimates_agree: est_pi == est_rho,
+        budget: eps.rank_budget(n),
+    })
+}
+
+/// Mints a fresh item strictly between `low` and its successor in the
+/// stream (or below the stream minimum when `low` is −∞).
+fn fresh_above<S: ComparisonSummary<Item>>(
+    st: &crate::state::StreamState<MaxSpaceTracker<S>>,
+    low: &Endpoint,
+) -> Item {
+    match low {
+        Endpoint::NegInf => {
+            let min = st.min().expect("non-empty stream");
+            Item::from_label(between_labels(None, Some(min.label())))
+        }
+        Endpoint::Finite(a) => {
+            let hi = st.next(a);
+            Item::from_label(between_labels(
+                Some(a.label()),
+                hi.as_ref().map(|h| h.label()),
+            ))
+        }
+        Endpoint::PosInf => unreachable!("gap low extreme cannot be +inf"),
+    }
+}
+
+/// Mints a fresh item strictly between the stream predecessor of `high`
+/// and `high` (or above the stream maximum when `high` is +∞).
+fn fresh_below<S: ComparisonSummary<Item>>(
+    st: &crate::state::StreamState<MaxSpaceTracker<S>>,
+    high: &Endpoint,
+) -> Item {
+    match high {
+        Endpoint::PosInf => {
+            let max = st.max().expect("non-empty stream");
+            Item::from_label(between_labels(Some(max.label()), None))
+        }
+        Endpoint::Finite(b) => {
+            let lo = st.prev(b);
+            Item::from_label(between_labels(
+                lo.as_ref().map(|l| l.label()),
+                Some(b.label()),
+            ))
+        }
+        Endpoint::NegInf => unreachable!("gap high extreme cannot be -inf"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::run_adversary;
+    use crate::eps::Eps;
+    use crate::reference::ExactSummary;
+
+    // ExactSummary answers ranks exactly; give it a RankEstimator view.
+    impl<T: Ord + Clone> RankEstimator<T> for ExactSummary<T> {
+        fn estimate_rank(&self, q: &T) -> u64 {
+            self.true_rank(q)
+        }
+    }
+
+    #[test]
+    fn exact_estimator_yields_no_witness() {
+        let eps = Eps::from_inverse(8);
+        let out = run_adversary(eps, 4, ExactSummary::new);
+        assert!(rank_failure_witness(&out).is_none());
+    }
+
+    #[test]
+    fn fresh_query_items_sit_in_empty_stream_regions() {
+        let eps = Eps::from_inverse(8);
+        let out = run_adversary(eps, 4, ExactSummary::new);
+        let min = out.pi.min().unwrap();
+        let q = fresh_above(&out.pi, &Endpoint::NegInf);
+        assert!(q < min);
+        let max = out.pi.max().unwrap();
+        let q2 = fresh_below(&out.pi, &Endpoint::PosInf);
+        assert!(q2 > max);
+    }
+}

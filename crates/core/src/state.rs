@@ -1,0 +1,302 @@
+//! A live (stream, summary) pair with order-statistic indexing.
+//!
+//! The adversary grows two of these — one for π, one for ϱ. Each tracks:
+//!
+//! * the summary under attack (any [`ComparisonSummary<Item>`]);
+//! * an order-statistic treap over all stream items, giving the paper's
+//!   `rank_σ(a)`, `next(σ, a)` and `prev(σ, b)` in O(log N);
+//! * each item's arrival position, used to *verify* (not assume)
+//!   indistinguishability: Definition 3.2(2) demands that the i-th stored
+//!   items of the two summaries arrived at the same stream position.
+
+use std::collections::HashMap;
+
+use cqs_ostree::OsTree;
+use cqs_universe::{Endpoint, Interval, Item};
+
+use crate::model::ComparisonSummary;
+
+/// A stream being fed to a summary, with full order-statistic indexing.
+pub struct StreamState<S> {
+    /// The summary under adversarial attack.
+    pub summary: S,
+    order: OsTree<Item>,
+    arrival: HashMap<Item, u64>,
+    n: u64,
+    max_label_depth: usize,
+}
+
+impl<S: ComparisonSummary<Item>> StreamState<S> {
+    /// Wraps a fresh summary; the stream starts empty.
+    pub fn new(summary: S) -> Self {
+        StreamState {
+            summary,
+            order: OsTree::new(),
+            arrival: HashMap::new(),
+            n: 0,
+            max_label_depth: 0,
+        }
+    }
+
+    /// Appends one item to the stream and feeds it to the summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item already occurred — the adversarial streams
+    /// consist of distinct items, and `rank_σ` is only well-defined then.
+    pub fn push(&mut self, item: Item) {
+        self.max_label_depth = self.max_label_depth.max(item.depth());
+        let prev = self.arrival.insert(item.clone(), self.n);
+        assert!(prev.is_none(), "adversarial stream items must be distinct");
+        self.order.insert(item.clone());
+        self.summary.insert(item);
+        self.n += 1;
+    }
+
+    /// Stream length so far.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// The longest universe label (in bytes) the stream has minted — the
+    /// adversary-side cost of the continuity assumption. Balanced
+    /// subdivision adds only O(log 1/ε) per leaf, but the in-order
+    /// refinement chain can nest Θ(2^k) times when every gap ties (the
+    /// store-everything summary), so worst-case depth is Θ(εN) bytes —
+    /// matching the paper's remark that the string universe works "by
+    /// making the strings even longer".
+    pub fn max_label_depth(&self) -> usize {
+        self.max_label_depth
+    }
+
+    /// Whether the stream is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `rank_σ(a)`: 1-based position of `a` in the sorted order of the
+    /// stream (valid for any universe item, present or not).
+    pub fn rank(&self, a: &Item) -> u64 {
+        self.order.rank(a) as u64
+    }
+
+    /// `next(σ, a)`: smallest stream item strictly greater than `a`.
+    pub fn next(&self, a: &Item) -> Option<Item> {
+        self.order.successor(a).cloned()
+    }
+
+    /// `prev(σ, b)`: largest stream item strictly smaller than `b`.
+    pub fn prev(&self, b: &Item) -> Option<Item> {
+        self.order.predecessor(b).cloned()
+    }
+
+    /// Smallest stream item.
+    pub fn min(&self) -> Option<Item> {
+        self.order.min().cloned()
+    }
+
+    /// Largest stream item.
+    pub fn max(&self) -> Option<Item> {
+        self.order.max().cloned()
+    }
+
+    /// Arrival position (0-based) of a stream item.
+    pub fn arrival_of(&self, a: &Item) -> Option<u64> {
+        self.arrival.get(a).copied()
+    }
+
+    /// Number of stream items strictly inside the open interval.
+    pub fn count_inside(&self, iv: &Interval) -> u64 {
+        let below_hi = match iv.hi() {
+            Endpoint::PosInf => self.order.len(),
+            Endpoint::Finite(h) => self.order.count_less(h),
+            Endpoint::NegInf => 0,
+        };
+        let upto_lo = match iv.lo() {
+            Endpoint::NegInf => 0,
+            Endpoint::Finite(l) => self.order.count_le(l),
+            Endpoint::PosInf => self.order.len(),
+        };
+        (below_hi - upto_lo) as u64
+    }
+
+    /// The rank of an endpoint within the *restricted substream* of
+    /// interval `iv`: the conceptual sorted list
+    /// `[lo if finite] ++ (stream items strictly inside iv) ++ [hi if finite]`,
+    /// 1-based. The −∞ sentinel has rank 0; the +∞ sentinel has rank
+    /// (list length + 1). This realises Definition 5.1's
+    /// `rank_σ̄` including the enclosing boundary items of `I^(ℓ,r)`.
+    pub fn rank_in(&self, iv: &Interval, x: &Endpoint) -> u64 {
+        let lo_finite = matches!(iv.lo(), Endpoint::Finite(_));
+        let base = match iv.lo() {
+            Endpoint::NegInf => 0,
+            Endpoint::Finite(l) => self.order.count_le(l) as u64,
+            Endpoint::PosInf => unreachable!("interval lo cannot be +inf"),
+        };
+        match x {
+            Endpoint::NegInf => 0,
+            Endpoint::Finite(it) => {
+                debug_assert!(
+                    iv.lo().cmp_item(it).is_le() && iv.hi().cmp_item(it).is_ge(),
+                    "rank_in item outside interval"
+                );
+                let le = self.order.count_le(it) as u64;
+                (lo_finite as u64) + le.saturating_sub(base)
+            }
+            Endpoint::PosInf => (lo_finite as u64) + self.count_inside(iv) + 1,
+        }
+    }
+
+    /// The restricted item array `I^(ℓ,r)`: the summary's stored items
+    /// that fall strictly inside `iv`, *enclosed* by the interval's own
+    /// endpoints (which, per the paper, count as array elements even when
+    /// the summary has discarded them).
+    pub fn restricted_item_array(&self, iv: &Interval) -> Vec<Endpoint> {
+        let mut out = Vec::new();
+        out.push(iv.lo().clone());
+        for it in self.summary.item_array() {
+            if iv.contains(&it) {
+                out.push(Endpoint::Finite(it));
+            }
+        }
+        out.push(iv.hi().clone());
+        out
+    }
+
+    /// Number of summary-stored items strictly inside `iv`.
+    pub fn stored_inside(&self, iv: &Interval) -> usize {
+        self.summary.item_array().iter().filter(|it| iv.contains(it)).count()
+    }
+
+    /// True rank error of answering rank-query `r` with item `x`:
+    /// `|rank_σ(x) − r|`.
+    pub fn rank_error(&self, x: &Item, r: u64) -> u64 {
+        self.rank(x).abs_diff(r)
+    }
+}
+
+/// Verifies the *observable* part of stream indistinguishability
+/// (Definition 3.2) between the two live states: equal item-array sizes,
+/// and positional correspondence — the i-th stored item of each summary
+/// arrived at the same position of its stream.
+///
+/// Returns `Err` with a human-readable reason on the first violation.
+/// A violation means the summary is not deterministic-comparison-based
+/// (or the construction is buggy); the paper's argument then does not
+/// apply, so the harness treats it as fatal.
+pub fn check_indistinguishable<S: ComparisonSummary<Item>>(
+    pi: &StreamState<S>,
+    rho: &StreamState<S>,
+) -> Result<(), String> {
+    let ia = pi.summary.item_array();
+    let ib = rho.summary.item_array();
+    if ia.len() != ib.len() {
+        return Err(format!(
+            "item arrays differ in size: |I_pi| = {}, |I_rho| = {}",
+            ia.len(),
+            ib.len()
+        ));
+    }
+    for (i, (a, b)) in ia.iter().zip(ib.iter()).enumerate() {
+        let pa = pi.arrival_of(a);
+        let pb = rho.arrival_of(b);
+        if pa.is_none() || pb.is_none() {
+            return Err(format!("stored item at index {i} never appeared in its stream"));
+        }
+        if pa != pb {
+            return Err(format!(
+                "stored items at index {i} arrived at different positions: {pa:?} vs {pb:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ExactSummary;
+    use cqs_universe::generate_increasing;
+
+    fn state_with(n: usize) -> StreamState<ExactSummary<Item>> {
+        let mut st = StreamState::new(ExactSummary::new());
+        for it in generate_increasing(&Interval::whole(), n) {
+            st.push(it);
+        }
+        st
+    }
+
+    #[test]
+    fn ranks_and_neighbours() {
+        let st = state_with(10);
+        let items = st.summary.item_array();
+        for (i, it) in items.iter().enumerate() {
+            assert_eq!(st.rank(it), i as u64 + 1);
+        }
+        assert_eq!(st.next(&items[3]), Some(items[4].clone()));
+        assert_eq!(st.prev(&items[3]), Some(items[2].clone()));
+        assert_eq!(st.min(), Some(items[0].clone()));
+        assert_eq!(st.max(), Some(items[9].clone()));
+    }
+
+    #[test]
+    fn rank_in_whole_interval_matches_global_rank() {
+        let st = state_with(10);
+        let iv = Interval::whole();
+        let items = st.summary.item_array();
+        assert_eq!(st.rank_in(&iv, &Endpoint::NegInf), 0);
+        assert_eq!(st.rank_in(&iv, &Endpoint::PosInf), 11);
+        for (i, it) in items.iter().enumerate() {
+            assert_eq!(st.rank_in(&iv, &Endpoint::Finite(it.clone())), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn rank_in_finite_interval_counts_boundary_as_one() {
+        let st = state_with(10);
+        let items = st.summary.item_array();
+        // Interval (items[2], items[7]): inside are items 3..=6 (4 items).
+        let iv = Interval::open(items[2].clone(), items[7].clone());
+        assert_eq!(st.count_inside(&iv), 4);
+        assert_eq!(st.rank_in(&iv, &Endpoint::Finite(items[2].clone())), 1);
+        assert_eq!(st.rank_in(&iv, &Endpoint::Finite(items[3].clone())), 2);
+        assert_eq!(st.rank_in(&iv, &Endpoint::Finite(items[6].clone())), 5);
+        assert_eq!(st.rank_in(&iv, &Endpoint::Finite(items[7].clone())), 6);
+    }
+
+    #[test]
+    fn restricted_item_array_encloses_with_boundaries() {
+        let st = state_with(10);
+        let items = st.summary.item_array();
+        let iv = Interval::open(items[2].clone(), items[7].clone());
+        let arr = st.restricted_item_array(&iv);
+        // lo + 4 inside + hi.
+        assert_eq!(arr.len(), 6);
+        assert_eq!(arr[0], Endpoint::Finite(items[2].clone()));
+        assert_eq!(arr[5], Endpoint::Finite(items[7].clone()));
+        assert_eq!(st.stored_inside(&iv), 4);
+    }
+
+    #[test]
+    fn identical_streams_are_indistinguishable() {
+        let a = state_with(20);
+        let b = state_with(20);
+        assert!(check_indistinguishable(&a, &b).is_ok());
+    }
+
+    #[test]
+    fn different_length_arrays_are_flagged() {
+        let a = state_with(20);
+        let b = state_with(21);
+        assert!(check_indistinguishable(&a, &b).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_stream_items_rejected() {
+        let mut st = StreamState::new(ExactSummary::new());
+        let it = generate_increasing(&Interval::whole(), 1).pop().unwrap();
+        st.push(it.clone());
+        st.push(it);
+    }
+}

@@ -1,0 +1,231 @@
+//! The greedy GK variant: merge adjacent tuples whenever the combined
+//! span fits, with no band bookkeeping.
+//!
+//! Suggested in the original GK paper and reported by Luo et al. to
+//! outperform the banded version in practice; whether it retains the
+//! O((1/ε)·log εN) worst-case bound is the open problem recalled in
+//! Section 6 of the lower-bound paper. The ablation benches compare the
+//! two head-to-head, including on the adversarial streams.
+
+use cqs_core::{ComparisonSummary, RankEstimator};
+
+use crate::tuple::{estimate_rank_from_tuples, query_rank_from_tuples, GkTuple};
+
+/// Greedy-merge GK summary.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GreedyGk<T> {
+    tuples: Vec<GkTuple<T>>,
+    n: u64,
+    eps: f64,
+    compress_period: u64,
+}
+
+impl<T: Ord + Clone> GreedyGk<T> {
+    /// Creates a summary with guarantee ε ∈ (0, 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range ε.
+    pub fn new(eps: f64) -> Self {
+        let period = (1.0 / (2.0 * eps)).floor().max(1.0) as u64;
+        Self::with_compress_period(eps, period)
+    }
+
+    /// Creates a summary compressing every `period` inserts (ablation
+    /// knob; see [`crate::GkSummary::with_compress_period`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range ε or a zero period.
+    pub fn with_compress_period(eps: f64, period: u64) -> Self {
+        assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 0.5)");
+        assert!(period >= 1, "compress period must be positive");
+        GreedyGk { tuples: Vec::new(), n: 0, eps, compress_period: period }
+    }
+
+    /// The configured ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Raw tuples (diagnostics and tests).
+    pub fn tuples(&self) -> &[GkTuple<T>] {
+        &self.tuples
+    }
+
+    fn threshold(&self) -> u64 {
+        (2.0 * self.eps * self.n as f64).floor() as u64
+    }
+
+    /// The correctness invariant shared with the banded variant.
+    pub fn invariant_holds(&self) -> bool {
+        let cap = self.threshold().max(1);
+        self.tuples.iter().all(|t| t.g + t.delta <= cap)
+    }
+
+    pub(crate) fn insert_value(&mut self, item: T) {
+        let pos = self.tuples.partition_point(|t| t.v < item);
+        let thr = self.threshold();
+        let delta = if pos == 0 || pos == self.tuples.len() || thr < 1 {
+            0
+        } else {
+            thr.saturating_sub(1)
+        };
+        self.tuples.insert(pos, GkTuple { v: item, g: 1, delta });
+        self.n += 1;
+        if self.n.is_multiple_of(self.compress_period) {
+            self.compress(self.threshold());
+        }
+    }
+
+    /// Greedy compress: one right-to-left pass merging `t_i` into
+    /// `t_{i+1}` whenever `g_i + g_{i+1} + Δ_{i+1} < cap` (the successor
+    /// absorbs the mass and keeps its own Δ, so the test is exactly the
+    /// post-merge span). Cascades naturally: an absorber's grown `g` is
+    /// what the next candidate is tested against. The first and last
+    /// tuples (stream extremes) are never removed.
+    pub(crate) fn compress(&mut self, cap: u64) {
+        if self.tuples.len() < 3 || cap < 2 {
+            return;
+        }
+        let mut ts = std::mem::take(&mut self.tuples);
+        let mut kept_rev: Vec<GkTuple<T>> = Vec::with_capacity(ts.len());
+        kept_rev.push(ts.pop().expect("non-empty"));
+        while let Some(t) = ts.pop() {
+            let is_first = ts.is_empty();
+            let succ = kept_rev.last_mut().expect("absorber exists");
+            if !is_first && t.g + succ.g + succ.delta < cap {
+                succ.g += t.g;
+            } else {
+                kept_rev.push(t);
+            }
+        }
+        kept_rev.reverse();
+        self.tuples = kept_rev;
+    }
+}
+
+impl<T: Ord + Clone> ComparisonSummary<T> for GreedyGk<T> {
+    fn insert(&mut self, item: T) {
+        self.insert_value(item);
+    }
+
+    fn item_array(&self) -> Vec<T> {
+        self.tuples.iter().map(|t| t.v.clone()).collect()
+    }
+
+    fn stored_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn items_processed(&self) -> u64 {
+        self.n
+    }
+
+    fn query_rank(&self, r: u64) -> Option<T> {
+        query_rank_from_tuples(&self.tuples, r, self.n)
+    }
+
+    fn name(&self) -> &'static str {
+        "gk-greedy"
+    }
+}
+
+impl<T: Ord + Clone> RankEstimator<T> for GreedyGk<T> {
+    fn estimate_rank(&self, q: &T) -> u64 {
+        estimate_rank_from_tuples(&self.tuples, q, self.n)
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn greedy_invariant_and_mass_on_random_streams(
+            xs in proptest::collection::vec(0u32..100_000, 1..1500),
+        ) {
+            let mut gk = GreedyGk::new(0.03);
+            for &x in &xs {
+                gk.insert(x);
+            }
+            prop_assert!(gk.invariant_holds());
+            let mass: u64 = gk.tuples().iter().map(|t| t.g).sum();
+            prop_assert_eq!(mass, xs.len() as u64);
+            let arr = gk.item_array();
+            prop_assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn greedy_quantiles_within_budget_on_random_streams(
+            xs in proptest::collection::vec(0u32..10_000, 200..2000),
+        ) {
+            let eps = 0.05;
+            let mut gk = GreedyGk::new(eps);
+            let mut sorted = xs.clone();
+            for &x in &xs {
+                gk.insert(x);
+            }
+            sorted.sort_unstable();
+            let n = xs.len() as u64;
+            let budget = (eps * n as f64).floor() as u64 + 1;
+            for step in 1..=8u64 {
+                let r = (step * n / 8).max(1);
+                let ans = gk.query_rank(r).unwrap();
+                let lo = sorted.partition_point(|&v| v < ans) as u64 + 1;
+                let hi = sorted.partition_point(|&v| v <= ans) as u64;
+                let err = if r < lo { lo - r } else { r.saturating_sub(hi) };
+                prop_assert!(err <= budget, "rank {r}: err {err}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_conservation_under_greedy_merging() {
+        let mut gk = GreedyGk::new(0.02);
+        for i in 0..5000u64 {
+            gk.insert((i * 48271) % 100_000);
+        }
+        let mass: u64 = gk.tuples().iter().map(|t| t.g).sum();
+        assert_eq!(mass, 5000);
+    }
+
+    #[test]
+    fn invariant_holds_on_random_inserts() {
+        let mut gk = GreedyGk::new(0.05);
+        for i in 0..3000u64 {
+            gk.insert((i * 2654435761) % 4096);
+            assert!(gk.invariant_holds(), "broken at n={}", i + 1);
+        }
+    }
+
+    #[test]
+    fn sorted_stream_compresses_aggressively() {
+        let mut gk = GreedyGk::new(0.1);
+        for x in 0..2000u64 {
+            gk.insert(x);
+        }
+        assert!(gk.stored_count() < 400);
+        assert!(gk.invariant_holds());
+    }
+
+    #[test]
+    fn extremes_survive_merging() {
+        let mut gk = GreedyGk::new(0.05);
+        for x in (0..4000u64).rev() {
+            gk.insert(x);
+        }
+        let arr = gk.item_array();
+        assert_eq!(arr[0], 0);
+        assert_eq!(*arr.last().unwrap(), 3999);
+    }
+}

@@ -1,0 +1,113 @@
+//! The GK tuple `(v, g, Δ)` and shared tuple-list plumbing.
+
+/// One stored tuple of a GK-family summary.
+///
+/// * `v` — a stored stream item;
+/// * `g` — `r_min(v_i) − r_min(v_{i−1})`: the rank mass this tuple is
+///   responsible for;
+/// * `delta` — `r_max(v_i) − r_min(v_i)`: the uncertainty in v's rank.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GkTuple<T> {
+    /// The stored item.
+    pub v: T,
+    /// Rank mass since the previous tuple.
+    pub g: u64,
+    /// Rank uncertainty of this tuple.
+    pub delta: u64,
+}
+
+/// Shared query logic over a tuple list with running minimum-rank sums.
+/// Returns a stored item whose rank bounds bracket `r` within the
+/// available uncertainty budget (the caller's invariant guarantees one
+/// exists whenever the summary is within its advertised ε).
+pub(crate) fn query_rank_from_tuples<T: Clone>(tuples: &[GkTuple<T>], r: u64, n: u64) -> Option<T> {
+    if tuples.is_empty() {
+        return None;
+    }
+    let r = r.clamp(1, n);
+    // Return the tuple minimizing the worst-side deviation
+    // max(|r_min − r|, |r_max − r|). The GK invariant guarantees some
+    // tuple has deviation ≤ ⌈max_i(g_i + Δ_i)/2⌉ ≤ ⌈εn⌉, so the best
+    // tuple certainly does.
+    let mut r_min = 0u64;
+    let mut best: Option<(&GkTuple<T>, u64)> = None;
+    for t in tuples {
+        r_min += t.g;
+        let r_max = r_min + t.delta;
+        let dev = (r_min.abs_diff(r)).max(r_max.abs_diff(r));
+        if best.map(|(_, d)| dev < d).unwrap_or(true) {
+            best = Some((t, dev));
+        }
+    }
+    best.map(|(t, _)| t.v.clone())
+}
+
+/// Shared rank-estimation logic: the midpoint estimator
+/// `(r_min(i) + r_max(i+1) − 1)/2` for the last tuple with `v_i ≤ q`.
+pub(crate) fn estimate_rank_from_tuples<T: Ord>(tuples: &[GkTuple<T>], q: &T, n: u64) -> u64 {
+    if tuples.is_empty() {
+        return 0;
+    }
+    if *q < tuples[0].v {
+        return 0;
+    }
+    let mut r_min = 0u64;
+    let mut prev_r_min = 0u64;
+    let mut idx_le: Option<usize> = None;
+    for (idx, t) in tuples.iter().enumerate() {
+        r_min += t.g;
+        if t.v <= *q {
+            idx_le = Some(idx);
+            prev_r_min = r_min;
+        } else {
+            // First tuple above q: estimate between prev r_min and this
+            // tuple's r_max.
+            let r_max_next = r_min + t.delta;
+            return (prev_r_min + r_max_next.saturating_sub(1)) / 2;
+        }
+    }
+    debug_assert!(idx_le.is_some());
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_tuples(n: u64) -> Vec<GkTuple<u64>> {
+        (1..=n).map(|v| GkTuple { v, g: 1, delta: 0 }).collect()
+    }
+
+    #[test]
+    fn query_on_exact_tuples_is_exact() {
+        let ts = exact_tuples(100);
+        for r in [1u64, 17, 50, 99, 100] {
+            assert_eq!(query_rank_from_tuples(&ts, r, 100), Some(r));
+        }
+    }
+
+    #[test]
+    fn query_clamps_out_of_range_targets() {
+        let ts = exact_tuples(10);
+        assert_eq!(query_rank_from_tuples(&ts, 0, 10), Some(1));
+        assert_eq!(query_rank_from_tuples(&ts, 999, 10), Some(10));
+    }
+
+    #[test]
+    fn estimate_rank_on_exact_tuples() {
+        let ts = exact_tuples(100);
+        assert_eq!(estimate_rank_from_tuples(&ts, &0, 100), 0);
+        assert_eq!(estimate_rank_from_tuples(&ts, &100, 100), 100);
+        assert_eq!(estimate_rank_from_tuples(&ts, &1000, 100), 100);
+        // q = 42: 42 items ≤ 42; estimator midpoint is (42 + 43−1)/2 = 42.
+        assert_eq!(estimate_rank_from_tuples(&ts, &42, 100), 42);
+    }
+
+    #[test]
+    fn empty_tuple_list() {
+        let ts: Vec<GkTuple<u64>> = Vec::new();
+        assert_eq!(query_rank_from_tuples(&ts, 1, 0), None);
+        assert_eq!(estimate_rank_from_tuples(&ts, &5, 0), 0);
+    }
+}

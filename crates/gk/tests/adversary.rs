@@ -1,0 +1,91 @@
+//! Integration: the PODS'20 adversary versus real GK summaries.
+//!
+//! These tests exercise the paper's central dilemma end-to-end: a
+//! correct GK summary driven by the adversarial construction must keep
+//! the gap within 2εN and pay for it with Ω((1/ε)·log εN) stored items,
+//! while a space-capped GK must blow the gap and yield a concrete
+//! failing query.
+
+use cqs_core::adversary::run_adversary;
+use cqs_core::failure::quantile_failure_witness;
+use cqs_core::{Eps, Item};
+use cqs_gk::{CappedGk, GkSummary, GreedyGk};
+
+#[test]
+fn gk_stays_correct_under_adversary() {
+    let eps = Eps::from_inverse(32);
+    let out = run_adversary(eps, 6, || GkSummary::<Item>::new(eps.value()));
+    assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+    assert!(
+        out.gap_within_correctness_ceiling(),
+        "GK gap {} exceeded ceiling {}",
+        out.final_gap(),
+        eps.gap_bound(eps.stream_len(6))
+    );
+    assert!(quantile_failure_witness(&out).is_none());
+}
+
+#[test]
+fn gk_space_meets_theorem22_bound() {
+    let eps = Eps::from_inverse(32);
+    for k in 3..=7u32 {
+        let out = run_adversary(eps, k, || GkSummary::<Item>::new(eps.value()));
+        let rep = out.report();
+        assert!(
+            rep.max_stored as f64 >= rep.theorem22_bound,
+            "k={k}: GK stored {} below theorem bound {}",
+            rep.max_stored,
+            rep.theorem22_bound
+        );
+    }
+}
+
+#[test]
+fn greedy_gk_stays_correct_under_adversary() {
+    let eps = Eps::from_inverse(32);
+    let out = run_adversary(eps, 6, || GreedyGk::<Item>::new(eps.value()));
+    assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+    assert!(
+        out.gap_within_correctness_ceiling(),
+        "greedy GK gap {} exceeded ceiling {}",
+        out.final_gap(),
+        eps.gap_bound(eps.stream_len(6))
+    );
+}
+
+#[test]
+fn capped_gk_fails_with_witness() {
+    let eps = Eps::from_inverse(32);
+    let k = 6;
+    let out = run_adversary(eps, k, || CappedGk::<Item>::new(eps.value(), 8));
+    assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+    let w = quantile_failure_witness(&out).expect("capped GK must blow the gap ceiling");
+    assert!(
+        w.demonstrates_failure(),
+        "witness did not demonstrate failure: err_pi={} err_rho={} budget={}",
+        w.err_pi,
+        w.err_rho,
+        w.budget
+    );
+}
+
+#[test]
+fn gk_space_grows_with_k_on_adversarial_streams() {
+    // The lower bound's content: space grows linearly in k = log₂(εN)
+    // at fixed ε. Check monotone growth over a k-sweep.
+    let eps = Eps::from_inverse(32);
+    let spaces: Vec<usize> = (3..=8u32)
+        .map(|k| {
+            run_adversary(eps, k, || GkSummary::<Item>::new(eps.value()))
+                .report()
+                .max_stored
+        })
+        .collect();
+    for w in spaces.windows(2) {
+        assert!(w[1] >= w[0], "space not monotone in k: {spaces:?}");
+    }
+    assert!(
+        spaces[spaces.len() - 1] > spaces[0],
+        "space flat across k: {spaces:?}"
+    );
+}

@@ -1,0 +1,405 @@
+#![warn(missing_docs)]
+
+//! # cqs-kll — the Karnin–Lang–Liberty quantile sketch
+//!
+//! The randomized comparison-based quantile sketch of Karnin, Lang &
+//! Liberty (FOCS 2016), built from a stack of *compactors*: buffers that,
+//! when full, sort themselves and promote a random half (odd or even
+//! positions) to the level above with doubled weight. Compactor
+//! capacities decay geometrically (ratio 2/3) from the top, giving space
+//! O((1/ε)·√log(1/δ)) for the plain compactor stack implemented here
+//! (the log log variant additionally replaces the lowest levels with a
+//! sampler).
+//!
+//! Role in the reproduction: Section 6.3 of the lower-bound paper
+//! derandomizes such sketches — with failure probability below 1/N!,
+//! *some* fixed random string works for every input ordering, and
+//! hard-coding it yields a deterministic comparison-based summary subject
+//! to Theorem 2.2. A fixed-seed [`KllSketch`] is exactly such a
+//! hard-coded-bits summary, and the bench harness drives the adversary
+//! against it.
+//!
+//! # Example
+//!
+//! ```
+//! use cqs_kll::KllSketch;
+//! use cqs_core::ComparisonSummary;
+//!
+//! let mut kll = KllSketch::with_seed(200, 42);
+//! for x in 0..100_000u64 {
+//!     kll.insert(x);
+//! }
+//! let med = kll.quantile(0.5).unwrap();
+//! assert!((45_000..=55_000).contains(&med));
+//! assert!(kll.stored_count() < 1200);
+//! ```
+
+mod sampled;
+
+pub use sampled::SampledKll;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cqs_core::{ComparisonSummary, RankEstimator};
+
+/// Default geometric capacity decay ratio between compactor levels.
+const DECAY: f64 = 2.0 / 3.0;
+/// Minimum capacity of any compactor.
+const MIN_CAP: usize = 2;
+
+/// A KLL sketch over any ordered type.
+#[derive(Clone, Debug)]
+pub struct KllSketch<T> {
+    /// compactors[h] holds items of weight 2^h.
+    compactors: Vec<Vec<T>>,
+    /// Base capacity parameter k (top compactor's capacity).
+    k: usize,
+    /// Capacity decay ratio between levels (paper: 2/3).
+    decay: f64,
+    n: u64,
+    rng: SmallRng,
+    min: Option<T>,
+    max: Option<T>,
+}
+
+impl<T: Ord + Clone> KllSketch<T> {
+    /// Creates a sketch with capacity parameter `k` (≈ 1/ε up to
+    /// constants; DataSketches' default is 200) and a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 8`.
+    pub fn with_seed(k: usize, seed: u64) -> Self {
+        Self::with_decay(k, DECAY, seed)
+    }
+
+    /// Creates a sketch with an explicit capacity decay ratio (the
+    /// paper's analysis uses 2/3; decay 1.0 gives equal-capacity
+    /// compactors, MRL-like; smaller decay shrinks low levels harder).
+    /// Ablation knob for the space/accuracy trade-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 8` or `decay` is outside (0.4, 1.0].
+    pub fn with_decay(k: usize, decay: f64, seed: u64) -> Self {
+        assert!(k >= 8, "k must be at least 8");
+        assert!(decay > 0.4 && decay <= 1.0, "decay must be in (0.4, 1.0]");
+        KllSketch {
+            compactors: vec![Vec::new()],
+            k,
+            decay,
+            n: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Capacity of level `h` when the stack currently has `height`
+    /// levels: k·(2/3)^(height−1−h), floored at 2.
+    fn capacity_floor(&self, h: usize) -> usize {
+        let height = self.compactors.len();
+        let exp = (height - 1 - h) as i32;
+        (((self.k as f64) * self.decay.powi(exp)).ceil() as usize).max(MIN_CAP)
+    }
+
+    /// Total items across all compactors.
+    pub fn total_items(&self) -> usize {
+        self.compactors.iter().map(|c| c.len()).sum()
+    }
+
+    fn compact_level(&mut self, h: usize) {
+        if self.compactors.len() == h + 1 {
+            self.compactors.push(Vec::new());
+        }
+        let mut buf = std::mem::take(&mut self.compactors[h]);
+        buf.sort_unstable();
+        // An odd-length buffer leaves its unpaired maximum behind so the
+        // represented weight stays exactly n.
+        let leftover = if buf.len() % 2 == 1 { buf.pop() } else { None };
+        let keep_odd = self.rng.gen::<bool>();
+        let start = usize::from(keep_odd);
+        let promoted: Vec<T> = buf.into_iter().skip(start).step_by(2).collect();
+        self.compactors[h + 1].extend(promoted);
+        if let Some(x) = leftover {
+            self.compactors[h].push(x);
+        }
+    }
+
+    fn maybe_compress(&mut self) {
+        // Compact the lowest over-full level; repeat until everything
+        // fits (a promotion can overfill the level above).
+        loop {
+            let mut acted = false;
+            for h in 0..self.compactors.len() {
+                if self.compactors[h].len() >= self.capacity_floor(h) {
+                    self.compact_level(h);
+                    acted = true;
+                    break;
+                }
+            }
+            if !acted {
+                break;
+            }
+        }
+    }
+
+    /// All stored (item, weight) pairs sorted by item — the sketch's
+    /// weighted view of the stream.
+    pub fn weighted_items(&self) -> Vec<(T, u64)> {
+        let mut out: Vec<(T, u64)> = Vec::with_capacity(self.total_items());
+        for (h, c) in self.compactors.iter().enumerate() {
+            let w = 1u64 << h;
+            out.extend(c.iter().map(|x| (x.clone(), w)));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Total weight currently represented. With the leftover-preserving
+    /// compactor this equals the number of items processed.
+    pub fn total_weight(&self) -> u64 {
+        self.compactors
+            .iter()
+            .enumerate()
+            .map(|(h, c)| (c.len() as u64) << h)
+            .sum()
+    }
+
+    /// The capacity parameter k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Merges another sketch into this one (distributed aggregation).
+    ///
+    /// Level-h items of `other` join level h here (weights are powers of
+    /// two on both sides), then over-full levels compact as usual. The
+    /// merged sketch's error behaves like a sketch that saw both streams
+    /// — the property the Mergeable Summaries line of work formalises.
+    pub fn merge(&mut self, other: &KllSketch<T>) {
+        while self.compactors.len() < other.compactors.len() {
+            self.compactors.push(Vec::new());
+        }
+        for (h, c) in other.compactors.iter().enumerate() {
+            self.compactors[h].extend(c.iter().cloned());
+        }
+        self.n += other.n;
+        if let Some(m) = &other.min {
+            if self.min.as_ref().map(|x| m < x).unwrap_or(true) {
+                self.min = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max {
+            if self.max.as_ref().map(|x| m > x).unwrap_or(true) {
+                self.max = Some(m.clone());
+            }
+        }
+        self.maybe_compress();
+    }
+}
+
+impl<T: Ord + Clone> ComparisonSummary<T> for KllSketch<T> {
+    fn insert(&mut self, item: T) {
+        if self.min.as_ref().map(|m| item < *m).unwrap_or(true) {
+            self.min = Some(item.clone());
+        }
+        if self.max.as_ref().map(|m| item > *m).unwrap_or(true) {
+            self.max = Some(item.clone());
+        }
+        self.compactors[0].push(item);
+        self.n += 1;
+        self.maybe_compress();
+    }
+
+    fn item_array(&self) -> Vec<T> {
+        let mut out: Vec<T> = self.compactors.iter().flatten().cloned().collect();
+        out.extend(self.min.clone());
+        out.extend(self.max.clone());
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn stored_count(&self) -> usize {
+        // O(1): compactor contents plus the separately-pinned extremes.
+        // May overcount item_array().len() by up to 2 when an extreme
+        // also sits in a compactor; it is a deterministic function of
+        // the sketch state, which is what the indistinguishability
+        // checks need, and the honest space figure (the extremes do
+        // occupy cells).
+        self.total_items()
+            + usize::from(self.min.is_some())
+            + usize::from(self.max.is_some())
+    }
+
+    fn items_processed(&self) -> u64 {
+        self.n
+    }
+
+    fn query_rank(&self, r: u64) -> Option<T> {
+        if self.n == 0 {
+            return None;
+        }
+        let r = r.clamp(1, self.n);
+        if r == 1 {
+            return self.min.clone();
+        }
+        if r == self.n {
+            return self.max.clone();
+        }
+        let weighted = self.weighted_items();
+        let total: u64 = weighted.iter().map(|(_, w)| w).sum();
+        // Scale the target into the sketch's weight domain.
+        let target = (r as u128 * total as u128 / self.n as u128) as u64;
+        let mut cum = 0u64;
+        for (x, w) in &weighted {
+            cum += w;
+            if cum >= target {
+                return Some(x.clone());
+            }
+        }
+        weighted.last().map(|(x, _)| x.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "kll"
+    }
+}
+
+impl<T: Ord + Clone> RankEstimator<T> for KllSketch<T> {
+    fn estimate_rank(&self, q: &T) -> u64 {
+        let mut cum = 0u64;
+        for (h, c) in self.compactors.iter().enumerate() {
+            let w = 1u64 << h;
+            cum += w * c.iter().filter(|x| *x <= q).count() as u64;
+        }
+        // Scale from weight domain to stream length.
+        let total = self.total_weight().max(1);
+        (cum as u128 * self.n as u128 / total as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (1..=n).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn weight_is_conserved() {
+        let mut kll = KllSketch::with_seed(64, 1);
+        for x in shuffled(10_000, 2) {
+            kll.insert(x);
+        }
+        assert_eq!(kll.total_weight(), 10_000);
+    }
+
+    #[test]
+    fn space_is_bounded_by_constant_times_k() {
+        let mut kll = KllSketch::with_seed(128, 3);
+        let mut peak = 0;
+        for x in shuffled(200_000, 4) {
+            kll.insert(x);
+            peak = peak.max(kll.total_items());
+        }
+        // Geometric capacities sum to ~3k; allow slack for in-flight
+        // buffers.
+        assert!(peak < 8 * 128, "peak {peak} not O(k)");
+    }
+
+    #[test]
+    fn quantiles_are_accurate_on_shuffled_stream() {
+        let n = 50_000u64;
+        let mut kll = KllSketch::with_seed(256, 5);
+        for x in shuffled(n, 6) {
+            kll.insert(x);
+        }
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let ans = kll.quantile(phi).unwrap();
+            let target = ((phi * n as f64) as u64).max(1);
+            let err = ans.abs_diff(target);
+            assert!(
+                err <= n / 50,
+                "phi={phi}: answer {ans}, target {target}, err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let mut kll = KllSketch::with_seed(64, 7);
+        for x in shuffled(5_000, 8) {
+            kll.insert(x);
+        }
+        assert_eq!(kll.query_rank(1), Some(1));
+        assert_eq!(kll.query_rank(5_000), Some(5_000));
+    }
+
+    #[test]
+    fn fixed_seed_is_deterministic() {
+        let run = || {
+            let mut kll = KllSketch::with_seed(64, 99);
+            for x in shuffled(20_000, 10) {
+                kll.insert(x);
+            }
+            (kll.item_array(), kll.quantile(0.5))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn two_identical_copies_stay_indistinguishable() {
+        // The derandomization argument needs fixed-seed KLL to behave as
+        // a deterministic comparison-based summary: same seed + same
+        // comparison outcomes => same stored positions.
+        let mut a = KllSketch::with_seed(64, 123);
+        let mut b = KllSketch::with_seed(64, 123);
+        for x in shuffled(10_000, 11) {
+            a.insert(x);
+            b.insert(x * 2); // order-isomorphic stream
+            assert_eq!(a.stored_count(), b.stored_count());
+        }
+        let ia = a.item_array();
+        let ib = b.item_array();
+        for (x, y) in ia.iter().zip(ib.iter()) {
+            assert_eq!(*x * 2, *y, "stored positions diverged");
+        }
+    }
+
+    #[test]
+    fn rank_estimates_are_reasonable() {
+        let n = 50_000u64;
+        let mut kll = KllSketch::with_seed(256, 12);
+        for x in shuffled(n, 13) {
+            kll.insert(x);
+        }
+        for q in (0..=n).step_by(5000) {
+            let est = kll.estimate_rank(&q);
+            assert!(est.abs_diff(q) <= n / 50, "rank({q}) est {est}");
+        }
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let kll: KllSketch<u64> = KllSketch::with_seed(64, 0);
+        assert_eq!(kll.quantile(0.5), None);
+        assert_eq!(kll.stored_count(), 0);
+        assert_eq!(kll.estimate_rank(&5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 8")]
+    fn tiny_k_rejected() {
+        KllSketch::<u64>::with_seed(4, 0);
+    }
+}

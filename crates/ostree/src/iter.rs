@@ -1,0 +1,33 @@
+//! In-order iteration over a treap.
+
+use crate::tree::{Link, Node};
+
+/// In-order (sorted) iterator over an [`crate::OsTree`].
+pub struct Iter<'a, T> {
+    stack: Vec<&'a Node<T>>,
+}
+
+impl<'a, T> Iter<'a, T> {
+    pub(crate) fn new(root: &'a Link<T>) -> Self {
+        let mut it = Iter { stack: Vec::new() };
+        it.push_left(root);
+        it
+    }
+
+    fn push_left(&mut self, mut link: &'a Link<T>) {
+        while let Some(node) = link.as_deref() {
+            self.stack.push(node);
+            link = &node.left;
+        }
+    }
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let node = self.stack.pop()?;
+        self.push_left(&node.right);
+        Some(&node.item)
+    }
+}

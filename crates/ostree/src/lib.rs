@@ -1,0 +1,214 @@
+#![warn(missing_docs)]
+
+//! An order-statistic treap.
+//!
+//! The lower-bound adversary of Cormode & Veselý needs, for each of the
+//! two streams it grows, the quantities `rank_σ(a)` (position of item `a`
+//! in the sorted order of stream σ), `next(σ, a)` (the successor of `a`
+//! among σ's items) and `prev(σ, b)` — over streams that grow to millions
+//! of items. This crate provides those operations in O(log n) expected
+//! time via a randomized balanced BST (treap) augmented with subtree
+//! sizes.
+//!
+//! Priorities come from an internal deterministic SplitMix64 sequence, so
+//! a tree built by the same sequence of inserts always has the same
+//! shape: every experiment in this repository is exactly replayable.
+//!
+//! # Example
+//!
+//! ```
+//! use cqs_ostree::OsTree;
+//!
+//! let mut t = OsTree::new();
+//! for x in [50, 10, 30, 20, 40] {
+//!     t.insert(x);
+//! }
+//! assert_eq!(t.len(), 5);
+//! assert_eq!(t.rank(&30), 3);          // 1-based rank
+//! assert_eq!(t.select(4), Some(&40));  // 1-based select
+//! assert_eq!(t.successor(&30), Some(&40));
+//! assert_eq!(t.predecessor(&30), Some(&20));
+//! ```
+
+mod iter;
+mod tree;
+
+pub use iter::Iter;
+pub use tree::OsTree;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: OsTree<u32> = OsTree::new();
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.select(1), None);
+        assert_eq!(t.successor(&5), None);
+        assert_eq!(t.predecessor(&5), None);
+        assert_eq!(t.count_less(&5), 0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn rank_counts_strictly_smaller_plus_one() {
+        let mut t = OsTree::new();
+        for x in [2u32, 4, 6, 8] {
+            t.insert(x);
+        }
+        assert_eq!(t.rank(&2), 1);
+        assert_eq!(t.rank(&8), 4);
+        // rank of an absent item is still well-defined: 1 + #smaller.
+        assert_eq!(t.rank(&5), 3);
+        assert_eq!(t.rank(&1), 1);
+        assert_eq!(t.rank(&9), 5);
+    }
+
+    #[test]
+    fn select_is_inverse_of_rank() {
+        let mut t = OsTree::new();
+        let xs: Vec<u64> = (0..200).map(|i| (i * 37) % 1000).collect();
+        for &x in &xs {
+            t.insert(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        for (i, x) in sorted.iter().enumerate() {
+            assert_eq!(t.select(i + 1), Some(x));
+        }
+    }
+
+    #[test]
+    fn successor_predecessor_on_present_and_absent() {
+        let mut t = OsTree::new();
+        for x in [10u32, 20, 30] {
+            t.insert(x);
+        }
+        assert_eq!(t.successor(&10), Some(&20));
+        assert_eq!(t.successor(&15), Some(&20));
+        assert_eq!(t.successor(&30), None);
+        assert_eq!(t.predecessor(&30), Some(&20));
+        assert_eq!(t.predecessor(&25), Some(&20));
+        assert_eq!(t.predecessor(&10), None);
+        assert_eq!(t.successor(&0), Some(&10));
+        assert_eq!(t.predecessor(&99), Some(&30));
+    }
+
+    #[test]
+    fn min_max_and_iteration() {
+        let mut t = OsTree::new();
+        for x in [5u32, 1, 9, 3, 7] {
+            t.insert(x);
+        }
+        assert_eq!(t.min(), Some(&1));
+        assert_eq!(t.max(), Some(&9));
+        let collected: Vec<u32> = t.iter().copied().collect();
+        assert_eq!(collected, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn duplicates_are_supported() {
+        let mut t = OsTree::new();
+        for x in [5u32, 5, 5, 3, 7] {
+            t.insert(x);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.count_less(&5), 1);
+        assert_eq!(t.count_le(&5), 4);
+        assert_eq!(t.rank(&5), 2);
+    }
+
+    #[test]
+    fn contains_works() {
+        let mut t = OsTree::new();
+        t.insert(42u32);
+        assert!(t.contains(&42));
+        assert!(!t.contains(&41));
+    }
+
+    #[test]
+    fn large_sequential_insert_stays_balanced_enough() {
+        // Sequential inserts are the worst case for an unbalanced BST;
+        // the treap must stay logarithmic.
+        let mut t = OsTree::new();
+        for x in 0..100_000u64 {
+            t.insert(x);
+        }
+        assert_eq!(t.len(), 100_000);
+        assert_eq!(t.rank(&50_000), 50_001);
+        assert_eq!(t.select(99_999), Some(&99_998));
+        assert!(t.height() < 80, "treap height degenerate: {}", t.height());
+    }
+
+    #[test]
+    fn deterministic_shape_across_builds() {
+        let build = || {
+            let mut t = OsTree::with_seed(7);
+            for x in 0..1000u32 {
+                t.insert(x.wrapping_mul(2654435761) % 4096);
+            }
+            t.height()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn remove_deletes_single_occurrence() {
+        let mut t = OsTree::new();
+        for x in [5u32, 5, 7, 3] {
+            t.insert(x);
+        }
+        assert!(t.remove(&5));
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(&5), "one copy must remain");
+        assert!(t.remove(&5));
+        assert!(!t.contains(&5));
+        assert!(!t.remove(&99), "absent item is not removed");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_keeps_order_statistics_consistent() {
+        let mut t = OsTree::new();
+        for x in 0..1000u64 {
+            t.insert(x);
+        }
+        for x in (0..1000u64).step_by(2) {
+            assert!(t.remove(&x));
+        }
+        assert_eq!(t.len(), 500);
+        // Remaining are the odds; rank of 501 = 251.
+        assert_eq!(t.rank(&501), 251);
+        assert_eq!(t.select(1), Some(&1));
+        assert_eq!(t.max(), Some(&999));
+        assert_eq!(t.successor(&1), Some(&3));
+    }
+
+    #[test]
+    fn count_between_and_range_items() {
+        let mut t = OsTree::new();
+        for x in 0..100u32 {
+            t.insert(x);
+        }
+        assert_eq!(t.count_between(&10, &20), 9);
+        assert_eq!(t.count_between(&20, &10), 0);
+        let r = t.range_items(&10, &14);
+        let vals: Vec<u32> = r.into_iter().copied().collect();
+        assert_eq!(vals, vec![10, 11, 12, 13, 14]);
+        assert!(t.range_items(&200, &300).is_empty());
+    }
+
+    #[test]
+    fn count_in_open_interval() {
+        let mut t = OsTree::new();
+        for x in 0..100u32 {
+            t.insert(x);
+        }
+        // Items strictly between 10 and 20: 11..=19 → 9 items.
+        let n = t.count_less(&20) - t.count_le(&10);
+        assert_eq!(n, 9);
+    }
+}

@@ -1,0 +1,436 @@
+//! Treap internals: split/merge with subtree-size augmentation.
+
+use crate::iter::Iter;
+
+pub(crate) struct Node<T> {
+    pub(crate) item: T,
+    pri: u64,
+    size: usize,
+    pub(crate) left: Link<T>,
+    pub(crate) right: Link<T>,
+}
+
+pub(crate) type Link<T> = Option<Box<Node<T>>>;
+
+impl<T> Node<T> {
+    fn new(item: T, pri: u64) -> Box<Self> {
+        Box::new(Node { item, pri, size: 1, left: None, right: None })
+    }
+
+    fn update(&mut self) {
+        self.size = 1 + size(&self.left) + size(&self.right);
+    }
+}
+
+#[inline]
+fn size<T>(link: &Link<T>) -> usize {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+/// A multiset ordered by `T: Ord`, supporting order statistics.
+///
+/// See the crate docs for the operation set. All operations are
+/// O(log n) expected; shape is deterministic given the seed and the
+/// insert sequence.
+pub struct OsTree<T> {
+    root: Link<T>,
+    rng: u64,
+}
+
+impl<T: Ord> Default for OsTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord> OsTree<T> {
+    /// An empty tree with the default priority seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// An empty tree whose priority sequence starts from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        OsTree { root: None, rng: seed | 1 }
+    }
+
+    fn next_pri(&mut self) -> u64 {
+        // SplitMix64: deterministic, well-distributed priorities.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Inserts `item`; duplicates are kept (multiset semantics).
+    pub fn insert(&mut self, item: T) {
+        let pri = self.next_pri();
+        let root = self.root.take();
+        let (lt, ge) = split(root, &item);
+        let node = Node::new(item, pri);
+        self.root = merge(merge(lt, Some(node)), ge);
+    }
+
+    /// Removes one occurrence of `item`; returns whether anything was
+    /// removed. O(log n) expected.
+    pub fn remove(&mut self, item: &T) -> bool {
+        let root = self.root.take();
+        let (lt, ge) = split(root, item);
+        // Split off the run of items equal to `item`, drop one.
+        let (eq, gt) = split_gt(ge, item);
+        let (removed, eq) = drop_one(eq);
+        self.root = merge(merge(lt, eq), gt);
+        removed
+    }
+
+    /// Number of stored items strictly inside the open range `(lo, hi)`.
+    pub fn count_between(&self, lo: &T, hi: &T) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        self.count_less(hi) - self.count_le(lo)
+    }
+
+    /// In-order items within the closed range `[lo, hi]`, collected.
+    pub fn range_items(&self, lo: &T, hi: &T) -> Vec<&T> {
+        let mut out = Vec::new();
+        fn walk<'a, T: Ord>(link: &'a Link<T>, lo: &T, hi: &T, out: &mut Vec<&'a T>) {
+            let Some(node) = link.as_deref() else { return };
+            if node.item >= *lo {
+                walk(&node.left, lo, hi, out);
+            }
+            if node.item >= *lo && node.item <= *hi {
+                out.push(&node.item);
+            }
+            if node.item <= *hi {
+                walk(&node.right, lo, hi, out);
+            }
+        }
+        walk(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    /// Number of stored items strictly smaller than `q`.
+    pub fn count_less(&self, q: &T) -> usize {
+        let mut n = self.root.as_deref();
+        let mut acc = 0;
+        while let Some(node) = n {
+            if node.item < *q {
+                acc += size(&node.left) + 1;
+                n = node.right.as_deref();
+            } else {
+                n = node.left.as_deref();
+            }
+        }
+        acc
+    }
+
+    /// Number of stored items `<= q`.
+    pub fn count_le(&self, q: &T) -> usize {
+        let mut n = self.root.as_deref();
+        let mut acc = 0;
+        while let Some(node) = n {
+            if node.item <= *q {
+                acc += size(&node.left) + 1;
+                n = node.right.as_deref();
+            } else {
+                n = node.left.as_deref();
+            }
+        }
+        acc
+    }
+
+    /// The 1-based rank of `q`: one more than the number of items
+    /// strictly smaller (the paper's `rank_σ`, well-defined because the
+    /// adversarial streams contain distinct items).
+    pub fn rank(&self, q: &T) -> usize {
+        self.count_less(q) + 1
+    }
+
+    /// The item of 1-based rank `r` (i.e. the r-th smallest), if any.
+    pub fn select(&self, r: usize) -> Option<&T> {
+        if r == 0 || r > self.len() {
+            return None;
+        }
+        let mut n = self.root.as_deref();
+        let mut r = r;
+        while let Some(node) = n {
+            let ls = size(&node.left);
+            if r == ls + 1 {
+                return Some(&node.item);
+            } else if r <= ls {
+                n = node.left.as_deref();
+            } else {
+                r -= ls + 1;
+                n = node.right.as_deref();
+            }
+        }
+        None
+    }
+
+    /// Smallest stored item strictly greater than `q` — the paper's
+    /// `next(σ, q)`.
+    pub fn successor(&self, q: &T) -> Option<&T> {
+        let mut n = self.root.as_deref();
+        let mut best = None;
+        while let Some(node) = n {
+            if node.item > *q {
+                best = Some(&node.item);
+                n = node.left.as_deref();
+            } else {
+                n = node.right.as_deref();
+            }
+        }
+        best
+    }
+
+    /// Largest stored item strictly smaller than `q` — the paper's
+    /// `prev(σ, q)`.
+    pub fn predecessor(&self, q: &T) -> Option<&T> {
+        let mut n = self.root.as_deref();
+        let mut best = None;
+        while let Some(node) = n {
+            if node.item < *q {
+                best = Some(&node.item);
+                n = node.right.as_deref();
+            } else {
+                n = node.left.as_deref();
+            }
+        }
+        best
+    }
+
+    /// Whether `q` is stored.
+    pub fn contains(&self, q: &T) -> bool {
+        let mut n = self.root.as_deref();
+        while let Some(node) = n {
+            match q.cmp(&node.item) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => n = node.left.as_deref(),
+                std::cmp::Ordering::Greater => n = node.right.as_deref(),
+            }
+        }
+        false
+    }
+
+    /// The minimum item.
+    pub fn min(&self) -> Option<&T> {
+        let mut n = self.root.as_deref()?;
+        while let Some(l) = n.left.as_deref() {
+            n = l;
+        }
+        Some(&n.item)
+    }
+
+    /// The maximum item.
+    pub fn max(&self) -> Option<&T> {
+        let mut n = self.root.as_deref()?;
+        while let Some(r) = n.right.as_deref() {
+            n = r;
+        }
+        Some(&n.item)
+    }
+
+    /// In-order iterator over stored items.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter::new(&self.root)
+    }
+
+    /// Tree height (diagnostics; expected O(log n)).
+    pub fn height(&self) -> usize {
+        fn h<T>(link: &Link<T>) -> usize {
+            link.as_ref().map_or(0, |n| 1 + h(&n.left).max(h(&n.right)))
+        }
+        h(&self.root)
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a OsTree<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for OsTree<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut t = OsTree::new();
+        for x in iter {
+            t.insert(x);
+        }
+        t
+    }
+}
+
+/// Splits into (items <= key, items > key).
+fn split_gt<T: Ord>(link: Link<T>, key: &T) -> (Link<T>, Link<T>) {
+    match link {
+        None => (None, None),
+        Some(mut node) => {
+            if node.item <= *key {
+                let (a, b) = split_gt(node.right.take(), key);
+                node.right = a;
+                node.update();
+                (Some(node), b)
+            } else {
+                let (a, b) = split_gt(node.left.take(), key);
+                node.left = b;
+                node.update();
+                (a, Some(node))
+            }
+        }
+    }
+}
+
+/// Removes one node from a (small) subtree of equal items; returns
+/// whether one was removed and the remainder.
+fn drop_one<T: Ord>(link: Link<T>) -> (bool, Link<T>) {
+    match link {
+        None => (false, None),
+        Some(mut node) => {
+            let rest = merge(node.left.take(), node.right.take());
+            (true, rest)
+        }
+    }
+}
+
+/// Splits into (items < key, items >= key).
+fn split<T: Ord>(link: Link<T>, key: &T) -> (Link<T>, Link<T>) {
+    match link {
+        None => (None, None),
+        Some(mut node) => {
+            if node.item < *key {
+                let (a, b) = split(node.right.take(), key);
+                node.right = a;
+                node.update();
+                (Some(node), b)
+            } else {
+                let (a, b) = split(node.left.take(), key);
+                node.left = b;
+                node.update();
+                (a, Some(node))
+            }
+        }
+    }
+}
+
+fn merge<T: Ord>(a: Link<T>, b: Link<T>) -> Link<T> {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some(mut an), Some(mut bn)) => {
+            if an.pri >= bn.pri {
+                an.right = merge(an.right.take(), Some(bn));
+                an.update();
+                Some(an)
+            } else {
+                bn.left = merge(Some(an), bn.left.take());
+                bn.update();
+                Some(bn)
+            }
+        }
+    }
+}
+
+impl<T> Drop for OsTree<T> {
+    fn drop(&mut self) {
+        // Iterative drop: a degenerate chain must not overflow the stack.
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.take() {
+            stack.push(root);
+        }
+        while let Some(mut node) = stack.pop() {
+            if let Some(l) = node.left.take() {
+                stack.push(l);
+            }
+            if let Some(r) = node.right.take() {
+                stack.push(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn matches_sorted_vec_reference(xs in proptest::collection::vec(0u32..1000, 0..300)) {
+            let mut t = OsTree::new();
+            let mut reference = Vec::new();
+            for &x in &xs {
+                t.insert(x);
+                reference.push(x);
+            }
+            reference.sort_unstable();
+            prop_assert_eq!(t.len(), reference.len());
+            let collected: Vec<u32> = t.iter().copied().collect();
+            prop_assert_eq!(&collected, &reference);
+            for q in [0u32, 1, 500, 999, 1000] {
+                prop_assert_eq!(t.count_less(&q), reference.iter().filter(|&&x| x < q).count());
+                prop_assert_eq!(t.count_le(&q), reference.iter().filter(|&&x| x <= q).count());
+                let suc = reference.iter().find(|&&x| x > q);
+                prop_assert_eq!(t.successor(&q), suc);
+                let pre = reference.iter().rev().find(|&&x| x < q);
+                prop_assert_eq!(t.predecessor(&q), pre);
+            }
+            for r in 1..=reference.len() {
+                prop_assert_eq!(t.select(r), Some(&reference[r - 1]));
+            }
+        }
+
+        #[test]
+        fn insert_remove_differential(ops in proptest::collection::vec((any::<bool>(), 0u32..50), 1..400)) {
+            // Differential test: treap vs sorted Vec under a random
+            // interleaving of inserts and removes.
+            let mut t = OsTree::new();
+            let mut reference: Vec<u32> = Vec::new();
+            for (is_insert, x) in ops {
+                if is_insert {
+                    t.insert(x);
+                    let pos = reference.partition_point(|&v| v <= x);
+                    reference.insert(pos, x);
+                } else {
+                    let removed = t.remove(&x);
+                    let expected = reference.iter().position(|&v| v == x);
+                    prop_assert_eq!(removed, expected.is_some());
+                    if let Some(i) = expected {
+                        reference.remove(i);
+                    }
+                }
+                prop_assert_eq!(t.len(), reference.len());
+            }
+            let collected: Vec<u32> = t.iter().copied().collect();
+            prop_assert_eq!(collected, reference.clone());
+            for q in [0u32, 10, 25, 49] {
+                prop_assert_eq!(t.count_less(&q), reference.iter().filter(|&&x| x < q).count());
+            }
+        }
+
+        #[test]
+        fn rank_select_roundtrip(xs in proptest::collection::hash_set(0u64..100_000, 1..200)) {
+            let mut t = OsTree::new();
+            for &x in &xs {
+                t.insert(x);
+            }
+            for &x in &xs {
+                let r = t.rank(&x);
+                prop_assert_eq!(t.select(r), Some(&x));
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! A totally ordered f64 wrapper for real-valued streams.
+//!
+//! The summaries are generic over `T: Ord`, and measurement data is
+//! usually `f64`, which isn't. [`OrdF64`] wraps a non-NaN float with
+//! `f64::total_cmp` ordering so latencies, sizes, and scores can flow
+//! straight into any summary in the workspace.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A non-NaN `f64` with total ordering.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wraps a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN — a NaN has no place in an order statistic.
+    pub fn new(x: f64) -> Self {
+        assert!(!x.is_nan(), "NaN cannot be ordered");
+        OrdF64(x)
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(x: f64) -> Self {
+        OrdF64::new(x)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    fn from(x: OrdF64) -> f64 {
+        x.0
+    }
+}
+
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_float_order() {
+        let mut v = vec![OrdF64::new(3.5), OrdF64::new(-1.0), OrdF64::new(0.0), OrdF64::new(2.25)];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(f64::from).collect();
+        assert_eq!(raw, vec![-1.0, 0.0, 2.25, 3.5]);
+    }
+
+    #[test]
+    fn negative_zero_orders_below_positive_zero() {
+        // total_cmp semantics, documented behaviour.
+        assert!(OrdF64::new(-0.0) < OrdF64::new(0.0));
+    }
+
+    #[test]
+    fn infinities_are_orderable() {
+        assert!(OrdF64::new(f64::NEG_INFINITY) < OrdF64::new(f64::MAX));
+        assert!(OrdF64::new(f64::MAX) < OrdF64::new(f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        OrdF64::new(f64::NAN);
+    }
+}

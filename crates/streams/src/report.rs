@@ -1,0 +1,120 @@
+//! Minimal aligned-text tables and CSV output for the experiment
+//! binaries — every figure/theorem harness prints one of these and
+//! mirrors it to `results/*.csv`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of heterogeneous displayables.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders with right-padded columns and a header rule.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for i in 0..cols {
+                widths[i] = widths[i].max(row[i].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", c, width = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&rule, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// The rows as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a table's CSV next to the experiment outputs, creating the
+/// directory if needed.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, table.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["a,b", "c\"d"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"c\"\"d\""));
+    }
+
+    #[test]
+    fn row_display_stringifies() {
+        let mut t = Table::new(&["n", "f"]);
+        t.row_display(&[&42u64, &1.5f64]);
+        assert!(t.render().contains("42"));
+        assert!(t.render().contains("1.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["only"]);
+        t.row(&["a", "b"]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Seeded workload generators over `u64` values.
+
+use std::str::FromStr;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The workload families used across the benchmark harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Workload {
+    /// 1..=n in increasing order (the easiest stream for GK-style
+    /// summaries: inserts always at the end).
+    Sorted,
+    /// n..=1 decreasing (inserts always at the front).
+    Reverse,
+    /// A uniform random permutation of 1..=n.
+    Shuffled,
+    /// Zipf(θ≈1)-distributed values over a domain of n/10 — heavy
+    /// duplication at the head, the classic skewed-data stress.
+    Zipf,
+    /// Sum of four uniforms — a bell-shaped ("normal-ish") value
+    /// distribution with dense middle and sparse tails.
+    Clustered,
+    /// Alternating low/high sawtooth — adversarial-ish interior inserts
+    /// without needing the full lower-bound machinery.
+    Sawtooth,
+}
+
+impl Workload {
+    /// Stable lowercase name used in CSV output and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Sorted => "sorted",
+            Workload::Reverse => "reverse",
+            Workload::Shuffled => "shuffled",
+            Workload::Zipf => "zipf",
+            Workload::Clustered => "clustered",
+            Workload::Sawtooth => "sawtooth",
+        }
+    }
+}
+
+impl FromStr for Workload {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL.iter()
+            .copied()
+            .find(|w| w.name() == s)
+            .ok_or_else(|| format!("unknown workload: {s}"))
+    }
+}
+
+const ALL: [Workload; 6] = [
+    Workload::Sorted,
+    Workload::Reverse,
+    Workload::Shuffled,
+    Workload::Zipf,
+    Workload::Clustered,
+    Workload::Sawtooth,
+];
+
+/// Names of all workloads, in canonical order.
+pub fn workload_names() -> &'static [&'static str] {
+    &["sorted", "reverse", "shuffled", "zipf", "clustered", "sawtooth"]
+}
+
+/// Generates `n` items of the given workload with a fixed seed.
+/// Returns `None` only for n = 0.
+pub fn workload(which: Workload, n: u64, seed: u64) -> Option<Vec<u64>> {
+    if n == 0 {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc0ffee);
+    let out = match which {
+        Workload::Sorted => (1..=n).collect(),
+        Workload::Reverse => (1..=n).rev().collect(),
+        Workload::Shuffled => {
+            let mut v: Vec<u64> = (1..=n).collect();
+            for i in (1..v.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                v.swap(i, j);
+            }
+            v
+        }
+        Workload::Zipf => {
+            // Inverse-CDF sampling of a truncated Zipf(1) over n/10
+            // ranks; harmonic normalisation done once.
+            let domain = (n / 10).max(10);
+            let h: f64 = (1..=domain).map(|i| 1.0 / i as f64).sum();
+            (0..n)
+                .map(|_| {
+                    let u = rng.gen::<f64>() * h;
+                    let mut acc = 0.0;
+                    let mut k = 1u64;
+                    while k < domain {
+                        acc += 1.0 / k as f64;
+                        if acc >= u {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    k
+                })
+                .collect()
+        }
+        Workload::Clustered => (0..n)
+            .map(|_| {
+                let s: u64 = (0..4).map(|_| rng.gen_range(0..n / 4 + 1)).sum();
+                s + 1
+            })
+            .collect(),
+        Workload::Sawtooth => (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    i / 2 + 1
+                } else {
+                    n - i / 2
+                }
+            })
+            .collect(),
+    };
+    Some(out)
+}

@@ -1,0 +1,88 @@
+//! Opaque universe items.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An element of the totally ordered universe.
+///
+/// Internally an item is an immutable byte-string label compared
+/// lexicographically, but the label bytes are deliberately *not* part of
+/// the comparison-based API surface used by summaries: a summary that is
+/// generic over `T: Ord + Clone` and instantiated with `T = Item` can
+/// only compare, test equality, hash, and clone — exactly the operations
+/// permitted by Definition 2.1(i) of the paper.
+///
+/// Cloning is O(1) (the label is reference-counted).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Item(Arc<[u8]>);
+
+impl Item {
+    /// Wraps a raw label. Intended for the adversary/universe machinery;
+    /// summaries should never construct items.
+    pub fn from_label(label: Vec<u8>) -> Self {
+        Item(label.into())
+    }
+
+    /// The underlying label bytes (adversary-side introspection only).
+    pub fn label(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the label in bytes — a proxy for how deeply nested in
+    /// the interval-refinement recursion this item was minted.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Item(")?;
+        for (i, b) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            if i >= 8 {
+                write!(f, "\u{2026}")?;
+                break;
+            }
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Item::from_label(vec![1, 2]);
+        let b = Item::from_label(vec![1, 2, 3]);
+        let c = Item::from_label(vec![2]);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn clone_is_equal() {
+        let a = Item::from_label(vec![9, 9]);
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let a = Item::from_label(vec![0xab; 20]);
+        let s = format!("{a:?}");
+        assert!(s.len() < 40, "debug too long: {s}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Fractional-indexing label algebra.
+//!
+//! Labels are byte strings ordered lexicographically, with the invariant
+//! that no label ends in `0x00`. Under that invariant, a strictly
+//! in-between label exists for every pair `a < b` and [`between_labels`]
+//! constructs one. `None` endpoints stand for −∞ (low side) and +∞
+//! (high side) respectively.
+//!
+//! The construction is the classic midpoint algorithm used by fractional
+//! indexing systems, here with base-256 digits: strip the common prefix,
+//! then either take a middle digit or recurse with the low label's tail
+//! against +∞.
+
+use crate::interval::Endpoint;
+
+const HALF: u8 = 128;
+
+/// Returns a label strictly between `a` and `b`, where `None` on the low
+/// side means −∞ and `None` on the high side means +∞.
+///
+/// Both inputs, when present, must be non-empty, must not end in `0x00`,
+/// and must satisfy `a < b`. The returned label preserves the
+/// no-trailing-zero invariant.
+///
+/// # Panics
+///
+/// Panics if the inputs violate the preconditions.
+pub fn between_labels(a: Option<&[u8]>, b: Option<&[u8]>) -> Vec<u8> {
+    if let Some(a) = a {
+        assert!(!a.is_empty(), "finite label must be non-empty");
+        assert!(*a.last().unwrap() != 0, "label must not end in 0x00");
+    }
+    if let Some(b) = b {
+        assert!(!b.is_empty(), "finite label must be non-empty");
+        assert!(*b.last().unwrap() != 0, "label must not end in 0x00");
+    }
+    if let (Some(a), Some(b)) = (a, b) {
+        assert!(a < b, "between_labels requires a < b, got {a:?} !< {b:?}");
+    }
+    let out = midpoint(a.unwrap_or(&[]), b);
+    debug_assert!(!out.is_empty());
+    debug_assert!(*out.last().unwrap() != 0);
+    if let Some(a) = a {
+        debug_assert!(out.as_slice() > a);
+    }
+    if let Some(b) = b {
+        debug_assert!(out.as_slice() < b);
+    }
+    out
+}
+
+/// Returns a fresh label strictly inside the open interval `(lo, hi)`.
+pub fn label_in(lo: &Endpoint, hi: &Endpoint) -> Vec<u8> {
+    let a = match lo {
+        Endpoint::NegInf => None,
+        Endpoint::Finite(item) => Some(item.label()),
+        Endpoint::PosInf => panic!("interval low endpoint cannot be +inf"),
+    };
+    let b = match hi {
+        Endpoint::PosInf => None,
+        Endpoint::Finite(item) => Some(item.label()),
+        Endpoint::NegInf => panic!("interval high endpoint cannot be -inf"),
+    };
+    between_labels(a, b)
+}
+
+/// Midpoint between `a` (empty slice = −∞ side, i.e. all-zero padding)
+/// and `b` (`None` = +∞). Requires `a < b` where the empty `a` compares
+/// below everything and `None` `b` above everything.
+fn midpoint(a: &[u8], b: Option<&[u8]>) -> Vec<u8> {
+    if let Some(b) = b {
+        // Strip the common prefix (treating `a` as zero-padded past its end).
+        let mut i = 0;
+        while i < b.len() && digit(a, i) == b[i] {
+            i += 1;
+        }
+        if i > 0 {
+            let mut out = b[..i].to_vec();
+            let a_tail = if i <= a.len() { &a[i..] } else { &[][..] };
+            out.extend_from_slice(&midpoint(a_tail, Some(&b[i..])));
+            return out;
+        }
+    }
+    // First digits differ (or b = +∞).
+    let da = u16::from(digit(a, 0));
+    let db = match b {
+        Some(b) => u16::from(b[0]),
+        None => 256,
+    };
+    debug_assert!(da < db, "midpoint precondition violated: {da} >= {db}");
+    if db - da > 1 {
+        // A digit strictly between exists; it is nonzero because db >= 2.
+        let mid = ((da + db) / 2) as u8;
+        debug_assert!(u16::from(mid) > da && u16::from(mid) < db);
+        vec![mid]
+    } else {
+        // Consecutive first digits: descend on the low side, unconstrained
+        // above. `[da] ++ x` with `x > a[1..]` sits strictly inside.
+        let a_tail = if a.is_empty() { &[][..] } else { &a[1..] };
+        let mut out = vec![da as u8];
+        out.extend_from_slice(&above(a_tail));
+        out
+    }
+}
+
+/// Returns a label strictly greater than `a` (with no upper constraint),
+/// never ending in zero.
+fn above(a: &[u8]) -> Vec<u8> {
+    if a.is_empty() {
+        return vec![HALF];
+    }
+    let a0 = a[0];
+    if a0 < u8::MAX {
+        // Any single digit in (a0, 256) beats `a` regardless of its tail.
+        let mid = ((u16::from(a0) + 256) / 2) as u8;
+        debug_assert!(mid > a0);
+        vec![mid]
+    } else {
+        let mut out = vec![a0];
+        out.extend_from_slice(&above(&a[1..]));
+        out
+    }
+}
+
+#[inline]
+fn digit(a: &[u8], i: usize) -> u8 {
+    a.get(i).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary valid label: non-empty, no trailing zero.
+    fn label_strategy() -> impl Strategy<Value = Vec<u8>> {
+        (proptest::collection::vec(any::<u8>(), 0..6), 1u8..=255)
+            .prop_map(|(mut v, last)| {
+                v.push(last);
+                v
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn between_any_two_valid_labels(a in label_strategy(), b in label_strategy()) {
+            prop_assume!(a != b);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let m = between_labels(Some(&lo), Some(&hi));
+            prop_assert!(m.as_slice() > lo.as_slice(), "{m:?} !> {lo:?}");
+            prop_assert!(m.as_slice() < hi.as_slice(), "{m:?} !< {hi:?}");
+            prop_assert!(*m.last().unwrap() != 0);
+        }
+
+        #[test]
+        fn between_one_sided(a in label_strategy()) {
+            let above = between_labels(Some(&a), None);
+            prop_assert!(above.as_slice() > a.as_slice());
+            let below = between_labels(None, Some(&a));
+            prop_assert!(below.as_slice() < a.as_slice());
+        }
+
+        #[test]
+        fn repeated_bisection_from_random_pair(a in label_strategy(), b in label_strategy()) {
+            prop_assume!(a != b);
+            let (mut lo, hi) = if a < b { (a, b) } else { (b, a) };
+            // 64 nested bisections toward hi must all succeed.
+            for _ in 0..64 {
+                let m = between_labels(Some(&lo), Some(&hi));
+                prop_assert!(lo < m && m < hi);
+                lo = m;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: Option<&[u8]>, b: Option<&[u8]>) -> Vec<u8> {
+        let m = between_labels(a, b);
+        if let Some(a) = a {
+            assert!(m.as_slice() > a, "{m:?} !> {a:?}");
+        }
+        if let Some(b) = b {
+            assert!(m.as_slice() < b, "{m:?} !< {b:?}");
+        }
+        assert!(*m.last().unwrap() != 0);
+        m
+    }
+
+    #[test]
+    fn midpoint_of_whole_universe() {
+        assert_eq!(check(None, None), vec![HALF]);
+    }
+
+    #[test]
+    fn midpoint_simple_digits() {
+        assert_eq!(check(Some(&[10]), Some(&[20])), vec![15]);
+    }
+
+    #[test]
+    fn consecutive_digits_recurse() {
+        // Between [10] and [11] nothing fits in one digit.
+        let m = check(Some(&[10]), Some(&[11]));
+        assert_eq!(m[0], 10);
+        assert!(m.len() > 1);
+    }
+
+    #[test]
+    fn shared_prefix_is_kept() {
+        let m = check(Some(&[5, 5]), Some(&[5, 9]));
+        assert_eq!(m[0], 5);
+    }
+
+    #[test]
+    fn prefix_of_each_other() {
+        // a = [5], b = [5, 1]: the in-between label must start 5, 0, ...
+        let m = check(Some(&[5]), Some(&[5, 1]));
+        assert!(m.starts_with(&[5, 0]));
+    }
+
+    #[test]
+    fn below_smallest_positive() {
+        // (−∞, [1]) — must produce something starting with 0.
+        let m = check(None, Some(&[1]));
+        assert_eq!(m[0], 0);
+    }
+
+    #[test]
+    fn above_max_digit_chain() {
+        let m = check(Some(&[255, 255]), None);
+        assert!(m.as_slice() > &[255u8, 255][..]);
+    }
+
+    #[test]
+    fn repeated_splitting_low_side_terminates_quickly() {
+        // Repeatedly halve toward the low endpoint; length growth is linear
+        // in iterations but every step succeeds.
+        let mut hi = vec![HALF];
+        for _ in 0..200 {
+            let m = check(None, Some(&hi));
+            hi = m;
+        }
+    }
+
+    #[test]
+    fn repeated_splitting_high_side() {
+        let mut lo = vec![HALF];
+        for _ in 0..200 {
+            let m = check(Some(&lo), None);
+            lo = m;
+        }
+    }
+
+    #[test]
+    fn dense_interval_split() {
+        // Keep splitting the same narrow interval; a fresh label must exist
+        // every time (continuity of the universe).
+        let mut lo = vec![7];
+        let hi = vec![7, 1];
+        for _ in 0..100 {
+            lo = check(Some(&lo), Some(&hi));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a < b")]
+    fn rejects_equal_labels() {
+        between_labels(Some(&[3]), Some(&[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not end in 0x00")]
+    fn rejects_trailing_zero() {
+        between_labels(Some(&[3, 0]), Some(&[4]));
+    }
+}

@@ -1,0 +1,139 @@
+#![warn(missing_docs)]
+
+//! A continuous, unbounded, totally ordered universe of opaque items.
+//!
+//! The lower-bound proof of Cormode & Veselý (PODS'20) assumes a universe
+//! that is *continuous*: any non-empty open interval contains an unbounded
+//! number of items, so the adversary can always draw a fresh element
+//! strictly between any two previously observed ones. The paper suggests
+//! realising such a universe as "a large enough set of long incompressible
+//! strings, ordered lexicographically".
+//!
+//! This crate implements exactly that: an [`Item`] is an immutable byte
+//! string compared lexicographically, and [`between_labels`] produces a fresh
+//! label strictly inside any open interval. Labels never end in a `0x00`
+//! byte, which is the invariant that guarantees a strict in-between label
+//! always exists (between `b"ab"` and `b"ab\0"` there is no byte string,
+//! so trailing-zero labels are never minted).
+//!
+//! The only operations a consumer of [`Item`] gets are comparison,
+//! equality, hashing and cloning — which is precisely the comparison-based
+//! model of Definition 2.1 in the paper. Code that is generic over
+//! `T: Ord` and is instantiated with `T = Item` is therefore
+//! machine-checked to be comparison-based: it cannot average items, hash
+//! them into buckets by value structure, or otherwise inspect them.
+//!
+//! # Example
+//!
+//! ```
+//! use cqs_universe::{Interval, between_items, generate_increasing};
+//!
+//! let whole = Interval::whole();
+//! let items = generate_increasing(&whole, 5);
+//! assert!(items.windows(2).all(|w| w[0] < w[1]));
+//!
+//! // The universe is continuous: we can always go in between.
+//! let mid = between_items(&items[1], &items[2]);
+//! assert!(items[1] < mid && mid < items[2]);
+//! ```
+
+mod interval;
+mod item;
+mod label;
+
+pub use interval::{Endpoint, Interval};
+pub use item::Item;
+pub use label::{between_labels, label_in};
+
+/// Produces a fresh item strictly between `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if `a >= b`; the open interval `(a, b)` must be non-empty,
+/// which for this universe just means `a < b`.
+pub fn between_items(a: &Item, b: &Item) -> Item {
+    assert!(a < b, "between_items requires a < b");
+    Item::from_label(between_labels(Some(a.label()), Some(b.label())))
+}
+
+/// Generates `n` strictly increasing fresh items inside the open interval.
+///
+/// The items are produced by balanced binary subdivision, so label length
+/// grows only O(log n) rather than O(n) as naive repeated insertion after
+/// the previous item would give.
+pub fn generate_increasing(interval: &Interval, n: usize) -> Vec<Item> {
+    let mut out: Vec<Option<Item>> = vec![None; n];
+    fill(interval.lo(), interval.hi(), &mut out);
+    out.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+fn fill(lo: &Endpoint, hi: &Endpoint, out: &mut [Option<Item>]) {
+    if out.is_empty() {
+        return;
+    }
+    let m = out.len() / 2;
+    let mid = Item::from_label(label_in(lo, hi));
+    let mid_ep = Endpoint::Finite(mid.clone());
+    {
+        let (left, rest) = out.split_at_mut(m);
+        fill(lo, &mid_ep, left);
+        rest[0] = Some(mid);
+        fill(&mid_ep, hi, &mut rest[1..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn between_is_strictly_inside() {
+        let a = Item::from_label(vec![10]);
+        let b = Item::from_label(vec![20]);
+        let m = between_items(&a, &b);
+        assert!(a < m && m < b);
+    }
+
+    #[test]
+    fn generate_increasing_is_sorted_and_distinct() {
+        let iv = Interval::whole();
+        let items = generate_increasing(&iv, 100);
+        assert_eq!(items.len(), 100);
+        for w in items.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for it in &items {
+            assert!(iv.contains(it));
+        }
+    }
+
+    #[test]
+    fn generate_increasing_inside_tight_interval() {
+        let a = Item::from_label(vec![7]);
+        let b = Item::from_label(vec![7, 1]);
+        let iv = Interval::open(a.clone(), b.clone());
+        let items = generate_increasing(&iv, 64);
+        for it in &items {
+            assert!(*it > a && *it < b, "item escaped the interval");
+        }
+        for w in items.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn generated_labels_stay_short() {
+        let iv = Interval::whole();
+        let items = generate_increasing(&iv, 1024);
+        let max_len = items.iter().map(|i| i.label().len()).max().unwrap();
+        // Balanced subdivision: length is O(log n), certainly < 4 + log2 n.
+        assert!(max_len <= 16, "labels unexpectedly long: {max_len}");
+    }
+
+    #[test]
+    #[should_panic(expected = "between_items requires a < b")]
+    fn between_rejects_unordered_endpoints() {
+        let a = Item::from_label(vec![10]);
+        between_items(&a, &a);
+    }
+}

@@ -1,0 +1,105 @@
+//! Domain scenario: distributed quantile aggregation.
+//!
+//! The paper's introduction lists "balancing parallel computations"
+//! among quantile-summary applications: partition-then-merge is how
+//! engines like Spark pick range boundaries. Here a 800k-item stream is
+//! split over 8 shards; each shard builds its own summary; a balanced
+//! merge tree combines them, and the merged summaries pick range-
+//! partition boundaries whose imbalance we audit against ground truth.
+//!
+//! Run: `cargo run --release --example distributed_merge`
+
+use cqs::core::histogram::equi_depth_histogram;
+use cqs::prelude::*;
+
+fn shard_data(total: u64, shards: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut all: Vec<u64> = (1..=total).collect();
+    let mut s = seed | 1;
+    for i in (1..all.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        all.swap(i, j);
+    }
+    all.chunks(all.len() / shards).map(|c| c.to_vec()).collect()
+}
+
+fn main() {
+    let total = 800_000u64;
+    let shards = 8usize;
+    let eps = 0.001;
+    let parts = shard_data(total, shards, 0xABCD);
+
+    // --- GK: summarise each shard, merge in a balanced tree. ----------
+    let mut gks: Vec<GkSummary<u64>> = parts
+        .iter()
+        .map(|chunk| {
+            let mut s = GkSummary::new(eps);
+            for &v in chunk {
+                s.insert(v);
+            }
+            s
+        })
+        .collect();
+    while gks.len() > 1 {
+        let mut next = Vec::with_capacity(gks.len() / 2);
+        while gks.len() >= 2 {
+            let mut a = gks.remove(0);
+            let b = gks.remove(0);
+            a.merge(&b);
+            next.push(a);
+        }
+        next.append(&mut gks);
+        gks = next;
+    }
+    let gk = &gks[0];
+
+    // --- KLL: same exercise. -------------------------------------------
+    let mut klls: Vec<KllSketch<u64>> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut s = KllSketch::with_seed(400, 0xF00 + i as u64);
+            for &v in chunk {
+                s.insert(v);
+            }
+            s
+        })
+        .collect();
+    let mut kll = klls.remove(0);
+    for other in &klls {
+        kll.merge(other);
+    }
+
+    println!("merged {shards} shards of {} items each\n", total / shards as u64);
+    println!("summary  items-stored  p50-err  p99-err");
+    for (name, p50, p99, stored) in [
+        (
+            "gk",
+            gk.quantile(0.5).unwrap().abs_diff(total / 2),
+            gk.quantile(0.99).unwrap().abs_diff(total * 99 / 100),
+            gk.stored_count(),
+        ),
+        (
+            "kll",
+            kll.quantile(0.5).unwrap().abs_diff(total / 2),
+            kll.quantile(0.99).unwrap().abs_diff(total * 99 / 100),
+            kll.stored_count(),
+        ),
+    ] {
+        println!("{name:<8} {stored:<13} {p50:<8} {p99:<8}");
+    }
+
+    // --- Range partitioning: 16 balanced partitions from the merged GK.
+    let hist = equi_depth_histogram(gk, 16).expect("non-empty");
+    let mut all: Vec<u64> = parts.into_iter().flatten().collect();
+    all.sort_unstable();
+    let worst = hist.max_depth_error(&all);
+    println!("\nrange partitioning into 16 buckets (target {} items each):", hist.target_depth);
+    println!("  worst bucket deviation: {worst} items ({:.3}% of target)",
+        100.0 * worst as f64 / hist.target_depth as f64);
+    // Merge tree has 3 levels => ε·2³ rank error per boundary, both
+    // sides => tolerance 2·8εN.
+    let tolerance = (16.0 * eps * total as f64) as u64;
+    assert!(worst <= tolerance, "imbalance {worst} exceeds tolerance {tolerance}");
+    println!("  within the merge-tree tolerance of {tolerance} — balanced parallel work.");
+}

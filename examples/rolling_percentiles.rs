@@ -1,0 +1,66 @@
+//! Domain scenario: rolling SLO dashboards.
+//!
+//! An alerting pipeline cares about p99 latency over the last W
+//! requests, not since process start: a regression must show up quickly
+//! and a past incident must age out. `SlidingWindowGk` keeps the
+//! trailing window answerable in O((b/ε)·log(εW/b)) space by merging
+//! chunked GK summaries at query time — mergeability (the "balancing
+//! parallel computations" application from the paper's intro) doing
+//! double duty for windowing.
+//!
+//! Run: `cargo run --release --example rolling_percentiles`
+
+use cqs::prelude::*;
+
+fn main() {
+    let window = 20_000u64;
+    let mut sw = SlidingWindowGk::new(0.01, window, 20);
+    let mut lifetime = GkSummary::new(0.01);
+
+    // Three regimes: healthy -> incident (5x latency) -> recovered.
+    let mut clock = 0u64;
+    let mut state = 0x5151_5151_u64;
+    let mut gen = |mult: u64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1_000 + 200) * mult
+    };
+
+    println!("{:<12} {:>14} {:>14}", "phase", "window p99", "lifetime p99");
+    let mut phase = |name: &str,
+                     n: u64,
+                     mult: u64,
+                     sw: &mut SlidingWindowGk<u64>,
+                     lt: &mut GkSummary<u64>,
+                     gen: &mut dyn FnMut(u64) -> u64| {
+        for _ in 0..n {
+            let lat = gen(mult);
+            sw.insert(lat);
+            lt.insert(lat);
+            clock += 1;
+        }
+        println!(
+            "{:<12} {:>14} {:>14}",
+            name,
+            sw.quantile(0.99).unwrap(),
+            lt.quantile(0.99).unwrap()
+        );
+        (sw.quantile(0.99).unwrap(), lt.quantile(0.99).unwrap())
+    };
+
+    let (w1, _) = phase("healthy", 60_000, 1, &mut sw, &mut lifetime, &mut gen);
+    let (w2, _) = phase("incident", 60_000, 5, &mut sw, &mut lifetime, &mut gen);
+    let (w3, l3) = phase("recovered", 60_000, 1, &mut sw, &mut lifetime, &mut gen);
+
+    println!("\nstored: window summary = {} items, lifetime = {} items",
+        sw.stored_count(), lifetime.stored_count());
+
+    // The window reacts and recovers; the lifetime summary stays
+    // poisoned by the incident (its p99 covers all 180k requests).
+    assert!(w2 > 4 * w1, "incident not visible in the window");
+    assert!(w3 < w2 / 3, "window failed to age the incident out");
+    assert!(l3 > w3, "lifetime p99 should still remember the incident");
+    println!("\nwindowed p99 recovered to {w3} while lifetime p99 stays at {l3} —");
+    println!("exactly why SLO alerting needs the sliding-window model.");
+}

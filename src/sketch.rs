@@ -1,0 +1,210 @@
+//! A batteries-included quantile sketch over `f64` measurements.
+//!
+//! The workspace crates expose each algorithm with its own typed API;
+//! this module is the application-facing convenience layer: pick an
+//! [`Algorithm`], feed `f64`s, ask for percentiles. Dynamic dispatch
+//! over the shared [`ComparisonSummary`] trait — the same trait the
+//! lower-bound adversary attacks — so anything you use here is a
+//! first-class citizen of the reproduction.
+//!
+//! ```
+//! use cqs::sketch::{Algorithm, QuantileSketch};
+//!
+//! let mut s = QuantileSketch::new(Algorithm::Gk, 0.01);
+//! for i in 0..10_000 {
+//!     s.observe(i as f64 / 10.0);
+//! }
+//! let p99 = s.quantile(0.99).unwrap();
+//! assert!((985.0..=995.0).contains(&p99));
+//! assert!(s.stored() < 600);
+//! ```
+
+use cqs_ckms::CkmsSummary;
+use cqs_core::ComparisonSummary;
+use cqs_gk::{GkSummary, GreedyGk};
+use cqs_kll::{KllSketch, SampledKll};
+use cqs_mrl::MrlSummary;
+use cqs_sampling::ReservoirSummary;
+use cqs_streams::OrdF64;
+
+/// Algorithm selector for [`QuantileSketch`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// Greenwald–Khanna, banded (deterministic, O((1/ε)·log εN) — the
+    /// proven-optimal deterministic choice).
+    Gk,
+    /// Greenwald–Khanna, greedy COMPRESS (deterministic; best practical
+    /// space per Luo et al.).
+    GkGreedy,
+    /// Manku–Rajagopalan–Lindsay sized for the given expected stream
+    /// length (deterministic, needs N in advance).
+    Mrl {
+        /// Expected stream length used to size the buffers.
+        expected_n: u64,
+    },
+    /// Karnin–Lang–Liberty with the given seed (randomized; smallest
+    /// space for large N).
+    Kll {
+        /// RNG seed — fixed seed makes the sketch replayable.
+        seed: u64,
+    },
+    /// Sampler-fronted KLL (space independent of N).
+    KllSampled {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Reservoir sampling with δ = 1% (randomized baseline).
+    Reservoir {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// CKMS biased quantiles: relative error ε·ϕ·N — use for sharp
+    /// low-percentile tracking (mirror your values for high tails).
+    CkmsBiased,
+}
+
+/// A quantile sketch over `f64` measurements (NaN rejected).
+pub struct QuantileSketch {
+    inner: Box<dyn ComparisonSummary<OrdF64>>,
+    algorithm: Algorithm,
+}
+
+impl QuantileSketch {
+    /// Creates a sketch with the given target ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ε (each algorithm's own constructor rules
+    /// apply).
+    pub fn new(algorithm: Algorithm, eps: f64) -> Self {
+        let inner: Box<dyn ComparisonSummary<OrdF64>> = match algorithm {
+            Algorithm::Gk => Box::new(GkSummary::new(eps)),
+            Algorithm::GkGreedy => Box::new(GreedyGk::new(eps)),
+            Algorithm::Mrl { expected_n } => Box::new(MrlSummary::new(eps, expected_n)),
+            Algorithm::Kll { seed } => {
+                Box::new(KllSketch::with_seed(((2.0 / eps) as usize).max(8), seed))
+            }
+            Algorithm::KllSampled { seed } => {
+                Box::new(SampledKll::with_seed(((2.0 / eps) as usize).max(8), seed))
+            }
+            Algorithm::Reservoir { seed } => {
+                Box::new(ReservoirSummary::with_seed(eps, 0.01, seed))
+            }
+            Algorithm::CkmsBiased => Box::new(CkmsSummary::new(eps)),
+        };
+        QuantileSketch { inner, algorithm }
+    }
+
+    /// Feeds one measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn observe(&mut self, value: f64) {
+        self.inner.insert(OrdF64::new(value));
+    }
+
+    /// The ϕ-quantile estimate, `None` before any observation.
+    pub fn quantile(&self, phi: f64) -> Option<f64> {
+        self.inner.quantile(phi).map(f64::from)
+    }
+
+    /// The item of (approximate) rank `r`.
+    pub fn rank(&self, r: u64) -> Option<f64> {
+        self.inner.query_rank(r).map(f64::from)
+    }
+
+    /// Measurements observed so far.
+    pub fn count(&self) -> u64 {
+        self.inner.items_processed()
+    }
+
+    /// Items currently stored.
+    pub fn stored(&self) -> usize {
+        self.inner.stored_count()
+    }
+
+    /// The algorithm behind this sketch.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The algorithm's display name.
+    pub fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(mut s: QuantileSketch, n: u64) -> QuantileSketch {
+        // Deterministic scattered order.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.observe((x % n) as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn every_algorithm_answers_sane_medians() {
+        let n = 20_000u64;
+        for alg in [
+            Algorithm::Gk,
+            Algorithm::GkGreedy,
+            Algorithm::Mrl { expected_n: n },
+            Algorithm::Kll { seed: 1 },
+            Algorithm::KllSampled { seed: 2 },
+            Algorithm::Reservoir { seed: 3 },
+            Algorithm::CkmsBiased,
+        ] {
+            let s = drive(QuantileSketch::new(alg, 0.01), n);
+            assert_eq!(s.count(), n, "{alg:?}");
+            let med = s.quantile(0.5).unwrap();
+            // Values are ~uniform over [0, n); the median is ~n/2 and
+            // randomized algorithms get extra slack.
+            assert!(
+                (med - n as f64 / 2.0).abs() < n as f64 * 0.05,
+                "{alg:?}: median {med}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_algorithms_store_less_than_the_reservoir() {
+        let n = 50_000u64;
+        let gk = drive(QuantileSketch::new(Algorithm::Gk, 0.01), n);
+        let rs = drive(QuantileSketch::new(Algorithm::Reservoir { seed: 7 }, 0.01), n);
+        assert!(gk.stored() < rs.stored() / 10, "gk {} vs reservoir {}", gk.stored(), rs.stored());
+    }
+
+    #[test]
+    fn empty_sketch_answers_none() {
+        let s = QuantileSketch::new(Algorithm::Gk, 0.1);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.rank(1), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_measurements_rejected() {
+        let mut s = QuantileSketch::new(Algorithm::Gk, 0.1);
+        s.observe(f64::NAN);
+    }
+
+    #[test]
+    fn negative_and_extreme_values_work() {
+        let mut s = QuantileSketch::new(Algorithm::GkGreedy, 0.05);
+        for v in [-1e300, -5.0, 0.0, 5.0, 1e300] {
+            s.observe(v);
+        }
+        assert_eq!(s.rank(1), Some(-1e300));
+        assert_eq!(s.rank(5), Some(1e300));
+    }
+}

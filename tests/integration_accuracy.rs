@@ -1,0 +1,138 @@
+//! Cross-crate accuracy: every summary versus exact ground truth on the
+//! full workload suite, with budgets appropriate to each guarantee.
+
+use cqs::prelude::*;
+
+fn max_rank_error<S: ComparisonSummary<u64>>(s: &S, sorted: &[u64], grid: usize) -> u64 {
+    let n = sorted.len() as u64;
+    let mut worst = 0u64;
+    for j in 0..=grid as u64 {
+        let r = (1 + j * (n - 1) / grid as u64).clamp(1, n);
+        let ans = s.query_rank(r).unwrap();
+        let lo = sorted.partition_point(|&x| x < ans) as u64 + 1;
+        let hi = sorted.partition_point(|&x| x <= ans) as u64;
+        let err = if r < lo {
+            lo - r
+        } else { r.saturating_sub(hi) };
+        worst = worst.max(err);
+    }
+    worst
+}
+
+fn run_workload(w: Workload, n: u64) -> (Vec<u64>, Vec<u64>) {
+    let vals = workload(w, n, 0xC0DE).expect("non-empty");
+    let mut sorted = vals.clone();
+    sorted.sort_unstable();
+    (vals, sorted)
+}
+
+#[test]
+fn deterministic_summaries_hold_eps_on_every_workload() {
+    let n = 30_000u64;
+    let eps = 0.01;
+    let budget = (eps * n as f64) as u64;
+    for w in [
+        Workload::Sorted,
+        Workload::Reverse,
+        Workload::Shuffled,
+        Workload::Zipf,
+        Workload::Clustered,
+        Workload::Sawtooth,
+    ] {
+        let (vals, sorted) = run_workload(w, n);
+
+        let mut gk = GkSummary::new(eps);
+        let mut greedy = GreedyGk::new(eps);
+        let mut mrl = MrlSummary::new(eps, n);
+        let mut ckms = CkmsSummary::new(eps);
+        for &v in &vals {
+            gk.insert(v);
+            greedy.insert(v);
+            mrl.insert(v);
+            ckms.insert(v);
+        }
+        assert!(
+            max_rank_error(&gk, &sorted, 100) <= budget,
+            "gk over budget on {}",
+            w.name()
+        );
+        assert!(
+            max_rank_error(&greedy, &sorted, 100) <= budget,
+            "gk-greedy over budget on {}",
+            w.name()
+        );
+        assert!(
+            max_rank_error(&mrl, &sorted, 100) <= budget,
+            "mrl over budget on {}",
+            w.name()
+        );
+        assert!(
+            max_rank_error(&ckms, &sorted, 100) <= budget,
+            "ckms over budget on {}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn randomized_summaries_hold_relaxed_budget() {
+    // KLL and the reservoir have probabilistic guarantees; with fixed
+    // seeds they are regression tests at 3x the deterministic budget.
+    let n = 30_000u64;
+    let eps = 0.01;
+    let budget = 3 * (eps * n as f64) as u64;
+    for w in [Workload::Shuffled, Workload::Zipf] {
+        let (vals, sorted) = run_workload(w, n);
+        let mut kll = KllSketch::with_seed(256, 5);
+        let mut rs = ReservoirSummary::with_seed(eps, 0.01, 6);
+        for &v in &vals {
+            kll.insert(v);
+            rs.insert(v);
+        }
+        assert!(max_rank_error(&kll, &sorted, 100) <= budget, "kll on {}", w.name());
+        assert!(max_rank_error(&rs, &sorted, 100) <= budget, "reservoir on {}", w.name());
+    }
+}
+
+#[test]
+fn qdigest_holds_eps_on_integer_workloads() {
+    let n = 30_000u64;
+    let eps = 0.01;
+    let (vals, sorted) = run_workload(Workload::Shuffled, n);
+    let log_u = 64 - (n + 2).leading_zeros();
+    let mut qd = QDigest::new(log_u, eps);
+    for &v in &vals {
+        qd.insert(v);
+    }
+    let budget = (2.0 * eps * n as f64) as u64;
+    for j in 1..=50u64 {
+        let r = j * n / 50;
+        let ans = qd.quantile(r as f64 / n as f64);
+        let lo = sorted.partition_point(|&x| x < ans) as u64 + 1;
+        let hi = sorted.partition_point(|&x| x <= ans) as u64;
+        let err = if r < lo {
+            lo - r
+        } else { r.saturating_sub(hi) };
+        assert!(err <= budget, "qdigest rank {r}: err {err}");
+    }
+}
+
+#[test]
+fn space_ordering_matches_theory_on_shuffled_data() {
+    // GK ≲ CKMS ≲ MRL ≪ reservoir at small eps, and all ≪ N.
+    let n = 50_000u64;
+    let eps = 0.005;
+    let (vals, _) = run_workload(Workload::Shuffled, n);
+
+    let mut gk = GkSummary::new(eps);
+    let mut mrl = MrlSummary::new(eps, n);
+    for &v in &vals {
+        gk.insert(v);
+        mrl.insert(v);
+    }
+    let rs = ReservoirSummary::<u64>::with_seed(eps, 0.01, 1);
+
+    assert!(gk.stored_count() < mrl.stored_count(), "gk {} !< mrl {}", gk.stored_count(), mrl.stored_count());
+    assert!(mrl.stored_count() < rs.capacity(), "mrl {} !< reservoir capacity {}", mrl.stored_count(), rs.capacity());
+    assert!((gk.stored_count() as u64) < n / 20);
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration: the adversary (cqs-core) versus every
+//! deterministic comparison-based summary in the workspace.
+
+use cqs::core::adversary::run_adversary;
+use cqs::prelude::*;
+
+#[test]
+fn gk_meets_bound_across_eps_and_k() {
+    for inv in [16u64, 32, 64] {
+        let eps = Eps::from_inverse(inv);
+        for k in 3..=6u32 {
+            let rep = run_lower_bound(eps, k, || GkSummary::<Item>::new(eps.value()));
+            assert!(rep.equivalence_ok, "eps=1/{inv} k={k}");
+            assert!(
+                rep.final_gap <= rep.gap_ceiling,
+                "eps=1/{inv} k={k}: GK gap {} over ceiling {}",
+                rep.final_gap,
+                rep.gap_ceiling
+            );
+            assert!(
+                rep.max_stored as f64 >= rep.theorem22_bound,
+                "eps=1/{inv} k={k}: space {} under bound {}",
+                rep.max_stored,
+                rep.theorem22_bound
+            );
+            assert_eq!(rep.claim1_violations, 0);
+            assert_eq!(rep.lemma52_violations, 0);
+        }
+    }
+}
+
+#[test]
+fn mrl_is_also_subject_to_the_construction() {
+    // MRL is deterministic and comparison-based, so the construction
+    // applies: indistinguishability must hold and the space bound must
+    // be met whenever the gap stays within the correctness ceiling.
+    let eps = Eps::from_inverse(32);
+    let k = 6u32;
+    let n = eps.stream_len(k);
+    let out = run_adversary(eps, k, || MrlSummary::<Item>::new(eps.value(), n));
+    assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+    let rep = out.report();
+    assert!(
+        rep.final_gap > rep.gap_ceiling || rep.max_stored as f64 >= rep.theorem22_bound,
+        "MRL dodged both horns: gap {} ceiling {} space {} bound {}",
+        rep.final_gap,
+        rep.gap_ceiling,
+        rep.max_stored,
+        rep.theorem22_bound
+    );
+}
+
+#[test]
+fn ckms_is_also_subject_to_the_construction() {
+    let eps = Eps::from_inverse(32);
+    let out = run_adversary(eps, 6, || CkmsSummary::<Item>::new(eps.value()));
+    assert!(out.equivalence_error.is_none());
+    let rep = out.report();
+    assert!(rep.final_gap > rep.gap_ceiling || rep.max_stored as f64 >= rep.theorem22_bound);
+}
+
+#[test]
+fn space_grows_linearly_in_inverse_eps_at_fixed_k() {
+    let k = 6u32;
+    let mut prev = 0usize;
+    for inv in [16u64, 32, 64, 128] {
+        let eps = Eps::from_inverse(inv);
+        let rep = run_lower_bound(eps, k, || GkSummary::<Item>::new(eps.value()));
+        assert!(
+            rep.max_stored > prev,
+            "space not increasing in 1/eps: {} after {}",
+            rep.max_stored,
+            prev
+        );
+        prev = rep.max_stored;
+    }
+}
+
+#[test]
+fn adversarial_stream_is_more_expensive_than_benign_for_gk() {
+    // The lower bound's whole point: the adversarial order costs GK more
+    // than sorted input of the same length at the same eps.
+    let eps = Eps::from_inverse(64);
+    let k = 7u32;
+    let n = eps.stream_len(k);
+    let rep = run_lower_bound(eps, k, || GkSummary::<Item>::new(eps.value()));
+
+    let mut gk = GkSummary::new(eps.value());
+    let mut peak = 0usize;
+    for v in 0..n {
+        gk.insert(v);
+        peak = peak.max(gk.stored_count());
+    }
+    assert!(
+        rep.max_stored > peak,
+        "adversarial {} should exceed sorted {}",
+        rep.max_stored,
+        peak
+    );
+}
+
+#[test]
+fn fixed_seed_kll_faces_the_dichotomy() {
+    let eps = Eps::from_inverse(32);
+    for k in 4..=7u32 {
+        let rep = run_lower_bound(eps, k, || KllSketch::<Item>::with_seed(128, 0xFACE));
+        assert!(rep.equivalence_ok, "fixed-seed KLL must be deterministic");
+        assert!(
+            rep.final_gap > rep.gap_ceiling || rep.max_stored as f64 >= rep.theorem22_bound,
+            "k={k}: KLL dodged both horns"
+        );
+    }
+}

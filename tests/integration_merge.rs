@@ -1,0 +1,186 @@
+//! Distributed aggregation: merge semantics of the mergeable summaries.
+//!
+//! Each test shards a stream, summarises shards independently, merges,
+//! and checks the merged summary against ground truth with the
+//! merge-appropriate budget (errors add per merge level).
+
+use cqs::prelude::*;
+
+fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (1..=n).collect();
+    let mut s = seed | 1;
+    for i in (1..v.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+fn max_rank_error<S: ComparisonSummary<u64>>(s: &S, n: u64, grid: u64) -> u64 {
+    // Values are a permutation of 1..=n, so value == true rank.
+    (0..=grid)
+        .map(|j| {
+            let r = (1 + j * (n - 1) / grid).clamp(1, n);
+            s.query_rank(r).unwrap().abs_diff(r)
+        })
+        .max()
+        .unwrap()
+}
+
+#[test]
+fn gk_pairwise_merge_stays_within_summed_eps() {
+    let n = 40_000u64;
+    let eps = 0.005;
+    let vals = shuffled(n, 1);
+    let (left, right) = vals.split_at(vals.len() / 2);
+    let mut a = GkSummary::new(eps);
+    let mut b = GkSummary::new(eps);
+    for &v in left {
+        a.insert(v);
+    }
+    for &v in right {
+        b.insert(v);
+    }
+    a.merge(&b);
+    assert_eq!(a.items_processed(), n);
+    let budget = (2.0 * eps * n as f64).ceil() as u64 + 2; // ε doubles per merge
+    let err = max_rank_error(&a, n, 64);
+    assert!(err <= budget, "merged GK err {err} > {budget}");
+    // Mass conservation through the merge.
+    let mass: u64 = a.tuples().iter().map(|t| t.g).sum();
+    assert_eq!(mass, n);
+}
+
+#[test]
+fn gk_tree_merge_over_shards() {
+    let n = 64_000u64;
+    let shards = 8usize;
+    let eps = 0.002;
+    let vals = shuffled(n, 2);
+    let mut summaries: Vec<GkSummary<u64>> = vals
+        .chunks(vals.len() / shards)
+        .map(|chunk| {
+            let mut s = GkSummary::new(eps);
+            for &v in chunk {
+                s.insert(v);
+            }
+            s
+        })
+        .collect();
+    // Balanced binary merge tree: 3 levels for 8 shards.
+    while summaries.len() > 1 {
+        let mut next = Vec::with_capacity(summaries.len() / 2);
+        while summaries.len() >= 2 {
+            let mut a = summaries.remove(0);
+            let b = summaries.remove(0);
+            a.merge(&b);
+            next.push(a);
+        }
+        next.append(&mut summaries);
+        summaries = next;
+    }
+    let merged = &summaries[0];
+    assert_eq!(merged.items_processed(), n);
+    // ε multiplies by the tree height (3 doublings), plus slack.
+    let budget = (8.0 * eps * n as f64).ceil() as u64 + 8;
+    let err = max_rank_error(merged, n, 64);
+    assert!(err <= budget, "tree-merged GK err {err} > {budget}");
+}
+
+#[test]
+fn gk_merge_with_empty_and_into_empty() {
+    let mut a = GkSummary::new(0.01);
+    let b: GkSummary<u64> = GkSummary::new(0.01);
+    for v in 1..=1000u64 {
+        a.insert(v);
+    }
+    let before = a.items_processed();
+    a.merge(&b);
+    assert_eq!(a.items_processed(), before);
+
+    let mut c: GkSummary<u64> = GkSummary::new(0.01);
+    c.merge(&a);
+    assert_eq!(c.items_processed(), 1000);
+    assert!(c.query_rank(500).unwrap().abs_diff(500) <= 30);
+}
+
+#[test]
+fn kll_merge_matches_single_stream_accuracy() {
+    let n = 60_000u64;
+    let vals = shuffled(n, 3);
+    let mut parts: Vec<KllSketch<u64>> = Vec::new();
+    for (i, chunk) in vals.chunks(vals.len() / 6).enumerate() {
+        let mut s = KllSketch::with_seed(256, 100 + i as u64);
+        for &v in chunk {
+            s.insert(v);
+        }
+        parts.push(s);
+    }
+    let mut merged = parts.remove(0);
+    for p in &parts {
+        merged.merge(p);
+    }
+    assert_eq!(merged.items_processed(), n);
+    assert_eq!(merged.total_weight(), n, "weight must be conserved through merges");
+    let err = max_rank_error(&merged, n, 64);
+    assert!(err <= n / 40, "merged KLL err {err}");
+    // Extremes survive merging exactly.
+    assert_eq!(merged.query_rank(1), Some(1));
+    assert_eq!(merged.query_rank(n), Some(n));
+}
+
+#[test]
+fn mrl_merge_conserves_weight_and_accuracy() {
+    let n = 32_000u64;
+    let eps = 0.01;
+    let vals = shuffled(n, 4);
+    let (left, right) = vals.split_at(vals.len() / 2);
+    let mut a = MrlSummary::new(eps, n);
+    let mut b = MrlSummary::new(eps, n);
+    for &v in left {
+        a.insert(v);
+    }
+    for &v in right {
+        b.insert(v);
+    }
+    a.merge(&b);
+    assert_eq!(a.items_processed(), n);
+    assert_eq!(a.total_weight(), n);
+    let budget = (2.0 * eps * n as f64).ceil() as u64 + 2;
+    let err = max_rank_error(&a, n, 64);
+    assert!(err <= budget, "merged MRL err {err} > {budget}");
+}
+
+#[test]
+fn qdigest_merge_adds_counts() {
+    let mut a = QDigest::new(16, 0.02);
+    let mut b = QDigest::new(16, 0.02);
+    for v in shuffled(20_000, 5) {
+        a.insert(v % 65_536);
+    }
+    for v in shuffled(20_000, 6) {
+        b.insert(v % 65_536);
+    }
+    a.merge(&b);
+    assert_eq!(a.items_processed(), 40_000);
+    // Median of the union of two identical-distribution shards.
+    let med = a.quantile(0.5);
+    assert!(med.abs_diff(10_000) <= 1_500, "merged qdigest median {med}");
+}
+
+#[test]
+#[should_panic(expected = "identical universes")]
+fn qdigest_merge_rejects_mismatched_universe() {
+    let mut a = QDigest::new(16, 0.05);
+    let b = QDigest::new(12, 0.05);
+    a.merge(&b);
+}
+
+#[test]
+#[should_panic(expected = "identical buffer capacity")]
+fn mrl_merge_rejects_mismatched_capacity() {
+    let mut a: MrlSummary<u64> = MrlSummary::new(0.01, 10_000);
+    let b: MrlSummary<u64> = MrlSummary::new(0.05, 10_000);
+    a.merge(&b);
+}

@@ -1,0 +1,131 @@
+//! Model conformance (Definition 2.1) across all summaries: a
+//! comparison-based deterministic summary fed two order-isomorphic
+//! streams must make identical decisions — stored positions, counts and
+//! query indices must correspond under the isomorphism.
+
+use cqs::prelude::*;
+
+fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (1..=n).collect();
+    let mut s = seed | 1;
+    for i in (1..v.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Feeds `xs` and the order-isomorphic image `f(x) = 5x + 3` to two
+/// fresh copies and checks stored correspondence plus query agreement.
+fn check_isomorphism<S: ComparisonSummary<u64>, F: Fn() -> S>(make: F, name: &str) {
+    let xs = shuffled(20_000, 0xA5);
+    let mut a = make();
+    let mut b = make();
+    for &x in &xs {
+        a.insert(x);
+        b.insert(5 * x + 3);
+        assert_eq!(
+            a.stored_count(),
+            b.stored_count(),
+            "{name}: |I| diverged mid-stream"
+        );
+    }
+    let ia = a.item_array();
+    let ib = b.item_array();
+    assert_eq!(ia.len(), ib.len(), "{name}: final |I| differs");
+    for (x, y) in ia.iter().zip(ib.iter()) {
+        assert_eq!(5 * x + 3, *y, "{name}: stored items not isomorphic");
+    }
+    for r in [1u64, 57, 5_000, 10_000, 19_999, 20_000] {
+        let qa = a.query_rank(r).unwrap();
+        let qb = b.query_rank(r).unwrap();
+        assert_eq!(5 * qa + 3, qb, "{name}: query_rank({r}) not isomorphic");
+    }
+}
+
+#[test]
+fn gk_banded_is_comparison_based() {
+    check_isomorphism(|| GkSummary::new(0.01), "gk");
+}
+
+#[test]
+fn gk_greedy_is_comparison_based() {
+    check_isomorphism(|| GreedyGk::new(0.01), "gk-greedy");
+}
+
+#[test]
+fn gk_capped_is_comparison_based() {
+    check_isomorphism(|| CappedGk::new(0.01, 16), "gk-capped");
+}
+
+#[test]
+fn mrl_is_comparison_based() {
+    check_isomorphism(|| MrlSummary::new(0.01, 20_000), "mrl");
+}
+
+#[test]
+fn kll_fixed_seed_is_comparison_based() {
+    check_isomorphism(|| KllSketch::with_seed(128, 42), "kll");
+}
+
+#[test]
+fn ckms_is_comparison_based() {
+    check_isomorphism(|| CkmsSummary::new(0.01), "ckms");
+}
+
+#[test]
+fn reservoir_fixed_seed_is_comparison_based() {
+    check_isomorphism(|| ReservoirSummary::with_capacity(500, 0.05, 7), "reservoir");
+}
+
+#[test]
+fn item_arrays_are_sorted_for_all_summaries() {
+    let xs = shuffled(5_000, 0x77);
+    macro_rules! check_sorted {
+        ($make:expr, $name:expr) => {{
+            let mut s = $make;
+            for &x in &xs {
+                s.insert(x);
+            }
+            let arr = s.item_array();
+            assert!(arr.windows(2).all(|w| w[0] <= w[1]), "{}: item array unsorted", $name);
+            assert!(
+                arr.iter().all(|v| xs.contains(v)),
+                "{}: item array contains non-stream items",
+                $name
+            );
+        }};
+    }
+    check_sorted!(GkSummary::new(0.02), "gk");
+    check_sorted!(GreedyGk::new(0.02), "gk-greedy");
+    check_sorted!(MrlSummary::new(0.02, 5_000), "mrl");
+    check_sorted!(KllSketch::with_seed(64, 1), "kll");
+    check_sorted!(CkmsSummary::new(0.02), "ckms");
+    check_sorted!(ReservoirSummary::with_capacity(100, 0.05, 2), "reservoir");
+}
+
+#[test]
+fn queries_return_stored_items_only() {
+    // Definition 2.1(iv): answers must come from the item array.
+    let xs = shuffled(10_000, 0x99);
+    macro_rules! check_answers {
+        ($make:expr, $name:expr) => {{
+            let mut s = $make;
+            for &x in &xs {
+                s.insert(x);
+            }
+            let arr = s.item_array();
+            for r in (1..=10_000u64).step_by(919) {
+                let ans = s.query_rank(r).unwrap();
+                assert!(arr.contains(&ans), "{}: answer {} not stored", $name, ans);
+            }
+        }};
+    }
+    check_answers!(GkSummary::new(0.02), "gk");
+    check_answers!(GreedyGk::new(0.02), "gk-greedy");
+    check_answers!(MrlSummary::new(0.02, 10_000), "mrl");
+    check_answers!(KllSketch::with_seed(64, 3), "kll");
+    check_answers!(CkmsSummary::new(0.02), "ckms");
+    check_answers!(ReservoirSummary::with_capacity(200, 0.05, 4), "reservoir");
+}

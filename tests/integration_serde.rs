@@ -1,0 +1,91 @@
+//! Checkpoint/restore: the deterministic summaries round-trip through
+//! serde and continue the stream exactly where they left off.
+//!
+//! Requires the `serde` features:
+//! `cargo test --test integration_serde --features serde-summaries`.
+
+#![cfg(feature = "serde-summaries")]
+
+use cqs::prelude::*;
+
+fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (1..=n).collect();
+    let mut s = seed | 1;
+    for i in (1..v.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Runs half a stream, checkpoints through JSON, restores, runs the
+/// second half on both the original and the restored copy, and demands
+/// bit-identical behaviour.
+fn roundtrip_continues_identically<S>(mut live: S, name: &str)
+where
+    S: ComparisonSummary<u64> + serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let vals = shuffled(20_000, 0x5EDE);
+    let (first, second) = vals.split_at(vals.len() / 2);
+    for &v in first {
+        live.insert(v);
+    }
+    let json = serde_json::to_string(&live).expect("serialize");
+    let mut restored: S = serde_json::from_str(&json).expect("deserialize");
+
+    for &v in second {
+        live.insert(v);
+        restored.insert(v);
+    }
+    assert_eq!(live.items_processed(), restored.items_processed(), "{name}: n diverged");
+    assert_eq!(live.item_array(), restored.item_array(), "{name}: item arrays diverged");
+    for r in [1u64, 100, 10_000, 20_000] {
+        assert_eq!(live.query_rank(r), restored.query_rank(r), "{name}: query({r}) diverged");
+    }
+}
+
+#[test]
+fn gk_banded_checkpoints() {
+    roundtrip_continues_identically(GkSummary::new(0.01), "gk");
+}
+
+#[test]
+fn gk_greedy_checkpoints() {
+    roundtrip_continues_identically(GreedyGk::new(0.01), "gk-greedy");
+}
+
+#[test]
+fn gk_capped_checkpoints() {
+    roundtrip_continues_identically(CappedGk::new(0.01, 32), "gk-capped");
+}
+
+#[test]
+fn mrl_checkpoints() {
+    roundtrip_continues_identically(MrlSummary::new(0.01, 20_000), "mrl");
+}
+
+#[test]
+fn ckms_checkpoints() {
+    roundtrip_continues_identically(CkmsSummary::new(0.01), "ckms");
+}
+
+#[test]
+fn qdigest_checkpoints() {
+    let mut live = QDigest::new(16, 0.02);
+    let vals = shuffled(20_000, 0xD16E);
+    let (first, second) = vals.split_at(vals.len() / 2);
+    for &v in first {
+        live.insert(v % 65_536);
+    }
+    let json = serde_json::to_string(&live).expect("serialize");
+    let mut restored: QDigest = serde_json::from_str(&json).expect("deserialize");
+    for &v in second {
+        live.insert(v % 65_536);
+        restored.insert(v % 65_536);
+    }
+    assert_eq!(live.items_processed(), restored.items_processed());
+    for phi in [0.1, 0.5, 0.9] {
+        assert_eq!(live.quantile(phi), restored.quantile(phi));
+    }
+}

@@ -1,0 +1,114 @@
+//! Mid-stream behaviour: summaries are *online* structures — queries
+//! must be answerable (within ε of the prefix seen so far) at any point,
+//! not just at stream end. Also includes an `--ignored` soak test for
+//! large adversarial runs.
+
+use cqs::prelude::*;
+
+fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (1..=n).collect();
+    let mut s = seed | 1;
+    for i in (1..v.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Checks the median at exponentially spaced checkpoints of the stream.
+fn check_prefix_medians<S: ComparisonSummary<u64>, F: Fn() -> S>(make: F, name: &str, slack: f64) {
+    let n = 40_000u64;
+    let vals = shuffled(n, 0x51111);
+    let mut s = make();
+    let mut seen: Vec<u64> = Vec::new();
+    let mut checkpoint = 64u64;
+    for (i, &v) in vals.iter().enumerate() {
+        s.insert(v);
+        seen.push(v);
+        let done = (i + 1) as u64;
+        if done == checkpoint || done == n {
+            checkpoint *= 4;
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            let target = done / 2;
+            let ans = s.query_rank(target.max(1)).unwrap();
+            let lo = sorted.partition_point(|&x| x < ans) as u64 + 1;
+            let hi = sorted.partition_point(|&x| x <= ans) as u64;
+            let err = if target < lo {
+                lo - target
+            } else {
+                target.saturating_sub(hi)
+            };
+            let budget = ((slack * done as f64) as u64).max(2);
+            assert!(
+                err <= budget,
+                "{name}: prefix {done}, median err {err} > {budget}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gk_answers_at_every_prefix() {
+    check_prefix_medians(|| GkSummary::new(0.01), "gk", 0.011);
+}
+
+#[test]
+fn greedy_gk_answers_at_every_prefix() {
+    check_prefix_medians(|| GreedyGk::new(0.01), "gk-greedy", 0.011);
+}
+
+#[test]
+fn mrl_answers_at_every_prefix() {
+    check_prefix_medians(|| MrlSummary::new(0.01, 40_000), "mrl", 0.011);
+}
+
+#[test]
+fn kll_answers_at_every_prefix() {
+    check_prefix_medians(|| KllSketch::with_seed(256, 9), "kll", 0.03);
+}
+
+#[test]
+fn ckms_answers_at_every_prefix() {
+    check_prefix_medians(|| CkmsSummary::new(0.01), "ckms", 0.011);
+}
+
+#[test]
+fn sampled_kll_answers_at_every_prefix() {
+    check_prefix_medians(|| SampledKll::with_seed(256, 10), "kll-sampled", 0.04);
+}
+
+/// Soak: a deep adversarial run (N = 524 288) against GK with every
+/// audit checked. ~seconds in release; run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "soak test: run explicitly with --ignored in release mode"]
+fn soak_deep_adversarial_run() {
+    let eps = Eps::from_inverse(128);
+    let k = 12; // N = 128 * 4096 = 524 288
+    let rep = run_lower_bound(eps, k, || GkSummary::<Item>::new(eps.value()));
+    assert!(rep.equivalence_ok);
+    assert!(rep.final_gap <= rep.gap_ceiling);
+    assert!(rep.max_stored as f64 >= rep.theorem22_bound);
+    assert_eq!(rep.claim1_violations, 0);
+    assert_eq!(rep.lemma52_violations, 0);
+}
+
+/// Soak: a million-item GK stream with rolling accuracy checks.
+#[test]
+#[ignore = "soak test: run explicitly with --ignored in release mode"]
+fn soak_million_item_gk() {
+    let n = 1_000_000u64;
+    let eps = 0.001;
+    let mut gk = GkSummary::new(eps);
+    for v in shuffled(n, 0xB16) {
+        gk.insert(v);
+    }
+    let budget = (eps * n as f64) as u64;
+    for r in (1..=n).step_by(37_777) {
+        let ans = gk.query_rank(r).unwrap();
+        assert!(ans.abs_diff(r) <= budget, "rank {r}: {ans}");
+    }
+    assert!(gk.stored_count() < 4_000);
+}
