@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# The repo gate, in dependency order: style, model conformance, clippy,
+# then tier-1 (build + tests). Everything runs offline — the workspace
+# has zero external dependencies by design (see Cargo.toml).
+#
+#   ./ci.sh            # full gate
+#   ./ci.sh --fast     # skip the release build (lint + tests only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> model-conformance lint (cargo run -p cqs-xtask -- lint)"
+cargo run -p cqs-xtask -q -- lint
+
+if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -q -- -D warnings
+else
+    echo "==> clippy not installed; skipping (install with: rustup component add clippy)"
+fi
+
+if [[ $fast -eq 0 ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1; includes tests/conformance.rs = the lint gate)"
+cargo test -q
+
+echo "ci: all green"

@@ -1,28 +1,19 @@
-//! Criterion: cost of the adversarial construction itself (per item),
-//! for the three standing targets — the harness must scale to the T1
-//! sweep sizes.
+//! Cost of the adversarial construction itself (per item), for the
+//! standing targets — the harness must scale to the T1 sweep sizes. Run
+//! with `cargo bench -p cqs-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use cqs_bench::micro::{bench, print_header};
 use cqs_bench::{attack, Target};
 use cqs_core::Eps;
 
-fn bench_adversary(c: &mut Criterion) {
+fn main() {
     let eps = Eps::from_inverse(32);
-    let mut g = c.benchmark_group("adversary_run");
-    g.sample_size(10);
+    print_header("adversary_run");
     for k in [4u32, 6] {
-        g.throughput(Throughput::Elements(eps.stream_len(k)));
+        let n = eps.stream_len(k);
         for target in [Target::Gk, Target::GkGreedy] {
-            g.bench_with_input(
-                BenchmarkId::new(target.name(), format!("k{k}")),
-                &k,
-                |b, &k| b.iter(|| attack(eps, k, target).max_stored),
-            );
+            let label = format!("adversary/{}/k{k}", target.name());
+            bench(&label, n, 10, || attack(eps, k, target).max_stored);
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_adversary);
-criterion_main!(benches);

@@ -1,67 +1,59 @@
-//! Criterion: the substrate data structures — order-statistic treap
-//! operations and universe label generation — which bound how large the
-//! adversarial sweeps can go.
+//! The substrate data structures — order-statistic treap operations and
+//! universe label generation — which bound how large the adversarial
+//! sweeps can go. Run with `cargo bench -p cqs-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
 
+use cqs_bench::micro::{bench, print_header};
 use cqs_ostree::OsTree;
 use cqs_universe::{generate_increasing, Interval};
 
-fn bench_ostree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ostree");
+fn bench_ostree() {
     const N: u64 = 100_000;
-    g.throughput(Throughput::Elements(N));
-    g.sample_size(10);
-    g.bench_function("insert_sequential_100k", |b| {
-        b.iter(|| {
-            let mut t = OsTree::with_seed(1);
-            for x in 0..N {
-                t.insert(x);
-            }
-            t.len()
-        })
+    print_header("ostree");
+    bench("ostree/insert_sequential_100k", N, 10, || {
+        let mut t = OsTree::with_seed(1);
+        for x in 0..N {
+            t.insert(x);
+        }
+        t.len()
     });
     let tree: OsTree<u64> = (0..N).collect();
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("rank", |b| {
+    const QUERIES: u64 = 10_000;
+    bench("ostree/rank (batch of 10k)", QUERIES, 10, || {
         let mut q = 0u64;
-        b.iter(|| {
+        for _ in 0..QUERIES {
             q = (q + 48_271) % N;
-            tree.rank(&q)
-        })
+            black_box(tree.rank(&q));
+        }
     });
-    g.bench_function("successor", |b| {
+    bench("ostree/successor (batch of 10k)", QUERIES, 10, || {
         let mut q = 0u64;
-        b.iter(|| {
+        for _ in 0..QUERIES {
             q = (q + 48_271) % N;
-            tree.successor(&q)
-        })
+            black_box(tree.successor(&q));
+        }
     });
-    g.finish();
 }
 
-fn bench_universe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("universe");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("generate_increasing_4096", |b| {
-        b.iter(|| generate_increasing(&Interval::whole(), 4096).len())
+fn bench_universe() {
+    print_header("universe");
+    bench("universe/generate_increasing_4096", 4096, 10, || {
+        generate_increasing(&Interval::whole(), 4096).len()
     });
     // Repeatedly nested interval refinement — the worst case for label
     // growth in the recursion tree.
-    g.throughput(Throughput::Elements(64));
-    g.bench_function("nested_refinement_64_deep", |b| {
-        b.iter(|| {
-            let mut iv = Interval::whole();
-            for _ in 0..64 {
-                let pair = generate_increasing(&iv, 2);
-                iv = Interval::open(pair[0].clone(), pair[1].clone());
-            }
-            iv
-        })
+    bench("universe/nested_refinement_64_deep", 64, 10, || {
+        let mut iv = Interval::whole();
+        for _ in 0..64 {
+            let pair = generate_increasing(&iv, 2);
+            iv = Interval::open(pair[0].clone(), pair[1].clone());
+        }
+        iv
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_ostree, bench_universe);
-criterion_main!(benches);
+fn main() {
+    bench_ostree();
+    bench_universe();
+}

@@ -1,8 +1,10 @@
-//! Criterion: insert throughput and query latency of every summary
-//! (the microbenchmark counterpart of the T9 comparison table).
+//! Insert throughput and query latency of every summary (the
+//! microbenchmark counterpart of the T9 comparison table), on the
+//! in-tree std-only harness. Run with `cargo bench -p cqs-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 
+use cqs_bench::micro::{bench, print_header};
 use cqs_ckms::CkmsSummary;
 use cqs_core::ComparisonSummary;
 use cqs_gk::{GkSummary, GreedyGk};
@@ -14,80 +16,64 @@ use cqs_streams::{workload, Workload};
 
 const N: u64 = 50_000;
 const EPS: f64 = 0.01;
+const SAMPLES: usize = 10;
 
-fn bench_inserts(c: &mut Criterion) {
+fn bench_inserts() {
     let vals = workload(Workload::Shuffled, N, 3).expect("non-empty");
-    let mut g = c.benchmark_group("insert_shuffled_50k");
-    g.throughput(Throughput::Elements(N));
-    g.sample_size(10);
+    print_header("insert_shuffled_50k");
 
-    g.bench_function(BenchmarkId::new("gk", EPS), |b| {
-        b.iter(|| {
-            let mut s = GkSummary::new(EPS);
-            for &v in &vals {
-                s.insert(v);
-            }
-            s.stored_count()
-        })
+    bench("insert/gk", N, SAMPLES, || {
+        let mut s = GkSummary::new(EPS);
+        for &v in &vals {
+            s.insert(v);
+        }
+        s.stored_count()
     });
-    g.bench_function(BenchmarkId::new("gk-greedy", EPS), |b| {
-        b.iter(|| {
-            let mut s = GreedyGk::new(EPS);
-            for &v in &vals {
-                s.insert(v);
-            }
-            s.stored_count()
-        })
+    bench("insert/gk-greedy", N, SAMPLES, || {
+        let mut s = GreedyGk::new(EPS);
+        for &v in &vals {
+            s.insert(v);
+        }
+        s.stored_count()
     });
-    g.bench_function(BenchmarkId::new("mrl", EPS), |b| {
-        b.iter(|| {
-            let mut s = MrlSummary::new(EPS, N);
-            for &v in &vals {
-                s.insert(v);
-            }
-            s.stored_count()
-        })
+    bench("insert/mrl", N, SAMPLES, || {
+        let mut s = MrlSummary::new(EPS, N);
+        for &v in &vals {
+            s.insert(v);
+        }
+        s.stored_count()
     });
-    g.bench_function(BenchmarkId::new("kll", EPS), |b| {
-        b.iter(|| {
-            let mut s = KllSketch::with_seed(200, 7);
-            for &v in &vals {
-                s.insert(v);
-            }
-            s.stored_count()
-        })
+    bench("insert/kll", N, SAMPLES, || {
+        let mut s = KllSketch::with_seed(200, 7);
+        for &v in &vals {
+            s.insert(v);
+        }
+        s.stored_count()
     });
-    g.bench_function(BenchmarkId::new("ckms", EPS), |b| {
-        b.iter(|| {
-            let mut s = CkmsSummary::new(EPS);
-            for &v in &vals {
-                s.insert(v);
-            }
-            s.stored_count()
-        })
+    bench("insert/ckms", N, SAMPLES, || {
+        let mut s = CkmsSummary::new(EPS);
+        for &v in &vals {
+            s.insert(v);
+        }
+        s.stored_count()
     });
-    g.bench_function(BenchmarkId::new("reservoir", EPS), |b| {
-        b.iter(|| {
-            let mut s = ReservoirSummary::with_seed(EPS, 0.01, 9);
-            for &v in &vals {
-                s.insert(v);
-            }
-            s.stored_count()
-        })
+    bench("insert/reservoir", N, SAMPLES, || {
+        let mut s = ReservoirSummary::with_seed(EPS, 0.01, 9);
+        for &v in &vals {
+            s.insert(v);
+        }
+        s.stored_count()
     });
-    g.bench_function(BenchmarkId::new("qdigest", EPS), |b| {
-        b.iter(|| {
-            let mut s = QDigest::new(17, EPS);
-            for &v in &vals {
-                s.insert(v);
-            }
-            s.node_count()
-        })
+    bench("insert/qdigest", N, SAMPLES, || {
+        let mut s = QDigest::new(17, EPS);
+        for &v in &vals {
+            s.insert(v);
+        }
+        s.node_count()
     });
-    g.finish();
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn bench_queries() {
     let vals = workload(Workload::Shuffled, N, 5).expect("non-empty");
     let mut gk = GkSummary::new(EPS);
     let mut kll = KllSketch::with_seed(200, 11);
@@ -95,23 +81,26 @@ fn bench_queries(c: &mut Criterion) {
         gk.insert(v);
         kll.insert(v);
     }
-    let mut g = c.benchmark_group("query_rank");
-    g.bench_function("gk", |b| {
+    // Batch 1000 queries per sample so each run is long enough to time.
+    const QUERIES: u64 = 1000;
+    print_header("query_rank (batch of 1000)");
+    bench("query_rank/gk", QUERIES, SAMPLES, || {
         let mut r = 1u64;
-        b.iter(|| {
+        for _ in 0..QUERIES {
             r = r % N + 997;
-            gk.query_rank(r.min(N))
-        })
+            black_box(gk.query_rank(r.min(N)));
+        }
     });
-    g.bench_function("kll", |b| {
+    bench("query_rank/kll", QUERIES, SAMPLES, || {
         let mut r = 1u64;
-        b.iter(|| {
+        for _ in 0..QUERIES {
             r = r % N + 997;
-            kll.query_rank(r.min(N))
-        })
+            black_box(kll.query_rank(r.min(N)));
+        }
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_inserts, bench_queries);
-criterion_main!(benches);
+fn main() {
+    bench_inserts();
+    bench_queries();
+}

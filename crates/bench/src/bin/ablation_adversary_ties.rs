@@ -19,11 +19,21 @@ use cqs_streams::Table;
 fn main() {
     let eps = Eps::from_inverse(32);
     let mut t = Table::new(&[
-        "k", "tie-break", "gap", "ceil", "peak|I|", "thm2.2", "claim1-viol", "lemma52-viol",
+        "k",
+        "tie-break",
+        "gap",
+        "ceil",
+        "peak|I|",
+        "thm2.2",
+        "claim1-viol",
+        "lemma52-viol",
     ]);
 
     for k in 4..=9u32 {
-        for (name, tie) in [("lowest", TieBreak::LowestIndex), ("highest", TieBreak::HighestIndex)] {
+        for (name, tie) in [
+            ("lowest", TieBreak::LowestIndex),
+            ("highest", TieBreak::HighestIndex),
+        ] {
             let adv = Adversary::new(
                 eps,
                 GkSummary::<Item>::new(eps.value()),

@@ -27,9 +27,7 @@ fn main() {
     let canonical = (1.0 / (2.0 * eps)) as u64; // 100
     let vals = workload(Workload::Shuffled, n, 21).expect("non-empty");
 
-    let mut t = Table::new(&[
-        "variant", "period", "stream", "peak|I|", "final|I|", "ms",
-    ]);
+    let mut t = Table::new(&["variant", "period", "stream", "peak|I|", "final|I|", "ms"]);
 
     for period in [canonical / 4, canonical, canonical * 4] {
         // Banded.

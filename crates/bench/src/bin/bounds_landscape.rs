@@ -25,8 +25,15 @@ fn main() {
     );
 
     let mut t = Table::new(&[
-        "N", "trivial", "hung-ting", "CV20(shape)", "CV20(concrete)", "gk-measured",
-        "mrl-shape", "qdigest(|U|=2^32)", "kll(d=1e-6)",
+        "N",
+        "trivial",
+        "hung-ting",
+        "CV20(shape)",
+        "CV20(concrete)",
+        "gk-measured",
+        "mrl-shape",
+        "qdigest(|U|=2^32)",
+        "kll(d=1e-6)",
     ]);
     for k in 3..=10u32 {
         let n = eps.stream_len(k);

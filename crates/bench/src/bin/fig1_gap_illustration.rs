@@ -29,7 +29,11 @@ struct ScriptedSummary {
 
 impl ScriptedSummary {
     fn new(keep_arrivals: &[u64]) -> Self {
-        ScriptedSummary { keep_arrivals: keep_arrivals.to_vec(), stored: Vec::new(), n: 0 }
+        ScriptedSummary {
+            keep_arrivals: keep_arrivals.to_vec(),
+            stored: Vec::new(),
+            n: 0,
+        }
     }
 }
 
@@ -96,11 +100,18 @@ fn main() {
     }
 
     let gap = compute_gap(&pi, &rho, &iv, &iv);
-    emit("Figure 1 — largest gap in restricted item arrays", &t, "fig1_gap_illustration.csv");
+    emit(
+        "Figure 1 — largest gap in restricted item arrays",
+        &t,
+        "fig1_gap_illustration.csv",
+    );
     println!(
         "\nrestricted arrays have {} entries; ranks are {:?} (paper: [1, 6, 11, 14])",
         gap.restricted_len,
-        arr_pi.iter().map(|e| pi.rank_in(&iv, e)).collect::<Vec<_>>()
+        arr_pi
+            .iter()
+            .map(|e| pi.rank_in(&iv, e))
+            .collect::<Vec<_>>()
     );
     println!(
         "largest gap = {} at i = {} (paper: 5; two maximal gaps exist, ties broken arbitrarily)",

@@ -44,7 +44,10 @@ fn leaf(pi: &mut State, rho: &mut State, eps: Eps, iv_pi: &Interval, iv_rho: &In
         let shared = generate_increasing(iv_pi, n);
         (shared.clone(), shared)
     } else {
-        (generate_increasing(iv_pi, n), generate_increasing(iv_rho, n))
+        (
+            generate_increasing(iv_pi, n),
+            generate_increasing(iv_rho, n),
+        )
     };
     for (x, y) in a.into_iter().zip(b) {
         pi.push(x);
@@ -73,7 +76,11 @@ fn main() {
     println!("    pi : {}", rank_line(&pi));
     println!("    rho: {}", rank_line(&rho));
     let r1 = refine_intervals(&pi, &rho, &whole, &whole);
-    println!("    largest gap in (-inf, +inf): {} at restricted index {}", r1.gap.gap, r1.gap.index + 1);
+    println!(
+        "    largest gap in (-inf, +inf): {} at restricted index {}",
+        r1.gap.gap,
+        r1.gap.index + 1
+    );
     println!("    new interval for pi : {}", show_iv(&pi, &r1.iv_pi));
     println!("    new interval for rho: {}\n", show_iv(&rho, &r1.iv_rho));
 
@@ -83,7 +90,11 @@ fn main() {
     println!("    pi : {}", rank_line(&pi));
     println!("    rho: {}", rank_line(&rho));
     let g_left = compute_gap(&pi, &rho, &whole, &whole);
-    println!("    largest gap in (-inf, +inf): {} (bound 2*eps*N_2 = {})", g_left.gap, eps.gap_bound(eps.stream_len(2)));
+    println!(
+        "    largest gap in (-inf, +inf): {} (bound 2*eps*N_2 = {})",
+        g_left.gap,
+        eps.gap_bound(eps.stream_len(2))
+    );
     let r2 = refine_intervals(&pi, &rho, &whole, &whole);
     println!("    new interval for pi : {}", show_iv(&pi, &r2.iv_pi));
     println!("    new interval for rho: {}\n", show_iv(&rho, &r2.iv_rho));
@@ -106,8 +117,15 @@ fn main() {
     println!("    rho: {}", rank_line(&rho));
     let final_gap = compute_gap(&pi, &rho, &whole, &whole);
     let ceiling = eps.gap_bound(n_total);
-    println!("\nfinal gap(pi, rho) = {} vs Lemma 3.4 ceiling 2*eps*N = {}", final_gap.gap, ceiling);
-    println!("stored items: {} of {} seen", pi.summary.stored_count(), pi.len());
+    println!(
+        "\nfinal gap(pi, rho) = {} vs Lemma 3.4 ceiling 2*eps*N = {}",
+        final_gap.gap, ceiling
+    );
+    println!(
+        "stored items: {} of {} seen",
+        pi.summary.stored_count(),
+        pi.len()
+    );
     if final_gap.gap > ceiling {
         println!("=> the capped summary has blown the correctness ceiling: some quantile query must fail (see lemma34_failure_witness).");
     } else {

@@ -21,7 +21,16 @@ fn shape(eps: f64, n: u64) -> f64 {
 }
 
 fn main() {
-    let mut t = Table::new(&["eps", "N", "workload", "peak|I|", "(1/e)(log2 eN+1)", "ratio", "max-rank-err", "eps*N"]);
+    let mut t = Table::new(&[
+        "eps",
+        "N",
+        "workload",
+        "peak|I|",
+        "(1/e)(log2 eN+1)",
+        "ratio",
+        "max-rank-err",
+        "eps*N",
+    ]);
 
     for inv in [32u64, 128] {
         let eps_f = 1.0 / inv as f64;

@@ -19,15 +19,29 @@ fn main() {
     let eps = Eps::from_inverse(32);
     let k = 8u32;
     let n = eps.stream_len(k);
-    println!("eps = {eps}, k = {k}, N = {n}; Theorem 2.2 space bound = {:.1}", theorem22_bound(eps, k));
+    println!(
+        "eps = {eps}, k = {k}, N = {n}; Theorem 2.2 space bound = {:.1}",
+        theorem22_bound(eps, k)
+    );
 
     let mut t = Table::new(&[
-        "budget", "gap", "ceil(2epsN)", "phi", "target-rank", "err-pi", "err-rho", "eps*N",
+        "budget",
+        "gap",
+        "ceil(2epsN)",
+        "phi",
+        "target-rank",
+        "err-pi",
+        "err-rho",
+        "eps*N",
         "fails",
     ]);
     for budget in [8usize, 16, 32, 64] {
         let out = attack_capped_outcome(eps, k, budget);
-        assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+        assert!(
+            out.equivalence_error.is_none(),
+            "{:?}",
+            out.equivalence_error
+        );
         match quantile_failure_witness(&out) {
             Some(w) => {
                 t.row(&[

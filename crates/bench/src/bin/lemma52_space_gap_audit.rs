@@ -56,7 +56,11 @@ where
     F: FnMut() -> S,
 {
     let out: AdversaryOutcome<S> = run_adversary(eps, k, make);
-    assert!(out.equivalence_error.is_none(), "{label}: {:?}", out.equivalence_error);
+    assert!(
+        out.equivalence_error.is_none(),
+        "{label}: {:?}",
+        out.equivalence_error
+    );
     audit_rows(t, label, eps, &out.audits);
 }
 
@@ -64,21 +68,36 @@ fn main() {
     let eps = Eps::from_inverse(32);
     let k = 8u32;
     let mut t = Table::new(&[
-        "target", "eps", "level", "nodes", "max-gap", "min-slack", "claim1-viol", "lemma52-viol",
+        "target",
+        "eps",
+        "level",
+        "nodes",
+        "max-gap",
+        "min-slack",
+        "claim1-viol",
+        "lemma52-viol",
     ]);
 
     run_and_audit(&mut t, "gk", eps, k, || GkSummary::<Item>::new(eps.value()));
-    run_and_audit(&mut t, "gk-greedy", eps, k, || GreedyGk::<Item>::new(eps.value()));
-    run_and_audit(&mut t, "gk-capped(16)", eps, k, || CappedGk::<Item>::new(eps.value(), 16));
+    run_and_audit(&mut t, "gk-greedy", eps, k, || {
+        GreedyGk::<Item>::new(eps.value())
+    });
+    run_and_audit(&mut t, "gk-capped(16)", eps, k, || {
+        CappedGk::<Item>::new(eps.value(), 16)
+    });
     run_and_audit(&mut t, "kll-fixed", eps, k, || {
         KllSketch::<Item>::with_seed(4 * eps.inverse() as usize, 0xD1CE)
     });
-    run_and_audit(&mut t, "decimated(24)", eps, k, || DecimatedSummary::<Item>::new(24));
+    run_and_audit(&mut t, "decimated(24)", eps, k, || {
+        DecimatedSummary::<Item>::new(24)
+    });
 
     emit(
         "Lemma 5.2 + Claim 1 — per-level audit of the recursion tree",
         &t,
         "lemma52_space_gap_audit.csv",
     );
-    println!("\n(min-slack is S_k - RHS over all nodes of the level; non-negative => Lemma 5.2 held)");
+    println!(
+        "\n(min-slack is S_k - RHS over all nodes of the level; non-negative => Lemma 5.2 held)"
+    );
 }

@@ -18,7 +18,13 @@ fn main() {
     let data: Vec<u64> = (1..=n).collect();
 
     let mut t = Table::new(&[
-        "eps", "ceil(1/2eps)", "stored", "max-rank-err", "eps*N", "within", "hole-with-one-less",
+        "eps",
+        "ceil(1/2eps)",
+        "stored",
+        "max-rank-err",
+        "eps*N",
+        "within",
+        "hole-with-one-less",
     ]);
     for inv in [8u64, 16, 32, 64, 128, 256] {
         let eps = Eps::from_inverse(inv);
@@ -43,7 +49,9 @@ fn main() {
             &max_err.to_string(),
             &eps.rank_budget(n).to_string(),
             &within.to_string(),
-            &hole.map(|p| format!("phi={p:.4}")).unwrap_or_else(|| "none(!)".into()),
+            &hole
+                .map(|p| format!("phi={p:.4}"))
+                .unwrap_or_else(|| "none(!)".into()),
         ]);
     }
 

@@ -44,7 +44,10 @@ fn main() {
     }
     println!("\n================================================");
     if failures.is_empty() {
-        println!("all {} experiments completed; CSVs in results/", EXPERIMENTS.len());
+        println!(
+            "all {} experiments completed; CSVs in results/",
+            EXPERIMENTS.len()
+        );
     } else {
         println!("FAILED: {failures:?}");
         std::process::exit(1);

@@ -51,12 +51,24 @@ where
 fn main() {
     let n = 200_000u64;
     let mut t = Table::new(&[
-        "summary", "eps", "workload", "N", "peak|I|", "max-rank-err", "eps*N", "within-eps",
+        "summary",
+        "eps",
+        "workload",
+        "N",
+        "peak|I|",
+        "max-rank-err",
+        "eps*N",
+        "within-eps",
         "ns/insert",
     ]);
 
     for eps in [0.01f64, 0.001] {
-        for w in [Workload::Sorted, Workload::Shuffled, Workload::Zipf, Workload::Clustered] {
+        for w in [
+            Workload::Sorted,
+            Workload::Shuffled,
+            Workload::Zipf,
+            Workload::Clustered,
+        ] {
             let vals = workload(w, n, 11).expect("non-empty");
 
             bench_one(&mut t, "gk", eps, w, &vals, || GkSummary::new(eps));

@@ -22,8 +22,19 @@ use cqs_streams::Table;
 
 fn main() {
     let mut t = Table::new(&[
-        "eps", "k", "N", "target", "gap", "ceil(2epsN)", "peak|I|", "thm2.2", "peak/bound",
-        "gk-upper", "claim1-viol", "lemma52-viol", "indist",
+        "eps",
+        "k",
+        "N",
+        "target",
+        "gap",
+        "ceil(2epsN)",
+        "peak|I|",
+        "thm2.2",
+        "peak/bound",
+        "gk-upper",
+        "claim1-viol",
+        "lemma52-viol",
+        "indist",
     ]);
 
     let mut all_ok = true;

@@ -17,8 +17,17 @@ fn main() {
     let eps = Eps::from_inverse(32);
     let k = 8u32;
     let mut t = Table::new(&[
-        "target", "gap", "4epsN", "horn", "phi'", "appended", "median-rank", "err-pi", "err-rho",
-        "budget", "theorem-holds",
+        "target",
+        "gap",
+        "4epsN",
+        "horn",
+        "phi'",
+        "appended",
+        "median-rank",
+        "err-pi",
+        "err-rho",
+        "budget",
+        "theorem-holds",
     ]);
 
     // Correct GK: expected to land on the space horn.
@@ -40,7 +49,19 @@ fn main() {
             ]);
         }
         MedianOutcome::MedianFailure { .. } => {
-            t.row(&["gk", &rep.gap.to_string(), &rep.threshold.to_string(), "failure(!)", "-", "-", "-", "-", "-", "-", "check"]);
+            t.row(&[
+                "gk",
+                &rep.gap.to_string(),
+                &rep.threshold.to_string(),
+                "failure(!)",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                "check",
+            ]);
         }
     }
 

@@ -17,8 +17,8 @@ fn main() {
     let eps = Eps::from_inverse(32);
     let k = 8u32;
     let mut t = Table::new(&[
-        "target", "gap", "2epsN+2", "est-pi", "est-rho", "agree", "true-pi", "true-rho",
-        "eps*N", "fails",
+        "target", "gap", "2epsN+2", "est-pi", "est-rho", "agree", "true-pi", "true-rho", "eps*N",
+        "fails",
     ]);
 
     // Correct GK: gap under threshold, no witness — the space bound
@@ -40,7 +40,18 @@ fn main() {
             ]);
         }
         Some(w) => {
-            t.row(&["gk", &w.gap.to_string(), &w.threshold.to_string(), &w.est_pi.to_string(), &w.est_rho.to_string(), &w.estimates_agree.to_string(), &w.true_pi.to_string(), &w.true_rho.to_string(), &w.budget.to_string(), &w.demonstrates_failure().to_string()]);
+            t.row(&[
+                "gk",
+                &w.gap.to_string(),
+                &w.threshold.to_string(),
+                &w.est_pi.to_string(),
+                &w.est_rho.to_string(),
+                &w.estimates_agree.to_string(),
+                &w.true_pi.to_string(),
+                &w.true_rho.to_string(),
+                &w.budget.to_string(),
+                &w.demonstrates_failure().to_string(),
+            ]);
         }
     }
 

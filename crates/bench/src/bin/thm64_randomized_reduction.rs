@@ -27,7 +27,12 @@ fn main() {
     let eps = Eps::from_inverse(32);
 
     let mut t = Table::new(&[
-        "N", "ln N!", "log2(1/delta)", "loglog(1/delta)", "det-bound", "rand-bound",
+        "N",
+        "ln N!",
+        "log2(1/delta)",
+        "loglog(1/delta)",
+        "det-bound",
+        "rand-bound",
         "union-bound-ok",
     ]);
     for exp in [10u32, 14, 18, 22, 26] {
@@ -59,8 +64,7 @@ fn main() {
             &rep.gap_ceiling.to_string(),
             &rep.max_stored.to_string(),
             &f1(rep.theorem22_bound),
-            &(rep.final_gap > rep.gap_ceiling
-                || rep.max_stored as f64 >= rep.theorem22_bound)
+            &(rep.final_gap > rep.gap_ceiling || rep.max_stored as f64 >= rep.theorem22_bound)
                 .to_string(),
         ]);
     }

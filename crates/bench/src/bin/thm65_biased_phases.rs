@@ -32,7 +32,12 @@ fn main() {
     assert!(ckms.equivalence_ok && gk.equivalence_ok);
 
     let mut t = Table::new(&[
-        "phase", "N_i", "ckms@phase-end", "ckms@stream-end", "gk@phase-end", "gk@stream-end",
+        "phase",
+        "N_i",
+        "ckms@phase-end",
+        "ckms@stream-end",
+        "gk@phase-end",
+        "gk@stream-end",
         "per-phase-bound",
     ]);
     for i in 0..k as usize {

@@ -1,13 +1,18 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 //! # cqs-bench — experiment harness
 //!
 //! Shared plumbing for the experiment binaries (`src/bin/*.rs`), one per
 //! figure/theorem of the paper (see DESIGN.md's per-experiment index),
-//! and for the Criterion benches in `benches/`.
+//! and for the std-only micro-benchmarks in `benches/` (see [`micro`]).
 //!
 //! Every binary prints an aligned table and mirrors it to
 //! `results/<experiment>.csv` at the workspace root, so
 //! EXPERIMENTS.md's numbers are regenerable with
 //! `cargo run -p cqs-bench --release --bin <name>`.
+
+pub mod micro;
 
 use std::path::PathBuf;
 
@@ -71,8 +76,13 @@ pub fn attack_gk_outcome(eps: Eps, k: u32) -> AdversaryOutcome<GkSummary<Item>> 
 
 /// Resolves `results/<file>` at the workspace root.
 pub fn results_path(file: &str) -> PathBuf {
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
-    root.canonicalize().unwrap_or(root).join("results").join(file)
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    root.canonicalize()
+        .unwrap_or(root)
+        .join("results")
+        .join(file)
 }
 
 /// Prints a table under a titled banner and mirrors it to
@@ -104,7 +114,11 @@ pub fn f3(x: f64) -> String {
 /// Values must be a permutation-like stream where the true rank of a
 /// value can be computed by sorting — the function sorts a copy for
 /// ground truth.
-pub fn drive_u64<S: ComparisonSummary<u64>>(summary: &mut S, values: &[u64], grid: usize) -> DriveStats {
+pub fn drive_u64<S: ComparisonSummary<u64>>(
+    summary: &mut S,
+    values: &[u64],
+    grid: usize,
+) -> DriveStats {
     let mut peak = 0usize;
     for &v in values {
         summary.insert(v);
@@ -120,13 +134,15 @@ pub fn drive_u64<S: ComparisonSummary<u64>>(summary: &mut S, values: &[u64], gri
             // True rank range of ans in the (multi)set.
             let lo = sorted.partition_point(|&x| x < ans) as u64 + 1;
             let hi = sorted.partition_point(|&x| x <= ans) as u64;
-            let err = if r < lo {
-                lo - r
-            } else { r.saturating_sub(hi) };
+            let err = if r < lo { lo - r } else { r.saturating_sub(hi) };
             max_err = max_err.max(err);
         }
     }
-    DriveStats { peak_stored: peak, final_stored: summary.stored_count(), max_rank_error: max_err }
+    DriveStats {
+        peak_stored: peak,
+        final_stored: summary.stored_count(),
+        max_rank_error: max_err,
+    }
 }
 
 /// Outcome of [`drive_u64`].
@@ -147,7 +163,12 @@ mod tests {
     #[test]
     fn attack_dispatches_all_targets() {
         let eps = Eps::from_inverse(8);
-        for t in [Target::Gk, Target::GkGreedy, Target::KllFixed, Target::Capped(8)] {
+        for t in [
+            Target::Gk,
+            Target::GkGreedy,
+            Target::KllFixed,
+            Target::Capped(8),
+        ] {
             let rep = attack(eps, 3, t);
             assert_eq!(rep.n, eps.stream_len(3), "{:?}", t);
             assert!(rep.equivalence_ok, "{:?} broke indistinguishability", t);

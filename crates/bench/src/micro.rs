@@ -1,0 +1,137 @@
+//! A minimal std-only micro-benchmark harness.
+//!
+//! Replaces the former Criterion dependency so the workspace builds with
+//! no registry access: each measurement runs a closure `samples` times,
+//! reports min / median wall time and per-element throughput. No
+//! statistics beyond that — for serious profiling, use the experiment
+//! binaries with an external profiler.
+//!
+//! Wall-clock use is confined to this crate; the conformance lint
+//! (`cargo run -p cqs-xtask -- lint`) exempts `cqs-bench` from the
+//! determinism rules precisely so timing can live here and nowhere else.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured benchmark case.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Case label, e.g. `"insert_shuffled_50k/gk"`.
+    pub label: String,
+    /// Fastest observed sample.
+    pub min_ns: u128,
+    /// Median observed sample.
+    pub median_ns: u128,
+    /// Work items per run, for throughput reporting (0 = unset).
+    pub elements: u64,
+}
+
+impl Measurement {
+    /// Per-element cost of the median sample, in nanoseconds.
+    pub fn ns_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            return self.median_ns as f64;
+        }
+        self.median_ns as f64 / self.elements as f64
+    }
+}
+
+/// Times `f` `samples` times (after one warm-up call) and returns the
+/// measurement. The closure's result is passed through
+/// [`std::hint::black_box`] so the optimiser cannot elide the work.
+pub fn measure<T>(
+    label: &str,
+    elements: u64,
+    samples: usize,
+    mut f: impl FnMut() -> T,
+) -> Measurement {
+    let samples = samples.max(1);
+    black_box(f()); // warm-up: page in code and data
+    let mut times: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    Measurement {
+        label: label.to_string(),
+        min_ns: times[0],
+        median_ns: times[times.len() / 2],
+        elements,
+    }
+}
+
+/// Runs and immediately prints a measurement in one aligned row.
+pub fn bench<T>(label: &str, elements: u64, samples: usize, f: impl FnMut() -> T) -> Measurement {
+    let m = measure(label, elements, samples, f);
+    print_row(&m);
+    m
+}
+
+/// Prints the header row matching [`print_row`].
+pub fn print_header(group: &str) {
+    println!("\n== {group} ==");
+    println!(
+        "{:<40} {:>14} {:>14} {:>12}",
+        "case", "min", "median", "ns/elem"
+    );
+}
+
+fn print_row(m: &Measurement) {
+    println!(
+        "{:<40} {:>14} {:>14} {:>12.1}",
+        m.label,
+        fmt_ns(m.min_ns),
+        fmt_ns(m.median_ns),
+        m.ns_per_element()
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_and_orders_samples() {
+        let mut calls = 0u32;
+        let m = measure("case", 10, 5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 6); // warm-up + 5 samples
+        assert!(m.min_ns <= m.median_ns);
+        assert_eq!(m.elements, 10);
+    }
+
+    #[test]
+    fn throughput_divides_by_elements() {
+        let m = Measurement {
+            label: "x".into(),
+            min_ns: 100,
+            median_ns: 1000,
+            elements: 10,
+        };
+        assert!((m.ns_per_element() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(fmt_ns(5), "5 ns");
+        assert_eq!(fmt_ns(5_000), "5.00 us");
+        assert_eq!(fmt_ns(5_000_000), "5.00 ms");
+        assert_eq!(fmt_ns(5_000_000_000), "5.00 s");
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-ckms — biased (relative-error) quantiles
@@ -180,7 +181,14 @@ impl<T: Ord + Clone> ComparisonSummary<T> for CkmsSummary<T> {
             let r_prev: u64 = self.tuples[..pos].iter().map(|t| t.g).sum();
             self.f(r_prev).saturating_sub(1)
         };
-        self.tuples.insert(pos, CkmsTuple { v: item, g: 1, delta });
+        self.tuples.insert(
+            pos,
+            CkmsTuple {
+                v: item,
+                g: 1,
+                delta,
+            },
+        );
         self.n += 1;
         if self.n.is_multiple_of(self.compress_period) {
             self.compress();
@@ -241,7 +249,7 @@ impl<T: Ord + Clone> RankEstimator<T> for CkmsSummary<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -290,7 +298,9 @@ mod tests {
         let mut v: Vec<u64> = (1..=n).collect();
         let mut s = seed | 1;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }

@@ -104,14 +104,18 @@ USAGE:
 /// Parses an argument list (without the program name).
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
     let mut it = args.into_iter();
-    let cmd = it.next().ok_or_else(|| CliError::new("missing command; try `cqs help`"))?;
+    let cmd = it
+        .next()
+        .ok_or_else(|| CliError::new("missing command; try `cqs help`"))?;
     let rest: Vec<String> = it.collect();
     match cmd.as_str() {
         "quantiles" => parse_quantiles(&rest).map(Cli::Quantiles),
         "adversary" => parse_adversary(&rest).map(Cli::Adversary),
         "compare" => parse_compare(&rest).map(Cli::Compare),
         "help" | "--help" | "-h" => Ok(Cli::Help),
-        other => Err(CliError::new(format!("unknown command: {other}; try `cqs help`"))),
+        other => Err(CliError::new(format!(
+            "unknown command: {other}; try `cqs help`"
+        ))),
     }
 }
 
@@ -142,11 +146,13 @@ impl<'a> Flags<'a> {
 }
 
 fn parse_f64(flag: &str, v: &str) -> Result<f64, CliError> {
-    v.parse::<f64>().map_err(|_| CliError::new(format!("{flag}: not a number: {v}")))
+    v.parse::<f64>()
+        .map_err(|_| CliError::new(format!("{flag}: not a number: {v}")))
 }
 
 fn parse_u64(flag: &str, v: &str) -> Result<u64, CliError> {
-    v.parse::<u64>().map_err(|_| CliError::new(format!("{flag}: not an integer: {v}")))
+    v.parse::<u64>()
+        .map_err(|_| CliError::new(format!("{flag}: not an integer: {v}")))
 }
 
 fn check_eps(eps: f64) -> Result<f64, CliError> {
@@ -193,7 +199,12 @@ fn parse_quantiles(words: &[String]) -> Result<QuantilesArgs, CliError> {
 }
 
 fn parse_adversary(words: &[String]) -> Result<AdversaryArgs, CliError> {
-    let mut out = AdversaryArgs { inv_eps: 32, k: 6, target: SummaryKind::Gk, budget: 0 };
+    let mut out = AdversaryArgs {
+        inv_eps: 32,
+        k: 6,
+        target: SummaryKind::Gk,
+        budget: 0,
+    };
     let mut f = Flags::new(words);
     while let Some(flag) = f.next_flag() {
         match flag {
@@ -213,7 +224,11 @@ fn parse_adversary(words: &[String]) -> Result<AdversaryArgs, CliError> {
 }
 
 fn parse_compare(words: &[String]) -> Result<CompareArgs, CliError> {
-    let mut out = CompareArgs { eps: 0.01, expected_n: 1_000_000, seed: 0 };
+    let mut out = CompareArgs {
+        eps: 0.01,
+        expected_n: 1_000_000,
+        seed: 0,
+    };
     let mut f = Flags::new(words);
     while let Some(flag) = f.next_flag() {
         match flag {

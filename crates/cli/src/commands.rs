@@ -45,7 +45,9 @@ fn build_summary(
         SummaryKind::Gk => Box::new(GkSummary::new(eps)),
         SummaryKind::GkGreedy => Box::new(GreedyGk::new(eps)),
         SummaryKind::GkCapped => {
-            return Err(CliError::new("gk-capped is only meaningful under `cqs adversary`"))
+            return Err(CliError::new(
+                "gk-capped is only meaningful under `cqs adversary`",
+            ))
         }
         SummaryKind::Mrl => Box::new(MrlSummary::new(eps, expected_n)),
         SummaryKind::Kll => Box::new(KllSketch::with_seed(((2.0 / eps) as usize).max(8), seed)),
@@ -63,7 +65,10 @@ fn read_numbers(input: impl BufRead) -> Result<Vec<f64>, CliError> {
                 .parse()
                 .map_err(|_| CliError::new(format!("line {}: not a number: {tok}", lineno + 1)))?;
             if x.is_nan() {
-                return Err(CliError::new(format!("line {}: NaN is not orderable", lineno + 1)));
+                return Err(CliError::new(format!(
+                    "line {}: NaN is not orderable",
+                    lineno + 1
+                )));
             }
             out.push(x);
         }
@@ -148,21 +153,50 @@ pub fn run_adversary_cmd(args: &AdversaryArgs) -> Result<String, CliError> {
     };
 
     let mut out = String::new();
-    let _ = writeln!(out, "adversary vs {} (eps = {}, k = {}, N = {})", report.summary_name, eps, args.k, report.n);
-    let _ = writeln!(out, "  indistinguishability held : {}", report.equivalence_ok);
-    let _ = writeln!(out, "  final gap / 2*eps*N       : {} / {}", report.final_gap, report.gap_ceiling);
+    let _ = writeln!(
+        out,
+        "adversary vs {} (eps = {}, k = {}, N = {})",
+        report.summary_name, eps, args.k, report.n
+    );
+    let _ = writeln!(
+        out,
+        "  indistinguishability held : {}",
+        report.equivalence_ok
+    );
+    let _ = writeln!(
+        out,
+        "  final gap / 2*eps*N       : {} / {}",
+        report.final_gap, report.gap_ceiling
+    );
     let _ = writeln!(out, "  peak items stored         : {}", report.max_stored);
-    let _ = writeln!(out, "  theorem 2.2 bound         : {:.1}", report.theorem22_bound);
-    let _ = writeln!(out, "  claim-1 / lemma-5.2 viol. : {} / {}", report.claim1_violations, report.lemma52_violations);
+    let _ = writeln!(
+        out,
+        "  theorem 2.2 bound         : {:.1}",
+        report.theorem22_bound
+    );
+    let _ = writeln!(
+        out,
+        "  claim-1 / lemma-5.2 viol. : {} / {}",
+        report.claim1_violations, report.lemma52_violations
+    );
     match witness {
         None => {
-            let _ = writeln!(out, "  verdict: correct under attack; space >= bound: {}",
-                report.max_stored as f64 >= report.theorem22_bound);
+            let _ = writeln!(
+                out,
+                "  verdict: correct under attack; space >= bound: {}",
+                report.max_stored as f64 >= report.theorem22_bound
+            );
         }
         Some(w) => {
-            let _ = writeln!(out, "  verdict: gap ceiling blown — FAILING QUERY extracted:");
-            let _ = writeln!(out, "    phi = {:.4} (rank {}), err_pi = {}, err_rho = {}, allowed = {}",
-                w.phi, w.target_rank, w.err_pi, w.err_rho, w.budget);
+            let _ = writeln!(
+                out,
+                "  verdict: gap ceiling blown — FAILING QUERY extracted:"
+            );
+            let _ = writeln!(
+                out,
+                "    phi = {:.4} (rank {}), err_pi = {}, err_rho = {}, allowed = {}",
+                w.phi, w.target_rank, w.err_pi, w.err_rho, w.budget
+            );
         }
     }
     Ok(out)
@@ -183,14 +217,26 @@ pub fn run_compare(args: &CompareArgs, input: impl BufRead) -> Result<String, Cl
         SummaryKind::Ckms,
         SummaryKind::Reservoir,
     ] {
-        let mut s = build_summary(kind, args.eps, args.expected_n.max(numbers.len() as u64), args.seed)?;
+        let mut s = build_summary(
+            kind,
+            args.eps,
+            args.expected_n.max(numbers.len() as u64),
+            args.seed,
+        )?;
         for &x in &numbers {
             s.insert(OrdF64::new(x));
         }
         let q = |phi: f64| {
-            s.quantile(phi).map(|v| format!("{}", f64::from(v))).unwrap_or_else(|| "-".into())
+            s.quantile(phi)
+                .map(|v| format!("{}", f64::from(v)))
+                .unwrap_or_else(|| "-".into())
         };
         t.row(&[s.name(), &s.stored_count().to_string(), &q(0.5), &q(0.99)]);
     }
-    Ok(format!("n = {}, eps = {}\n\n{}", numbers.len(), args.eps, t.render()))
+    Ok(format!(
+        "n = {}, eps = {}\n\n{}",
+        numbers.len(),
+        args.eps,
+        t.render()
+    ))
 }

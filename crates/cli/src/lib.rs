@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-cli — command-line quantile summarisation
@@ -24,6 +25,10 @@ pub use commands::{run_adversary_cmd, run_compare, run_quantiles, CliError};
 
 #[cfg(test)]
 mod tests {
+    // Comparing a parsed flag against the exact literal it was parsed
+    // from: no arithmetic is involved, so exact equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn parse(words: &[&str]) -> Result<Cli, CliError> {
@@ -46,7 +51,13 @@ mod tests {
     #[test]
     fn parses_quantiles_with_options() {
         let cli = parse(&[
-            "quantiles", "--eps", "0.001", "--algo", "kll", "--phi", "0.25,0.75",
+            "quantiles",
+            "--eps",
+            "0.001",
+            "--algo",
+            "kll",
+            "--phi",
+            "0.25,0.75",
         ])
         .unwrap();
         match cli {
@@ -61,8 +72,16 @@ mod tests {
 
     #[test]
     fn parses_adversary() {
-        let cli = parse(&["adversary", "--inv-eps", "64", "--k", "7", "--target", "gk-greedy"])
-            .unwrap();
+        let cli = parse(&[
+            "adversary",
+            "--inv-eps",
+            "64",
+            "--k",
+            "7",
+            "--target",
+            "gk-greedy",
+        ])
+        .unwrap();
         match cli {
             Cli::Adversary(a) => {
                 assert_eq!(a.inv_eps, 64);
@@ -127,7 +146,12 @@ mod tests {
 
     #[test]
     fn adversary_command_end_to_end() {
-        let a = AdversaryArgs { inv_eps: 16, k: 4, target: SummaryKind::Gk, budget: 0 };
+        let a = AdversaryArgs {
+            inv_eps: 16,
+            k: 4,
+            target: SummaryKind::Gk,
+            budget: 0,
+        };
         let out = run_adversary_cmd(&a).unwrap();
         assert!(out.contains("gap"), "output: {out}");
         assert!(out.contains("theorem"), "output: {out}");
@@ -135,14 +159,23 @@ mod tests {
 
     #[test]
     fn adversary_capped_reports_failure() {
-        let a = AdversaryArgs { inv_eps: 16, k: 6, target: SummaryKind::GkCapped, budget: 6 };
+        let a = AdversaryArgs {
+            inv_eps: 16,
+            k: 6,
+            target: SummaryKind::GkCapped,
+            budget: 6,
+        };
         let out = run_adversary_cmd(&a).unwrap();
         assert!(out.contains("FAILING QUERY"), "output: {out}");
     }
 
     #[test]
     fn compare_command_end_to_end() {
-        let c = CompareArgs { eps: 0.05, expected_n: 1_000, seed: 1 };
+        let c = CompareArgs {
+            eps: 0.05,
+            expected_n: 1_000,
+            seed: 1,
+        };
         let data: String = (1..=1000).map(|i| format!("{i}\n")).collect();
         let out = run_compare(&c, data.as_bytes()).unwrap();
         for name in ["gk", "gk-greedy", "mrl", "kll", "ckms", "reservoir"] {

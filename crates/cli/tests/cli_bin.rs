@@ -29,10 +29,7 @@ fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
 #[test]
 fn quantiles_from_stdin() {
     let data: String = (1..=5000).map(|i| format!("{i}\n")).collect();
-    let (stdout, stderr, ok) = run(
-        &["quantiles", "--eps", "0.01", "--phi", "0.5"],
-        &data,
-    );
+    let (stdout, stderr, ok) = run(&["quantiles", "--eps", "0.01", "--phi", "0.5"], &data);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("n = 5000"), "{stdout}");
     // Median of 1..=5000 within ±50.

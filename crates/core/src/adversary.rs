@@ -236,7 +236,10 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
             let shared = generate_increasing(iv_pi, n);
             (shared.clone(), shared)
         } else {
-            (generate_increasing(iv_pi, n), generate_increasing(iv_rho, n))
+            (
+                generate_increasing(iv_pi, n),
+                generate_increasing(iv_rho, n),
+            )
         };
         for (a, b) in items_pi.into_iter().zip(items_rho) {
             self.pi.push(a);
@@ -342,7 +345,11 @@ mod tests {
     fn exact_summary_keeps_gap_minimal_and_all_checks_pass() {
         let eps = Eps::from_inverse(8);
         let out = run_adversary(eps, 4, ExactSummary::new);
-        assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+        assert!(
+            out.equivalence_error.is_none(),
+            "{:?}",
+            out.equivalence_error
+        );
         assert_eq!(out.final_gap(), 1, "exact summary leaves no uncertainty");
         let rep = out.report();
         assert_eq!(rep.claim1_violations, 0);
@@ -355,7 +362,11 @@ mod tests {
         let eps = Eps::from_inverse(8);
         // Budget far below ⌈1/(2ε)⌉·(k+1): the gap must blow past 2εN.
         let out = run_adversary(eps, 5, || DecimatedSummary::new(3));
-        assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+        assert!(
+            out.equivalence_error.is_none(),
+            "{:?}",
+            out.equivalence_error
+        );
         assert!(
             !out.gap_within_correctness_ceiling(),
             "gap {} should exceed ceiling {}",
@@ -377,7 +388,10 @@ mod tests {
                 rep.lemma52_violations, 0,
                 "budget {budget}: space-gap inequality violated"
             );
-            assert_eq!(rep.claim1_violations, 0, "budget {budget}: Claim 1 violated");
+            assert_eq!(
+                rep.claim1_violations, 0,
+                "budget {budget}: Claim 1 violated"
+            );
         }
     }
 
@@ -400,13 +414,23 @@ mod tests {
         // doubles per level (Θ(2^k) = Θ(εN) bytes), the worst case the
         // paper's "make the strings even longer" remark licences.
         let eps = Eps::from_inverse(16);
-        let d5 = run_adversary(eps, 5, ExactSummary::new).report().max_label_depth;
-        let d8 = run_adversary(eps, 8, ExactSummary::new).report().max_label_depth;
+        let d5 = run_adversary(eps, 5, ExactSummary::new)
+            .report()
+            .max_label_depth;
+        let d8 = run_adversary(eps, 8, ExactSummary::new)
+            .report()
+            .max_label_depth;
         assert!(d5 >= 1 && d8 >= d5);
         // Geometric growth, but bounded by the refinement count: one
         // byte-ish per node of the recursion tree.
-        assert!(d8 <= (1 << 8) + 64, "depth {d8} beyond the refinement-chain bound");
-        assert!(d8 <= 16 * d5, "depth growth wildly superlinear: {d5} -> {d8}");
+        assert!(
+            d8 <= (1 << 8) + 64,
+            "depth {d8} beyond the refinement-chain bound"
+        );
+        assert!(
+            d8 <= 16 * d5,
+            "depth growth wildly superlinear: {d5} -> {d8}"
+        );
     }
 
     #[test]

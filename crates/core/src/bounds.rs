@@ -115,7 +115,10 @@ mod tests {
         }
         let r1 = cv_lower_concrete(eps, 1 << 20) / cv_lower_concrete(eps, 1 << 14);
         let r2 = (cv_lower(eps, 1 << 20) + 2.0 * 64.0) / (cv_lower(eps, 1 << 14) + 2.0 * 64.0);
-        assert!((r1 / r2 - 1.0).abs() < 0.2, "growth shapes diverge: {r1} vs {r2}");
+        assert!(
+            (r1 / r2 - 1.0).abs() < 0.2,
+            "growth shapes diverge: {r1} vs {r2}"
+        );
     }
 
     #[test]
@@ -131,6 +134,9 @@ mod tests {
         let eps = Eps::from_inverse(100);
         let a = kll_upper(eps, 1e-3);
         let b = kll_upper(eps, 1e-12);
-        assert!(b < a * 1.6, "δ from 1e-3 to 1e-12 should barely move the bound");
+        assert!(
+            b < a * 1.6,
+            "δ from 1e-3 to 1e-12 should barely move the bound"
+        );
     }
 }

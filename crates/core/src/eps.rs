@@ -36,9 +36,7 @@ impl Eps {
 
     /// The stream length N_k = (1/ε)·2^k used by the construction.
     pub fn stream_len(self, k: u32) -> u64 {
-        self.inv
-            .checked_mul(1u64 << k)
-            .expect("N_k overflows u64")
+        self.inv.checked_mul(1u64 << k).expect("N_k overflows u64")
     }
 
     /// The number of items appended per leaf of the recursion tree, 2/ε.
@@ -81,6 +79,8 @@ mod tests {
     use super::*;
 
     #[test]
+    // Exactness is the property under test: 1/16 is a dyadic rational.
+    #[allow(clippy::float_cmp)]
     fn arithmetic_is_exact() {
         let e = Eps::from_inverse(16);
         assert_eq!(e.value(), 0.0625);

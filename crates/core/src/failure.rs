@@ -72,8 +72,16 @@ pub fn quantile_failure_witness<S: ComparisonSummary<Item>>(
     let phi = target as f64 / n as f64;
     let budget = outcome.eps.rank_budget(n);
 
-    let ans_pi = outcome.pi.summary.query_rank(target).expect("non-empty summary");
-    let ans_rho = outcome.rho.summary.query_rank(target).expect("non-empty summary");
+    let ans_pi = outcome
+        .pi
+        .summary
+        .query_rank(target)
+        .expect("non-empty summary");
+    let ans_rho = outcome
+        .rho
+        .summary
+        .query_rank(target)
+        .expect("non-empty summary");
     let rank_pi = outcome.pi.rank(&ans_pi);
     let rank_rho = outcome.rho.rank(&ans_rho);
 

@@ -83,7 +83,10 @@ pub fn compute_gap_tie<S: ComparisonSummary<Item>>(
         "restricted item arrays differ in size — summary is not comparison-based"
     );
     let m = a_pi.len();
-    assert!(m >= 2, "restricted arrays must at least contain the two boundaries");
+    assert!(
+        m >= 2,
+        "restricted arrays must at least contain the two boundaries"
+    );
 
     let ranks_pi: Vec<u64> = a_pi.iter().map(|e| pi.rank_in(iv_pi, e)).collect();
     let ranks_rho: Vec<u64> = a_rho.iter().map(|e| rho.rank_in(iv_rho, e)).collect();

@@ -39,7 +39,11 @@ where
         let r = (i * n / buckets as u64).max(1);
         boundaries.push(summary.query_rank(r)?);
     }
-    Some(EquiDepthHistogram { boundaries, target_depth: n / buckets as u64, n })
+    Some(EquiDepthHistogram {
+        boundaries,
+        target_depth: n / buckets as u64,
+        n,
+    })
 }
 
 impl<T: Ord + Clone> EquiDepthHistogram<T> {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-core — the PODS'20 tight lower bound, executable
@@ -58,11 +59,13 @@ pub mod histogram;
 pub mod median;
 pub mod model;
 pub mod offline;
+#[cfg(feature = "proptest")]
 mod proptests;
 pub mod randomized;
 pub mod rank_estimation;
 pub mod reference;
 pub mod refine;
+pub mod rng;
 pub mod spacegap;
 pub mod state;
 
@@ -73,6 +76,7 @@ pub use gap::{compute_gap, GapInfo};
 pub use histogram::{equi_depth_histogram, EquiDepthHistogram};
 pub use model::{ComparisonSummary, MaxSpaceTracker, RankEstimator};
 pub use refine::refine_intervals;
+pub use rng::SplitMix64;
 pub use spacegap::{space_gap_rhs, theorem22_bound, SPACE_GAP_C_NUM};
 pub use state::StreamState;
 

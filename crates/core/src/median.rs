@@ -61,18 +61,19 @@ impl MedianReport {
     pub fn demonstrates_theorem(&self) -> bool {
         match &self.outcome {
             MedianOutcome::SpaceBound { stored, rhs } => *stored as f64 >= rhs - 1e-9,
-            MedianOutcome::MedianFailure { err_pi, err_rho, budget, .. } => {
-                *err_pi > *budget || *err_rho > *budget
-            }
+            MedianOutcome::MedianFailure {
+                err_pi,
+                err_rho,
+                budget,
+                ..
+            } => *err_pi > *budget || *err_rho > *budget,
         }
     }
 }
 
 /// Runs the median reduction on a finished adversary outcome (consuming
 /// it: the failure horn appends padding items to both streams).
-pub fn median_reduction<S: ComparisonSummary<Item>>(
-    outcome: AdversaryOutcome<S>,
-) -> MedianReport {
+pub fn median_reduction<S: ComparisonSummary<Item>>(outcome: AdversaryOutcome<S>) -> MedianReport {
     quantile_reduction(outcome, 0.5)
 }
 
@@ -155,8 +156,16 @@ pub fn quantile_reduction<S: ComparisonSummary<Item>>(
     let total = n + m;
     let median_rank = ((phi * total as f64) as u64).clamp(1, total);
     let budget = eps.rank_budget(total);
-    let ans_pi = outcome.pi.summary.query_rank(median_rank).expect("non-empty");
-    let ans_rho = outcome.rho.summary.query_rank(median_rank).expect("non-empty");
+    let ans_pi = outcome
+        .pi
+        .summary
+        .query_rank(median_rank)
+        .expect("non-empty");
+    let ans_rho = outcome
+        .rho
+        .summary
+        .query_rank(median_rank)
+        .expect("non-empty");
     let err_pi = outcome.pi.rank(&ans_pi).abs_diff(median_rank);
     let err_rho = outcome.rho.rank(&ans_rho).abs_diff(median_rank);
 
@@ -197,7 +206,14 @@ mod tests {
         let out = run_adversary(eps, 6, || DecimatedSummary::new(3));
         let rep = median_reduction(out);
         match &rep.outcome {
-            MedianOutcome::MedianFailure { err_pi, err_rho, budget, total_len, appended, .. } => {
+            MedianOutcome::MedianFailure {
+                err_pi,
+                err_rho,
+                budget,
+                total_len,
+                appended,
+                ..
+            } => {
                 assert!(err_pi > budget || err_rho > budget, "median must fail");
                 assert!(*appended <= eps.stream_len(6));
                 assert_eq!(*total_len, eps.stream_len(6) + appended);
@@ -217,7 +233,12 @@ mod tests {
             let rep = quantile_reduction(out, phi);
             match &rep.outcome {
                 MedianOutcome::MedianFailure {
-                    median_rank, total_len, err_pi, err_rho, budget, ..
+                    median_rank,
+                    total_len,
+                    err_pi,
+                    err_rho,
+                    budget,
+                    ..
                 } => {
                     // The target rank really is the requested quantile of
                     // the padded stream…
@@ -227,7 +248,10 @@ mod tests {
                         "phi={phi}: landed at {realised}"
                     );
                     // …and the query fails there.
-                    assert!(err_pi > budget || err_rho > budget, "phi={phi} did not fail");
+                    assert!(
+                        err_pi > budget || err_rho > budget,
+                        "phi={phi} did not fail"
+                    );
                 }
                 other => panic!("phi={phi}: expected failure horn, got {other:?}"),
             }

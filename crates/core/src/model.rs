@@ -97,7 +97,10 @@ pub struct MaxSpaceTracker<S> {
 impl<S> MaxSpaceTracker<S> {
     /// Wraps a summary.
     pub fn new(inner: S) -> Self {
-        MaxSpaceTracker { inner, max_stored: 0 }
+        MaxSpaceTracker {
+            inner,
+            max_stored: 0,
+        }
     }
 
     /// Largest `stored_count()` observed after any insert.

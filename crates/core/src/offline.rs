@@ -26,7 +26,10 @@ impl<T: Ord + Clone> OfflineSummary<T> {
     /// Panics if `sorted` is empty or not sorted.
     pub fn build(sorted: &[T], eps: Eps) -> Self {
         assert!(!sorted.is_empty(), "offline summary needs data");
-        assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "input must be sorted"
+        );
         let n = sorted.len() as u64;
         let count = eps.inverse().div_ceil(2); // ⌈1/(2ε)⌉
         let mut items = Vec::with_capacity(count as usize);
@@ -41,7 +44,12 @@ impl<T: Ord + Clone> OfflineSummary<T> {
             items.push(sorted[(r - 1) as usize].clone());
             ranks.push(r);
         }
-        OfflineSummary { items, ranks, n, eps }
+        OfflineSummary {
+            items,
+            ranks,
+            n,
+            eps,
+        }
     }
 
     /// Number of stored items — at most ⌈1/(2ε)⌉.

@@ -58,6 +58,8 @@ mod tests {
     use super::*;
 
     #[test]
+    // ln(0!) and ln(1!) are exactly 0.0 by definition of the sum.
+    #[allow(clippy::float_cmp)]
     fn ln_factorial_small_values_exact() {
         assert_eq!(ln_factorial(0), 0.0);
         assert_eq!(ln_factorial(1), 0.0);
@@ -93,7 +95,10 @@ mod tests {
             let ll = log2_inv_delta(n).log2();
             let lo = exp as f64;
             let hi = exp as f64 + 2.0 * (exp as f64).log2() + 2.0;
-            assert!(ll >= lo && ll <= hi, "n=2^{exp}: loglog(1/δ)={ll} outside [{lo},{hi}]");
+            assert!(
+                ll >= lo && ll <= hi,
+                "n=2^{exp}: loglog(1/δ)={ll} outside [{lo},{hi}]"
+            );
         }
     }
 

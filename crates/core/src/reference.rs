@@ -21,7 +21,10 @@ pub struct ExactSummary<T> {
 impl<T: Ord + Clone> ExactSummary<T> {
     /// An empty exact summary.
     pub fn new() -> Self {
-        ExactSummary { items: Vec::new(), n: 0 }
+        ExactSummary {
+            items: Vec::new(),
+            n: 0,
+        }
     }
 
     /// True rank of `q` (count of items `<= q`).
@@ -80,7 +83,11 @@ impl<T: Ord + Clone> DecimatedSummary<T> {
     /// A summary that never stores more than `budget >= 2` items.
     pub fn new(budget: usize) -> Self {
         assert!(budget >= 2, "need room for min and max");
-        DecimatedSummary { items: Vec::new(), n: 0, budget }
+        DecimatedSummary {
+            items: Vec::new(),
+            n: 0,
+            budget,
+        }
     }
 
     fn thin(&mut self) {

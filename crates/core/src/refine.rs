@@ -42,7 +42,10 @@ pub fn refine_intervals<S: ComparisonSummary<Item>>(
     iv_pi: &Interval,
     iv_rho: &Interval,
 ) -> Refinement {
-    assert!(pi.count_inside(iv_pi) >= 2, "need N' >= 2 items inside the interval");
+    assert!(
+        pi.count_inside(iv_pi) >= 2,
+        "need N' >= 2 items inside the interval"
+    );
     assert_eq!(
         pi.count_inside(iv_pi),
         rho.count_inside(iv_rho),
@@ -99,7 +102,11 @@ pub fn refine_from<S: ComparisonSummary<Item>>(
     debug_assert!(iv_pi.encloses(&new_pi));
     debug_assert!(iv_rho.encloses(&new_rho));
 
-    Refinement { iv_pi: new_pi, iv_rho: new_rho, gap }
+    Refinement {
+        iv_pi: new_pi,
+        iv_rho: new_rho,
+        gap,
+    }
 }
 
 /// Checks Observation 1(ii): fresh items `a ∈ (α_π, β_π)` and
@@ -154,7 +161,10 @@ mod tests {
         let r = refine_intervals(&pi, &rho, &whole, &whole);
         let a = generate_increasing(&r.iv_pi, 1).pop().unwrap();
         let b = generate_increasing(&r.iv_rho, 1).pop().unwrap();
-        assert!(check_observation1(&pi, &rho, &a, &b), "Observation 1(ii) violated");
+        assert!(
+            check_observation1(&pi, &rho, &a, &b),
+            "Observation 1(ii) violated"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   indistinguishability: Definition 3.2(2) demands that the i-th stored
 //!   items of the two summaries arrived at the same stream position.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cqs_ostree::OsTree;
 use cqs_universe::{Endpoint, Interval, Item};
@@ -21,7 +21,7 @@ pub struct StreamState<S> {
     /// The summary under adversarial attack.
     pub summary: S,
     order: OsTree<Item>,
-    arrival: HashMap<Item, u64>,
+    arrival: BTreeMap<Item, u64>,
     n: u64,
     max_label_depth: usize,
 }
@@ -32,7 +32,7 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         StreamState {
             summary,
             order: OsTree::new(),
-            arrival: HashMap::new(),
+            arrival: BTreeMap::new(),
             n: 0,
             max_label_depth: 0,
         }
@@ -165,7 +165,11 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
 
     /// Number of summary-stored items strictly inside `iv`.
     pub fn stored_inside(&self, iv: &Interval) -> usize {
-        self.summary.item_array().iter().filter(|it| iv.contains(it)).count()
+        self.summary
+            .item_array()
+            .iter()
+            .filter(|it| iv.contains(it))
+            .count()
     }
 
     /// True rank error of answering rank-query `r` with item `x`:
@@ -201,7 +205,9 @@ pub fn check_indistinguishable<S: ComparisonSummary<Item>>(
         let pa = pi.arrival_of(a);
         let pb = rho.arrival_of(b);
         if pa.is_none() || pb.is_none() {
-            return Err(format!("stored item at index {i} never appeared in its stream"));
+            return Err(format!(
+                "stored item at index {i} never appeared in its stream"
+            ));
         }
         if pa != pb {
             return Err(format!(

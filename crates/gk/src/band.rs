@@ -78,7 +78,10 @@ mod tests {
             let mut last = u32::MAX;
             for delta in 0..=p {
                 let b = band(delta, p);
-                assert!(b <= last, "p={p}, delta={delta}: band {b} > previous {last}");
+                assert!(
+                    b <= last,
+                    "p={p}, delta={delta}: band {b} > previous {last}"
+                );
                 last = b;
             }
         }

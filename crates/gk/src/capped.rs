@@ -31,7 +31,10 @@ impl<T: Ord + Clone> CappedGk<T> {
     /// Panics if `budget < 4` or ε is out of range.
     pub fn new(eps: f64, budget: usize) -> Self {
         assert!(budget >= 4, "budget must leave room for extremes");
-        CappedGk { inner: GreedyGk::new(eps), budget }
+        CappedGk {
+            inner: GreedyGk::new(eps),
+            budget,
+        }
     }
 
     /// The hard budget.

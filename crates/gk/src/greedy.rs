@@ -41,7 +41,12 @@ impl<T: Ord + Clone> GreedyGk<T> {
     pub fn with_compress_period(eps: f64, period: u64) -> Self {
         assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 0.5)");
         assert!(period >= 1, "compress period must be positive");
-        GreedyGk { tuples: Vec::new(), n: 0, eps, compress_period: period }
+        GreedyGk {
+            tuples: Vec::new(),
+            n: 0,
+            eps,
+            compress_period: period,
+        }
     }
 
     /// The configured ε.
@@ -72,7 +77,14 @@ impl<T: Ord + Clone> GreedyGk<T> {
         } else {
             thr.saturating_sub(1)
         };
-        self.tuples.insert(pos, GkTuple { v: item, g: 1, delta });
+        self.tuples.insert(
+            pos,
+            GkTuple {
+                v: item,
+                g: 1,
+                delta,
+            },
+        );
         self.n += 1;
         if self.n.is_multiple_of(self.compress_period) {
             self.compress(self.threshold());
@@ -138,7 +150,7 @@ impl<T: Ord + Clone> RankEstimator<T> for GreedyGk<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

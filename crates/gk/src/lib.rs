@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-gk — the Greenwald–Khanna quantile summary
@@ -188,11 +189,18 @@ mod tests {
         let mut gk = CappedGk::new(0.01, 16);
         for x in shuffled(n, 6) {
             gk.insert(x);
-            assert!(gk.stored_count() <= 17, "cap exceeded: {}", gk.stored_count());
+            assert!(
+                gk.stored_count() <= 17,
+                "cap exceeded: {}",
+                gk.stored_count()
+            );
         }
         // With ~16 items over 50k, worst-case error must far exceed ε·n.
         let err = max_rank_error(&gk, n);
-        assert!(err > (0.01 * n as f64) as u64, "cap should break accuracy, err={err}");
+        assert!(
+            err > (0.01 * n as f64) as u64,
+            "cap should break accuracy, err={err}"
+        );
     }
 
     #[test]

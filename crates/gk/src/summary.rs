@@ -40,7 +40,12 @@ impl<T: Ord + Clone> GkSummary<T> {
     pub fn with_compress_period(eps: f64, period: u64) -> Self {
         assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 0.5)");
         assert!(period >= 1, "compress period must be positive");
-        GkSummary { tuples: Vec::new(), n: 0, eps, compress_period: period }
+        GkSummary {
+            tuples: Vec::new(),
+            n: 0,
+            eps,
+            compress_period: period,
+        }
     }
 
     /// The configured ε.
@@ -101,11 +106,13 @@ impl<T: Ord + Clone> GkSummary<T> {
         let mut merged: Vec<(T, u64, u64)> = Vec::with_capacity(ba.len() + bb.len());
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.tuples.len() || j < other.tuples.len() {
+            // The loop condition guarantees at least one side is
+            // non-empty, so (None, None) cannot occur; folding it into
+            // the take-b arm keeps the merge panic-free.
             let take_a = match (self.tuples.get(i), other.tuples.get(j)) {
                 (Some(a), Some(b)) => a.v <= b.v,
                 (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => unreachable!(),
+                (None, _) => false,
             };
             let (v, own, other_ts, other_bounds, other_n, pos) = if take_a {
                 (self.tuples[i].v.clone(), ba[i], &other.tuples, &bb, nb, j)
@@ -135,7 +142,11 @@ impl<T: Ord + Clone> GkSummary<T> {
         let mut prev_min = 0u64;
         for (v, r_min, r_max) in merged {
             let r_min = r_min.max(prev_min); // monotone by construction; guard anyway
-            tuples.push(GkTuple { v, g: r_min - prev_min, delta: r_max.saturating_sub(r_min) });
+            tuples.push(GkTuple {
+                v,
+                g: r_min - prev_min,
+                delta: r_max.saturating_sub(r_min),
+            });
             prev_min = r_min;
         }
         debug_assert_eq!(prev_min, na + nb, "merged rank mass mismatch");
@@ -189,7 +200,14 @@ impl<T: Ord + Clone> GkSummary<T> {
         } else {
             thr.saturating_sub(1)
         };
-        self.tuples.insert(pos, GkTuple { v: item, g: 1, delta });
+        self.tuples.insert(
+            pos,
+            GkTuple {
+                v: item,
+                g: 1,
+                delta,
+            },
+        );
         self.n += 1;
         if self.n.is_multiple_of(self.compress_period) {
             self.compress();
@@ -333,7 +351,10 @@ mod tests {
             // counting, so check bracketing against the estimator and
             // width against the invariant.
             let est = cqs_core::RankEstimator::estimate_rank(&gk, &q);
-            assert!(lo <= est && est <= hi, "q={q}: est {est} outside [{lo},{hi}]");
+            assert!(
+                lo <= est && est <= hi,
+                "q={q}: est {est} outside [{lo},{hi}]"
+            );
             assert!(hi - lo <= width_cap, "q={q}: bounds too wide: {}", hi - lo);
         }
         // Below the minimum and above the maximum the bounds are exact.
@@ -387,7 +408,10 @@ mod tests {
         assert_eq!(a.items_processed(), 6_000);
         assert!(a.invariant_holds());
         let q = a.query_rank(3_000).unwrap();
-        assert!(q.abs_diff(3_000) <= 6_000 / 8, "post-merge insert broke queries: {q}");
+        assert!(
+            q.abs_diff(3_000) <= 6_000 / 8,
+            "post-merge insert broke queries: {q}"
+        );
     }
 
     #[test]
@@ -401,7 +425,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -15,7 +15,11 @@ use cqs_gk::{CappedGk, GkSummary, GreedyGk};
 fn gk_stays_correct_under_adversary() {
     let eps = Eps::from_inverse(32);
     let out = run_adversary(eps, 6, || GkSummary::<Item>::new(eps.value()));
-    assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+    assert!(
+        out.equivalence_error.is_none(),
+        "{:?}",
+        out.equivalence_error
+    );
     assert!(
         out.gap_within_correctness_ceiling(),
         "GK gap {} exceeded ceiling {}",
@@ -44,7 +48,11 @@ fn gk_space_meets_theorem22_bound() {
 fn greedy_gk_stays_correct_under_adversary() {
     let eps = Eps::from_inverse(32);
     let out = run_adversary(eps, 6, || GreedyGk::<Item>::new(eps.value()));
-    assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+    assert!(
+        out.equivalence_error.is_none(),
+        "{:?}",
+        out.equivalence_error
+    );
     assert!(
         out.gap_within_correctness_ceiling(),
         "greedy GK gap {} exceeded ceiling {}",
@@ -58,7 +66,11 @@ fn capped_gk_fails_with_witness() {
     let eps = Eps::from_inverse(32);
     let k = 6;
     let out = run_adversary(eps, k, || CappedGk::<Item>::new(eps.value(), 8));
-    assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+    assert!(
+        out.equivalence_error.is_none(),
+        "{:?}",
+        out.equivalence_error
+    );
     let w = quantile_failure_witness(&out).expect("capped GK must blow the gap ceiling");
     assert!(
         w.demonstrates_failure(),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-kll — the Karnin–Lang–Liberty quantile sketch
@@ -38,9 +39,7 @@ mod sampled;
 
 pub use sampled::SampledKll;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use cqs_core::rng::SplitMix64;
 use cqs_core::{ComparisonSummary, RankEstimator};
 
 /// Default geometric capacity decay ratio between compactor levels.
@@ -58,7 +57,7 @@ pub struct KllSketch<T> {
     /// Capacity decay ratio between levels (paper: 2/3).
     decay: f64,
     n: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
     min: Option<T>,
     max: Option<T>,
 }
@@ -90,7 +89,7 @@ impl<T: Ord + Clone> KllSketch<T> {
             k,
             decay,
             n: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             min: None,
             max: None,
         }
@@ -118,7 +117,7 @@ impl<T: Ord + Clone> KllSketch<T> {
         // An odd-length buffer leaves its unpaired maximum behind so the
         // represented weight stays exactly n.
         let leftover = if buf.len() % 2 == 1 { buf.pop() } else { None };
-        let keep_odd = self.rng.gen::<bool>();
+        let keep_odd = self.rng.gen_bool();
         let start = usize::from(keep_odd);
         let promoted: Vec<T> = buf.into_iter().skip(start).step_by(2).collect();
         self.compactors[h + 1].extend(promoted);
@@ -229,9 +228,7 @@ impl<T: Ord + Clone> ComparisonSummary<T> for KllSketch<T> {
         // the sketch state, which is what the indistinguishability
         // checks need, and the honest space figure (the extremes do
         // occupy cells).
-        self.total_items()
-            + usize::from(self.min.is_some())
-            + usize::from(self.max.is_some())
+        self.total_items() + usize::from(self.min.is_some()) + usize::from(self.max.is_some())
     }
 
     fn items_processed(&self) -> u64 {
@@ -287,11 +284,7 @@ mod tests {
 
     fn shuffled(n: u64, seed: u64) -> Vec<u64> {
         let mut v: Vec<u64> = (1..=n).collect();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        for i in (1..v.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            v.swap(i, j);
-        }
+        SplitMix64::new(seed).shuffle(&mut v);
         v
     }
 

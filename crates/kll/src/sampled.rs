@@ -12,9 +12,7 @@
 //! O((1/ε)·log log(1/δ)) bound of Karnin–Lang–Liberty that Theorems
 //! 6.3/6.4 of the lower-bound paper engage with.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use cqs_core::rng::SplitMix64;
 use cqs_core::{ComparisonSummary, RankEstimator};
 
 /// Minimum capacity a stack level may have before it is sampled away.
@@ -36,7 +34,7 @@ pub struct SampledKll<T> {
     /// Current uniform candidate of the block.
     candidate: Option<T>,
     n: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
     min: Option<T>,
     max: Option<T>,
 }
@@ -57,7 +55,7 @@ impl<T: Ord + Clone> SampledKll<T> {
             block_count: 0,
             candidate: None,
             n: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             min: None,
             max: None,
         }
@@ -88,7 +86,7 @@ impl<T: Ord + Clone> SampledKll<T> {
         let mut buf = std::mem::take(&mut self.stack[h]);
         buf.sort_unstable();
         let leftover = if buf.len() % 2 == 1 { buf.pop() } else { None };
-        let start = usize::from(self.rng.gen::<bool>());
+        let start = usize::from(self.rng.gen_bool());
         let promoted: Vec<T> = buf.into_iter().skip(start).step_by(2).collect();
         self.stack[h + 1].extend(promoted);
         if let Some(x) = leftover {
@@ -123,11 +121,11 @@ impl<T: Ord + Clone> SampledKll<T> {
             self.s += 1;
             if let Some(x) = leftover {
                 // Unbiased: the leftover stands for half the new block.
-                if self.candidate.is_none() || self.rng.gen::<bool>() {
+                if self.candidate.is_none() || self.rng.gen_bool() {
                     self.candidate = Some(x);
                 }
-                self.block_count = (self.block_count + self.sampler_weight() / 2)
-                    .min(self.sampler_weight() - 1);
+                self.block_count =
+                    (self.block_count + self.sampler_weight() / 2).min(self.sampler_weight() - 1);
             }
         }
     }
@@ -162,10 +160,13 @@ impl<T: Ord + Clone> ComparisonSummary<T> for SampledKll<T> {
         } else {
             // Reservoir-of-one within the current block.
             self.block_count += 1;
-            if self.rng.gen_range(0..self.block_count) == 0 {
+            if self.rng.below(self.block_count) == 0 {
                 self.candidate = Some(item);
             }
             if self.block_count == self.sampler_weight() {
+                // The first item of every block sets `candidate`
+                // (below(1) == 0 always), so a full block implies Some.
+                // cqs-lint: allow(hot-path-panic)
                 let c = self.candidate.take().expect("non-empty block");
                 self.stack[0].push(c);
                 self.block_count = 0;
@@ -228,7 +229,11 @@ impl<T: Ord + Clone> RankEstimator<T> for SampledKll<T> {
     fn estimate_rank(&self, q: &T) -> u64 {
         let weighted = self.weighted_items();
         let total: u64 = weighted.iter().map(|(_, w)| w).sum();
-        let cum: u64 = weighted.iter().filter(|(x, _)| x <= q).map(|(_, w)| w).sum();
+        let cum: u64 = weighted
+            .iter()
+            .filter(|(x, _)| x <= q)
+            .map(|(_, w)| w)
+            .sum();
         (cum as u128 * self.n as u128 / total.max(1) as u128) as u64
     }
 }
@@ -239,11 +244,7 @@ mod tests {
 
     fn shuffled(n: u64, seed: u64) -> Vec<u64> {
         let mut v: Vec<u64> = (1..=n).collect();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        for i in (1..v.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            v.swap(i, j);
-        }
+        SplitMix64::new(seed).shuffle(&mut v);
         v
     }
 

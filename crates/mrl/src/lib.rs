@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-mrl — the Manku–Rajagopalan–Lindsay quantile summary
@@ -138,7 +139,10 @@ impl<T: Ord + Clone> MrlSummary<T> {
 
         // Merge two sorted runs.
         let mut merged = Vec::with_capacity(a.items.len() + b.items.len());
-        let (mut ia, mut ib) = (a.items.into_iter().peekable(), b.items.into_iter().peekable());
+        let (mut ia, mut ib) = (
+            a.items.into_iter().peekable(),
+            b.items.into_iter().peekable(),
+        );
         loop {
             match (ia.peek(), ib.peek()) {
                 (Some(x), Some(y)) => {
@@ -154,7 +158,10 @@ impl<T: Ord + Clone> MrlSummary<T> {
             }
         }
         let items: Vec<T> = merged.into_iter().skip(offset).step_by(2).collect();
-        Buffer { level: a.level + 1, items }
+        Buffer {
+            level: a.level + 1,
+            items,
+        }
     }
 
     /// Sorted (item, weight) view of everything held.
@@ -268,7 +275,7 @@ impl<T: Ord + Clone> RankEstimator<T> for MrlSummary<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -316,7 +323,9 @@ mod tests {
         let mut v: Vec<u64> = (1..=n).collect();
         let mut s = seed | 1;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -392,7 +401,10 @@ mod tests {
         // right ballpark (within small constants) and clear sublinearity.
         let shape = (1.0 / eps) * (eps * n as f64).log2().powi(2);
         assert!((peak as f64) < 2.0 * shape, "peak {peak} vs shape {shape}");
-        assert!(peak > (shape * 0.05) as usize, "peak {peak} suspiciously small");
+        assert!(
+            peak > (shape * 0.05) as usize,
+            "peak {peak} suspiciously small"
+        );
     }
 
     #[test]

@@ -14,7 +14,13 @@ pub(crate) type Link<T> = Option<Box<Node<T>>>;
 
 impl<T> Node<T> {
     fn new(item: T, pri: u64) -> Box<Self> {
-        Box::new(Node { item, pri, size: 1, left: None, right: None })
+        Box::new(Node {
+            item,
+            pri,
+            size: 1,
+            left: None,
+            right: None,
+        })
     }
 
     fn update(&mut self) {
@@ -51,7 +57,10 @@ impl<T: Ord> OsTree<T> {
 
     /// An empty tree whose priority sequence starts from `seed`.
     pub fn with_seed(seed: u64) -> Self {
-        OsTree { root: None, rng: seed | 1 }
+        OsTree {
+            root: None,
+            rng: seed | 1,
+        }
     }
 
     fn next_pri(&mut self) -> u64 {
@@ -362,7 +371,7 @@ impl<T> Drop for OsTree<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-qdigest — the q-digest summary over a bounded integer universe
@@ -30,7 +31,7 @@
 //! assert!((24_000..=26_500).contains(&med));
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A q-digest over the universe [0, 2^log_universe).
 #[derive(Clone, Debug)]
@@ -38,7 +39,7 @@ use std::collections::HashMap;
 pub struct QDigest {
     /// Dyadic-node counts; node ids follow the heap convention
     /// (root = 1, children 2v and 2v+1, leaves at depth L).
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
     log_universe: u32,
     /// Compression factor k: nodes are merged while
     /// `count(v) + count(sibling) + count(parent) < ⌊n/k⌋`.
@@ -54,10 +55,18 @@ impl QDigest {
     ///
     /// Panics if `log_universe` is outside [1, 40] or ε out of (0, 0.5).
     pub fn new(log_universe: u32, eps: f64) -> Self {
-        assert!((1..=40).contains(&log_universe), "log_universe out of range");
+        assert!(
+            (1..=40).contains(&log_universe),
+            "log_universe out of range"
+        );
         assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 0.5)");
         let k = ((log_universe as f64) / eps).ceil() as u64;
-        QDigest { counts: HashMap::new(), log_universe, k: k.max(1), n: 0 }
+        QDigest {
+            counts: BTreeMap::new(),
+            log_universe,
+            k: k.max(1),
+            n: 0,
+        }
     }
 
     /// The universe size 2^L.
@@ -123,7 +132,9 @@ impl QDigest {
         let mut ids: Vec<u64> = self.counts.keys().copied().filter(|&v| v > 1).collect();
         ids.sort_unstable_by_key(|&v| std::cmp::Reverse(v.ilog2()));
         for id in ids {
-            let Some(&c) = self.counts.get(&id) else { continue };
+            let Some(&c) = self.counts.get(&id) else {
+                continue;
+            };
             let sibling = id ^ 1;
             let parent = id >> 1;
             let cs = self.counts.get(&sibling).copied().unwrap_or(0);
@@ -200,7 +211,7 @@ impl QDigest {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -261,7 +272,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).map(|i| (i * 48271 + seed) % modulo).collect();
         let mut s = seed | 1;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }

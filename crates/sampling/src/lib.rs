@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-sampling — reservoir-sampling quantile summary
@@ -28,9 +29,7 @@
 //! assert!((40_000..=60_000).contains(&med));
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use cqs_core::rng::SplitMix64;
 use cqs_core::{ComparisonSummary, RankEstimator};
 
 /// A reservoir-sampling summary with (ε, δ) guarantee.
@@ -39,7 +38,7 @@ pub struct ReservoirSummary<T> {
     reservoir: Vec<T>,
     capacity: usize,
     n: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
     min: Option<T>,
     max: Option<T>,
     eps: f64,
@@ -67,7 +66,7 @@ impl<T: Ord + Clone> ReservoirSummary<T> {
             reservoir: Vec::with_capacity(capacity),
             capacity,
             n: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             min: None,
             max: None,
             eps,
@@ -104,7 +103,7 @@ impl<T: Ord + Clone> ComparisonSummary<T> for ReservoirSummary<T> {
             self.reservoir.push(item);
         } else {
             // Algorithm R: replace a uniform slot with probability m/n.
-            let j = self.rng.gen_range(0..self.n);
+            let j = self.rng.below(self.n);
             if (j as usize) < self.capacity {
                 self.reservoir[j as usize] = item;
             }
@@ -166,11 +165,7 @@ mod tests {
 
     fn shuffled(n: u64, seed: u64) -> Vec<u64> {
         let mut v: Vec<u64> = (1..=n).collect();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        for i in (1..v.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            v.swap(i, j);
-        }
+        SplitMix64::new(seed).shuffle(&mut v);
         v
     }
 

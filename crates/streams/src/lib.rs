@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-streams — deterministic workload generators and report helpers
@@ -73,7 +74,9 @@ mod tests {
     }
 
     fn workload_by_name(name: &str, n: u64, seed: u64) -> Option<Vec<u64>> {
-        name.parse::<Workload>().ok().and_then(|w| workload(w, n, seed))
+        name.parse::<Workload>()
+            .ok()
+            .and_then(|w| workload(w, n, seed))
     }
 
     #[test]

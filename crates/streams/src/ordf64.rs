@@ -67,7 +67,12 @@ mod tests {
 
     #[test]
     fn ordering_matches_float_order() {
-        let mut v = vec![OrdF64::new(3.5), OrdF64::new(-1.0), OrdF64::new(0.0), OrdF64::new(2.25)];
+        let mut v = vec![
+            OrdF64::new(3.5),
+            OrdF64::new(-1.0),
+            OrdF64::new(0.0),
+            OrdF64::new(2.25),
+        ];
         v.sort();
         let raw: Vec<f64> = v.into_iter().map(f64::from).collect();
         assert_eq!(raw, vec![-1.0, 0.0, 2.25, 3.5]);

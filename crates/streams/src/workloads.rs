@@ -2,8 +2,7 @@
 
 use std::str::FromStr;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cqs_core::rng::SplitMix64;
 
 /// The workload families used across the benchmark harness.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -62,7 +61,14 @@ const ALL: [Workload; 6] = [
 
 /// Names of all workloads, in canonical order.
 pub fn workload_names() -> &'static [&'static str] {
-    &["sorted", "reverse", "shuffled", "zipf", "clustered", "sawtooth"]
+    &[
+        "sorted",
+        "reverse",
+        "shuffled",
+        "zipf",
+        "clustered",
+        "sawtooth",
+    ]
 }
 
 /// Generates `n` items of the given workload with a fixed seed.
@@ -71,16 +77,13 @@ pub fn workload(which: Workload, n: u64, seed: u64) -> Option<Vec<u64>> {
     if n == 0 {
         return None;
     }
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc0ffee);
+    let mut rng = SplitMix64::new(seed ^ 0xc0ffee);
     let out = match which {
         Workload::Sorted => (1..=n).collect(),
         Workload::Reverse => (1..=n).rev().collect(),
         Workload::Shuffled => {
             let mut v: Vec<u64> = (1..=n).collect();
-            for i in (1..v.len()).rev() {
-                let j = rng.gen_range(0..=i);
-                v.swap(i, j);
-            }
+            rng.shuffle(&mut v);
             v
         }
         Workload::Zipf => {
@@ -90,7 +93,7 @@ pub fn workload(which: Workload, n: u64, seed: u64) -> Option<Vec<u64>> {
             let h: f64 = (1..=domain).map(|i| 1.0 / i as f64).sum();
             (0..n)
                 .map(|_| {
-                    let u = rng.gen::<f64>() * h;
+                    let u = rng.next_f64() * h;
                     let mut acc = 0.0;
                     let mut k = 1u64;
                     while k < domain {
@@ -106,18 +109,12 @@ pub fn workload(which: Workload, n: u64, seed: u64) -> Option<Vec<u64>> {
         }
         Workload::Clustered => (0..n)
             .map(|_| {
-                let s: u64 = (0..4).map(|_| rng.gen_range(0..n / 4 + 1)).sum();
+                let s: u64 = (0..4).map(|_| rng.below(n / 4 + 1)).sum();
                 s + 1
             })
             .collect(),
         Workload::Sawtooth => (0..n)
-            .map(|i| {
-                if i % 2 == 0 {
-                    i / 2 + 1
-                } else {
-                    n - i / 2
-                }
-            })
+            .map(|i| if i % 2 == 0 { i / 2 + 1 } else { n - i / 2 })
             .collect(),
     };
     Some(out)

@@ -84,7 +84,10 @@ pub struct Interval {
 impl Interval {
     /// The whole universe `(−∞, +∞)`.
     pub fn whole() -> Self {
-        Interval { lo: Endpoint::NegInf, hi: Endpoint::PosInf }
+        Interval {
+            lo: Endpoint::NegInf,
+            hi: Endpoint::PosInf,
+        }
     }
 
     /// An open interval between two concrete items.
@@ -94,7 +97,10 @@ impl Interval {
     /// Panics unless `lo < hi`.
     pub fn open(lo: Item, hi: Item) -> Self {
         assert!(lo < hi, "interval requires lo < hi");
-        Interval { lo: Endpoint::Finite(lo), hi: Endpoint::Finite(hi) }
+        Interval {
+            lo: Endpoint::Finite(lo),
+            hi: Endpoint::Finite(hi),
+        }
     }
 
     /// An open interval between two endpoints.
@@ -111,7 +117,10 @@ impl Interval {
     /// Everything above `lo` — used by the biased-quantiles phase
     /// construction, which always appends items larger than all before.
     pub fn above(lo: Item) -> Self {
-        Interval { lo: Endpoint::Finite(lo), hi: Endpoint::PosInf }
+        Interval {
+            lo: Endpoint::Finite(lo),
+            hi: Endpoint::PosInf,
+        }
     }
 
     /// The low endpoint.

@@ -127,18 +127,17 @@ fn digit(a: &[u8], i: usize) -> u8 {
     a.get(i).copied().unwrap_or(0)
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
 
     /// Arbitrary valid label: non-empty, no trailing zero.
     fn label_strategy() -> impl Strategy<Value = Vec<u8>> {
-        (proptest::collection::vec(any::<u8>(), 0..6), 1u8..=255)
-            .prop_map(|(mut v, last)| {
-                v.push(last);
-                v
-            })
+        (proptest::collection::vec(any::<u8>(), 0..6), 1u8..=255).prop_map(|(mut v, last)| {
+            v.push(last);
+            v
+        })
     }
 
     proptest! {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cqs-window — sliding-window quantiles over chunked GK summaries
@@ -66,7 +67,10 @@ impl<T: Ord + Clone> SlidingWindowGk<T> {
     pub fn new(eps: f64, window: u64, buckets: u64) -> Self {
         assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 0.5)");
         assert!(buckets >= 2, "need at least two chunks");
-        assert!(window >= buckets, "window must cover at least one item per chunk");
+        assert!(
+            window >= buckets,
+            "window must cover at least one item per chunk"
+        );
         SlidingWindowGk {
             chunks: Vec::new(),
             current: GkSummary::new(eps),
@@ -84,7 +88,10 @@ impl<T: Ord + Clone> SlidingWindowGk<T> {
         self.n += 1;
         if self.n - self.current_start == self.chunk_len {
             let sealed = std::mem::replace(&mut self.current, GkSummary::new(self.eps));
-            self.chunks.push(Chunk { end: self.n, summary: sealed });
+            self.chunks.push(Chunk {
+                end: self.n,
+                summary: sealed,
+            });
             self.current_start = self.n;
             self.evict();
         }
@@ -109,7 +116,10 @@ impl<T: Ord + Clone> SlidingWindowGk<T> {
 
     /// Items currently stored across all chunk summaries.
     pub fn stored_count(&self) -> usize {
-        self.chunks.iter().map(|c| c.summary.stored_count()).sum::<usize>()
+        self.chunks
+            .iter()
+            .map(|c| c.summary.stored_count())
+            .sum::<usize>()
             + self.current.stored_count()
     }
 
@@ -241,7 +251,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # cqs-xtask — the model-conformance lint engine
+//!
+//! The lower bound of Cormode & Veselý holds only for summaries that are
+//! *comparison-based* (Definition 2.1) and *deterministic*: Gupta,
+//! Singhal & Wu (2024) show that leaving the comparison model breaks the
+//! Ω((1/ε)·log εN) bound, and KLL evades it via randomness — which this
+//! workspace deliberately freezes behind fixed seeds. The Rust type
+//! system guards part of that boundary (summaries are generic over
+//! `T: Ord` and instantiated with the opaque `cqs_universe::Item`),
+//! but nothing in `cargo test` stops a future refactor from casting
+//! items to bits, pulling in a randomly seeded `HashMap`, or branching
+//! on wall-clock time.
+//!
+//! This crate is that missing enforcement layer: a std-only static
+//! analysis engine that walks every `.rs` file in the workspace and
+//! checks three rule families (see [`lint::rules`]):
+//!
+//! * **comparison-model** — summary crates must treat items opaquely;
+//! * **determinism** — library behaviour must be a pure function of
+//!   comparison outcomes (Lemma 3.4's indistinguishability argument);
+//! * **robustness** — `#![forbid(unsafe_code)]`, no panics on summary
+//!   hot paths, no raw float equality.
+//!
+//! Run it as `cargo run -p cqs-xtask -- lint`; it is also embedded in
+//! tier-1 via the root package's `tests/conformance.rs`. Suppress a
+//! finding with a documented `// cqs-lint: allow(<rule>)` comment on (or
+//! directly above) the offending line, or `// cqs-lint: allow-file(<rule>)`
+//! anywhere in the file. DESIGN.md's "Model enforcement" section maps
+//! every rule to the paper condition it guards.
+
+pub mod lint;
+
+pub use lint::{run_workspace, LintReport, Severity};

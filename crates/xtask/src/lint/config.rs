@@ -1,0 +1,97 @@
+//! Workspace layout: which crate plays which role in the model.
+//!
+//! The rules are role-sensitive: the adversary harness may read the
+//! wall clock, the universe crate may construct labels, but a summary
+//! crate may do neither. Unknown crates default to [`Role::Summary`],
+//! the strictest role, so a newly added crate is guarded until someone
+//! consciously classifies it here.
+
+/// What part of the paper's cast a crate implements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// `cqs-universe`: the only crate allowed to mint `Item`s / labels.
+    Universe,
+    /// `cqs-core` and the root package: traits, adversary, shared infra.
+    /// Deterministic, but not itself a summary under test.
+    Core,
+    /// A quantile summary implementation — the algorithms the lower
+    /// bound constrains. Full comparison-model + determinism rules.
+    Summary,
+    /// Supporting data structures (streams, order machinery). Must be
+    /// deterministic but handles concrete key types by design.
+    Substrate,
+    /// Benchmarks and CLI drivers: exempt from determinism/wall-clock
+    /// rules (they time things and print), still unsafe-free.
+    Harness,
+    /// This lint engine itself.
+    Tooling,
+}
+
+impl Role {
+    /// Whether the comparison-model rules (item opacity) apply.
+    pub fn comparison_rules(self) -> bool {
+        matches!(self, Role::Summary)
+    }
+
+    /// Whether the determinism rules apply.
+    pub fn determinism_rules(self) -> bool {
+        !matches!(self, Role::Harness)
+    }
+
+    /// Whether the wall-clock rule applies (harnesses time things).
+    pub fn wall_clock_rule(self) -> bool {
+        !matches!(self, Role::Harness)
+    }
+
+    /// Whether `Item`/label construction is permitted.
+    pub fn may_mint_items(self) -> bool {
+        matches!(self, Role::Universe)
+    }
+}
+
+/// Classifies a crate directory name (or the root package) into a role.
+pub fn role_of(crate_name: &str) -> Role {
+    match crate_name {
+        "universe" => Role::Universe,
+        "core" | "." => Role::Core,
+        "gk" | "mrl" | "ckms" | "kll" | "sampling" | "qdigest" | "ostree" | "window" => {
+            Role::Summary
+        }
+        "streams" => Role::Substrate,
+        "bench" | "cli" => Role::Harness,
+        "xtask" => Role::Tooling,
+        // Strictest by default: new crates opt *out* of summary rules by
+        // being added here, not by silence.
+        _ => Role::Summary,
+    }
+}
+
+/// Function names that form the query/update hot path of a summary —
+/// the paths where a panic would mean the data structure can fail on
+/// adversarial input rather than degrade.
+pub const HOT_PATH_FNS: &[&str] = &["insert", "query_rank", "quantile", "estimate_rank", "merge"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_roles() {
+        assert_eq!(role_of("universe"), Role::Universe);
+        assert_eq!(role_of("gk"), Role::Summary);
+        assert_eq!(role_of("bench"), Role::Harness);
+        assert_eq!(role_of("."), Role::Core);
+    }
+
+    #[test]
+    fn unknown_crates_default_to_summary() {
+        assert_eq!(role_of("brand-new-sketch"), Role::Summary);
+    }
+
+    #[test]
+    fn harness_is_exempt_from_determinism() {
+        assert!(!role_of("bench").determinism_rules());
+        assert!(role_of("gk").determinism_rules());
+        assert!(role_of("streams").determinism_rules());
+    }
+}

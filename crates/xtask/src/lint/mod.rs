@@ -1,0 +1,267 @@
+//! The lint engine: walk, scan, check, report.
+//!
+//! [`run_workspace`] walks every `.rs` file under the workspace root
+//! (skipping `target/`, hidden directories, and test fixtures), scans
+//! each with [`scanner`], classifies its crate with [`config`], and runs
+//! the [`rules`] registry over it. [`lint_source`] is the in-memory
+//! entry point the fixture tests use.
+
+pub mod config;
+pub mod rules;
+pub mod scanner;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::role_of;
+use rules::{check_file, RuleCtx};
+
+/// How bad a finding is. Errors fail the gate; warnings are printed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Reported, does not affect the exit code.
+    Warning,
+    /// Fails `cargo run -p cqs-xtask -- lint` and the tier-1 gate.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding at a specific source location.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Id of the rule that fired.
+    pub rule: &'static str,
+    /// Severity of the rule.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}:{}: {}",
+            self.severity, self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// The outcome of a workspace (or single-source) lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// True when no error-severity finding is present.
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Renders the report the way the CLI prints it.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            s.push_str(&d.to_string());
+            s.push('\n');
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        s.push_str(&format!(
+            "cqs-lint: {} files scanned, {errors} errors, {warnings} warnings\n",
+            self.files_scanned
+        ));
+        s
+    }
+}
+
+/// Lints a single source string as if it were `<crate>/<path>`; the
+/// fixture tests drive rules through this without touching the disk.
+pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let role = role_of(crate_name);
+    let scanned = scanner::scan(src);
+    let ctx = RuleCtx {
+        path: rel_path,
+        role,
+        file: &scanned,
+        test_file: is_test_path(rel_path),
+        is_lib_root: rel_path.ends_with("src/lib.rs") || rel_path == "lib.rs",
+    };
+    let mut out = Vec::new();
+    check_file(&ctx, &mut out);
+    sort(&mut out);
+    out
+}
+
+/// Walks the workspace at `root` and lints every `.rs` file.
+pub fn run_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some((crate_name, in_crate)) = classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        let scanned = scanner::scan(&src);
+        let ctx = RuleCtx {
+            path: &rel,
+            role: role_of(crate_name),
+            file: &scanned,
+            test_file: is_test_path(in_crate),
+            is_lib_root: in_crate == "src/lib.rs",
+        };
+        check_file(&ctx, &mut report.diagnostics);
+    }
+    sort(&mut report.diagnostics);
+    Ok(report)
+}
+
+fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Splits a workspace-relative path into (crate name, crate-relative
+/// path). Root-package sources map to crate `"."`. Returns `None` for
+/// files outside any package.
+fn classify(rel: &str) -> Option<(&str, &str)> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (name, in_crate) = rest.split_once('/')?;
+        return Some((name, in_crate));
+    }
+    if rel.starts_with("src/") || rel.starts_with("tests/") || rel.starts_with("benches/") {
+        return Some((".", rel));
+    }
+    None
+}
+
+/// Files under tests/, benches/, or examples/ of their crate: test-only
+/// code, exempt from the library rules (the engine still parses them so
+/// `transmute` and friends are caught if they ever apply).
+fn is_test_path(in_crate: &str) -> bool {
+    in_crate.starts_with("tests/")
+        || in_crate.starts_with("benches/")
+        || in_crate.starts_with("examples/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures/` holds deliberately violating sources for the
+            // rule tests; they must not fail the workspace run.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/gk/src/lib.rs"), Some(("gk", "src/lib.rs")));
+        assert_eq!(classify("src/lib.rs"), Some((".", "src/lib.rs")));
+        assert_eq!(
+            classify("tests/conformance.rs"),
+            Some((".", "tests/conformance.rs"))
+        );
+        assert_eq!(classify("ci.rs"), None);
+    }
+
+    #[test]
+    fn lint_source_flags_and_suppresses() {
+        let bad =
+            "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nuse std::collections::HashMap;\n";
+        let diags = lint_source("gk", "src/lib.rs", bad);
+        assert!(diags.iter().any(|d| d.rule == "hash-default"), "{diags:?}");
+
+        let ok = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nuse std::collections::HashMap; // cqs-lint: allow(hash-default)\n";
+        let diags = lint_source("gk", "src/lib.rs", ok);
+        assert!(!diags.iter().any(|d| d.rule == "hash-default"), "{diags:?}");
+    }
+
+    #[test]
+    fn harness_crates_may_time_and_hash() {
+        let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nuse std::time::Instant;\nuse std::collections::HashMap;\n";
+        let diags = lint_source("bench", "src/lib.rs", src);
+        assert!(diags
+            .iter()
+            .all(|d| d.rule != "wall-clock" && d.rule != "hash-default"));
+        let diags = lint_source("gk", "src/lib.rs", src);
+        assert!(diags.iter().any(|d| d.rule == "wall-clock"));
+    }
+
+    #[test]
+    fn report_counts_and_exit_semantics() {
+        let mut report = LintReport::default();
+        assert!(report.is_clean());
+        report.diagnostics.push(Diagnostic {
+            file: "x.rs".into(),
+            line: 1,
+            rule: "missing-docs-attr",
+            severity: Severity::Warning,
+            message: "m".into(),
+        });
+        assert!(report.is_clean(), "warnings do not fail the gate");
+        report.diagnostics.push(Diagnostic {
+            file: "x.rs".into(),
+            line: 2,
+            rule: "transmute",
+            severity: Severity::Error,
+            message: "m".into(),
+        });
+        assert!(!report.is_clean());
+        assert!(report.render().contains("1 errors, 1 warnings"));
+    }
+}

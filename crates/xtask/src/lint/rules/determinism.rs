@@ -1,0 +1,110 @@
+//! Determinism rules (Lemma 3.4 / Section 6.3).
+//!
+//! The adversary's indistinguishability argument requires that the
+//! summary's state be a pure function of the comparison outcomes it has
+//! observed. Per-process hash seeding, ambient randomness, and
+//! wall-clock reads all smuggle in hidden inputs: two runs on the same
+//! ordering pattern could diverge, and the Lemma 3.4 bookkeeping (which
+//! replays decisions) would silently desynchronise. Randomised
+//! algorithms (KLL, reservoir sampling) are supported — but only via
+//! explicitly seeded in-tree PRNGs (`cqs_core::SplitMix64`), which is
+//! exactly the Section 6.3 derandomisation discipline.
+
+use super::super::config::Role;
+use super::super::scanner::contains_word;
+use super::{Rule, RuleCtx};
+use crate::lint::{Diagnostic, Severity};
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const RNG_SOURCES: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+];
+const CLOCKS: &[&str] = &["Instant", "SystemTime"];
+
+static HASH_DEFAULT: Rule = Rule {
+    id: "hash-default",
+    severity: Severity::Error,
+    rationale: "std HashMap/HashSet seed their hasher per process, so iteration order is \
+                nondeterministic; use BTreeMap/BTreeSet (also the comparison-model-native \
+                choice)",
+    applies: Role::determinism_rules,
+    check: check_hash_default,
+};
+
+static AMBIENT_RNG: Rule = Rule {
+    id: "ambient-rng",
+    severity: Severity::Error,
+    rationale: "ambient entropy (thread_rng/OsRng/...) makes runs irreproducible; randomised \
+                summaries must take an explicit seed (Section 6.3 derandomisation). Applies \
+                to harness crates too: EXPERIMENTS.md numbers must be regenerable",
+    applies: |_| true,
+    check: check_ambient_rng,
+};
+
+static WALL_CLOCK: Rule = Rule {
+    id: "wall-clock",
+    severity: Severity::Error,
+    rationale: "Instant/SystemTime reads are hidden inputs; library behaviour must depend \
+                only on the stream's ordering pattern",
+    applies: Role::wall_clock_rule,
+    check: check_wall_clock,
+};
+
+/// The determinism rule set.
+pub fn rules() -> Vec<&'static Rule> {
+    vec![&HASH_DEFAULT, &AMBIENT_RNG, &WALL_CLOCK]
+}
+
+fn check_words(
+    ctx: &RuleCtx<'_>,
+    rule: &'static Rule,
+    words: &[&str],
+    msg: fn(&str) -> String,
+    out: &mut Vec<Diagnostic>,
+) {
+    for line in &ctx.file.lines {
+        if line.in_test || ctx.test_file || ctx.file.suppressed(line, rule.id) {
+            continue;
+        }
+        for w in words {
+            if contains_word(&line.code, w) {
+                ctx.emit(out, rule, line.number, msg(w));
+                break;
+            }
+        }
+    }
+}
+
+fn check_hash_default(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    check_words(
+        ctx,
+        &HASH_DEFAULT,
+        HASH_TYPES,
+        |w| format!("`{w}` has a per-process random hasher; use the BTree equivalent"),
+        out,
+    );
+}
+
+fn check_ambient_rng(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    check_words(
+        ctx,
+        &AMBIENT_RNG,
+        RNG_SOURCES,
+        |w| format!("`{w}` draws ambient entropy; thread a seeded cqs_core::SplitMix64 instead"),
+        out,
+    );
+}
+
+fn check_wall_clock(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    check_words(
+        ctx,
+        &WALL_CLOCK,
+        CLOCKS,
+        |w| format!("`{w}` reads the wall clock; only harness crates may time things"),
+        out,
+    );
+}

@@ -1,0 +1,94 @@
+//! The three rule families.
+//!
+//! Every rule has a kebab-case id (used in diagnostics and in
+//! `// cqs-lint: allow(<id>)` suppressions), a severity, and a one-line
+//! rationale tied to the paper. `all_rules()` is the registry the CLI's
+//! `rules` subcommand prints and the engine iterates.
+
+pub mod comparison;
+pub mod determinism;
+pub mod robustness;
+
+use super::config::Role;
+use super::scanner::ScannedFile;
+use super::{Diagnostic, Severity};
+
+/// A single lint rule.
+pub struct Rule {
+    /// Stable kebab-case identifier, e.g. `hash-default`.
+    pub id: &'static str,
+    /// Diagnostic severity: errors fail the gate, warnings are reported.
+    pub severity: Severity,
+    /// One-line description shown by `cargo run -p cqs-xtask -- rules`.
+    pub rationale: &'static str,
+    /// Whether the rule applies to a crate with this role at all.
+    pub applies: fn(Role) -> bool,
+    /// The check itself: emit diagnostics for one scanned file.
+    pub check: fn(&RuleCtx<'_>, &mut Vec<Diagnostic>),
+}
+
+/// Everything a rule sees about one file.
+pub struct RuleCtx<'a> {
+    /// Path as reported in diagnostics (workspace-relative).
+    pub path: &'a str,
+    /// Role of the owning crate.
+    pub role: Role,
+    /// The scanned file.
+    pub file: &'a ScannedFile,
+    /// True for files under `tests/`, `benches/`, or `examples/` of a
+    /// crate — test-only code, exempt from library rules.
+    pub test_file: bool,
+    /// True for `src/lib.rs` (file-level attribute rules anchor here).
+    pub is_lib_root: bool,
+}
+
+impl RuleCtx<'_> {
+    /// Helper: push a diagnostic unless suppressed.
+    pub fn emit(&self, out: &mut Vec<Diagnostic>, rule: &Rule, line: usize, message: String) {
+        out.push(Diagnostic {
+            file: self.path.to_string(),
+            line,
+            rule: rule.id,
+            severity: rule.severity,
+            message,
+        });
+    }
+}
+
+/// The full registry, in reporting order.
+pub fn all_rules() -> Vec<&'static Rule> {
+    let mut v: Vec<&'static Rule> = Vec::new();
+    v.extend(comparison::rules());
+    v.extend(determinism::rules());
+    v.extend(robustness::rules());
+    v
+}
+
+/// Runs every applicable rule over one file.
+pub fn check_file(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for rule in all_rules() {
+        if (rule.applies)(ctx.role) {
+            (rule.check)(ctx, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_kebab_case() {
+        let rules = all_rules();
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &rules {
+            assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
+            assert!(
+                r.id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "rule id {} is not kebab-case",
+                r.id
+            );
+        }
+        assert!(rules.len() >= 10, "expected the full registry");
+    }
+}

@@ -1,0 +1,243 @@
+//! Robustness rules.
+//!
+//! The adversary exists to feed summaries their worst case; a summary
+//! that panics mid-attack has not "used little space", it has failed.
+//! These rules require memory safety to be declared at the crate root,
+//! keep panicking constructs off the summary hot paths, and forbid raw
+//! float equality (`OrdF64` in cqs-streams exists precisely so ordering
+//! and equality agree via `total_cmp`).
+
+use super::super::config::{Role, HOT_PATH_FNS};
+use super::super::scanner::contains_word;
+use super::{Rule, RuleCtx};
+use crate::lint::{Diagnostic, Severity};
+
+const PANIC_WORDS: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+static FORBID_UNSAFE: Rule = Rule {
+    id: "forbid-unsafe",
+    severity: Severity::Error,
+    rationale: "every library crate must declare #![forbid(unsafe_code)] so the no-unsafe \
+                guarantee is local and survives workspace-config drift",
+    applies: |_| true,
+    check: check_forbid_unsafe,
+};
+
+static MISSING_DOCS_ATTR: Rule = Rule {
+    id: "missing-docs-attr",
+    severity: Severity::Warning,
+    rationale: "library crates should carry #![warn(missing_docs)]; the paper-facing API is \
+                the documentation of record",
+    applies: |_| true,
+    check: check_missing_docs_attr,
+};
+
+static HOT_PATH_PANIC: Rule = Rule {
+    id: "hot-path-panic",
+    severity: Severity::Error,
+    rationale: "insert/query paths must not panic under adversarial input; return a value or \
+                restructure (documented allowlist via cqs-lint: allow)",
+    applies: Role::comparison_rules,
+    check: check_hot_path_panic,
+};
+
+static FLOAT_EQ: Rule = Rule {
+    id: "float-eq",
+    severity: Severity::Error,
+    rationale: "==/!= against float literals or NaN/INFINITY is order-unstable; use OrdF64 \
+                (total_cmp) or an epsilon comparison",
+    applies: |_| true,
+    check: check_float_eq,
+};
+
+/// The robustness rule set.
+pub fn rules() -> Vec<&'static Rule> {
+    vec![
+        &FORBID_UNSAFE,
+        &MISSING_DOCS_ATTR,
+        &HOT_PATH_PANIC,
+        &FLOAT_EQ,
+    ]
+}
+
+fn check_forbid_unsafe(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_lib_root || ctx.file.file_allows.contains(FORBID_UNSAFE.id) {
+        return;
+    }
+    let found = ctx
+        .file
+        .lines
+        .iter()
+        .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    if !found {
+        ctx.emit(
+            out,
+            &FORBID_UNSAFE,
+            1,
+            "crate root lacks #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+}
+
+fn check_missing_docs_attr(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_lib_root || ctx.file.file_allows.contains(MISSING_DOCS_ATTR.id) {
+        return;
+    }
+    let found = ctx.file.lines.iter().any(|l| {
+        l.code.contains("#![warn(missing_docs)]") || l.code.contains("#![deny(missing_docs)]")
+    });
+    if !found {
+        ctx.emit(
+            out,
+            &MISSING_DOCS_ATTR,
+            1,
+            "crate root lacks #![warn(missing_docs)]".to_string(),
+        );
+    }
+}
+
+fn check_hot_path_panic(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for line in &ctx.file.lines {
+        if line.in_test || ctx.test_file || ctx.file.suppressed(line, HOT_PATH_PANIC.id) {
+            continue;
+        }
+        let on_hot_path = line.fns.iter().any(|f| HOT_PATH_FNS.contains(&f.as_str()));
+        if !on_hot_path {
+            continue;
+        }
+        // debug_assert*/assert* are fine (the former vanishes in release,
+        // the latter states invariants); word-boundary matching already
+        // keeps `unwrap_or*` and `#[should_panic]` out.
+        for w in PANIC_WORDS {
+            if contains_word(&line.code, w) {
+                ctx.emit(
+                    out,
+                    &HOT_PATH_PANIC,
+                    line.number,
+                    format!(
+                        "`{w}` inside `{}` — summary hot paths must not panic on adversarial \
+                         input",
+                        line.fns.last().map(String::as_str).unwrap_or("?")
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn check_float_eq(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for line in &ctx.file.lines {
+        if line.in_test || ctx.test_file || ctx.file.suppressed(line, FLOAT_EQ.id) {
+            continue;
+        }
+        let nan_like = (contains_word(&line.code, "NAN") || contains_word(&line.code, "INFINITY"))
+            && (line.code.contains("==") || line.code.contains("!="));
+        if nan_like || has_float_literal_eq(&line.code) {
+            ctx.emit(
+                out,
+                &FLOAT_EQ,
+                line.number,
+                "raw float equality; compare via OrdF64/total_cmp or an epsilon".to_string(),
+            );
+        }
+    }
+}
+
+/// Detects `==` / `!=` with a float literal (`1.0`, `.5`-free form: must
+/// start with a digit and contain a `.`) on either side. Tuple-field
+/// accesses like `x.0 == y` do not count: the literal must not be
+/// preceded by an identifier character or `.`.
+fn has_float_literal_eq(code: &str) -> bool {
+    let b = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        if (b[i] == b'=' || b[i] == b'!') && b[i + 1] == b'=' {
+            // Skip `<=`, `>=`, and the `=` of a preceding `==`.
+            let prev = if i > 0 { b[i - 1] } else { b' ' };
+            if b[i] == b'=' && (prev == b'<' || prev == b'>' || prev == b'=' || prev == b'!') {
+                i += 1;
+                continue;
+            }
+            if float_literal_before(b, i) || float_literal_after(b, i + 2) {
+                return true;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn float_literal_before(b: &[u8], op: usize) -> bool {
+    let mut j = op;
+    while j > 0 && b[j - 1] == b' ' {
+        j -= 1;
+    }
+    let end = j;
+    let mut saw_dot = false;
+    let mut saw_digit = false;
+    while j > 0 && (b[j - 1].is_ascii_digit() || b[j - 1] == b'.' || b[j - 1] == b'_') {
+        saw_dot |= b[j - 1] == b'.';
+        saw_digit |= b[j - 1].is_ascii_digit();
+        j -= 1;
+    }
+    if j == end || !saw_dot || !saw_digit {
+        return false;
+    }
+    // Literal must stand alone: `self.0` has an identifier before the run.
+    !(j > 0 && (is_ident(b[j - 1]) || b[j - 1] == b'.'))
+}
+
+fn float_literal_after(b: &[u8], mut j: usize) -> bool {
+    while j < b.len() && b[j] == b' ' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'-' {
+        j += 1;
+    }
+    if j >= b.len() || !b[j].is_ascii_digit() {
+        return false;
+    }
+    let mut saw_dot = false;
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'.' || b[j] == b'_') {
+        if b[j] == b'.' {
+            // `1..n` is a range, not a float.
+            if b.get(j + 1) == Some(&b'.') {
+                return false;
+            }
+            saw_dot = true;
+        }
+        j += 1;
+    }
+    saw_dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_literal_detection() {
+        assert!(has_float_literal_eq("if x == 1.0 {"));
+        assert!(has_float_literal_eq("if 0.5 != y {"));
+        assert!(has_float_literal_eq("x == -2.75"));
+        assert!(!has_float_literal_eq("if x == 1 {"));
+        assert!(!has_float_literal_eq("if self.0 == y {"));
+        assert!(!has_float_literal_eq("for i in 1..n {"));
+        assert!(!has_float_literal_eq("if a <= 1.0 {"));
+        assert!(!has_float_literal_eq("if a >= 2.5 {"));
+    }
+}

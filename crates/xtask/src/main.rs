@@ -1,0 +1,83 @@
+#![forbid(unsafe_code)]
+
+//! CLI for the model-conformance lint engine.
+//!
+//! ```text
+//! cargo run -p cqs-xtask -- lint [--root PATH]   # exit 1 on any error
+//! cargo run -p cqs-xtask -- rules                # list rules + rationale
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cqs_xtask::lint::rules::all_rules;
+use cqs_xtask::run_workspace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            for r in all_rules() {
+                println!("{:<18} {:<8} {}", r.id, severity_name(r), r.rationale);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cargo run -p cqs-xtask -- <lint [--root PATH] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn severity_name(r: &cqs_xtask::lint::rules::Rule) -> &'static str {
+    match r.severity {
+        cqs_xtask::Severity::Error => "error",
+        cqs_xtask::Severity::Warning => "warning",
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root = workspace_root();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match run_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("cqs-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/xtask`, so two
+/// levels up. Falls back to the current directory when run directly.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

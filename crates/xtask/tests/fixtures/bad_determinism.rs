@@ -1,0 +1,17 @@
+//! Fixture: hidden inputs everywhere. Never compiled.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Flaky {
+    counts: HashMap<u64, u64>,
+}
+
+impl Flaky {
+    pub fn tick(&mut self) -> u128 {
+        let mut rng = thread_rng();
+        Instant::now().elapsed().as_nanos()
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: every violation carries a suppression. Never compiled.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// cqs-lint: allow-file(wall-clock)
+
+use std::collections::HashMap; // cqs-lint: allow(hash-default)
+use std::time::Instant;
+
+pub struct Excused {
+    counts: HashMap<u64, u64>, // cqs-lint: allow(hash-default)
+}
+
+impl Excused {
+    pub fn insert(&mut self, item: u64) {
+        // Invariant: counts is seeded in new(), so the entry exists.
+        // cqs-lint: allow(hot-path-panic)
+        let c = self.counts.get_mut(&0).expect("seeded");
+        *c += item;
+        let _t = Instant::now();
+    }
+}

@@ -1,0 +1,138 @@
+//! Fixture-driven tests: every rule must fire on its violating fixture
+//! and stay silent on the clean/suppressed ones. The fixtures under
+//! `fixtures/` are scanned as text (never compiled) and are skipped by
+//! the workspace walker, so they can be as broken as they like.
+
+use cqs_xtask::lint::lint_source;
+use cqs_xtask::lint::rules::all_rules;
+use cqs_xtask::Severity;
+
+const BAD_COMPARISON: &str = include_str!("fixtures/bad_comparison.rs");
+const BAD_DETERMINISM: &str = include_str!("fixtures/bad_determinism.rs");
+const BAD_ROBUSTNESS: &str = include_str!("fixtures/bad_robustness.rs");
+const CLEAN: &str = include_str!("fixtures/clean.rs");
+const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
+
+/// Lints a fixture as if it were `crates/gk/src/lib.rs` (Summary role,
+/// the strictest configuration).
+fn lint_as_summary(src: &str) -> Vec<cqs_xtask::lint::Diagnostic> {
+    lint_source("gk", "src/lib.rs", src)
+}
+
+fn rules_fired(diags: &[cqs_xtask::lint::Diagnostic]) -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[test]
+fn comparison_fixture_fires_all_four_rules() {
+    let fired = rules_fired(&lint_as_summary(BAD_COMPARISON));
+    for rule in ["item-arithmetic", "item-bits", "transmute", "item-mint"] {
+        assert!(fired.contains(&rule), "{rule} did not fire: {fired:?}");
+    }
+}
+
+#[test]
+fn determinism_fixture_fires_all_three_rules() {
+    let diags = lint_as_summary(BAD_DETERMINISM);
+    let fired = rules_fired(&diags);
+    for rule in ["hash-default", "ambient-rng", "wall-clock"] {
+        assert!(fired.contains(&rule), "{rule} did not fire: {fired:?}");
+    }
+    // HashMap appears on both the use and the field line.
+    assert!(diags.iter().filter(|d| d.rule == "hash-default").count() >= 2);
+}
+
+#[test]
+fn determinism_fixture_is_fine_as_a_harness() {
+    // bench/cli may time and hash; ambient RNG is still out.
+    let diags = lint_source("bench", "src/lib.rs", BAD_DETERMINISM);
+    let fired = rules_fired(&diags);
+    assert!(!fired.contains(&"hash-default"), "{fired:?}");
+    assert!(!fired.contains(&"wall-clock"), "{fired:?}");
+    assert!(fired.contains(&"ambient-rng"), "{fired:?}");
+}
+
+#[test]
+fn robustness_fixture_fires_attr_panic_and_float_rules() {
+    let diags = lint_as_summary(BAD_ROBUSTNESS);
+    let fired = rules_fired(&diags);
+    for rule in [
+        "forbid-unsafe",
+        "missing-docs-attr",
+        "hot-path-panic",
+        "float-eq",
+    ] {
+        assert!(fired.contains(&rule), "{rule} did not fire: {fired:?}");
+    }
+    // unwrap() outside a hot-path fn must not fire.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.rule == "hot-path-panic" && d.line > 17),
+        "helper fn was wrongly treated as a hot path: {diags:?}"
+    );
+    // panic! and unwrap inside insert() both fire.
+    assert!(diags.iter().filter(|d| d.rule == "hot-path-panic").count() >= 2);
+}
+
+#[test]
+fn missing_docs_is_a_warning_not_an_error() {
+    let diags = lint_as_summary(BAD_ROBUSTNESS);
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "missing-docs-attr")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn clean_fixture_is_clean_even_as_summary() {
+    let diags = lint_as_summary(CLEAN);
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:?}");
+}
+
+#[test]
+fn suppressions_silence_each_diagnostic() {
+    let diags = lint_as_summary(SUPPRESSED);
+    assert!(
+        diags.is_empty(),
+        "suppressed fixture still flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn diagnostics_carry_file_line_and_render() {
+    let diags = lint_as_summary(BAD_DETERMINISM);
+    let d = diags.iter().find(|d| d.rule == "hash-default").unwrap();
+    assert_eq!(d.file, "src/lib.rs");
+    assert!(d.line >= 1);
+    let rendered = d.to_string();
+    assert!(
+        rendered.contains("error[hash-default]: src/lib.rs:"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn registry_covers_every_fixture_rule() {
+    let ids: Vec<&str> = all_rules().iter().map(|r| r.id).collect();
+    for rule in [
+        "item-arithmetic",
+        "item-bits",
+        "transmute",
+        "item-mint",
+        "hash-default",
+        "ambient-rng",
+        "wall-clock",
+        "forbid-unsafe",
+        "missing-docs-attr",
+        "hot-path-panic",
+        "float-eq",
+    ] {
+        assert!(ids.contains(&rule), "registry lost rule {rule}");
+    }
+}

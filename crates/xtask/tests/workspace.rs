@@ -1,0 +1,62 @@
+//! End-to-end walker tests against a synthetic workspace on disk.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cqs_xtask::run_workspace;
+
+/// A scratch workspace under the target dir (always writable, never
+/// scanned by the real walker since it lives in `target/`).
+fn scratch(name: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(&root).unwrap();
+    root
+}
+
+#[test]
+fn violating_crate_fails_the_gate() {
+    let root = scratch("violating");
+    let src_dir = root.join("crates/newsketch/src");
+    fs::create_dir_all(&src_dir).unwrap();
+    fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nuse std::collections::HashMap;\n",
+    )
+    .unwrap();
+    let report = run_workspace(&root).unwrap();
+    assert_eq!(report.files_scanned, 1);
+    assert!(!report.is_clean());
+    // Unknown crate names get the strictest (Summary) role.
+    assert!(report.errors().any(|d| d.rule == "hash-default"));
+    assert!(report.render().contains("hash-default"));
+}
+
+#[test]
+fn target_hidden_and_fixture_dirs_are_skipped() {
+    let root = scratch("skipped");
+    for dir in ["target/debug", ".git/objects", "crates/x/tests/fixtures"] {
+        let d = root.join(dir);
+        fs::create_dir_all(&d).unwrap();
+        fs::write(d.join("junk.rs"), "use std::collections::HashMap;\n").unwrap();
+    }
+    let report = run_workspace(&root).unwrap();
+    assert_eq!(report.files_scanned, 0, "{:?}", report.diagnostics);
+    assert!(report.is_clean());
+}
+
+#[test]
+fn clean_crate_passes() {
+    let root = scratch("clean");
+    let src_dir = root.join("crates/tidy/src");
+    fs::create_dir_all(&src_dir).unwrap();
+    fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n\n//! Docs.\n\npub fn id(x: u64) -> u64 { x }\n",
+    )
+    .unwrap();
+    let report = run_workspace(&root).unwrap();
+    assert_eq!(report.files_scanned, 1);
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+    assert!(report.render().contains("0 errors"));
+}

@@ -14,25 +14,51 @@ fn main() {
     // --- Horn 1: correct GK ------------------------------------------
     let out = run_adversary(eps, k, || GkSummary::<Item>::new(eps.value()));
     let rep = out.report();
-    println!("correct GK under the adversary (eps = {eps}, N = {}):", rep.n);
-    println!("  gap {} <= ceiling {}   (Lemma 3.4 satisfied)", rep.final_gap, rep.gap_ceiling);
-    println!("  peak |I| = {} >= Theorem 2.2 bound {:.1}", rep.max_stored, rep.theorem22_bound);
-    println!("  Claim 1 violations: {}, Lemma 5.2 violations: {}",
-        rep.claim1_violations, rep.lemma52_violations);
+    println!(
+        "correct GK under the adversary (eps = {eps}, N = {}):",
+        rep.n
+    );
+    println!(
+        "  gap {} <= ceiling {}   (Lemma 3.4 satisfied)",
+        rep.final_gap, rep.gap_ceiling
+    );
+    println!(
+        "  peak |I| = {} >= Theorem 2.2 bound {:.1}",
+        rep.max_stored, rep.theorem22_bound
+    );
+    println!(
+        "  Claim 1 violations: {}, Lemma 5.2 violations: {}",
+        rep.claim1_violations, rep.lemma52_violations
+    );
     assert!(quantile_failure_witness(&out).is_none());
 
     // --- Horn 2: GK capped far below the bound ------------------------
     let out = run_adversary(eps, k, || CappedGk::<Item>::new(eps.value(), 12));
     let rep = out.report();
     println!("\ncapped GK (budget 12) under the same adversary:");
-    println!("  gap {} > ceiling {}    (the ceiling is blown)", rep.final_gap, rep.gap_ceiling);
+    println!(
+        "  gap {} > ceiling {}    (the ceiling is blown)",
+        rep.final_gap, rep.gap_ceiling
+    );
 
     let w = quantile_failure_witness(&out).expect("ceiling blown => witness exists");
-    println!("  failing query: phi = {:.4} (target rank {})", w.phi, w.target_rank);
-    println!("    on stream pi : answer has true rank {}, error {}", w.answer_rank_pi, w.err_pi);
-    println!("    on stream rho: answer has true rank {}, error {}", w.answer_rank_rho, w.err_rho);
+    println!(
+        "  failing query: phi = {:.4} (target rank {})",
+        w.phi, w.target_rank
+    );
+    println!(
+        "    on stream pi : answer has true rank {}, error {}",
+        w.answer_rank_pi, w.err_pi
+    );
+    println!(
+        "    on stream rho: answer has true rank {}, error {}",
+        w.answer_rank_rho, w.err_rho
+    );
     println!("    permitted error eps*N = {}", w.budget);
     assert!(w.demonstrates_failure());
     println!("\nThe two streams are indistinguishable to the summary, so it answers both");
-    println!("identically — and the true ranks differ by {}, so one answer must be wrong.", w.gap);
+    println!(
+        "identically — and the true ranks differ by {}, so one answer must be wrong.",
+        w.gap
+    );
 }

@@ -16,7 +16,9 @@ fn shard_data(total: u64, shards: usize, seed: u64) -> Vec<Vec<u64>> {
     let mut all: Vec<u64> = (1..=total).collect();
     let mut s = seed | 1;
     for i in (1..all.len()).rev() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (s >> 33) as usize % (i + 1);
         all.swap(i, j);
     }
@@ -70,7 +72,10 @@ fn main() {
         kll.merge(other);
     }
 
-    println!("merged {shards} shards of {} items each\n", total / shards as u64);
+    println!(
+        "merged {shards} shards of {} items each\n",
+        total / shards as u64
+    );
     println!("summary  items-stored  p50-err  p99-err");
     for (name, p50, p99, stored) in [
         (
@@ -94,12 +99,20 @@ fn main() {
     let mut all: Vec<u64> = parts.into_iter().flatten().collect();
     all.sort_unstable();
     let worst = hist.max_depth_error(&all);
-    println!("\nrange partitioning into 16 buckets (target {} items each):", hist.target_depth);
-    println!("  worst bucket deviation: {worst} items ({:.3}% of target)",
-        100.0 * worst as f64 / hist.target_depth as f64);
+    println!(
+        "\nrange partitioning into 16 buckets (target {} items each):",
+        hist.target_depth
+    );
+    println!(
+        "  worst bucket deviation: {worst} items ({:.3}% of target)",
+        100.0 * worst as f64 / hist.target_depth as f64
+    );
     // Merge tree has 3 levels => ε·2³ rank error per boundary, both
     // sides => tolerance 2·8εN.
     let tolerance = (16.0 * eps * total as f64) as u64;
-    assert!(worst <= tolerance, "imbalance {worst} exceeds tolerance {tolerance}");
+    assert!(
+        worst <= tolerance,
+        "imbalance {worst} exceeds tolerance {tolerance}"
+    );
     println!("  within the merge-tree tolerance of {tolerance} — balanced parallel work.");
 }

@@ -26,8 +26,11 @@ fn main() {
 
     println!("stream length : {n}");
     println!("eps           : {eps}");
-    println!("items stored  : {} ({:.3}% of the stream)", gk.stored_count(),
-        100.0 * gk.stored_count() as f64 / n as f64);
+    println!(
+        "items stored  : {} ({:.3}% of the stream)",
+        gk.stored_count(),
+        100.0 * gk.stored_count() as f64 / n as f64
+    );
     for phi in [0.01, 0.25, 0.5, 0.75, 0.99, 0.999] {
         let q = gk.quantile(phi).expect("non-empty");
         println!("  phi = {phi:<6} -> {q}");
@@ -41,12 +44,27 @@ fn main() {
     let report = run_lower_bound(eps, k, || GkSummary::<Item>::new(eps.value()));
 
     println!("\nadversary: eps = {}, N = {}", report.eps, report.n);
-    println!("  indistinguishable streams held : {}", report.equivalence_ok);
-    println!("  final gap / correctness ceiling: {} / {}", report.final_gap, report.gap_ceiling);
+    println!(
+        "  indistinguishable streams held : {}",
+        report.equivalence_ok
+    );
+    println!(
+        "  final gap / correctness ceiling: {} / {}",
+        report.final_gap, report.gap_ceiling
+    );
     println!("  peak items stored              : {}", report.max_stored);
-    println!("  Theorem 2.2 lower bound        : {:.1}", report.theorem22_bound);
-    println!("  GK upper-bound shape           : {:.1}", eps.inverse() as f64 * (k as f64 + 1.0));
-    assert!(report.final_gap <= report.gap_ceiling, "GK must stay correct");
+    println!(
+        "  Theorem 2.2 lower bound        : {:.1}",
+        report.theorem22_bound
+    );
+    println!(
+        "  GK upper-bound shape           : {:.1}",
+        eps.inverse() as f64 * (k as f64 + 1.0)
+    );
+    assert!(
+        report.final_gap <= report.gap_ceiling,
+        "GK must stay correct"
+    );
     assert!(
         report.max_stored as f64 >= report.theorem22_bound,
         "…and must pay the space the theorem demands"

@@ -83,17 +83,29 @@ fn main() {
     }
 
     println!("streams           : baseline vs canary, {n} requests each");
-    println!("summary space     : {} + {} items", gk_base.stored_count(), gk_canary.stored_count());
+    println!(
+        "summary space     : {} + {} items",
+        gk_base.stored_count(),
+        gk_canary.stored_count()
+    );
     println!("KS from summaries : {ks_est:.4} (at value {ks_at})");
     println!("KS exact          : {ks_true:.4}");
-    println!("|difference|      : {:.4} (guarantee: <= 2*eps = {:.4})", (ks_est - ks_true).abs(), 2.0 * eps);
+    println!(
+        "|difference|      : {:.4} (guarantee: <= 2*eps = {:.4})",
+        (ks_est - ks_true).abs(),
+        2.0 * eps
+    );
     assert!((ks_est - ks_true).abs() <= 2.0 * eps + 1e-9);
 
     // The regression is detectable: 10% of mass shifted by 400µs puts
     // the true KS near 0.08; far above the 2ε noise floor.
     println!(
         "\nverdict: canary {} (KS {:.3} vs noise floor {:.3})",
-        if ks_est > 2.0 * eps + 0.02 { "REGRESSED" } else { "ok" },
+        if ks_est > 2.0 * eps + 0.02 {
+            "REGRESSED"
+        } else {
+            "ok"
+        },
         ks_est,
         2.0 * eps
     );

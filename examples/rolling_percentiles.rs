@@ -27,7 +27,10 @@ fn main() {
         (state % 1_000 + 200) * mult
     };
 
-    println!("{:<12} {:>14} {:>14}", "phase", "window p99", "lifetime p99");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "phase", "window p99", "lifetime p99"
+    );
     let mut phase = |name: &str,
                      n: u64,
                      mult: u64,
@@ -53,8 +56,11 @@ fn main() {
     let (w2, _) = phase("incident", 60_000, 5, &mut sw, &mut lifetime, &mut gen);
     let (w3, l3) = phase("recovered", 60_000, 1, &mut sw, &mut lifetime, &mut gen);
 
-    println!("\nstored: window summary = {} items, lifetime = {} items",
-        sw.stored_count(), lifetime.stored_count());
+    println!(
+        "\nstored: window summary = {} items, lifetime = {} items",
+        sw.stored_count(),
+        lifetime.stored_count()
+    );
 
     // The window reacts and recovers; the lifetime summary stays
     // poisoned by the incident (its p99 covers all 180k requests).

@@ -42,7 +42,9 @@ fn main() {
     let mut ckms = CkmsSummary::new_high_biased(eps_rel);
     let mut exact: Vec<u64> = Vec::with_capacity(n as usize);
 
-    let mut gen = LatencyGen { state: 0x1234_5678_9abc_def0 };
+    let mut gen = LatencyGen {
+        state: 0x1234_5678_9abc_def0,
+    };
     for _ in 0..n {
         let lat = gen.next_latency();
         gk.insert(lat);

@@ -87,9 +87,7 @@ impl QuantileSketch {
             Algorithm::KllSampled { seed } => {
                 Box::new(SampledKll::with_seed(((2.0 / eps) as usize).max(8), seed))
             }
-            Algorithm::Reservoir { seed } => {
-                Box::new(ReservoirSummary::with_seed(eps, 0.01, seed))
-            }
+            Algorithm::Reservoir { seed } => Box::new(ReservoirSummary::with_seed(eps, 0.01, seed)),
             Algorithm::CkmsBiased => Box::new(CkmsSummary::new(eps)),
         };
         QuantileSketch { inner, algorithm }
@@ -179,8 +177,16 @@ mod tests {
     fn deterministic_algorithms_store_less_than_the_reservoir() {
         let n = 50_000u64;
         let gk = drive(QuantileSketch::new(Algorithm::Gk, 0.01), n);
-        let rs = drive(QuantileSketch::new(Algorithm::Reservoir { seed: 7 }, 0.01), n);
-        assert!(gk.stored() < rs.stored() / 10, "gk {} vs reservoir {}", gk.stored(), rs.stored());
+        let rs = drive(
+            QuantileSketch::new(Algorithm::Reservoir { seed: 7 }, 0.01),
+            n,
+        );
+        assert!(
+            gk.stored() < rs.stored() / 10,
+            "gk {} vs reservoir {}",
+            gk.stored(),
+            rs.stored()
+        );
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Tier-1 model-conformance gate.
+//!
+//! Runs the full cqs-xtask lint engine over the workspace as part of
+//! plain `cargo test`: the comparison-model, determinism, and
+//! robustness rules (see DESIGN.md, "Model enforcement") hold for every
+//! `.rs` file in the tree, or this test — and therefore tier-1 — fails.
+//! Equivalent to `cargo run -p cqs-xtask -- lint` exiting 0.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_conforms_to_the_comparison_model() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let report = cqs_xtask::run_workspace(&root).expect("workspace walk failed");
+    assert!(
+        report.files_scanned > 50,
+        "walker found only {} files — layout changed?",
+        report.files_scanned
+    );
+    let errors: Vec<String> = report.errors().map(ToString::to_string).collect();
+    assert!(
+        errors.is_empty(),
+        "model-conformance violations (fix them or add a documented \
+         `// cqs-lint: allow(<rule>)`):\n{}",
+        errors.join("\n")
+    );
+    // Warnings are surfaced in the test output but do not fail the gate.
+    for w in report.warnings() {
+        eprintln!("{w}");
+    }
+}

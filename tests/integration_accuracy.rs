@@ -11,9 +11,7 @@ fn max_rank_error<S: ComparisonSummary<u64>>(s: &S, sorted: &[u64], grid: usize)
         let ans = s.query_rank(r).unwrap();
         let lo = sorted.partition_point(|&x| x < ans) as u64 + 1;
         let hi = sorted.partition_point(|&x| x <= ans) as u64;
-        let err = if r < lo {
-            lo - r
-        } else { r.saturating_sub(hi) };
+        let err = if r < lo { lo - r } else { r.saturating_sub(hi) };
         worst = worst.max(err);
     }
     worst
@@ -89,8 +87,16 @@ fn randomized_summaries_hold_relaxed_budget() {
             kll.insert(v);
             rs.insert(v);
         }
-        assert!(max_rank_error(&kll, &sorted, 100) <= budget, "kll on {}", w.name());
-        assert!(max_rank_error(&rs, &sorted, 100) <= budget, "reservoir on {}", w.name());
+        assert!(
+            max_rank_error(&kll, &sorted, 100) <= budget,
+            "kll on {}",
+            w.name()
+        );
+        assert!(
+            max_rank_error(&rs, &sorted, 100) <= budget,
+            "reservoir on {}",
+            w.name()
+        );
     }
 }
 
@@ -110,9 +116,7 @@ fn qdigest_holds_eps_on_integer_workloads() {
         let ans = qd.quantile(r as f64 / n as f64);
         let lo = sorted.partition_point(|&x| x < ans) as u64 + 1;
         let hi = sorted.partition_point(|&x| x <= ans) as u64;
-        let err = if r < lo {
-            lo - r
-        } else { r.saturating_sub(hi) };
+        let err = if r < lo { lo - r } else { r.saturating_sub(hi) };
         assert!(err <= budget, "qdigest rank {r}: err {err}");
     }
 }
@@ -132,7 +136,17 @@ fn space_ordering_matches_theory_on_shuffled_data() {
     }
     let rs = ReservoirSummary::<u64>::with_seed(eps, 0.01, 1);
 
-    assert!(gk.stored_count() < mrl.stored_count(), "gk {} !< mrl {}", gk.stored_count(), mrl.stored_count());
-    assert!(mrl.stored_count() < rs.capacity(), "mrl {} !< reservoir capacity {}", mrl.stored_count(), rs.capacity());
+    assert!(
+        gk.stored_count() < mrl.stored_count(),
+        "gk {} !< mrl {}",
+        gk.stored_count(),
+        mrl.stored_count()
+    );
+    assert!(
+        mrl.stored_count() < rs.capacity(),
+        "mrl {} !< reservoir capacity {}",
+        mrl.stored_count(),
+        rs.capacity()
+    );
     assert!((gk.stored_count() as u64) < n / 20);
 }

@@ -22,7 +22,12 @@ fn median_reduction_on_capped_gk_fails_the_median() {
     let out = run_adversary(eps, 7, || CappedGk::<Item>::new(eps.value(), 8));
     let rep = median_reduction(out);
     match rep.outcome {
-        MedianOutcome::MedianFailure { err_pi, err_rho, budget, .. } => {
+        MedianOutcome::MedianFailure {
+            err_pi,
+            err_rho,
+            budget,
+            ..
+        } => {
             assert!(err_pi > budget || err_rho > budget);
         }
         other => panic!("expected median failure, got {other:?}"),
@@ -35,7 +40,10 @@ fn rank_estimation_witness_shows_agreeing_estimates() {
     let out = run_adversary(eps, 7, || CappedGk::<Item>::new(eps.value(), 8));
     let w = rank_failure_witness(&out).expect("capped summary blows the gap");
     // The paper's core mechanism: both copies answer identically…
-    assert!(w.estimates_agree, "comparison-based estimator must agree: {w:?}");
+    assert!(
+        w.estimates_agree,
+        "comparison-based estimator must agree: {w:?}"
+    );
     // …while the true ranks straddle the gap.
     assert!(w.true_rho - w.true_pi >= w.gap - 2);
     assert!(w.demonstrates_failure());

@@ -38,7 +38,11 @@ fn mrl_is_also_subject_to_the_construction() {
     let k = 6u32;
     let n = eps.stream_len(k);
     let out = run_adversary(eps, k, || MrlSummary::<Item>::new(eps.value(), n));
-    assert!(out.equivalence_error.is_none(), "{:?}", out.equivalence_error);
+    assert!(
+        out.equivalence_error.is_none(),
+        "{:?}",
+        out.equivalence_error
+    );
     let rep = out.report();
     assert!(
         rep.final_gap > rep.gap_ceiling || rep.max_stored as f64 >= rep.theorem22_bound,

@@ -10,7 +10,9 @@ fn shuffled(n: u64, seed: u64) -> Vec<u64> {
     let mut v: Vec<u64> = (1..=n).collect();
     let mut s = seed | 1;
     for i in (1..v.len()).rev() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (s >> 33) as usize % (i + 1);
         v.swap(i, j);
     }
@@ -122,7 +124,11 @@ fn kll_merge_matches_single_stream_accuracy() {
         merged.merge(p);
     }
     assert_eq!(merged.items_processed(), n);
-    assert_eq!(merged.total_weight(), n, "weight must be conserved through merges");
+    assert_eq!(
+        merged.total_weight(),
+        n,
+        "weight must be conserved through merges"
+    );
     let err = max_rank_error(&merged, n, 64);
     assert!(err <= n / 40, "merged KLL err {err}");
     // Extremes survive merging exactly.

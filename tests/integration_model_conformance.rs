@@ -9,7 +9,9 @@ fn shuffled(n: u64, seed: u64) -> Vec<u64> {
     let mut v: Vec<u64> = (1..=n).collect();
     let mut s = seed | 1;
     for i in (1..v.len()).rev() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (s >> 33) as usize % (i + 1);
         v.swap(i, j);
     }
@@ -76,7 +78,10 @@ fn ckms_is_comparison_based() {
 
 #[test]
 fn reservoir_fixed_seed_is_comparison_based() {
-    check_isomorphism(|| ReservoirSummary::with_capacity(500, 0.05, 7), "reservoir");
+    check_isomorphism(
+        || ReservoirSummary::with_capacity(500, 0.05, 7),
+        "reservoir",
+    );
 }
 
 #[test]
@@ -89,7 +94,11 @@ fn item_arrays_are_sorted_for_all_summaries() {
                 s.insert(x);
             }
             let arr = s.item_array();
-            assert!(arr.windows(2).all(|w| w[0] <= w[1]), "{}: item array unsorted", $name);
+            assert!(
+                arr.windows(2).all(|w| w[0] <= w[1]),
+                "{}: item array unsorted",
+                $name
+            );
             assert!(
                 arr.iter().all(|v| xs.contains(v)),
                 "{}: item array contains non-stream items",

@@ -12,7 +12,9 @@ fn shuffled(n: u64, seed: u64) -> Vec<u64> {
     let mut v: Vec<u64> = (1..=n).collect();
     let mut s = seed | 1;
     for i in (1..v.len()).rev() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (s >> 33) as usize % (i + 1);
         v.swap(i, j);
     }
@@ -38,10 +40,22 @@ where
         live.insert(v);
         restored.insert(v);
     }
-    assert_eq!(live.items_processed(), restored.items_processed(), "{name}: n diverged");
-    assert_eq!(live.item_array(), restored.item_array(), "{name}: item arrays diverged");
+    assert_eq!(
+        live.items_processed(),
+        restored.items_processed(),
+        "{name}: n diverged"
+    );
+    assert_eq!(
+        live.item_array(),
+        restored.item_array(),
+        "{name}: item arrays diverged"
+    );
     for r in [1u64, 100, 10_000, 20_000] {
-        assert_eq!(live.query_rank(r), restored.query_rank(r), "{name}: query({r}) diverged");
+        assert_eq!(
+            live.query_rank(r),
+            restored.query_rank(r),
+            "{name}: query({r}) diverged"
+        );
     }
 }
 

@@ -9,7 +9,9 @@ fn shuffled(n: u64, seed: u64) -> Vec<u64> {
     let mut v: Vec<u64> = (1..=n).collect();
     let mut s = seed | 1;
     for i in (1..v.len()).rev() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (s >> 33) as usize % (i + 1);
         v.swap(i, j);
     }
