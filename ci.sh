@@ -32,4 +32,10 @@ fi
 echo "==> cargo test -q (tier-1; includes tests/conformance.rs = the lint gate)"
 cargo test -q
 
+if [[ $fast -eq 0 ]]; then
+    echo "==> perf baseline smoke (tiny configs; schema + speedup-line check)"
+    cargo run --release -q -p cqs-bench --bin perf_baseline -- --smoke --out-dir target/bench-smoke
+    cargo run --release -q -p cqs-bench --bin perf_baseline -- --verify target/bench-smoke
+fi
+
 echo "ci: all green"

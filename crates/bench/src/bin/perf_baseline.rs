@@ -1,0 +1,395 @@
+//! `perf_baseline` — the JSON perf baseline runner.
+//!
+//! Times (a) full adversary runs (`AdvStrategy` at ε ∈ {1/64, 1/256},
+//! k up to 12) and (b) raw summary update throughput (per-item vs
+//! sorted-run inserts), then records the numbers in
+//! `BENCH_adversary.json` / `BENCH_summaries.json` at the workspace
+//! root so every PR leaves a measured trajectory.
+//!
+//! ```text
+//! cargo run -p cqs-bench --release --bin perf_baseline -- --phase pre_change
+//! cargo run -p cqs-bench --release --bin perf_baseline -- --phase post_change --merge
+//! cargo run -p cqs-bench --release --bin perf_baseline -- --smoke --out-dir target/bench-smoke
+//! cargo run -p cqs-bench --release --bin perf_baseline -- --verify target/bench-smoke
+//! ```
+//!
+//! `--merge` appends this invocation's runs to the existing files
+//! (that is how before/after numbers end up side by side in one PR);
+//! `--verify DIR` re-parses the files in DIR and checks the schema —
+//! the CI smoke step runs exactly that.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cqs_bench::json::{parse, Json};
+use cqs_bench::{attack, Target};
+use cqs_core::{ComparisonSummary, Eps};
+use cqs_gk::{GkSummary, GreedyGk};
+use cqs_streams::{workload, Workload};
+
+const ADVERSARY_FILE: &str = "BENCH_adversary.json";
+const SUMMARIES_FILE: &str = "BENCH_summaries.json";
+const ADVERSARY_SCHEMA: &str = "cqs-bench/adversary/v1";
+const SUMMARIES_SCHEMA: &str = "cqs-bench/summaries/v1";
+
+struct Opts {
+    phase: String,
+    merge: bool,
+    out_dir: PathBuf,
+    smoke: bool,
+    verify: Option<PathBuf>,
+}
+
+fn workspace_root() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().unwrap_or(root)
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        phase: String::new(),
+        merge: false,
+        out_dir: workspace_root(),
+        smoke: false,
+        verify: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--phase" => opts.phase = args.next().ok_or("--phase needs a value")?,
+            "--merge" => opts.merge = true,
+            "--smoke" => opts.smoke = true,
+            "--out-dir" => {
+                opts.out_dir = PathBuf::from(args.next().ok_or("--out-dir needs a value")?)
+            }
+            "--verify" => {
+                opts.verify = Some(PathBuf::from(args.next().ok_or("--verify needs a value")?))
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.phase.is_empty() {
+        opts.phase = if opts.smoke {
+            "smoke".into()
+        } else {
+            "current".into()
+        };
+    }
+    Ok(opts)
+}
+
+/// One timed adversary configuration.
+fn adversary_run(phase: &str, target: Target, eps_inv: u64, k: u32) -> Json {
+    let eps = Eps::from_inverse(eps_inv);
+    let started = Instant::now();
+    let report = attack(eps, k, target);
+    let elapsed = started.elapsed();
+    // Both streams are fed: the adversary appends N items to π and N to ϱ.
+    let items = 2 * report.n;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let ips = items as f64 / secs;
+    println!(
+        "  adversary {:>10}  1/eps={:<4} k={:<2}  n={:>8}  {:>8.1} ms  {:>12.0} items/s",
+        target.name(),
+        eps_inv,
+        k,
+        report.n,
+        secs * 1e3,
+        ips
+    );
+    Json::Obj(vec![
+        ("phase".into(), Json::Str(phase.into())),
+        ("target".into(), Json::Str(target.name())),
+        ("eps_inverse".into(), Json::Num(eps_inv as f64)),
+        ("k".into(), Json::Num(k as f64)),
+        ("n".into(), Json::Num(report.n as f64)),
+        ("items".into(), Json::Num(items as f64)),
+        ("elapsed_ms".into(), Json::Num(secs * 1e3)),
+        ("items_per_sec".into(), Json::Num(ips)),
+        ("final_gap".into(), Json::Num(report.final_gap as f64)),
+        ("max_stored".into(), Json::Num(report.max_stored as f64)),
+        (
+            "max_label_depth".into(),
+            Json::Num(report.max_label_depth as f64),
+        ),
+        ("equivalence_ok".into(), Json::Bool(report.equivalence_ok)),
+    ])
+}
+
+/// One timed summary-throughput configuration. `chunk == 1` means plain
+/// per-item inserts; larger chunks sort each window and feed it through
+/// `insert_sorted_run` (the batched entry point under test).
+fn summary_run<S: ComparisonSummary<u64>>(
+    phase: &str,
+    name: &str,
+    mut summary: S,
+    wl: Workload,
+    values: &[u64],
+    chunk: usize,
+) -> Json {
+    let mode = if chunk <= 1 { "per_item" } else { "sorted_run" };
+    let started = Instant::now();
+    if chunk <= 1 {
+        for &v in values {
+            summary.insert(v);
+        }
+    } else {
+        let mut buf: Vec<u64> = Vec::with_capacity(chunk);
+        for window in values.chunks(chunk) {
+            buf.clear();
+            buf.extend_from_slice(window);
+            buf.sort_unstable();
+            summary.insert_sorted_run(&buf);
+        }
+    }
+    let elapsed = started.elapsed();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let ips = values.len() as f64 / secs;
+    println!(
+        "  summary {:>10}  {:<9} {:<11} n={:>7}  {:>8.1} ms  {:>12.0} items/s",
+        name,
+        wl.name(),
+        mode,
+        values.len(),
+        secs * 1e3,
+        ips
+    );
+    Json::Obj(vec![
+        ("phase".into(), Json::Str(phase.into())),
+        ("summary".into(), Json::Str(name.into())),
+        ("workload".into(), Json::Str(wl.name().into())),
+        ("mode".into(), Json::Str(mode.into())),
+        ("chunk".into(), Json::Num(chunk as f64)),
+        ("n".into(), Json::Num(values.len() as f64)),
+        ("elapsed_ms".into(), Json::Num(secs * 1e3)),
+        ("items_per_sec".into(), Json::Num(ips)),
+        (
+            "final_stored".into(),
+            Json::Num(summary.stored_count() as f64),
+        ),
+    ])
+}
+
+/// Loads `path` (when merging) or starts a fresh document, appends
+/// `new_runs` to its `runs` array, and writes it back.
+fn write_runs(path: &Path, schema: &str, merge: bool, new_runs: Vec<Json>) -> Result<(), String> {
+    let mut doc = if merge && path.exists() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if doc.get("schema").and_then(Json::as_str) != Some(schema) {
+            return Err(format!(
+                "{}: schema mismatch, refusing to merge",
+                path.display()
+            ));
+        }
+        doc
+    } else {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(schema.into())),
+            ("unit".into(), Json::Str("items_per_sec".into())),
+            ("runs".into(), Json::Arr(Vec::new())),
+        ])
+    };
+    match doc.get_mut("runs") {
+        Some(Json::Arr(runs)) => runs.extend(new_runs),
+        _ => return Err(format!("{}: no runs array", path.display())),
+    }
+    std::fs::write(path, doc.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("[json] {}", path.display());
+    Ok(())
+}
+
+/// Prints pre→post speedups for adversary configs present in both
+/// phases (the headline acceptance number lives here).
+fn report_speedups(doc: &Json) {
+    let Some(runs) = doc.get("runs").and_then(Json::as_arr) else {
+        return;
+    };
+    let key = |r: &Json| {
+        Some((
+            r.get("target")?.as_str()?.to_string(),
+            r.get("eps_inverse")?.as_f64()? as u64,
+            r.get("k")?.as_f64()? as u32,
+        ))
+    };
+    let ips_of = |r: &Json, phase: &str| {
+        (r.get("phase")?.as_str()? == phase)
+            .then(|| r.get("items_per_sec")?.as_f64())
+            .flatten()
+    };
+    let mut seen: Vec<(String, u64, u32)> = Vec::new();
+    for r in runs {
+        let Some(k) = key(r) else { continue };
+        if seen.contains(&k) {
+            continue;
+        }
+        seen.push(k.clone());
+        let pre = runs
+            .iter()
+            .filter_map(|r| (key(r)? == k).then(|| ips_of(r, "pre_change")).flatten())
+            .next_back();
+        let post = runs
+            .iter()
+            .filter_map(|r| (key(r)? == k).then(|| ips_of(r, "post_change")).flatten())
+            .next_back();
+        if let (Some(pre), Some(post)) = (pre, post) {
+            println!(
+                "  speedup {:>10}  1/eps={:<4} k={:<2}  {:>10.0} -> {:>10.0} items/s  ({:.2}x)",
+                k.0,
+                k.1,
+                k.2,
+                pre,
+                post,
+                post / pre
+            );
+        }
+    }
+}
+
+/// `--verify`: re-parse the artifacts and check the schema the CI smoke
+/// step (and any future tooling) depends on.
+fn verify(dir: &Path) -> Result<(), String> {
+    for (file, schema, required) in [
+        (
+            ADVERSARY_FILE,
+            ADVERSARY_SCHEMA,
+            &[
+                "phase",
+                "target",
+                "eps_inverse",
+                "k",
+                "n",
+                "elapsed_ms",
+                "items_per_sec",
+            ][..],
+        ),
+        (
+            SUMMARIES_FILE,
+            SUMMARIES_SCHEMA,
+            &[
+                "phase",
+                "summary",
+                "workload",
+                "mode",
+                "n",
+                "elapsed_ms",
+                "items_per_sec",
+            ][..],
+        ),
+    ] {
+        let path = dir.join(file);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = parse(&text).map_err(|e| format!("{}: parse error: {e}", path.display()))?;
+        if doc.get("schema").and_then(Json::as_str) != Some(schema) {
+            return Err(format!("{file}: missing or wrong schema (want {schema})"));
+        }
+        let runs = doc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{file}: missing runs array"))?;
+        if runs.is_empty() {
+            return Err(format!("{file}: runs array is empty"));
+        }
+        for (i, run) in runs.iter().enumerate() {
+            for req in required {
+                if run.get(req).is_none() {
+                    return Err(format!("{file}: run {i} lacks key {req:?}"));
+                }
+            }
+        }
+        println!("[verify] {} ok ({} runs)", path.display(), runs.len());
+    }
+    Ok(())
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    if let Some(dir) = &opts.verify {
+        return verify(dir);
+    }
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("{}: {e}", opts.out_dir.display()))?;
+    let phase = opts.phase.as_str();
+
+    println!("== adversary throughput (phase: {phase}) ==");
+    let adversary_configs: &[(Target, u64, u32)] = if opts.smoke {
+        &[(Target::Gk, 8, 4)]
+    } else {
+        &[
+            (Target::Gk, 64, 8),
+            (Target::Gk, 64, 10),
+            (Target::Gk, 64, 12),
+            (Target::GkGreedy, 64, 12),
+            (Target::Gk, 256, 8),
+            (Target::Gk, 256, 10),
+            (Target::Gk, 256, 12),
+        ]
+    };
+    let adversary_runs: Vec<Json> = adversary_configs
+        .iter()
+        .map(|&(t, e, k)| adversary_run(phase, t, e, k))
+        .collect();
+
+    println!("== summary update throughput (phase: {phase}) ==");
+    let (n, workloads): (u64, &[Workload]) = if opts.smoke {
+        (5_000, &[Workload::Shuffled])
+    } else {
+        (
+            200_000,
+            &[Workload::Sorted, Workload::Shuffled, Workload::Zipf],
+        )
+    };
+    let mut summary_runs = Vec::new();
+    for &wl in workloads {
+        let values = workload(wl, n, 42).expect("n > 0");
+        for chunk in [1usize, 1024] {
+            summary_runs.push(summary_run(
+                phase,
+                "gk",
+                GkSummary::new(0.01),
+                wl,
+                &values,
+                chunk,
+            ));
+            summary_runs.push(summary_run(
+                phase,
+                "gk-greedy",
+                GreedyGk::new(0.01),
+                wl,
+                &values,
+                chunk,
+            ));
+        }
+    }
+
+    let adv_path = opts.out_dir.join(ADVERSARY_FILE);
+    write_runs(&adv_path, ADVERSARY_SCHEMA, opts.merge, adversary_runs)?;
+    write_runs(
+        &opts.out_dir.join(SUMMARIES_FILE),
+        SUMMARIES_SCHEMA,
+        opts.merge,
+        summary_runs,
+    )?;
+
+    let text = std::fs::read_to_string(&adv_path).map_err(|e| e.to_string())?;
+    report_speedups(&parse(&text)?);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("perf_baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perf_baseline: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! EXPERIMENTS.md's numbers are regenerable with
 //! `cargo run -p cqs-bench --release --bin <name>`.
 
+pub mod json;
 pub mod micro;
 
 use std::path::PathBuf;

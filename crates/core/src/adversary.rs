@@ -16,11 +16,11 @@
 use cqs_universe::{generate_increasing, Interval, Item};
 
 use crate::eps::Eps;
-use crate::gap::{compute_gap_tie, GapInfo, TieBreak};
+use crate::gap::{compute_gap_scratch, GapInfo, GapScratch, TieBreak};
 use crate::model::{ComparisonSummary, MaxSpaceTracker};
 use crate::refine::refine_from;
 use crate::spacegap::{claim1_holds, space_gap_holds, space_gap_rhs, theorem22_bound};
-use crate::state::{check_indistinguishable, StreamState};
+use crate::state::{EquivalenceChecker, StreamState};
 
 /// Audit record for one node of the recursion tree (post-order).
 #[derive(Clone, Debug)]
@@ -51,6 +51,22 @@ pub struct NodeAudit {
     pub space_gap_rhs: f64,
 }
 
+/// How a leaf feeds its 2/ε-item run to the summaries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum InsertMode {
+    /// One [`ComparisonSummary::insert_sorted_run`] call per leaf (the
+    /// runs are generated in increasing order), with the treap side
+    /// joined in bulk. The default; for a conforming summary the audits
+    /// are byte-identical to [`PerItem`](Self::PerItem).
+    #[default]
+    Batched,
+    /// One `insert` per item with a stored-size divergence probe after
+    /// each — the legacy path, kept for equivalence testing and for
+    /// pinpointing the exact stream position where a non-conforming
+    /// summary diverges.
+    PerItem,
+}
+
 /// The adversary: two live streams, two live summary copies, an audit
 /// trail.
 pub struct Adversary<S> {
@@ -60,6 +76,9 @@ pub struct Adversary<S> {
     audits: Vec<NodeAudit>,
     equivalence_error: Option<String>,
     tie_break: TieBreak,
+    insert_mode: InsertMode,
+    gap_scratch: GapScratch,
+    equiv: EquivalenceChecker,
 }
 
 /// Everything the adversary produced: the final stream states (reusable
@@ -131,12 +150,22 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
             audits: Vec::new(),
             equivalence_error: None,
             tie_break: TieBreak::LowestIndex,
+            insert_mode: InsertMode::default(),
+            gap_scratch: GapScratch::default(),
+            equiv: EquivalenceChecker::new(),
         }
     }
 
     /// Sets the gap tie-breaking policy (ablation; the paper allows any).
     pub fn with_tie_break(mut self, tie: TieBreak) -> Self {
         self.tie_break = tie;
+        self
+    }
+
+    /// Sets how leaves feed their runs to the summaries (see
+    /// [`InsertMode`]).
+    pub fn with_insert_mode(mut self, mode: InsertMode) -> Self {
+        self.insert_mode = mode;
         self
     }
 
@@ -204,7 +233,14 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
             (Some(left_gap.gap), Some(right_gap.gap))
         };
 
-        let gap_now = compute_gap_tie(&self.pi, &self.rho, iv_pi, iv_rho, self.tie_break);
+        let gap_now = compute_gap_scratch(
+            &self.pi,
+            &self.rho,
+            iv_pi,
+            iv_rho,
+            self.tie_break,
+            &mut self.gap_scratch,
+        );
         let n_k = self.eps.stream_len(k);
         let s_k = gap_now.restricted_len;
         let claim1_ok = match (g_prime, g_dprime) {
@@ -218,7 +254,11 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
             g_prime,
             g_dprime,
             s_k,
-            stored_inside: s_k - 2,
+            // `compute_gap` guarantees s_k ≥ 2 (the two boundary entries
+            // always enclose the restricted array); saturate anyway so a
+            // buggy or non-conforming summary yields a zero count in the
+            // audit instead of an underflow panic mid-run.
+            stored_inside: s_k.saturating_sub(2),
             claim1_ok,
             lemma52_ok: space_gap_holds(self.eps, n_k, gap_now.gap, s_k),
             space_gap_rhs: space_gap_rhs(self.eps, n_k, gap_now.gap),
@@ -241,26 +281,45 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
                 generate_increasing(iv_rho, n),
             )
         };
-        for (a, b) in items_pi.into_iter().zip(items_rho) {
-            self.pi.push(a);
-            self.rho.push(b);
-            // Cheap per-item check; the full positional check runs per
-            // leaf below.
-            if self.equivalence_error.is_none()
-                && self.pi.summary.stored_count() != self.rho.summary.stored_count()
-            {
-                self.equivalence_error = Some(format!(
-                    "|I| diverged at stream position {}: {} vs {}",
-                    self.pi.len() - 1,
-                    self.pi.summary.stored_count(),
-                    self.rho.summary.stored_count()
-                ));
+        match self.insert_mode {
+            InsertMode::Batched => {
+                self.pi.push_run(&items_pi);
+                self.rho.push_run(&items_rho);
+                self.check_size_divergence();
+            }
+            InsertMode::PerItem => {
+                for (a, b) in items_pi.into_iter().zip(items_rho) {
+                    self.pi.push(a);
+                    self.rho.push(b);
+                    // Cheap per-item probe; the full positional check
+                    // runs per leaf below.
+                    self.check_size_divergence();
+                }
             }
         }
         if self.equivalence_error.is_none() {
-            if let Err(e) = check_indistinguishable(&self.pi, &self.rho) {
+            if let Err(e) = self.equiv.check(&self.pi, &self.rho) {
                 self.equivalence_error = Some(e);
             }
+        }
+    }
+
+    /// Records a stored-size divergence between the two summary copies —
+    /// short-circuits once an error is already latched, so the per-item
+    /// loop stops paying for the comparison after the first hit.
+    fn check_size_divergence(&mut self) {
+        if self.equivalence_error.is_some() {
+            return;
+        }
+        let (a, b) = (
+            self.pi.summary.stored_count(),
+            self.rho.summary.stored_count(),
+        );
+        if a != b {
+            self.equivalence_error = Some(format!(
+                "|I| diverged at stream position {}: {a} vs {b}",
+                self.pi.len() - 1,
+            ));
         }
     }
 }

@@ -68,6 +68,9 @@ pub enum TieBreak {
 }
 
 /// [`compute_gap`] with an explicit tie-breaking policy.
+///
+/// Allocates one fresh rank scratch; the adversary's hot loop passes a
+/// reusable one to [`compute_gap_scratch`] instead.
 pub fn compute_gap_tie<S: ComparisonSummary<Item>>(
     pi: &StreamState<S>,
     rho: &StreamState<S>,
@@ -75,53 +78,137 @@ pub fn compute_gap_tie<S: ComparisonSummary<Item>>(
     iv_rho: &Interval,
     tie: TieBreak,
 ) -> GapInfo {
-    let a_pi = pi.restricted_item_array(iv_pi);
-    let a_rho = rho.restricted_item_array(iv_rho);
+    let mut scratch = GapScratch::default();
+    compute_gap_scratch(pi, rho, iv_pi, iv_rho, tie, &mut scratch)
+}
+
+/// Reusable buffer for the gap scan: holds the ϱ-side restricted ranks
+/// between invocations so the recursion's 2^k − 1 gap computations share
+/// one allocation instead of cloning both restricted arrays every time.
+#[derive(Default)]
+pub struct GapScratch {
+    ranks_rho: Vec<u64>,
+}
+
+/// Streaming argmax over the π-side restricted entries: visits entry `i`
+/// with its restricted rank and clones the entry only when it becomes
+/// the current best gap's low extreme.
+struct GapScan<'a> {
+    ranks_rho: &'a [u64],
+    tie: TieBreak,
+    i: usize,
+    best: u64,
+    best_i: usize,
+    best_low: Endpoint,
+}
+
+impl GapScan<'_> {
+    fn visit(&mut self, rank_pi: u64, entry: impl FnOnce() -> Endpoint) {
+        let i = self.i;
+        // Out-of-range entries only occur for a non-conforming summary
+        // whose arrays diverged in size; the caller raises the proper
+        // diagnostic after the walk.
+        if i < self.ranks_rho.len() {
+            // The construction keeps rank_π(I'_π[i]) ≤ rank_ϱ(I'_ϱ[i])
+            // (Section 4.6); verify rather than assume.
+            debug_assert!(
+                rank_pi <= self.ranks_rho[i],
+                "rank ordering invariant violated at index {i}: {} > {}",
+                rank_pi,
+                self.ranks_rho[i]
+            );
+            if i + 1 < self.ranks_rho.len() {
+                // ranks_rho[i+1] ≥ ranks_pi[i] always (both sides sorted
+                // and the ordering invariant); checked in debug builds.
+                let g = self.ranks_rho[i + 1] - rank_pi;
+                let wins = match self.tie {
+                    TieBreak::LowestIndex => g > self.best,
+                    TieBreak::HighestIndex => g >= self.best && g > 0,
+                };
+                if wins {
+                    self.best = g;
+                    self.best_i = i;
+                    self.best_low = entry();
+                }
+            }
+        }
+        self.i += 1;
+    }
+}
+
+/// [`compute_gap_tie`] against a caller-owned [`GapScratch`].
+///
+/// Three passes, none materialising a restricted array: (1) the ϱ-side
+/// restricted ranks go into the scratch; (2) the π side streams through
+/// [`GapScan`], computing each candidate gap on the fly; (3) the winning
+/// index's ϱ-side entry is fetched by a positional re-walk.
+pub fn compute_gap_scratch<S: ComparisonSummary<Item>>(
+    pi: &StreamState<S>,
+    rho: &StreamState<S>,
+    iv_pi: &Interval,
+    iv_rho: &Interval,
+    tie: TieBreak,
+    scratch: &mut GapScratch,
+) -> GapInfo {
+    let ranks_rho = &mut scratch.ranks_rho;
+    ranks_rho.clear();
+    let base_rho = rho.rank_base(iv_rho);
+    ranks_rho.push(rho.rank_in(iv_rho, iv_rho.lo()));
+    rho.for_each_stored_inside(iv_rho, &mut |it| {
+        ranks_rho.push(rho.rank_in_item_from(iv_rho, base_rho, it));
+    });
+    ranks_rho.push(rho.rank_in(iv_rho, iv_rho.hi()));
+    let m = ranks_rho.len();
+
+    let mut scan = GapScan {
+        ranks_rho,
+        tie,
+        i: 0,
+        best: 0,
+        best_i: 0,
+        best_low: iv_pi.lo().clone(),
+    };
+    let base_pi = pi.rank_base(iv_pi);
+    scan.visit(pi.rank_in(iv_pi, iv_pi.lo()), || iv_pi.lo().clone());
+    pi.for_each_stored_inside(iv_pi, &mut |it| {
+        scan.visit(pi.rank_in_item_from(iv_pi, base_pi, it), || {
+            Endpoint::Finite(it.clone())
+        });
+    });
+    scan.visit(pi.rank_in(iv_pi, iv_pi.hi()), || iv_pi.hi().clone());
+
     assert_eq!(
-        a_pi.len(),
-        a_rho.len(),
+        scan.i, m,
         "restricted item arrays differ in size — summary is not comparison-based"
     );
-    let m = a_pi.len();
     assert!(
         m >= 2,
         "restricted arrays must at least contain the two boundaries"
     );
+    let (best, best_i, pi_low) = (scan.best, scan.best_i, scan.best_low);
 
-    let ranks_pi: Vec<u64> = a_pi.iter().map(|e| pi.rank_in(iv_pi, e)).collect();
-    let ranks_rho: Vec<u64> = a_rho.iter().map(|e| rho.rank_in(iv_rho, e)).collect();
+    // Pass 3: I'_ϱ[best_i + 1]. Index m−1 is the high boundary; interior
+    // index j is the (j−1)-th stored item inside the interval.
+    let rho_high = if best_i + 1 == m - 1 {
+        iv_rho.hi().clone()
+    } else {
+        let target = best_i; // = (best_i + 1) − 1
+        let mut idx = 0usize;
+        let mut found: Option<Endpoint> = None;
+        rho.for_each_stored_inside(iv_rho, &mut |it| {
+            if idx == target && found.is_none() {
+                found = Some(Endpoint::Finite(it.clone()));
+            }
+            idx += 1;
+        });
+        found.expect("interior restricted index in range")
+    };
 
-    // The construction keeps rank_π(I'_π[i]) ≤ rank_ϱ(I'_ϱ[i]) (Section
-    // 4.6); verify rather than assume.
-    for i in 0..m {
-        debug_assert!(
-            ranks_pi[i] <= ranks_rho[i],
-            "rank ordering invariant violated at index {i}: {} > {}",
-            ranks_pi[i],
-            ranks_rho[i]
-        );
-    }
-
-    let mut best = 0u64;
-    let mut best_i = 0usize;
-    for i in 0..m - 1 {
-        // ranks_rho[i+1] ≥ ranks_pi[i] always (both sides sorted and the
-        // ordering invariant); keep the subtraction checked in debug.
-        let g = ranks_rho[i + 1] - ranks_pi[i];
-        let wins = match tie {
-            TieBreak::LowestIndex => g > best,
-            TieBreak::HighestIndex => g >= best && g > 0,
-        };
-        if wins {
-            best = g;
-            best_i = i;
-        }
-    }
     GapInfo {
         gap: best,
         index: best_i,
-        pi_low: a_pi[best_i].clone(),
-        rho_high: a_rho[best_i + 1].clone(),
+        pi_low,
+        rho_high,
         restricted_len: m,
     }
 }

@@ -69,10 +69,10 @@ pub mod rng;
 pub mod spacegap;
 pub mod state;
 
-pub use adversary::{run_lower_bound, Adversary, AdversaryReport, NodeAudit};
+pub use adversary::{run_lower_bound, Adversary, AdversaryReport, InsertMode, NodeAudit};
 pub use eps::Eps;
 pub use failure::{quantile_failure_witness, FailureWitness};
-pub use gap::{compute_gap, GapInfo};
+pub use gap::{compute_gap, compute_gap_scratch, GapInfo, GapScratch};
 pub use histogram::{equi_depth_histogram, EquiDepthHistogram};
 pub use model::{ComparisonSummary, MaxSpaceTracker, RankEstimator};
 pub use refine::refine_intervals;

@@ -35,8 +35,40 @@ pub trait ComparisonSummary<T: Ord + Clone> {
     /// Processes the next stream item.
     fn insert(&mut self, item: T);
 
+    /// Processes a non-decreasing run of stream items, returning the
+    /// largest `|I|` observed at any point of the run (the honest space
+    /// figure — a summary may compress mid-run, so the final
+    /// [`stored_count`](Self::stored_count) can undercount the peak).
+    ///
+    /// The default falls back to per-item [`insert`](Self::insert), so
+    /// every summary keeps working unchanged; implementations with a
+    /// cheaper bulk path (e.g. the GK one-pass merge) must behave
+    /// *identically* to the fallback — same stored state, same peak.
+    ///
+    /// Callers must pass `run` sorted non-decreasingly; this is the
+    /// order `leaf()` of the adversary already generates.
+    fn insert_sorted_run(&mut self, run: &[T]) -> usize {
+        let mut peak = 0usize;
+        for item in run {
+            self.insert(item.clone());
+            peak = peak.max(self.stored_count());
+        }
+        peak
+    }
+
     /// The item array `I`: all stored items, sorted non-decreasingly.
     fn item_array(&self) -> Vec<T>;
+
+    /// Visits the item array in order without materialising it: calls
+    /// `f` once per stored item, non-decreasingly — the borrow-friendly
+    /// face of [`item_array`](Self::item_array) used by the adversary's
+    /// gap scans. The default allocates via `item_array`; summaries on
+    /// the adversary hot path override it with a direct walk.
+    fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
+        for item in self.item_array() {
+            f(&item);
+        }
+    }
 
     /// `|I|` — the number of occupied item cells. Must be cheap (the
     /// harness polls it after every insert) and a deterministic function
@@ -125,8 +157,21 @@ impl<T: Ord + Clone, S: ComparisonSummary<T>> ComparisonSummary<T> for MaxSpaceT
         self.max_stored = self.max_stored.max(self.inner.stored_count());
     }
 
+    fn insert_sorted_run(&mut self, run: &[T]) -> usize {
+        // Delegate so the inner summary's bulk path is used; its reported
+        // intra-run peak keeps `max_stored` byte-identical to the
+        // per-item fallback (which polls after every insert).
+        let peak = self.inner.insert_sorted_run(run);
+        self.max_stored = self.max_stored.max(peak);
+        peak
+    }
+
     fn item_array(&self) -> Vec<T> {
         self.inner.item_array()
+    }
+
+    fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
+        self.inner.for_each_item(f)
     }
 
     fn stored_count(&self) -> usize {

@@ -44,6 +44,12 @@ impl<T: Ord + Clone> ComparisonSummary<T> for ExactSummary<T> {
         self.items.clone()
     }
 
+    fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
+        for item in &self.items {
+            f(item);
+        }
+    }
+
     fn stored_count(&self) -> usize {
         self.items.len()
     }
@@ -119,6 +125,12 @@ impl<T: Ord + Clone> ComparisonSummary<T> for DecimatedSummary<T> {
 
     fn item_array(&self) -> Vec<T> {
         self.items.clone()
+    }
+
+    fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
+        for item in &self.items {
+            f(item);
+        }
     }
 
     fn stored_count(&self) -> usize {

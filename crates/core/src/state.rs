@@ -4,12 +4,11 @@
 //!
 //! * the summary under attack (any [`ComparisonSummary<Item>`]);
 //! * an order-statistic treap over all stream items, giving the paper's
-//!   `rank_σ(a)`, `next(σ, a)` and `prev(σ, b)` in O(log N);
-//! * each item's arrival position, used to *verify* (not assume)
-//!   indistinguishability: Definition 3.2(2) demands that the i-th stored
-//!   items of the two summaries arrived at the same stream position.
-
-use std::collections::BTreeMap;
+//!   `rank_σ(a)`, `next(σ, a)` and `prev(σ, b)` in O(log N) — each node
+//!   also carries the item's arrival position as its tag, used to
+//!   *verify* (not assume) indistinguishability: Definition 3.2(2)
+//!   demands that the i-th stored items of the two summaries arrived at
+//!   the same stream position.
 
 use cqs_ostree::OsTree;
 use cqs_universe::{Endpoint, Interval, Item};
@@ -21,7 +20,6 @@ pub struct StreamState<S> {
     /// The summary under adversarial attack.
     pub summary: S,
     order: OsTree<Item>,
-    arrival: BTreeMap<Item, u64>,
     n: u64,
     max_label_depth: usize,
 }
@@ -32,7 +30,6 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         StreamState {
             summary,
             order: OsTree::new(),
-            arrival: BTreeMap::new(),
             n: 0,
             max_label_depth: 0,
         }
@@ -46,11 +43,47 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
     /// consist of distinct items, and `rank_σ` is only well-defined then.
     pub fn push(&mut self, item: Item) {
         self.max_label_depth = self.max_label_depth.max(item.depth());
-        let prev = self.arrival.insert(item.clone(), self.n);
-        assert!(prev.is_none(), "adversarial stream items must be distinct");
-        self.order.insert(item.clone());
+        // The treap descent doubles as the distinctness check, and the
+        // node's tag records the arrival position — one walk where the
+        // old BTreeMap-plus-treap layout paid for two.
+        let fresh = self.order.insert_unique_tagged(item.clone(), self.n);
+        assert!(fresh, "adversarial stream items must be distinct");
         self.summary.insert(item);
         self.n += 1;
+    }
+
+    /// Appends a strictly increasing run of fresh items whose closed span
+    /// `[run[0], run[last]]` contains no existing stream item — exactly
+    /// the situation at every adversary leaf, where the current interval
+    /// was refined to be empty of stream items. Returns the largest `|I|`
+    /// the summary reported at any point of the run (cf.
+    /// [`ComparisonSummary::insert_sorted_run`]).
+    ///
+    /// Equivalent to calling [`push`](Self::push) per item, but the treap
+    /// side costs one bulk join instead of |run| descents.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the same "distinct" diagnostic as `push`) if the run
+    /// is not strictly increasing or its span overlaps existing items.
+    pub fn push_run(&mut self, run: &[Item]) -> usize {
+        assert!(
+            run.windows(2).all(|w| w[0] < w[1]),
+            "adversarial stream items must be distinct"
+        );
+        if let (Some(first), Some(last)) = (run.first(), run.last()) {
+            let occupied = self.order.count_le(last) - self.order.count_less(first);
+            assert!(occupied == 0, "adversarial stream items must be distinct");
+        }
+        for it in run {
+            self.max_label_depth = self.max_label_depth.max(it.depth());
+        }
+        let start = self.n;
+        self.order
+            .extend_sorted_tagged(run.iter().cloned().zip(start..));
+        let peak = self.summary.insert_sorted_run(run);
+        self.n += run.len() as u64;
+        peak
     }
 
     /// Stream length so far.
@@ -100,9 +133,10 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         self.order.max().cloned()
     }
 
-    /// Arrival position (0-based) of a stream item.
+    /// Arrival position (0-based) of a stream item — the tag its treap
+    /// node carries.
     pub fn arrival_of(&self, a: &Item) -> Option<u64> {
-        self.arrival.get(a).copied()
+        self.order.tag_of(a)
     }
 
     /// Number of stream items strictly inside the open interval.
@@ -147,6 +181,39 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         }
     }
 
+    /// [`rank_in`](Self::rank_in) for a finite item without wrapping it
+    /// in an [`Endpoint`] — the shape the gap scan iterates in, sparing
+    /// an `Arc` clone per visited item.
+    pub fn rank_in_item(&self, iv: &Interval, it: &Item) -> u64 {
+        self.rank_in_item_from(iv, self.rank_base(iv), it)
+    }
+
+    /// The interval-lo data that [`rank_in_item`](Self::rank_in_item)
+    /// recomputes per call: whether `lo` is finite, and `count_le(lo)`.
+    /// Callers ranking many items within one interval hoist this once
+    /// and use [`rank_in_item_from`](Self::rank_in_item_from), halving
+    /// the treap descents of the scan.
+    pub fn rank_base(&self, iv: &Interval) -> (bool, u64) {
+        match iv.lo() {
+            Endpoint::NegInf => (false, 0),
+            Endpoint::Finite(l) => (true, self.order.count_le(l) as u64),
+            Endpoint::PosInf => unreachable!("interval lo cannot be +inf"),
+        }
+    }
+
+    /// [`rank_in_item`](Self::rank_in_item) with the interval-lo work
+    /// precomputed by [`rank_base`](Self::rank_base) — one treap descent
+    /// per item instead of two.
+    pub fn rank_in_item_from(&self, iv: &Interval, base: (bool, u64), it: &Item) -> u64 {
+        debug_assert!(
+            iv.lo().cmp_item(it).is_le() && iv.hi().cmp_item(it).is_ge(),
+            "rank_in item outside interval"
+        );
+        let (lo_finite, base) = base;
+        let le = self.order.count_le(it) as u64;
+        (lo_finite as u64) + le.saturating_sub(base)
+    }
+
     /// The restricted item array `I^(ℓ,r)`: the summary's stored items
     /// that fall strictly inside `iv`, *enclosed* by the interval's own
     /// endpoints (which, per the paper, count as array elements even when
@@ -154,22 +221,36 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
     pub fn restricted_item_array(&self, iv: &Interval) -> Vec<Endpoint> {
         let mut out = Vec::new();
         out.push(iv.lo().clone());
-        for it in self.summary.item_array() {
-            if iv.contains(&it) {
-                out.push(Endpoint::Finite(it));
+        self.summary.for_each_item(&mut |it| {
+            if iv.contains(it) {
+                out.push(Endpoint::Finite(it.clone()));
             }
-        }
+        });
         out.push(iv.hi().clone());
         out
     }
 
+    /// Visits, in order, the summary's stored items strictly inside `iv`
+    /// — the allocation-free face of
+    /// [`restricted_item_array`](Self::restricted_item_array), minus the
+    /// two boundary entries the caller supplies itself.
+    pub fn for_each_stored_inside(&self, iv: &Interval, f: &mut dyn FnMut(&Item)) {
+        self.summary.for_each_item(&mut |it| {
+            if iv.contains(it) {
+                f(it);
+            }
+        });
+    }
+
     /// Number of summary-stored items strictly inside `iv`.
     pub fn stored_inside(&self, iv: &Interval) -> usize {
-        self.summary
-            .item_array()
-            .iter()
-            .filter(|it| iv.contains(it))
-            .count()
+        let mut count = 0usize;
+        self.summary.for_each_item(&mut |it| {
+            if iv.contains(it) {
+                count += 1;
+            }
+        });
+        count
     }
 
     /// True rank error of answering rank-query `r` with item `x`:
@@ -216,6 +297,110 @@ pub fn check_indistinguishable<S: ComparisonSummary<Item>>(
         }
     }
     Ok(())
+}
+
+/// Incremental re-verifier for [`check_indistinguishable`] over a
+/// growing pair of streams.
+///
+/// Arrival positions never change once an item enters its stream, so a
+/// pair of stored items that verified at one leaf stays verified for as
+/// long as both summaries keep storing it. The checker memoizes the item
+/// arrays and their (verified-equal) arrival tags from the previous
+/// call; the next call walks old and new arrays in lockstep — surviving
+/// items resolve from the memo in O(1), and only newly stored items pay
+/// the O(log N) treap lookup. Amortized cost per leaf is therefore
+/// O(|I| + changed·log N) instead of O(|I|·log N), which is what makes
+/// the per-leaf Definition 3.2 check affordable at depth k = 12.
+///
+/// Any anomaly (size mismatch, unknown item, tag divergence) falls back
+/// to the full [`check_indistinguishable`] walk and drops the memo, so
+/// results — including the diagnostic strings — are always identical to
+/// the non-memoized check.
+#[derive(Default)]
+pub struct EquivalenceChecker {
+    items_pi: Vec<Item>,
+    items_rho: Vec<Item>,
+    tags: Vec<u64>,
+}
+
+impl EquivalenceChecker {
+    /// A checker with an empty memo (first call runs at full cost).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Semantically identical to [`check_indistinguishable`] on the same
+    /// pair of states; see the type docs for the cost model.
+    pub fn check<S: ComparisonSummary<Item>>(
+        &mut self,
+        pi: &StreamState<S>,
+        rho: &StreamState<S>,
+    ) -> Result<(), String> {
+        let ia = pi.summary.item_array();
+        let ib = rho.summary.item_array();
+        if ia.len() == ib.len() {
+            if let Some(tags) = self.fast_scan(&ia, &ib, pi, rho) {
+                self.items_pi = ia;
+                self.items_rho = ib;
+                self.tags = tags;
+                return Ok(());
+            }
+        }
+        // Anomaly: let the reference walk produce the diagnostic and
+        // restart the memo cold.
+        self.items_pi.clear();
+        self.items_rho.clear();
+        self.tags.clear();
+        check_indistinguishable(pi, rho)
+    }
+
+    /// Verifies positional correspondence, returning the common tag
+    /// sequence on success and `None` on the first anomaly.
+    fn fast_scan<S: ComparisonSummary<Item>>(
+        &self,
+        ia: &[Item],
+        ib: &[Item],
+        pi: &StreamState<S>,
+        rho: &StreamState<S>,
+    ) -> Option<Vec<u64>> {
+        let mut tags = Vec::with_capacity(ia.len());
+        let mut ja = 0usize;
+        let mut jb = 0usize;
+        for (a, b) in ia.iter().zip(ib.iter()) {
+            let pa = memo_or_lookup(a, &self.items_pi, &mut ja, &self.tags, pi)?;
+            let pb = memo_or_lookup(b, &self.items_rho, &mut jb, &self.tags, rho)?;
+            if pa != pb {
+                return None;
+            }
+            tags.push(pa);
+        }
+        Some(tags)
+    }
+}
+
+/// Arrival tag of `q`: resolved from the previous call's memo when `q`
+/// survived (both arrays are sorted, so one forward cursor suffices; the
+/// `Item` pointer-equality fast path makes the common hit free), from
+/// the stream's treap when newly stored.
+fn memo_or_lookup<S: ComparisonSummary<Item>>(
+    q: &Item,
+    prev: &[Item],
+    j: &mut usize,
+    tags: &[u64],
+    st: &StreamState<S>,
+) -> Option<u64> {
+    while *j < prev.len() {
+        match prev[*j].cmp(q) {
+            std::cmp::Ordering::Less => *j += 1, // dropped by the summary
+            std::cmp::Ordering::Equal => {
+                let t = tags[*j];
+                *j += 1;
+                return Some(t);
+            }
+            std::cmp::Ordering::Greater => break, // newly stored
+        }
+    }
+    st.arrival_of(q)
 }
 
 #[cfg(test)]
@@ -298,11 +483,98 @@ mod tests {
     }
 
     #[test]
+    fn incremental_checker_matches_reference_as_streams_grow() {
+        let items = generate_increasing(&Interval::whole(), 30);
+        let mut a = StreamState::new(ExactSummary::new());
+        let mut b = StreamState::new(ExactSummary::new());
+        let mut chk = EquivalenceChecker::new();
+        for it in items {
+            a.push(it.clone());
+            b.push(it);
+            assert_eq!(chk.check(&a, &b), check_indistinguishable(&a, &b));
+        }
+    }
+
+    #[test]
+    fn incremental_checker_reports_reference_diagnostics() {
+        let items = generate_increasing(&Interval::whole(), 8);
+        let mut a = StreamState::new(ExactSummary::new());
+        let mut b = StreamState::new(ExactSummary::new());
+        let mut chk = EquivalenceChecker::new();
+        // Same first four items, verified once to warm the memo.
+        for it in &items[..4] {
+            a.push(it.clone());
+            b.push(it.clone());
+        }
+        assert!(chk.check(&a, &b).is_ok());
+        // Diverge: the same two items arrive in swapped order, so the
+        // sorted arrays agree but positional correspondence breaks and
+        // the memoized path must produce the exact reference diagnostics.
+        a.push(items[5].clone());
+        a.push(items[4].clone());
+        b.push(items[4].clone());
+        b.push(items[5].clone());
+        assert_eq!(chk.check(&a, &b), check_indistinguishable(&a, &b));
+        assert!(chk.check(&a, &b).is_err());
+        // After a fallback the memo restarts cold and keeps agreeing.
+        a.push(items[6].clone());
+        b.push(items[6].clone());
+        assert_eq!(chk.check(&a, &b), check_indistinguishable(&a, &b));
+    }
+
+    #[test]
     #[should_panic(expected = "distinct")]
     fn duplicate_stream_items_rejected() {
         let mut st = StreamState::new(ExactSummary::new());
         let it = generate_increasing(&Interval::whole(), 1).pop().unwrap();
         st.push(it.clone());
         st.push(it);
+    }
+
+    #[test]
+    fn push_run_matches_per_item_push() {
+        let items = generate_increasing(&Interval::whole(), 24);
+        let mut bulk = StreamState::new(ExactSummary::new());
+        bulk.push_run(&items);
+        let mut single = StreamState::new(ExactSummary::new());
+        for it in items.clone() {
+            single.push(it);
+        }
+        assert_eq!(bulk.len(), single.len());
+        assert_eq!(bulk.summary.item_array(), single.summary.item_array());
+        for it in &items {
+            assert_eq!(bulk.rank(it), single.rank(it));
+            assert_eq!(bulk.arrival_of(it), single.arrival_of(it));
+            assert_eq!(bulk.next(it), single.next(it));
+            assert_eq!(bulk.prev(it), single.prev(it));
+        }
+    }
+
+    #[test]
+    fn push_run_tracks_label_depth_and_peak() {
+        let items = generate_increasing(&Interval::whole(), 8);
+        let depth = items.iter().map(|i| i.depth()).max().unwrap();
+        let mut st = StreamState::new(ExactSummary::new());
+        let peak = st.push_run(&items);
+        assert_eq!(peak, 8, "exact summary peak is the run length");
+        assert_eq!(st.max_label_depth(), depth);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn push_run_rejects_span_overlapping_existing_items() {
+        let items = generate_increasing(&Interval::whole(), 4);
+        let mut st = StreamState::new(ExactSummary::new());
+        st.push(items[1].clone());
+        // The run's closed span [items[0], items[2]] contains items[1].
+        st.push_run(&[items[0].clone(), items[2].clone()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn push_run_rejects_non_increasing_runs() {
+        let items = generate_increasing(&Interval::whole(), 2);
+        let mut st = StreamState::new(ExactSummary::new());
+        st.push_run(&[items[1].clone(), items[0].clone()]);
     }
 }

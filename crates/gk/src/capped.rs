@@ -67,8 +67,16 @@ impl<T: Ord + Clone> ComparisonSummary<T> for CappedGk<T> {
         self.enforce_budget();
     }
 
+    // Note: no `insert_sorted_run` override — the budget must be
+    // re-enforced after every single item, which is exactly what the
+    // trait's per-item fallback does.
+
     fn item_array(&self) -> Vec<T> {
         self.inner.item_array()
+    }
+
+    fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
+        self.inner.for_each_item(f)
     }
 
     fn stored_count(&self) -> usize {

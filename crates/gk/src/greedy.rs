@@ -9,7 +9,9 @@
 
 use cqs_core::{ComparisonSummary, RankEstimator};
 
-use crate::tuple::{estimate_rank_from_tuples, query_rank_from_tuples, GkTuple};
+use crate::tuple::{
+    estimate_rank_from_tuples, merge_sorted_chunk, query_rank_from_tuples, GkTuple,
+};
 
 /// Greedy-merge GK summary.
 #[derive(Clone, Debug)]
@@ -123,8 +125,44 @@ impl<T: Ord + Clone> ComparisonSummary<T> for GreedyGk<T> {
         self.insert_value(item);
     }
 
+    fn insert_sorted_run(&mut self, run: &[T]) -> usize {
+        debug_assert!(
+            run.windows(2).all(|w| w[0] <= w[1]),
+            "insert_sorted_run requires a non-decreasing run"
+        );
+        let mut peak = 0usize;
+        let mut rest = run;
+        while !rest.is_empty() {
+            // Chunk at compress boundaries (see GkSummary's override for
+            // the peak-accounting rationale).
+            let until = (self.compress_period - self.n % self.compress_period) as usize;
+            let (chunk, tail) = rest.split_at(until.min(rest.len()));
+            merge_sorted_chunk(&mut self.tuples, &mut self.n, self.eps, chunk);
+            let pre_compress = self.tuples.len();
+            if self.n.is_multiple_of(self.compress_period) {
+                self.compress(self.threshold());
+                let post = self.tuples.len();
+                peak = peak.max(if chunk.len() >= 2 {
+                    (pre_compress - 1).max(post)
+                } else {
+                    post
+                });
+            } else {
+                peak = peak.max(pre_compress);
+            }
+            rest = tail;
+        }
+        peak
+    }
+
     fn item_array(&self) -> Vec<T> {
         self.tuples.iter().map(|t| t.v.clone()).collect()
+    }
+
+    fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
+        for t in &self.tuples {
+            f(&t.v);
+        }
     }
 
     fn stored_count(&self) -> usize {

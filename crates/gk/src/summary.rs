@@ -3,7 +3,9 @@
 use cqs_core::{ComparisonSummary, RankEstimator};
 
 use crate::band::band;
-use crate::tuple::{estimate_rank_from_tuples, query_rank_from_tuples, GkTuple};
+use crate::tuple::{
+    estimate_rank_from_tuples, merge_sorted_chunk, query_rank_from_tuples, GkTuple,
+};
 
 /// The Greenwald–Khanna ε-approximate quantile summary (SIGMOD 2001),
 /// with the band-based COMPRESS and subtree merging of the original
@@ -83,6 +85,9 @@ impl<T: Ord + Clone> GkSummary<T> {
             return;
         }
         if self.tuples.is_empty() {
+            // Adopting the other side wholesale is the one unavoidable
+            // copy: merge takes `&other` by contract.
+            // cqs-lint: allow(hot-path-alloc)
             self.tuples = other.tuples.clone();
             self.n = other.n;
             self.eps = (self.eps + other.eps).min(0.499);
@@ -275,8 +280,47 @@ impl<T: Ord + Clone> ComparisonSummary<T> for GkSummary<T> {
         self.insert_value(item);
     }
 
+    fn insert_sorted_run(&mut self, run: &[T]) -> usize {
+        debug_assert!(
+            run.windows(2).all(|w| w[0] <= w[1]),
+            "insert_sorted_run requires a non-decreasing run"
+        );
+        let mut peak = 0usize;
+        let mut rest = run;
+        while !rest.is_empty() {
+            // Slice the run at the next compress boundary so the chunk
+            // merge never has to interleave with COMPRESS.
+            let until = (self.compress_period - self.n % self.compress_period) as usize;
+            let (chunk, tail) = rest.split_at(until.min(rest.len()));
+            merge_sorted_chunk(&mut self.tuples, &mut self.n, self.eps, chunk);
+            let pre_compress = self.tuples.len();
+            if self.n.is_multiple_of(self.compress_period) {
+                self.compress();
+                // The per-item path polls |I| after every insert (incl.
+                // the compressing one), so it never observes the full
+                // pre-compress length — only up to one item before it.
+                let post = self.tuples.len();
+                peak = peak.max(if chunk.len() >= 2 {
+                    (pre_compress - 1).max(post)
+                } else {
+                    post
+                });
+            } else {
+                peak = peak.max(pre_compress);
+            }
+            rest = tail;
+        }
+        peak
+    }
+
     fn item_array(&self) -> Vec<T> {
         self.tuples.iter().map(|t| t.v.clone()).collect()
+    }
+
+    fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
+        for t in &self.tuples {
+            f(&t.v);
+        }
     }
 
     fn stored_count(&self) -> usize {

@@ -71,6 +71,74 @@ pub(crate) fn estimate_rank_from_tuples<T: Ord>(tuples: &[GkTuple<T>], q: &T, n:
     n
 }
 
+/// Merges a non-decreasing `chunk` of fresh items into `tuples` in one
+/// pass, replicating — tuple for tuple — what the sequential
+/// `insert_value` loop would build, minus the per-item binary search and
+/// `Vec::insert` shuffles. The caller guarantees no COMPRESS fires
+/// inside the chunk (it slices runs at compress-period boundaries), so
+/// the only sequential effects to reproduce are the position-dependent
+/// Δ assignment and the placement of duplicates:
+///
+/// * `pos == 0` for item x ⟺ no tuple with `v < x` had been emitted;
+/// * `pos == len` ⟺ the old list is fully consumed *and* x is the first
+///   of its equal group (earlier equals sit at/after the insertion
+///   point);
+/// * sequential inserts place each new equal item *before* the previous
+///   ones, so an equal group is emitted in reverse insertion order.
+///
+/// `n` advances by one per item; Δ uses the threshold ⌊2εn⌋ evaluated
+/// *before* each increment, exactly as `insert_value` does.
+pub(crate) fn merge_sorted_chunk<T: Ord + Clone>(
+    tuples: &mut Vec<GkTuple<T>>,
+    n: &mut u64,
+    eps: f64,
+    chunk: &[T],
+) {
+    if chunk.is_empty() {
+        return;
+    }
+    // Tuples below the chunk's smallest item are untouched, so the merge
+    // materializes only the interleaved middle (consumed old tuples plus
+    // the chunk) and splices it over the consumed range. The adversary's
+    // runs land inside one refined interval, where this turns the old
+    // whole-list rebuild into a short middle plus one tail move.
+    let lo = tuples.partition_point(|t| t.v < chunk[0]);
+    let mut cur = lo;
+    let mut mid: Vec<GkTuple<T>> = Vec::with_capacity(chunk.len());
+    let mut idx = 0usize;
+    while idx < chunk.len() {
+        let x = &chunk[idx];
+        let mut end = idx + 1;
+        while end < chunk.len() && chunk[end] == *x {
+            end += 1;
+        }
+        while cur < tuples.len() && tuples[cur].v < *x {
+            mid.push(tuples[cur].clone());
+            cur += 1;
+        }
+        let any_lt = lo > 0 || !mid.is_empty();
+        let old_empty = cur == tuples.len();
+        let group_start = mid.len();
+        for j in 0..end - idx {
+            let thr = (2.0 * eps * *n as f64).floor() as u64;
+            let delta = if !any_lt || (old_empty && j == 0) || thr < 1 {
+                0
+            } else {
+                thr.saturating_sub(1)
+            };
+            mid.push(GkTuple {
+                v: x.clone(),
+                g: 1,
+                delta,
+            });
+            *n += 1;
+        }
+        mid[group_start..].reverse();
+        idx = end;
+    }
+    tuples.splice(lo..cur, mid);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -203,6 +203,101 @@ mod tests {
     }
 
     #[test]
+    fn extend_sorted_matches_per_item_insert() {
+        // Equivalence: same multiset → same rank/select/successor/
+        // predecessor answers, regardless of how the items arrived.
+        let runs: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![7],
+            (0..500).collect(),
+            (0..100).map(|i| i * 3 % 97).collect::<Vec<u64>>(),
+            vec![5, 5, 5, 9, 9],
+        ];
+        for base in [Vec::new(), (1000..1100).collect::<Vec<u64>>()] {
+            for run in &runs {
+                let mut sorted_run = run.clone();
+                sorted_run.sort_unstable();
+
+                let mut bulk = OsTree::with_seed(11);
+                let mut single = OsTree::with_seed(11);
+                for &x in &base {
+                    bulk.insert(x);
+                    single.insert(x);
+                }
+                bulk.extend_sorted(sorted_run.iter().copied());
+                for &x in &sorted_run {
+                    single.insert(x);
+                }
+
+                assert_eq!(bulk.len(), single.len());
+                let a: Vec<u64> = bulk.iter().copied().collect();
+                let b: Vec<u64> = single.iter().copied().collect();
+                assert_eq!(a, b, "in-order traversal diverged");
+                for q in [0u64, 5, 9, 50, 96, 150, 1000, 1099, 2000] {
+                    assert_eq!(bulk.rank(&q), single.rank(&q));
+                    assert_eq!(bulk.count_le(&q), single.count_le(&q));
+                    assert_eq!(bulk.successor(&q), single.successor(&q));
+                    assert_eq!(bulk.predecessor(&q), single.predecessor(&q));
+                }
+                for r in 1..=bulk.len() {
+                    assert_eq!(bulk.select(r), single.select(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_sorted_interleaves_with_existing_items() {
+        // The run's key range overlaps the existing tree item-by-item.
+        let mut bulk = OsTree::with_seed(3);
+        let mut single = OsTree::with_seed(3);
+        for x in (0..1000u64).step_by(2) {
+            bulk.insert(x);
+            single.insert(x);
+        }
+        let odds: Vec<u64> = (0..1000).filter(|x| x % 2 == 1).collect();
+        bulk.extend_sorted(odds.iter().copied());
+        for &x in &odds {
+            single.insert(x);
+        }
+        assert_eq!(bulk.len(), 1000);
+        let a: Vec<u64> = bulk.iter().copied().collect();
+        let expected: Vec<u64> = (0..1000).collect();
+        assert_eq!(a, expected);
+        assert_eq!(single.len(), 1000);
+        assert!(bulk.height() < 80, "degenerate: {}", bulk.height());
+    }
+
+    #[test]
+    fn extend_sorted_bulk_height_stays_logarithmic() {
+        // An all-sorted bulk build is the shape-degeneracy worst case.
+        let mut t = OsTree::new();
+        t.extend_sorted(0..100_000u64);
+        assert_eq!(t.len(), 100_000);
+        assert_eq!(t.rank(&50_000), 50_001);
+        assert!(t.height() < 80, "degenerate: {}", t.height());
+    }
+
+    #[test]
+    fn tags_record_and_retrieve_per_item_payloads() {
+        let mut t = OsTree::new();
+        assert!(t.insert_unique_tagged(10u32, 100));
+        assert!(t.insert_unique_tagged(20u32, 200));
+        assert!(
+            !t.insert_unique_tagged(10u32, 999),
+            "duplicate must be rejected"
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.tag_of(&10), Some(100), "tag of rejected dup unchanged");
+        assert_eq!(t.tag_of(&20), Some(200));
+        assert_eq!(t.tag_of(&30), None);
+        t.extend_sorted_tagged([(30u32, 300), (40, 400)]);
+        assert_eq!(t.tag_of(&30), Some(300));
+        assert_eq!(t.tag_of(&40), Some(400));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
     fn count_in_open_interval() {
         let mut t = OsTree::new();
         for x in 0..100u32 {

@@ -6,6 +6,7 @@ pub(crate) struct Node<T> {
     pub(crate) item: T,
     pri: u64,
     size: usize,
+    tag: u64,
     pub(crate) left: Link<T>,
     pub(crate) right: Link<T>,
 }
@@ -13,11 +14,12 @@ pub(crate) struct Node<T> {
 pub(crate) type Link<T> = Option<Box<Node<T>>>;
 
 impl<T> Node<T> {
-    fn new(item: T, pri: u64) -> Box<Self> {
+    fn new(item: T, pri: u64, tag: u64) -> Box<Self> {
         Box::new(Node {
             item,
             pri,
             size: 1,
+            tag,
             left: None,
             right: None,
         })
@@ -84,11 +86,109 @@ impl<T: Ord> OsTree<T> {
 
     /// Inserts `item`; duplicates are kept (multiset semantics).
     pub fn insert(&mut self, item: T) {
+        self.insert_tagged(item, 0);
+    }
+
+    /// Inserts `item` carrying a 64-bit tag — an augmentation slot each
+    /// node stores alongside the item (the adversary keeps the arrival
+    /// position there, fusing what used to be a parallel
+    /// `BTreeMap<Item, u64>` walk into this one). Duplicates are kept.
+    pub fn insert_tagged(&mut self, item: T, tag: u64) {
         let pri = self.next_pri();
         let root = self.root.take();
         let (lt, ge) = split(root, &item);
-        let node = Node::new(item, pri);
+        let node = Node::new(item, pri, tag);
         self.root = merge(merge(lt, Some(node)), ge);
+    }
+
+    /// Inserts `item` with `tag` only if no equal item is stored;
+    /// returns whether the insert happened. Costs a single descent, so
+    /// callers needing set (not multiset) semantics get the duplicate
+    /// check for free instead of paying a separate `contains` walk.
+    pub fn insert_unique_tagged(&mut self, item: T, tag: u64) -> bool {
+        let pri = self.next_pri();
+        let root = self.root.take();
+        let (lt, ge) = split(root, &item);
+        // `ge` holds everything ≥ item, so an equal occurrence, if any,
+        // is exactly its minimum.
+        if leftmost(&ge).is_some_and(|m| *m == item) {
+            self.root = merge(lt, ge);
+            return false;
+        }
+        let node = Node::new(item, pri, tag);
+        self.root = merge(merge(lt, Some(node)), ge);
+        true
+    }
+
+    /// The tag of a stored occurrence of `q` (the one nearest the root
+    /// if duplicates exist), or `None` if `q` is not stored.
+    pub fn tag_of(&self, q: &T) -> Option<u64> {
+        let mut n = self.root.as_deref();
+        while let Some(node) = n {
+            match q.cmp(&node.item) {
+                std::cmp::Ordering::Equal => return Some(node.tag),
+                std::cmp::Ordering::Less => n = node.left.as_deref(),
+                std::cmp::Ordering::Greater => n = node.right.as_deref(),
+            }
+        }
+        None
+    }
+
+    /// Bulk insert of a non-decreasing run: builds a treap from the run
+    /// in O(m) (stack-based Cartesian construction over the drawn
+    /// priorities) and joins it with the existing tree in
+    /// O(m + log n) expected when the run occupies a key range free of
+    /// existing items (the adversary's leaf case), degrading gracefully
+    /// to a treap union — O(m·log(n/m)) expected — under arbitrary
+    /// interleaving. Equivalent to calling [`insert`](Self::insert) per
+    /// item: same multiset, same order-statistic answers.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `items` is sorted non-decreasingly.
+    pub fn extend_sorted<I: IntoIterator<Item = T>>(&mut self, items: I) {
+        self.extend_sorted_tagged(items.into_iter().map(|it| (it, 0)));
+    }
+
+    /// [`extend_sorted`](Self::extend_sorted) with a tag per item (see
+    /// [`insert_tagged`](Self::insert_tagged)).
+    pub fn extend_sorted_tagged<I: IntoIterator<Item = (T, u64)>>(&mut self, pairs: I) {
+        let run = self.build_sorted(pairs);
+        let root = self.root.take();
+        self.root = union(root, run);
+    }
+
+    /// Builds a heap-ordered treap from non-decreasing `pairs` in one
+    /// pass: the stack holds the right spine; each new (rightmost) node
+    /// absorbs the popped lower-priority suffix as its left subtree.
+    fn build_sorted<I: IntoIterator<Item = (T, u64)>>(&mut self, pairs: I) -> Link<T> {
+        let mut spine: Vec<Box<Node<T>>> = Vec::new();
+        for (item, tag) in pairs {
+            debug_assert!(
+                spine.last().is_none_or(|top| top.item <= item),
+                "extend_sorted run is not sorted"
+            );
+            let pri = self.next_pri();
+            let mut node = Node::new(item, pri, tag);
+            let mut carry: Link<T> = None;
+            while spine.last().is_some_and(|top| top.pri < pri) {
+                let mut top = spine.pop().expect("checked non-empty");
+                top.right = carry.take();
+                top.update();
+                carry = Some(top);
+            }
+            node.left = carry;
+            node.update();
+            spine.push(node);
+        }
+        // Re-attach the remaining spine bottom-up.
+        let mut right: Link<T> = None;
+        while let Some(mut n) = spine.pop() {
+            n.right = right.take();
+            n.update();
+            right = Some(n);
+        }
+        right
     }
 
     /// Removes one occurrence of `item`; returns whether anything was
@@ -349,6 +449,35 @@ fn merge<T: Ord>(a: Link<T>, b: Link<T>) -> Link<T> {
                 bn.update();
                 Some(bn)
             }
+        }
+    }
+}
+
+/// Minimum item of a subtree, if any (no mutation, no allocation).
+fn leftmost<T>(link: &Link<T>) -> Option<&T> {
+    let mut n = link.as_deref()?;
+    while let Some(l) = n.left.as_deref() {
+        n = l;
+    }
+    Some(&n.item)
+}
+
+/// Treap union: the higher-priority root stays a root, the other tree
+/// is split by its item, and the halves recurse. O(m·log(n/m))
+/// expected in general; when the smaller tree's key range contains no
+/// items of the larger one (the adversary's leaf case) the recursion
+/// degenerates into a single split path, i.e. O(m + log n).
+fn union<T: Ord>(a: Link<T>, b: Link<T>) -> Link<T> {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some(an), Some(bn)) => {
+            let (mut root, other) = if an.pri >= bn.pri { (an, bn) } else { (bn, an) };
+            let (lt, ge) = split(Some(other), &root.item);
+            root.left = union(root.left.take(), lt);
+            root.right = union(root.right.take(), ge);
+            root.update();
+            Some(root)
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Opaque universe items.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
@@ -13,8 +14,76 @@ use std::sync::Arc;
 /// permitted by Definition 2.1(i) of the paper.
 ///
 /// Cloning is O(1) (the label is reference-counted).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// ## Comparison fast path
+///
+/// The same `Arc` is cloned into the stream index, the treap, and the
+/// summary under attack, so a large share of comparisons on the
+/// adversary hot path are an item against *itself*. `Ord`/`Eq` are
+/// therefore implemented manually (not derived) with a pointer-equality
+/// short-circuit before the byte-wise walk, and the byte-wise walk
+/// compares 8-byte words at a time — refinement-minted labels share
+/// long prefixes, so skipping the common prefix a word per step is the
+/// dominant cost saver on deep labels. The observable semantics are
+/// exactly the derived ones: lexicographic byte order.
+#[derive(Clone, Eq)]
 pub struct Item(Arc<[u8]>);
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+// Manual alongside the manual `PartialEq` (pointer equality implies
+// label equality, so the `k1 == k2 ⇒ hash(k1) == hash(k2)` contract
+// holds); hashes the label bytes exactly as the derive would.
+impl std::hash::Hash for Item {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return Ordering::Equal;
+        }
+        lex_cmp(&self.0, &other.0)
+    }
+}
+
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lexicographic byte comparison that skips the shared prefix one
+/// `u64` word at a time before falling back to the per-byte verdict.
+/// Equivalent to `a.cmp(b)` on byte slices.
+fn lex_cmp(a: &[u8], b: &[u8]) -> Ordering {
+    const W: usize = 8;
+    let common = a.len().min(b.len());
+    let mut i = 0;
+    while i + W <= common {
+        // Word-wise equality probe; big-endian interpretation preserves
+        // lexicographic order, so the first differing word decides.
+        let wa = u64::from_be_bytes(a[i..i + W].try_into().expect("8-byte chunk"));
+        let wb = u64::from_be_bytes(b[i..i + W].try_into().expect("8-byte chunk"));
+        if wa != wb {
+            return wa.cmp(&wb);
+        }
+        i += W;
+    }
+    while i < common {
+        if a[i] != b[i] {
+            return a[i].cmp(&b[i]);
+        }
+        i += 1;
+    }
+    a.len().cmp(&b.len())
+}
 
 impl Item {
     /// Wraps a raw label. Intended for the adversary/universe machinery;
@@ -84,5 +153,44 @@ mod tests {
         let a = Item::from_label(vec![0xab; 20]);
         let s = format!("{a:?}");
         assert!(s.len() < 40, "debug too long: {s}");
+    }
+
+    #[test]
+    fn fast_path_matches_slice_lexicographic_order() {
+        // Exhaustive-ish differential check against the reference
+        // (`<[u8]>::cmp`), with lengths straddling the 8-byte word size
+        // and differences at every position.
+        let mut labels: Vec<Vec<u8>> = vec![vec![]];
+        for len in [1usize, 7, 8, 9, 15, 16, 17, 31] {
+            for fill in [0u8, 1, 127, 255] {
+                labels.push(vec![fill; len]);
+                let mut v = vec![fill; len];
+                v[len / 2] = fill.wrapping_add(1);
+                labels.push(v);
+                let mut w = vec![fill; len];
+                w[len - 1] = fill.wrapping_sub(1);
+                labels.push(w);
+            }
+        }
+        for a in &labels {
+            for b in &labels {
+                let ia = Item::from_label(a.clone());
+                let ib = Item::from_label(b.clone());
+                assert_eq!(
+                    ia.cmp(&ib),
+                    a.as_slice().cmp(b.as_slice()),
+                    "fast path diverged on {a:?} vs {b:?}"
+                );
+                assert_eq!(ia == ib, a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_arc_compares_equal_via_pointer() {
+        let a = Item::from_label(vec![5; 1000]);
+        let b = a.clone();
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a, b);
     }
 }

@@ -68,8 +68,16 @@ pub fn role_of(crate_name: &str) -> Role {
 
 /// Function names that form the query/update hot path of a summary —
 /// the paths where a panic would mean the data structure can fail on
-/// adversarial input rather than degrade.
-pub const HOT_PATH_FNS: &[&str] = &["insert", "query_rank", "quantile", "estimate_rank", "merge"];
+/// adversarial input rather than degrade, and where a stray heap
+/// allocation multiplies by the stream length.
+pub const HOT_PATH_FNS: &[&str] = &[
+    "insert",
+    "insert_sorted_run",
+    "query_rank",
+    "quantile",
+    "estimate_rank",
+    "merge",
+];
 
 #[cfg(test)]
 mod tests {

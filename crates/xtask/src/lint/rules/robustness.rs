@@ -3,9 +3,11 @@
 //! The adversary exists to feed summaries their worst case; a summary
 //! that panics mid-attack has not "used little space", it has failed.
 //! These rules require memory safety to be declared at the crate root,
-//! keep panicking constructs off the summary hot paths, and forbid raw
+//! keep panicking constructs off the summary hot paths, forbid raw
 //! float equality (`OrdF64` in cqs-streams exists precisely so ordering
-//! and equality agree via `total_cmp`).
+//! and equality agree via `total_cmp`), and warn when a hot path heap-
+//! allocates per call — the batched insert APIs and reusable scratch
+//! buffers exist so that it never has to.
 
 use super::super::config::{Role, HOT_PATH_FNS};
 use super::super::scanner::contains_word;
@@ -48,6 +50,15 @@ static HOT_PATH_PANIC: Rule = Rule {
     check: check_hot_path_panic,
 };
 
+static HOT_PATH_ALLOC: Rule = Rule {
+    id: "hot-path-alloc",
+    severity: Severity::Warning,
+    rationale: "insert/query hot paths should not heap-allocate per call (to_vec, format!, \
+                wholesale container clones); use insert_sorted_run batching and scratch buffers",
+    applies: Role::comparison_rules,
+    check: check_hot_path_alloc,
+};
+
 static FLOAT_EQ: Rule = Rule {
     id: "float-eq",
     severity: Severity::Error,
@@ -63,6 +74,7 @@ pub fn rules() -> Vec<&'static Rule> {
         &FORBID_UNSAFE,
         &MISSING_DOCS_ATTR,
         &HOT_PATH_PANIC,
+        &HOT_PATH_ALLOC,
         &FLOAT_EQ,
     ]
 }
@@ -131,6 +143,85 @@ fn check_hot_path_panic(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
             }
         }
     }
+}
+
+fn check_hot_path_alloc(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for line in &ctx.file.lines {
+        if line.in_test || ctx.test_file || ctx.file.suppressed(line, HOT_PATH_ALLOC.id) {
+            continue;
+        }
+        if !line.fns.iter().any(|f| HOT_PATH_FNS.contains(&f.as_str())) {
+            continue;
+        }
+        let hot = line.fns.last().map(String::as_str).unwrap_or("?");
+        let msg = if contains_word(&line.code, "to_vec") {
+            Some(format!(
+                "`to_vec` inside `{hot}` copies a whole container per call"
+            ))
+        } else if line.code.contains("format!") {
+            Some(format!(
+                "`format!` inside `{hot}` heap-allocates a String per call"
+            ))
+        } else {
+            container_field_clone(&line.code).map(|field| {
+                format!("`.{field}.clone()` inside `{hot}` looks like a wholesale container copy")
+            })
+        };
+        if let Some(m) = msg {
+            ctx.emit(out, &HOT_PATH_ALLOC, line.number, m);
+        }
+    }
+}
+
+/// Detects `a.b.clone()` where the receiver is a plain field path (no
+/// indexing, no calls) and the cloned field's name looks like a
+/// container (plural, or a known container word). Per-item clones are
+/// the currency of a comparison-based summary, so `item.clone()` (one
+/// segment), `t.v.clone()` (singular field), and
+/// `self.tuples[i].v.clone()` (indexed element) all stay quiet; only
+/// wholesale container copies are flagged.
+fn container_field_clone(code: &str) -> Option<&str> {
+    const CONTAINER_HINTS: &[&str] = &["buffer", "reservoir", "queue", "heap", "pool", "cache"];
+    let b = code.as_bytes();
+    let mut search = 0;
+    while let Some(rel) = code[search..].find(".clone()") {
+        let dot = search + rel;
+        search = dot + ".clone()".len();
+        // Walk the receiver chain backwards: ident ('.' ident)*.
+        let mut end = dot;
+        let mut segments = 0usize;
+        let mut field: Option<&str> = None;
+        loop {
+            let mut start = end;
+            while start > 0 && is_ident(b[start - 1]) {
+                start -= 1;
+            }
+            if start == end {
+                // Not a plain ident segment: indexing (`]`), a call
+                // (`)`), or the start of the line. The chain is either
+                // broken (element access → quiet) or complete.
+                break;
+            }
+            segments += 1;
+            if field.is_none() {
+                field = Some(&code[start..end]);
+            }
+            if start > 0 && b[start - 1] == b'.' {
+                end = start - 1;
+            } else {
+                break;
+            }
+        }
+        if segments >= 2 {
+            if let Some(f) = field {
+                let plural = f.len() >= 3 && f.ends_with('s') && !f.ends_with("ss");
+                if plural || CONTAINER_HINTS.contains(&f) {
+                    return Some(f);
+                }
+            }
+        }
+    }
+    None
 }
 
 fn check_float_eq(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
@@ -228,6 +319,37 @@ fn float_literal_after(b: &[u8], mut j: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn container_clone_detection() {
+        assert_eq!(
+            container_field_clone("self.tuples = other.tuples.clone();"),
+            Some("tuples")
+        );
+        assert_eq!(
+            container_field_clone("let s = self.items.clone();"),
+            Some("items")
+        );
+        assert_eq!(
+            container_field_clone("let r = self.reservoir.clone();"),
+            Some("reservoir")
+        );
+        // Single-item clones and element access stay quiet.
+        assert_eq!(container_field_clone("let v = item.clone();"), None);
+        assert_eq!(
+            container_field_clone("best.map(|(t, _)| t.v.clone())"),
+            None
+        );
+        assert_eq!(
+            container_field_clone("let x = self.tuples[i].v.clone();"),
+            None
+        );
+        assert_eq!(container_field_clone("return self.min.clone();"), None);
+        // Method-call receivers are unknowable: stay quiet.
+        assert_eq!(container_field_clone("self.rows().items.clone()"), None);
+        // `.cloned()` is not `.clone()`.
+        assert_eq!(container_field_clone("self.items.first().cloned()"), None);
+    }
 
     #[test]
     fn float_literal_detection() {

@@ -1,0 +1,35 @@
+//! Fixture: heap allocation on the summary hot paths. Never compiled.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub struct Wasteful {
+    tuples: Vec<u64>,
+}
+
+impl Wasteful {
+    pub fn insert(&mut self, item: u64) {
+        let snapshot = self.tuples.clone();
+        drop(snapshot);
+        self.tuples.push(item);
+    }
+
+    pub fn query_rank(&self, r: u64) -> String {
+        format!("rank {r}")
+    }
+
+    pub fn merge(&mut self, other: &Wasteful) {
+        let copied = other.tuples.to_vec();
+        self.tuples.extend(copied);
+    }
+
+    pub fn quantile(&self, _q: f64) -> Option<u64> {
+        // Element clones and `.cloned()` are per-item currency: quiet.
+        let first = self.tuples.first().cloned();
+        first
+    }
+
+    pub fn item_array(&self) -> Vec<u64> {
+        // Not a hot-path fn: wholesale clones are fine here.
+        self.tuples.clone()
+    }
+}

@@ -10,6 +10,7 @@ use cqs_xtask::Severity;
 const BAD_COMPARISON: &str = include_str!("fixtures/bad_comparison.rs");
 const BAD_DETERMINISM: &str = include_str!("fixtures/bad_determinism.rs");
 const BAD_ROBUSTNESS: &str = include_str!("fixtures/bad_robustness.rs");
+const BAD_HOT_ALLOC: &str = include_str!("fixtures/bad_hot_alloc.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 
@@ -79,6 +80,35 @@ fn robustness_fixture_fires_attr_panic_and_float_rules() {
 }
 
 #[test]
+fn hot_alloc_fixture_fires_once_per_alloc_pattern() {
+    let diags = lint_as_summary(BAD_HOT_ALLOC);
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "hot-path-alloc")
+        .collect();
+    // Exactly three: container clone in insert, format! in query_rank,
+    // to_vec in merge. quantile's element clone and item_array's
+    // (non-hot-path) wholesale clone stay quiet.
+    assert_eq!(hits.len(), 3, "{diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Warning));
+    for f in ["insert", "query_rank", "merge"] {
+        assert!(
+            hits.iter().any(|d| d.message.contains(&format!("`{f}`"))),
+            "no hot-path-alloc hit inside {f}: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn hot_alloc_does_not_apply_to_harness_crates() {
+    let diags = lint_source("bench", "src/lib.rs", BAD_HOT_ALLOC);
+    assert!(
+        !rules_fired(&diags).contains(&"hot-path-alloc"),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn missing_docs_is_a_warning_not_an_error() {
     let diags = lint_as_summary(BAD_ROBUSTNESS);
     let d = diags
@@ -131,6 +161,7 @@ fn registry_covers_every_fixture_rule() {
         "forbid-unsafe",
         "missing-docs-attr",
         "hot-path-panic",
+        "hot-path-alloc",
         "float-eq",
     ] {
         assert!(ids.contains(&rule), "registry lost rule {rule}");
