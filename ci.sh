@@ -5,8 +5,23 @@
 #
 #   ./ci.sh            # full gate
 #   ./ci.sh --fast     # skip the release build (lint + tests only)
+#   ./ci.sh --faults   # only the fault-matrix smoke (debug build)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+faults_smoke() {
+    # Fault-injection smoke: the 8-cell matrix on GK at eps = 1/16,
+    # k = 6 must map every injected fault to its documented verdict
+    # (the binary exits nonzero on the first mismatch).
+    cargo run "$@" -q -p cqs-cli --bin cqs-tool -- faults --inv-eps 16 --k 6
+}
+
+if [[ "${1:-}" == "--faults" ]]; then
+    echo "==> fault-matrix smoke (cqs faults, gk, eps=1/16, k=6)"
+    faults_smoke
+    echo "ci: faults smoke green"
+    exit 0
+fi
 
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
@@ -36,6 +51,9 @@ if [[ $fast -eq 0 ]]; then
     echo "==> perf baseline smoke (tiny configs; schema + speedup-line check)"
     cargo run --release -q -p cqs-bench --bin perf_baseline -- --smoke --out-dir target/bench-smoke
     cargo run --release -q -p cqs-bench --bin perf_baseline -- --verify target/bench-smoke
+
+    echo "==> fault-matrix smoke (cqs faults, gk, eps=1/16, k=6)"
+    faults_smoke --release
 fi
 
 echo "ci: all green"

@@ -17,7 +17,7 @@ pub mod micro;
 
 use std::path::PathBuf;
 
-use cqs_core::adversary::{run_adversary, AdversaryOutcome, AdversaryReport};
+use cqs_core::adversary::{run_adversary, try_run_adversary, AdversaryOutcome, AdversaryReport};
 use cqs_core::{ComparisonSummary, Eps, Item};
 use cqs_gk::{CappedGk, GkSummary, GreedyGk};
 use cqs_kll::KllSketch;
@@ -61,6 +61,31 @@ pub fn attack(eps: Eps, k: u32, target: Target) -> AdversaryReport {
         Target::Capped(b) => {
             run_adversary(eps, k, || CappedGk::<Item>::new(eps.value(), b)).report()
         }
+    }
+}
+
+/// Panic-free [`attack`]: runs the construction through the guarded
+/// driver so one crashing or model-violating config yields an `Err`
+/// (with the full error rendered) instead of killing a whole sweep.
+/// The sweep binaries skip-and-record such configs.
+pub fn try_attack(eps: Eps, k: u32, target: Target) -> Result<AdversaryReport, String> {
+    fn go<S: ComparisonSummary<Item>>(
+        eps: Eps,
+        k: u32,
+        make: impl FnMut() -> S,
+    ) -> Result<AdversaryReport, String> {
+        try_run_adversary(eps, k, make)
+            .map(|o| o.report())
+            .map_err(|e| format!("{} [{}]", e, e.verdict()))
+    }
+    match target {
+        Target::Gk => go(eps, k, || GkSummary::<Item>::new(eps.value())),
+        Target::GkGreedy => go(eps, k, || GreedyGk::<Item>::new(eps.value())),
+        Target::KllFixed => {
+            let kcap = (4 * eps.inverse() as usize).max(8);
+            go(eps, k, || KllSketch::<Item>::with_seed(kcap, 0xD1CE))
+        }
+        Target::Capped(b) => go(eps, k, || CappedGk::<Item>::new(eps.value(), b)),
     }
 }
 

@@ -11,6 +11,8 @@ pub enum Cli {
     Adversary(AdversaryArgs),
     /// `cqs compare [--eps E]`.
     Compare(CompareArgs),
+    /// `cqs faults [--inv-eps I] [--k K] [--target A] [--seed S]`.
+    Faults(FaultsArgs),
     /// `cqs help` (or `--help`).
     Help,
 }
@@ -88,6 +90,19 @@ pub struct CompareArgs {
     pub seed: u64,
 }
 
+/// Arguments of `cqs faults`.
+#[derive(Clone, Debug)]
+pub struct FaultsArgs {
+    /// Integral 1/ε.
+    pub inv_eps: u64,
+    /// Recursion depth (stream length (1/ε)·2^k).
+    pub k: u32,
+    /// Summary wrapped in the fault injector.
+    pub target: SummaryKind,
+    /// Seed choosing the fault steps.
+    pub seed: u64,
+}
+
 /// Usage text printed by `cqs help`.
 pub const USAGE: &str = "\
 cqs — comparison-based quantile summaries (and the proof they can't be smaller)
@@ -98,7 +113,15 @@ USAGE:
   cqs adversary [--inv-eps I] [--k K]
                 [--target gk|gk-greedy|gk-capped|mrl|kll] [--budget B]
   cqs compare   [--eps E] [--expected-n N] [--seed S]           < numbers.txt
+  cqs faults    [--inv-eps I] [--k K] [--target gk|gk-greedy|mrl] [--seed S]
   cqs help
+
+`cqs faults` sweeps the fault matrix (every FaultPlan kind plus a budget
+cell) against the chosen summary and checks each run's verdict. Exit
+codes: 0 = every cell matched its expected verdict; on the first
+mismatch, the observed verdict's code: 3 summary-incorrect,
+4 model-violation, 5 summary-panicked, 6 budget-exhausted,
+7 undetected fault (run completed); 1 = usage error.
 ";
 
 /// Parses an argument list (without the program name).
@@ -112,6 +135,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
         "quantiles" => parse_quantiles(&rest).map(Cli::Quantiles),
         "adversary" => parse_adversary(&rest).map(Cli::Adversary),
         "compare" => parse_compare(&rest).map(Cli::Compare),
+        "faults" => parse_faults(&rest).map(Cli::Faults),
         "help" | "--help" | "-h" => Ok(Cli::Help),
         other => Err(CliError::new(format!(
             "unknown command: {other}; try `cqs help`"
@@ -217,6 +241,31 @@ fn parse_adversary(words: &[String]) -> Result<AdversaryArgs, CliError> {
             "--k" => out.k = parse_u64(flag, f.value(flag)?)?.clamp(1, 24) as u32,
             "--target" => out.target = SummaryKind::parse(f.value(flag)?)?,
             "--budget" => out.budget = parse_u64(flag, f.value(flag)?)? as usize,
+            other => return Err(CliError::new(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_faults(words: &[String]) -> Result<FaultsArgs, CliError> {
+    let mut out = FaultsArgs {
+        inv_eps: 16,
+        k: 6,
+        target: SummaryKind::Gk,
+        seed: 0xFA17,
+    };
+    let mut f = Flags::new(words);
+    while let Some(flag) = f.next_flag() {
+        match flag {
+            "--inv-eps" => {
+                out.inv_eps = parse_u64(flag, f.value(flag)?)?;
+                if out.inv_eps == 0 {
+                    return Err(CliError::new("--inv-eps must be positive"));
+                }
+            }
+            "--k" => out.k = parse_u64(flag, f.value(flag)?)?.clamp(3, 24) as u32,
+            "--target" => out.target = SummaryKind::parse(f.value(flag)?)?,
+            "--seed" => out.seed = parse_u64(flag, f.value(flag)?)?,
             other => return Err(CliError::new(format!("unknown flag: {other}"))),
         }
     }

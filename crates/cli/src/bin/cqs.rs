@@ -3,7 +3,7 @@
 use std::io;
 use std::process::ExitCode;
 
-use cqs_cli::{parse_args, run_adversary_cmd, run_compare, run_quantiles, Cli};
+use cqs_cli::{parse_args, run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, Cli};
 
 fn main() -> ExitCode {
     let cli = match parse_args(std::env::args().skip(1)) {
@@ -22,6 +22,20 @@ fn main() -> ExitCode {
         Cli::Quantiles(q) => run_quantiles(q, io::stdin().lock()),
         Cli::Adversary(a) => run_adversary_cmd(a),
         Cli::Compare(c) => run_compare(c, io::stdin().lock()),
+        Cli::Faults(fa) => {
+            // Faults carries its own exit-code scheme (see USAGE): the
+            // report always prints, the code reflects verdict matching.
+            return match run_faults_cmd(fa) {
+                Ok((out, code)) => {
+                    print!("{out}");
+                    ExitCode::from(code)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
     };
     match result {
         Ok(out) => {

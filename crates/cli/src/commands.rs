@@ -8,14 +8,15 @@ use std::io::BufRead;
 use cqs_ckms::CkmsSummary;
 use cqs_core::adversary::run_adversary;
 use cqs_core::failure::quantile_failure_witness;
-use cqs_core::{ComparisonSummary, Eps, Item};
+use cqs_core::{Adversary, AdversaryBudget, ComparisonSummary, Eps, Item, RunVerdict};
+use cqs_faults::{FaultKind, FaultPlan, FaultySummary};
 use cqs_gk::{CappedGk, GkSummary, GreedyGk};
 use cqs_kll::KllSketch;
 use cqs_mrl::MrlSummary;
 use cqs_sampling::ReservoirSummary;
 use cqs_streams::{OrdF64, Table};
 
-use crate::args::{AdversaryArgs, CompareArgs, QuantilesArgs, SummaryKind};
+use crate::args::{AdversaryArgs, CompareArgs, FaultsArgs, QuantilesArgs, SummaryKind};
 
 /// A user-facing CLI error (bad flags, bad input data).
 #[derive(Debug)]
@@ -200,6 +201,185 @@ pub fn run_adversary_cmd(args: &AdversaryArgs) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Exit code for a fault-matrix mismatch: the observed verdict's code
+/// (`Completed` on a faulted cell means the fault went undetected).
+/// See the `cqs faults` section of [`crate::USAGE`].
+fn verdict_code(v: RunVerdict) -> u8 {
+    match v {
+        RunVerdict::Completed => 7,
+        RunVerdict::SummaryIncorrect => 3,
+        RunVerdict::ModelViolation => 4,
+        RunVerdict::SummaryPanicked => 5,
+        RunVerdict::BudgetExhausted => 6,
+    }
+}
+
+/// One row of the fault matrix.
+struct FaultCell {
+    name: &'static str,
+    expected: RunVerdict,
+    plan: FaultPlan,
+    budget: AdversaryBudget,
+}
+
+/// The standard fault matrix: every [`FaultKind`] plus the zero-fault
+/// control and a step-budget cell. Fault steps land deterministically in
+/// the middle half of the stream so every fault arms after the first
+/// leaf (where the two streams still share items) and before the run
+/// ends.
+fn fault_matrix(eps: Eps, k: u32, seed: u64) -> Vec<FaultCell> {
+    let n = eps.stream_len(k);
+    let rank_budget = eps.rank_budget(n);
+    let mid = |salt: u64, kind| FaultPlan::single_random(seed ^ salt, kind, n / 4, 3 * n / 4);
+    let unlimited = AdversaryBudget::default();
+    vec![
+        FaultCell {
+            name: "none",
+            expected: RunVerdict::Completed,
+            plan: FaultPlan::none(),
+            budget: unlimited,
+        },
+        FaultCell {
+            name: "panic-insert",
+            expected: RunVerdict::SummaryPanicked,
+            plan: mid(0x01, FaultKind::PanicOnInsert),
+            budget: unlimited,
+        },
+        FaultCell {
+            name: "panic-query",
+            expected: RunVerdict::SummaryPanicked,
+            plan: mid(0x02, FaultKind::PanicOnQuery),
+            budget: unlimited,
+        },
+        FaultCell {
+            name: "rank-slack",
+            expected: RunVerdict::SummaryIncorrect,
+            plan: mid(0x03, FaultKind::RankSlack(3 * rank_budget + 1)),
+            budget: unlimited,
+        },
+        FaultCell {
+            name: "non-monotone-rank",
+            expected: RunVerdict::ModelViolation,
+            plan: mid(0x04, FaultKind::NonMonotoneRank),
+            budget: unlimited,
+        },
+        FaultCell {
+            name: "value-peek",
+            expected: RunVerdict::ModelViolation,
+            plan: mid(0x05, FaultKind::ValuePeek),
+            budget: unlimited,
+        },
+        FaultCell {
+            name: "understate-space",
+            expected: RunVerdict::ModelViolation,
+            plan: mid(0x06, FaultKind::UnderstateSpace(5)),
+            budget: unlimited,
+        },
+        FaultCell {
+            name: "step-budget",
+            expected: RunVerdict::BudgetExhausted,
+            plan: FaultPlan::none(),
+            budget: AdversaryBudget {
+                max_steps: Some(n / 2),
+                ..AdversaryBudget::default()
+            },
+        },
+    ]
+}
+
+/// Runs the matrix against one summary constructor, rendering the
+/// per-cell verdict table and computing the exit code.
+fn faults_matrix_run<S, F>(eps: Eps, k: u32, seed: u64, make: F) -> (String, u8)
+where
+    S: ComparisonSummary<Item>,
+    F: Fn() -> S,
+{
+    let cells = fault_matrix(eps, k, seed);
+    let mut t = Table::new(&["cell", "at-step", "expected", "observed", "ok"]);
+    let mut code = 0u8;
+    let mut mismatches = 0usize;
+    // The driver converts summary panics into verdicts; silence the
+    // default hook so each caught panic doesn't splatter a backtrace
+    // over the report.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for cell in &cells {
+        let adv = Adversary::new(
+            eps,
+            FaultySummary::new(make(), cell.plan.clone()),
+            FaultySummary::new(make(), cell.plan.clone()),
+        )
+        .with_budget(cell.budget);
+        let observed = match adv.try_run(k) {
+            Ok(out) => out.verdict(),
+            Err(e) => e.verdict(),
+        };
+        let ok = observed == cell.expected;
+        if !ok {
+            mismatches += 1;
+            if code == 0 {
+                code = verdict_code(observed);
+            }
+        }
+        let at = cell
+            .plan
+            .faults()
+            .first()
+            .map(|f| f.at.to_string())
+            .unwrap_or_else(|| "-".into());
+        t.row(&[
+            cell.name,
+            &at,
+            cell.expected.as_str(),
+            observed.as_str(),
+            if ok { "yes" } else { "NO" },
+        ]);
+    }
+    std::panic::set_hook(hook);
+    let summary_name = make().name();
+    let verdict_line = if mismatches == 0 {
+        format!("all {} cells matched their expected verdict", cells.len())
+    } else {
+        format!("{mismatches} of {} cells MISMATCHED", cells.len())
+    };
+    (
+        format!(
+            "fault matrix vs {summary_name} (eps = {eps}, k = {k}, N = {}, seed = {seed:#x})\n\n{}\n{verdict_line}\n",
+            eps.stream_len(k),
+            t.render()
+        ),
+        code,
+    )
+}
+
+/// `cqs faults`: sweep the fault matrix and report per-cell verdicts.
+/// Returns the rendered table plus the process exit code.
+pub fn run_faults_cmd(args: &FaultsArgs) -> Result<(String, u8), CliError> {
+    let eps = Eps::from_inverse(args.inv_eps);
+    let n = eps.stream_len(args.k);
+    if n > 4_000_000 {
+        return Err(CliError::new(format!(
+            "stream length {n} too large; lower --k or --inv-eps"
+        )));
+    }
+    Ok(match args.target {
+        SummaryKind::Gk => faults_matrix_run(eps, args.k, args.seed, || {
+            GkSummary::<Item>::new(eps.value())
+        }),
+        SummaryKind::GkGreedy => faults_matrix_run(eps, args.k, args.seed, || {
+            GreedyGk::<Item>::new(eps.value())
+        }),
+        SummaryKind::Mrl => faults_matrix_run(eps, args.k, args.seed, move || {
+            MrlSummary::<Item>::new(eps.value(), n)
+        }),
+        other => {
+            return Err(CliError::new(format!(
+                "{other:?} is not a faults target (use gk, gk-greedy, mrl)"
+            )))
+        }
+    })
 }
 
 /// `cqs compare`: every algorithm over the same stdin numbers.

@@ -3,14 +3,17 @@
 
 //! # cqs-cli — command-line quantile summarisation
 //!
-//! The `cqs` binary wraps the workspace in three subcommands:
+//! The `cqs` binary wraps the workspace in four subcommands:
 //!
 //! * `cqs quantiles` — summarise numbers from stdin and print requested
 //!   percentiles;
 //! * `cqs adversary` — run the PODS'20 lower-bound construction against
 //!   a chosen summary and print the report;
 //! * `cqs compare` — run every algorithm over the same stdin data and
-//!   print a space/answer table.
+//!   print a space/answer table;
+//! * `cqs faults` — sweep the `cqs-faults` fault matrix against a
+//!   summary and check every injected fault maps to its documented
+//!   `RunVerdict` (distinct exit codes per mismatch class).
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy
 //! admits no CLI framework); this library half holds the parsing and
@@ -20,8 +23,10 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, AdversaryArgs, Cli, CompareArgs, QuantilesArgs, SummaryKind, USAGE};
-pub use commands::{run_adversary_cmd, run_compare, run_quantiles, CliError};
+pub use args::{
+    parse_args, AdversaryArgs, Cli, CompareArgs, FaultsArgs, QuantilesArgs, SummaryKind, USAGE,
+};
+pub use commands::{run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, CliError};
 
 #[cfg(test)]
 mod tests {
@@ -97,6 +102,40 @@ mod tests {
         let cli = parse(&["compare", "--eps", "0.02"]).unwrap();
         match cli {
             Cli::Compare(c) => assert_eq!(c.eps, 0.02),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_faults_with_defaults_and_options() {
+        match parse(&["faults"]).unwrap() {
+            Cli::Faults(fa) => {
+                assert_eq!(fa.inv_eps, 16);
+                assert_eq!(fa.k, 6);
+                assert_eq!(fa.target, SummaryKind::Gk);
+                assert_eq!(fa.seed, 0xFA17);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&[
+            "faults",
+            "--inv-eps",
+            "32",
+            "--k",
+            "5",
+            "--target",
+            "mrl",
+            "--seed",
+            "7",
+        ])
+        .unwrap()
+        {
+            Cli::Faults(fa) => {
+                assert_eq!(fa.inv_eps, 32);
+                assert_eq!(fa.k, 5);
+                assert_eq!(fa.target, SummaryKind::Mrl);
+                assert_eq!(fa.seed, 7);
+            }
             other => panic!("wrong command: {other:?}"),
         }
     }

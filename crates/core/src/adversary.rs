@@ -13,17 +13,21 @@
 //! [`ComparisonSummary`] and records a [`NodeAudit`] per node, checking
 //! Claim 1 and Lemma 5.2 as it goes.
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use cqs_universe::{generate_increasing, Interval, Item};
 
 use crate::eps::Eps;
 use crate::gap::{compute_gap_scratch, GapInfo, GapScratch, TieBreak};
 use crate::model::{ComparisonSummary, MaxSpaceTracker};
-use crate::refine::refine_from;
+use crate::refine::{refine_from, try_refine_from};
 use crate::spacegap::{claim1_holds, space_gap_holds, space_gap_rhs, theorem22_bound};
 use crate::state::{EquivalenceChecker, StreamState};
 
 /// Audit record for one node of the recursion tree (post-order).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NodeAudit {
     /// Recursion level `k` of this node (leaves are level 1).
     pub level: u32,
@@ -79,6 +83,7 @@ pub struct Adversary<S> {
     insert_mode: InsertMode,
     gap_scratch: GapScratch,
     equiv: EquivalenceChecker,
+    budget: AdversaryBudget,
 }
 
 /// Everything the adversary produced: the final stream states (reusable
@@ -96,10 +101,30 @@ pub struct AdversaryOutcome<S> {
     pub audits: Vec<NodeAudit>,
     /// First indistinguishability violation observed, if any.
     pub equivalence_error: Option<String>,
+    /// Result of the final rank-query probe — populated by
+    /// [`Adversary::try_run`] (the panicking [`Adversary::run`] never
+    /// queries the summary, so it leaves this `None`).
+    pub rank_probe: Option<RankProbe>,
+}
+
+impl<S: ComparisonSummary<Item>> fmt::Debug for AdversaryOutcome<S> {
+    /// Summarises the run (the live stream states are not themselves
+    /// `Debug`; their lengths stand in for them).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdversaryOutcome")
+            .field("eps", &self.eps)
+            .field("k", &self.k)
+            .field("pi_len", &self.pi.len())
+            .field("rho_len", &self.rho.len())
+            .field("audits", &self.audits.len())
+            .field("equivalence_error", &self.equivalence_error)
+            .field("rank_probe", &self.rank_probe)
+            .finish()
+    }
 }
 
 /// Flat, display-friendly summary of an adversary run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AdversaryReport {
     /// ε of the run.
     pub eps: Eps,
@@ -139,6 +164,225 @@ pub struct AdversaryReport {
     pub summary_name: &'static str,
 }
 
+/// The five ways an adversary run can end — the failure taxonomy the
+/// panic-free driver reports (see DESIGN.md, "Failure taxonomy & fault
+/// injection"). The first two come out of a finished
+/// [`AdversaryOutcome`] via [`AdversaryOutcome::verdict`]; the last
+/// three out of an [`AdversaryError`] via [`AdversaryError::verdict`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RunVerdict {
+    /// The construction finished and the summary behaved: the final gap
+    /// stayed within Lemma 3.4's ceiling and every probed rank query was
+    /// εN-accurate. Theorem 2.2's space bound therefore applies.
+    Completed,
+    /// The construction finished but the summary is not ε-approximate:
+    /// the final gap exceeded 2εN, or a probed rank query missed by more
+    /// than εN — the other horn of the paper's dilemma.
+    SummaryIncorrect,
+    /// The summary stepped outside the deterministic comparison-based
+    /// model (Definition 2.1/3.2): its two copies diverged on
+    /// indistinguishable streams, it answered with a non-stream item,
+    /// its rank responses were grossly non-monotone, or it understated
+    /// its stored space. The lower bound does not constrain such a
+    /// summary; the run is evidence of the violation, not of incorrectness.
+    ModelViolation,
+    /// A summary call panicked; the run holds the audit prefix up to the
+    /// offending call.
+    SummaryPanicked,
+    /// A configured [`AdversaryBudget`] ran out before the construction
+    /// finished; the partial audit trail is still Lemma 5.2-valid.
+    BudgetExhausted,
+}
+
+impl RunVerdict {
+    /// Stable kebab-case name (CLI output, exit-code tables).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunVerdict::Completed => "completed",
+            RunVerdict::SummaryIncorrect => "summary-incorrect",
+            RunVerdict::ModelViolation => "model-violation",
+            RunVerdict::SummaryPanicked => "summary-panicked",
+            RunVerdict::BudgetExhausted => "budget-exhausted",
+        }
+    }
+}
+
+impl fmt::Display for RunVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Deterministic resource limits for [`Adversary::try_run`]. All
+/// default to unlimited; exceeding any yields
+/// [`AdversaryError::BudgetExhausted`] with the partial audit trail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryBudget {
+    /// Maximum stream length (items per stream). Checked before each
+    /// leaf, so the construction never feeds a partial leaf.
+    pub max_steps: Option<u64>,
+    /// Maximum recursion depth k.
+    pub max_depth: Option<u32>,
+    /// Maximum running-max stored-item count `max |I|` tolerated from
+    /// the summary. Checked after each leaf.
+    pub max_stored: Option<usize>,
+}
+
+/// What the final rank-query probe of [`Adversary::try_run`] measured.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankProbe {
+    /// Number of rank queries issued (a grid over [1, N]).
+    pub queries: usize,
+    /// Largest true rank error |rank(answer) − target| observed.
+    pub max_rank_error: u64,
+    /// The εN budget a correct summary must stay within.
+    pub rank_budget: u64,
+}
+
+/// The audit trail salvaged from a run that did not complete — enough
+/// to see how far the construction got and that the Lemma 5.2 prefix
+/// still holds.
+#[derive(Clone, Debug)]
+pub struct PartialRun {
+    /// The ε of the aborted run.
+    pub eps: Eps,
+    /// The requested recursion depth.
+    pub k: u32,
+    /// Items successfully fed to *both* summary copies before the abort.
+    pub items_fed: u64,
+    /// Running-max |I| of the π copy up to the abort (cached by
+    /// [`MaxSpaceTracker`], so it is readable even after a panic left
+    /// the summary poisoned).
+    pub max_stored: usize,
+    /// Post-order audits of every recursion-tree node that *completed*
+    /// before the abort — a prefix of the full run's audit list.
+    pub audits: Vec<NodeAudit>,
+}
+
+impl PartialRun {
+    /// Number of nodes whose Lemma 5.2 check failed within the prefix.
+    pub fn lemma52_violations(&self) -> usize {
+        self.audits.iter().filter(|a| !a.lemma52_ok).count()
+    }
+}
+
+/// Why [`Adversary::try_run`] could not produce an
+/// [`AdversaryOutcome`]. Every variant except
+/// [`InvalidConfig`](Self::InvalidConfig) carries the [`PartialRun`]
+/// salvaged at the point of failure.
+#[derive(Clone, Debug)]
+pub enum AdversaryError {
+    /// The run was never started: the configuration is unusable.
+    InvalidConfig {
+        /// Human-readable reason.
+        detail: String,
+    },
+    /// A summary call panicked; the driver caught it, poisoned the run,
+    /// and stopped issuing summary calls.
+    SummaryPanicked {
+        /// 1-based stream position whose processing panicked.
+        step: u64,
+        /// Which summary operation panicked (`"insert"`/`"query_rank"`).
+        during: &'static str,
+        /// The panic payload, stringified.
+        payload: String,
+        /// Salvaged audit prefix.
+        partial: PartialRun,
+    },
+    /// The summary left the deterministic comparison-based model; see
+    /// [`RunVerdict::ModelViolation`].
+    ModelViolation {
+        /// Human-readable description of the violation.
+        detail: String,
+        /// Salvaged audit prefix.
+        partial: PartialRun,
+    },
+    /// An [`AdversaryBudget`] limit was hit.
+    BudgetExhausted {
+        /// Which budget ran out, and where.
+        detail: String,
+        /// Salvaged audit prefix.
+        partial: PartialRun,
+    },
+}
+
+impl AdversaryError {
+    /// The verdict this error maps to. A degenerate configuration maps
+    /// to [`RunVerdict::BudgetExhausted`]: the run was over before it
+    /// began (callers that care distinguish it by matching the variant).
+    pub fn verdict(&self) -> RunVerdict {
+        match self {
+            AdversaryError::InvalidConfig { .. } => RunVerdict::BudgetExhausted,
+            AdversaryError::SummaryPanicked { .. } => RunVerdict::SummaryPanicked,
+            AdversaryError::ModelViolation { .. } => RunVerdict::ModelViolation,
+            AdversaryError::BudgetExhausted { .. } => RunVerdict::BudgetExhausted,
+        }
+    }
+
+    /// The salvaged partial run, when one exists.
+    pub fn partial(&self) -> Option<&PartialRun> {
+        match self {
+            AdversaryError::InvalidConfig { .. } => None,
+            AdversaryError::SummaryPanicked { partial, .. }
+            | AdversaryError::ModelViolation { partial, .. }
+            | AdversaryError::BudgetExhausted { partial, .. } => Some(partial),
+        }
+    }
+}
+
+impl fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryError::InvalidConfig { detail } => {
+                write!(f, "invalid adversary configuration: {detail}")
+            }
+            AdversaryError::SummaryPanicked {
+                step,
+                during,
+                payload,
+                ..
+            } => write!(f, "summary panicked in {during} at step {step}: {payload}"),
+            AdversaryError::ModelViolation { detail, .. } => {
+                write!(f, "comparison-model violation: {detail}")
+            }
+            AdversaryError::BudgetExhausted { detail, .. } => {
+                write!(f, "budget exhausted: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdversaryError {}
+
+/// The abort reasons threaded up the `try_adv` recursion; converted
+/// into [`AdversaryError`] (with the salvaged [`PartialRun`]) at the
+/// top of [`Adversary::try_run`].
+enum TryAbort {
+    Panicked {
+        step: u64,
+        during: &'static str,
+        payload: String,
+    },
+    Model {
+        detail: String,
+    },
+    Budget {
+        detail: String,
+    },
+}
+
+/// Stringifies a caught panic payload (the common `&str`/`String`
+/// cases; anything else gets a placeholder).
+fn payload_string(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl<S: ComparisonSummary<Item>> Adversary<S> {
     /// Creates an adversary attacking two *identical* fresh copies of a
     /// summary (same parameters, same seeds).
@@ -153,7 +397,15 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
             insert_mode: InsertMode::default(),
             gap_scratch: GapScratch::default(),
             equiv: EquivalenceChecker::new(),
+            budget: AdversaryBudget::default(),
         }
+    }
+
+    /// Sets deterministic resource limits for [`try_run`](Self::try_run)
+    /// (the panicking [`run`](Self::run) ignores them).
+    pub fn with_budget(mut self, budget: AdversaryBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Sets the gap tie-breaking policy (ablation; the paper allows any).
@@ -182,7 +434,89 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
             k,
             audits: self.audits,
             equivalence_error: self.equivalence_error,
+            rank_probe: None,
         }
+    }
+
+    /// Panic-free [`run`](Self::run): executes the same construction
+    /// per item with every summary call guarded, enforces the configured
+    /// [`AdversaryBudget`], and finishes with a rank-query probe. A
+    /// summary that panics, leaves the comparison model, or outlives its
+    /// budget yields a typed [`AdversaryError`] carrying the salvaged
+    /// [`PartialRun`] — no panic originating in the summary (or in the
+    /// driver's own invariants, should a lying summary corrupt them)
+    /// escapes this call.
+    ///
+    /// On success the returned outcome additionally carries
+    /// [`RankProbe`] data; classify it with
+    /// [`AdversaryOutcome::verdict`].
+    ///
+    /// Items are fed one at a time regardless of [`InsertMode`] so that
+    /// an abort is attributable to an exact 1-based stream step. For
+    /// summaries whose bulk path is byte-identical to per-item insertion
+    /// (GK, greedy GK, MRL — see `tests/faults_differential.rs`) the
+    /// construction matches [`run`](Self::run) exactly; summaries whose
+    /// compaction timing depends on insertion granularity (KLL) may
+    /// show slightly different gaps than a batched run.
+    pub fn try_run(mut self, k: u32) -> Result<AdversaryOutcome<S>, AdversaryError> {
+        if k < 1 {
+            return Err(AdversaryError::InvalidConfig {
+                detail: "recursion depth k must be at least 1".to_string(),
+            });
+        }
+        if let Some(max_depth) = self.budget.max_depth {
+            if k > max_depth {
+                let detail = format!("recursion depth {k} exceeds the depth budget of {max_depth}");
+                return Err(self.into_error(TryAbort::Budget { detail }, k));
+            }
+        }
+        let whole = Interval::whole();
+        let walked = {
+            let this = &mut self;
+            // Backstop: the driver's own invariants (treap distinctness,
+            // equal restricted-array lengths, …) are stated as asserts
+            // that a sufficiently mendacious summary can trip; any such
+            // escape is, by construction, evidence the summary left the
+            // model.
+            catch_unwind(AssertUnwindSafe(|| this.try_adv(k, &whole, &whole)))
+        };
+        let walked = match walked {
+            Ok(r) => r,
+            Err(payload) => {
+                let detail = format!(
+                    "driver invariant violated mid-run: {}",
+                    payload_string(payload)
+                );
+                return Err(self.into_error(TryAbort::Model { detail }, k));
+            }
+        };
+        if let Err(abort) = walked {
+            return Err(self.into_error(abort, k));
+        }
+        let probed = {
+            let this = &mut self;
+            catch_unwind(AssertUnwindSafe(|| this.final_rank_probe()))
+        };
+        let probe = match probed {
+            Ok(Ok(p)) => p,
+            Ok(Err(abort)) => return Err(self.into_error(abort, k)),
+            Err(payload) => {
+                let detail = format!(
+                    "driver invariant violated during the rank probe: {}",
+                    payload_string(payload)
+                );
+                return Err(self.into_error(TryAbort::Model { detail }, k));
+            }
+        };
+        Ok(AdversaryOutcome {
+            pi: self.pi,
+            rho: self.rho,
+            eps: self.eps,
+            k,
+            audits: self.audits,
+            equivalence_error: self.equivalence_error,
+            rank_probe: Some(probe),
+        })
     }
 
     /// Runs the construction at level `k` inside the given intervals on
@@ -232,7 +566,50 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
             let right_gap = self.adv(k - 1, &refinement.iv_pi, &refinement.iv_rho);
             (Some(left_gap.gap), Some(right_gap.gap))
         };
+        self.audit_node(k, iv_pi, iv_rho, g_prime, g_dprime)
+    }
 
+    /// Panic-free twin of [`adv`](Self::adv): leaves feed per item with
+    /// every summary call guarded, refinement failures become typed
+    /// aborts, and the audit bookkeeping is shared via
+    /// [`audit_node`](Self::audit_node).
+    fn try_adv(
+        &mut self,
+        k: u32,
+        iv_pi: &Interval,
+        iv_rho: &Interval,
+    ) -> Result<GapInfo, TryAbort> {
+        let (g_prime, g_dprime) = if k == 1 {
+            self.try_leaf(iv_pi, iv_rho)?;
+            (None, None)
+        } else {
+            let left_gap = self.try_adv(k - 1, iv_pi, iv_rho)?;
+            let refinement =
+                match try_refine_from(&self.pi, &self.rho, iv_pi, iv_rho, left_gap.clone()) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return Err(TryAbort::Model {
+                            detail: e.to_string(),
+                        })
+                    }
+                };
+            let right_gap = self.try_adv(k - 1, &refinement.iv_pi, &refinement.iv_rho)?;
+            (Some(left_gap.gap), Some(right_gap.gap))
+        };
+        Ok(self.audit_node(k, iv_pi, iv_rho, g_prime, g_dprime))
+    }
+
+    /// Computes the node's gap in its input intervals and pushes its
+    /// [`NodeAudit`]; shared by both drivers. Returns the gap info
+    /// (the parent's g′ or g″).
+    fn audit_node(
+        &mut self,
+        k: u32,
+        iv_pi: &Interval,
+        iv_rho: &Interval,
+        g_prime: Option<u64>,
+        g_dprime: Option<u64>,
+    ) -> GapInfo {
         let gap_now = compute_gap_scratch(
             &self.pi,
             &self.rho,
@@ -311,28 +688,223 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
         if self.equivalence_error.is_some() {
             return;
         }
+        if let Some(e) = self.size_divergence() {
+            self.equivalence_error = Some(e);
+        }
+    }
+
+    /// The divergence probe itself: compares the two copies' stored
+    /// counts, describing any mismatch.
+    fn size_divergence(&self) -> Option<String> {
         let (a, b) = (
             self.pi.summary.stored_count(),
             self.rho.summary.stored_count(),
         );
         if a != b {
-            self.equivalence_error = Some(format!(
+            Some(format!(
                 "|I| diverged at stream position {}: {a} vs {b}",
-                self.pi.len() - 1,
-            ));
+                self.pi.len().saturating_sub(1),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Panic-free leaf: enforces the step budget up front, indexes the
+    /// run in both treaps (so rank machinery stays coherent even if the
+    /// summary dies mid-run), then feeds item by item with each `insert`
+    /// guarded. After the run: space-understatement probe, the full
+    /// Definition 3.2 check, and the stored-items budget.
+    fn try_leaf(&mut self, iv_pi: &Interval, iv_rho: &Interval) -> Result<(), TryAbort> {
+        let n = self.eps.leaf_items() as usize;
+        if let Some(max_steps) = self.budget.max_steps {
+            let fed = self.pi.len();
+            if fed + n as u64 > max_steps {
+                return Err(TryAbort::Budget {
+                    detail: format!(
+                        "step budget of {max_steps} items cannot cover the next leaf \
+                         ({fed} fed, {n} more needed)"
+                    ),
+                });
+            }
+        }
+        let (items_pi, items_rho) = if iv_pi == iv_rho {
+            let shared = generate_increasing(iv_pi, n);
+            (shared.clone(), shared)
+        } else {
+            (
+                generate_increasing(iv_pi, n),
+                generate_increasing(iv_rho, n),
+            )
+        };
+        self.pi.index_run(&items_pi);
+        self.rho.index_run(&items_rho);
+        for (a, b) in items_pi.into_iter().zip(items_rho) {
+            let step = self.pi.len() + 1;
+            let pi = &mut self.pi;
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| pi.feed_summary(a))) {
+                return Err(TryAbort::Panicked {
+                    step,
+                    during: "insert",
+                    payload: payload_string(payload),
+                });
+            }
+            let rho = &mut self.rho;
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| rho.feed_summary(b))) {
+                return Err(TryAbort::Panicked {
+                    step,
+                    during: "insert",
+                    payload: payload_string(payload),
+                });
+            }
+            if let Some(detail) = self.size_divergence() {
+                return Err(TryAbort::Model { detail });
+            }
+        }
+        for (name, st) in [("pi", &self.pi), ("rho", &self.rho)] {
+            let claimed = st.summary.stored_count();
+            let mut actual = 0usize;
+            st.summary.for_each_item(&mut |_| actual += 1);
+            if claimed < actual {
+                return Err(TryAbort::Model {
+                    detail: format!(
+                        "summary ({name} copy) understates its space: stored_count() = \
+                         {claimed} but the item array holds {actual} items"
+                    ),
+                });
+            }
+        }
+        if let Err(detail) = self.equiv.check(&self.pi, &self.rho) {
+            return Err(TryAbort::Model { detail });
+        }
+        if let Some(max_stored) = self.budget.max_stored {
+            let peak = self
+                .pi
+                .summary
+                .max_stored()
+                .max(self.rho.summary.max_stored());
+            if peak > max_stored {
+                return Err(TryAbort::Budget {
+                    detail: format!(
+                        "stored-items budget of {max_stored} exceeded: peak |I| = {peak}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-construction probe: a ~64-point rank-query grid over [1, N]
+    /// on the π copy, each call guarded. Catches summaries that panic
+    /// only on query, answer with non-stream items (a comparison-model
+    /// impossibility), or answer grossly non-monotonically; accumulates
+    /// the worst true rank error for the verdict.
+    fn final_rank_probe(&mut self) -> Result<RankProbe, TryAbort> {
+        let n = self.pi.len();
+        let rank_budget = self.eps.rank_budget(n);
+        let steps = 64u64.min(n.max(1));
+        let denom = steps.saturating_sub(1).max(1);
+        let mut max_rank_error = 0u64;
+        let mut highest_answer: Option<u64> = None;
+        let mut queries = 0usize;
+        for j in 0..steps {
+            let target = (1 + j * n.saturating_sub(1) / denom).clamp(1, n);
+            let pi = &self.pi;
+            let answer = match catch_unwind(AssertUnwindSafe(|| pi.summary.query_rank(target))) {
+                Ok(a) => a,
+                Err(payload) => {
+                    return Err(TryAbort::Panicked {
+                        step: n,
+                        during: "query_rank",
+                        payload: payload_string(payload),
+                    })
+                }
+            };
+            queries += 1;
+            let item = match answer {
+                Some(it) => it,
+                None => {
+                    return Err(TryAbort::Model {
+                        detail: format!(
+                            "query_rank({target}) answered nothing on a stream of {n} items"
+                        ),
+                    })
+                }
+            };
+            if self.pi.arrival_of(&item).is_none() {
+                return Err(TryAbort::Model {
+                    detail: format!(
+                        "query_rank({target}) answered with an item that never appeared \
+                         in the stream"
+                    ),
+                });
+            }
+            let rank = self.pi.rank(&item);
+            // An ε-approximate answer sits within rank_budget of its
+            // target, so along an increasing target grid no answer can
+            // fall more than 2·rank_budget below the running max; a
+            // bigger drop is non-monotonicity beyond what the model
+            // permits any honest summary.
+            if let Some(hi) = highest_answer {
+                if rank + 2 * rank_budget < hi {
+                    return Err(TryAbort::Model {
+                        detail: format!(
+                            "non-monotone rank responses: query_rank({target}) answered \
+                             rank {rank}, more than 2x the rank budget {rank_budget} below \
+                             an earlier answer at rank {hi}"
+                        ),
+                    });
+                }
+            }
+            highest_answer = Some(highest_answer.map_or(rank, |hi| hi.max(rank)));
+            max_rank_error = max_rank_error.max(self.pi.rank_error(&item, target));
+        }
+        Ok(RankProbe {
+            queries,
+            max_rank_error,
+            rank_budget,
+        })
+    }
+
+    /// Salvages the partial audit trail and wraps the abort reason into
+    /// the public error. `max_stored` comes from [`MaxSpaceTracker`]'s
+    /// cached running max, which stays readable after the summary itself
+    /// was poisoned by a panic.
+    fn into_error(self, abort: TryAbort, k: u32) -> AdversaryError {
+        let partial = PartialRun {
+            eps: self.eps,
+            k,
+            items_fed: self.pi.len().min(self.rho.len()),
+            max_stored: self.pi.summary.max_stored(),
+            audits: self.audits,
+        };
+        match abort {
+            TryAbort::Panicked {
+                step,
+                during,
+                payload,
+            } => AdversaryError::SummaryPanicked {
+                step,
+                during,
+                payload,
+                partial,
+            },
+            TryAbort::Model { detail } => AdversaryError::ModelViolation { detail, partial },
+            TryAbort::Budget { detail } => AdversaryError::BudgetExhausted { detail, partial },
         }
     }
 }
 
 impl<S: ComparisonSummary<Item>> AdversaryOutcome<S> {
-    /// The root node's audit (the whole construction).
-    pub fn root(&self) -> &NodeAudit {
-        self.audits.last().expect("at least one node")
+    /// The root node's audit (the whole construction), or `None` for a
+    /// degenerate outcome whose audit list is empty.
+    pub fn root(&self) -> Option<&NodeAudit> {
+        self.audits.last()
     }
 
-    /// Final top-level gap gap(π, ϱ).
+    /// Final top-level gap gap(π, ϱ) (0 when no node was audited).
     pub fn final_gap(&self) -> u64 {
-        self.root().g
+        self.root().map_or(0, |r| r.g)
     }
 
     /// Whether the summary kept the gap within Lemma 3.4's ceiling —
@@ -341,19 +913,39 @@ impl<S: ComparisonSummary<Item>> AdversaryOutcome<S> {
         self.final_gap() <= self.eps.gap_bound(self.eps.stream_len(self.k))
     }
 
+    /// Classifies a finished run: [`RunVerdict::ModelViolation`] if
+    /// indistinguishability broke (legacy driver latching),
+    /// [`RunVerdict::SummaryIncorrect`] if the final gap burst Lemma
+    /// 3.4's ceiling or the rank probe (when present) measured an error
+    /// beyond εN, [`RunVerdict::Completed`] otherwise.
+    pub fn verdict(&self) -> RunVerdict {
+        if self.equivalence_error.is_some() {
+            return RunVerdict::ModelViolation;
+        }
+        let probe_ok = match &self.rank_probe {
+            Some(p) => p.max_rank_error <= p.rank_budget,
+            None => true,
+        };
+        if self.gap_within_correctness_ceiling() && probe_ok {
+            RunVerdict::Completed
+        } else {
+            RunVerdict::SummaryIncorrect
+        }
+    }
+
     /// Flattens into a report.
     pub fn report(&self) -> AdversaryReport {
         let n = self.eps.stream_len(self.k);
-        let root = self.root();
+        let (final_gap, rhs_at_gap) = self.root().map_or((0, 0.0), |r| (r.g, r.space_gap_rhs));
         AdversaryReport {
             eps: self.eps,
             k: self.k,
             n,
-            final_gap: root.g,
+            final_gap,
             gap_ceiling: self.eps.gap_bound(n),
             stored_final: self.pi.summary.stored_count(),
             max_stored: self.pi.summary.max_stored(),
-            space_gap_rhs_at_gap: root.space_gap_rhs,
+            space_gap_rhs_at_gap: rhs_at_gap,
             theorem22_bound: theorem22_bound(self.eps, self.k),
             claim1_violations: self.audits.iter().filter(|a| !a.claim1_ok).count(),
             lemma52_violations: self.audits.iter().filter(|a| !a.lemma52_ok).count(),
@@ -384,6 +976,22 @@ where
     Adversary::new(eps, make(), make()).run(k)
 }
 
+/// Panic-free convenience entry point: builds two fresh summaries via
+/// `make` and runs [`Adversary::try_run`] at depth `k` with an
+/// unlimited budget. Pair with [`AdversaryOutcome::verdict`] /
+/// [`AdversaryError::verdict`] for the full five-way taxonomy.
+pub fn try_run_adversary<S, F>(
+    eps: Eps,
+    k: u32,
+    mut make: F,
+) -> Result<AdversaryOutcome<S>, AdversaryError>
+where
+    S: ComparisonSummary<Item>,
+    F: FnMut() -> S,
+{
+    Adversary::new(eps, make(), make()).try_run(k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,7 +1005,93 @@ mod tests {
         assert_eq!(out.rho.len(), eps.stream_len(4));
         // Full binary tree with 2^{k−1} leaves has 2^k − 1 nodes.
         assert_eq!(out.audits.len(), (1 << 4) - 1);
-        assert_eq!(out.root().level, 4);
+        assert_eq!(out.root().unwrap().level, 4);
+    }
+
+    #[test]
+    fn try_run_matches_legacy_run_for_conforming_summaries() {
+        let eps = Eps::from_inverse(8);
+        let legacy = run_adversary(eps, 4, ExactSummary::new);
+        let out = try_run_adversary(eps, 4, ExactSummary::new).unwrap();
+        assert_eq!(out.audits, legacy.audits);
+        assert_eq!(out.report(), legacy.report());
+        assert_eq!(out.verdict(), RunVerdict::Completed);
+        let probe = out.rank_probe.unwrap();
+        assert_eq!(probe.max_rank_error, 0, "exact summary answers exactly");
+    }
+
+    #[test]
+    fn try_run_flags_incorrect_summaries_without_erroring() {
+        let eps = Eps::from_inverse(8);
+        let out = try_run_adversary(eps, 5, || DecimatedSummary::new(3)).unwrap();
+        assert_eq!(out.verdict(), RunVerdict::SummaryIncorrect);
+    }
+
+    #[test]
+    fn try_run_rejects_zero_depth() {
+        let eps = Eps::from_inverse(8);
+        let err = try_run_adversary(eps, 0, ExactSummary::new).unwrap_err();
+        assert!(matches!(err, AdversaryError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn depth_budget_stops_the_run_before_it_starts() {
+        let eps = Eps::from_inverse(8);
+        let budget = AdversaryBudget {
+            max_depth: Some(3),
+            ..AdversaryBudget::default()
+        };
+        let err = Adversary::new(eps, ExactSummary::<Item>::new(), ExactSummary::new())
+            .with_budget(budget)
+            .try_run(4)
+            .unwrap_err();
+        assert_eq!(err.verdict(), RunVerdict::BudgetExhausted);
+        assert_eq!(err.partial().unwrap().items_fed, 0);
+    }
+
+    #[test]
+    fn step_budget_preserves_the_audit_prefix() {
+        let eps = Eps::from_inverse(8);
+        // Enough for half the stream: the left subtree at depth k−1
+        // completes, then the next leaf trips the budget.
+        let n = eps.stream_len(4);
+        let budget = AdversaryBudget {
+            max_steps: Some(n / 2),
+            ..AdversaryBudget::default()
+        };
+        let err = Adversary::new(eps, ExactSummary::<Item>::new(), ExactSummary::new())
+            .with_budget(budget)
+            .try_run(4)
+            .unwrap_err();
+        let full = run_adversary(eps, 4, ExactSummary::new);
+        let partial = err.partial().unwrap();
+        assert_eq!(partial.items_fed, n / 2);
+        assert!(!partial.audits.is_empty());
+        assert_eq!(
+            partial.audits.as_slice(),
+            &full.audits[..partial.audits.len()],
+            "budget abort must preserve the audit prefix verbatim"
+        );
+        assert_eq!(partial.lemma52_violations(), 0);
+    }
+
+    #[test]
+    fn empty_outcome_has_no_root_and_reports_gracefully() {
+        let eps = Eps::from_inverse(8);
+        let out = AdversaryOutcome {
+            pi: StreamState::new(MaxSpaceTracker::new(ExactSummary::<Item>::new())),
+            rho: StreamState::new(MaxSpaceTracker::new(ExactSummary::new())),
+            eps,
+            k: 1,
+            audits: Vec::new(),
+            equivalence_error: None,
+            rank_probe: None,
+        };
+        assert!(out.root().is_none());
+        assert_eq!(out.final_gap(), 0);
+        let rep = out.report();
+        assert_eq!(rep.final_gap, 0);
+        assert_eq!(rep.claim1_violations, 0);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub fn quantile_failure_witness<S: ComparisonSummary<Item>>(
 ) -> Option<FailureWitness> {
     let n = outcome.eps.stream_len(outcome.k);
     let ceiling = outcome.eps.gap_bound(n);
-    let root = outcome.root();
+    let root = outcome.root()?;
     if root.g <= ceiling {
         return None;
     }

@@ -69,13 +69,16 @@ pub mod rng;
 pub mod spacegap;
 pub mod state;
 
-pub use adversary::{run_lower_bound, Adversary, AdversaryReport, InsertMode, NodeAudit};
+pub use adversary::{
+    run_lower_bound, try_run_adversary, Adversary, AdversaryBudget, AdversaryError,
+    AdversaryOutcome, AdversaryReport, InsertMode, NodeAudit, PartialRun, RankProbe, RunVerdict,
+};
 pub use eps::Eps;
 pub use failure::{quantile_failure_witness, FailureWitness};
 pub use gap::{compute_gap, compute_gap_scratch, GapInfo, GapScratch};
 pub use histogram::{equi_depth_histogram, EquiDepthHistogram};
 pub use model::{ComparisonSummary, MaxSpaceTracker, RankEstimator};
-pub use refine::refine_intervals;
+pub use refine::{refine_intervals, RefineError};
 pub use rng::SplitMix64;
 pub use spacegap::{space_gap_rhs, theorem22_bound, SPACE_GAP_C_NUM};
 pub use state::StreamState;

@@ -55,6 +55,18 @@ pub fn refine_intervals<S: ComparisonSummary<Item>>(
     refine_from(pi, rho, iv_pi, iv_rho, gap)
 }
 
+/// A refinement step could not derive valid nested intervals — the gap
+/// extremes contradict the stream contents (possible only when the
+/// summary under attack lied about its item array or ranks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefineError(pub String);
+
+impl std::fmt::Display for RefineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "refine: {}", self.0)
+    }
+}
+
 /// Like [`refine_intervals`] but reuses an already computed [`GapInfo`]
 /// for these streams and intervals (the adversary computes each node's
 /// gap exactly once).
@@ -65,31 +77,55 @@ pub fn refine_from<S: ComparisonSummary<Item>>(
     iv_rho: &Interval,
     gap: GapInfo,
 ) -> Refinement {
+    match try_refine_from(pi, rho, iv_pi, iv_rho, gap) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`refine_from`] for the panic-free driver path: structural
+/// contradictions (an empty stream behind a −∞/+∞ extreme, an extreme on
+/// the wrong side) become a [`RefineError`] instead of aborting.
+pub fn try_refine_from<S: ComparisonSummary<Item>>(
+    pi: &StreamState<S>,
+    rho: &StreamState<S>,
+    iv_pi: &Interval,
+    iv_rho: &Interval,
+    gap: GapInfo,
+) -> Result<Refinement, RefineError> {
     // New interval for π: (I'_π[i], next(π, I'_π[i])).
     let (pi_lo, pi_hi) = match &gap.pi_low {
         Endpoint::NegInf => {
             // next(π, −∞) is the stream minimum.
-            let min = pi.min().expect("stream is non-empty");
+            let min = pi
+                .min()
+                .ok_or_else(|| RefineError("stream π is empty below a -inf gap extreme".into()))?;
             (Endpoint::NegInf, Endpoint::Finite(min))
         }
         Endpoint::Finite(a) => {
             let nxt = pi.next(a).map_or(Endpoint::PosInf, Endpoint::Finite);
             (Endpoint::Finite(a.clone()), nxt)
         }
-        Endpoint::PosInf => unreachable!("gap low extreme cannot be +inf"),
+        Endpoint::PosInf => {
+            return Err(RefineError("gap low extreme is +inf".into()));
+        }
     };
 
     // New interval for ϱ: (prev(ϱ, I'_ϱ[i+1]), I'_ϱ[i+1]).
     let (rho_lo, rho_hi) = match &gap.rho_high {
         Endpoint::PosInf => {
-            let max = rho.max().expect("stream is non-empty");
+            let max = rho
+                .max()
+                .ok_or_else(|| RefineError("stream ϱ is empty below a +inf gap extreme".into()))?;
             (Endpoint::Finite(max), Endpoint::PosInf)
         }
         Endpoint::Finite(b) => {
             let prv = rho.prev(b).map_or(Endpoint::NegInf, Endpoint::Finite);
             (prv, Endpoint::Finite(b.clone()))
         }
-        Endpoint::NegInf => unreachable!("gap high extreme cannot be -inf"),
+        Endpoint::NegInf => {
+            return Err(RefineError("gap high extreme is -inf".into()));
+        }
     };
 
     let new_pi = Interval::new(pi_lo, pi_hi);
@@ -102,11 +138,11 @@ pub fn refine_from<S: ComparisonSummary<Item>>(
     debug_assert!(iv_pi.encloses(&new_pi));
     debug_assert!(iv_rho.encloses(&new_rho));
 
-    Refinement {
+    Ok(Refinement {
         iv_pi: new_pi,
         iv_rho: new_rho,
         gap,
-    }
+    })
 }
 
 /// Checks Observation 1(ii): fresh items `a ∈ (α_π, β_π)` and

@@ -86,6 +86,43 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         peak
     }
 
+    /// Indexes a strictly increasing run of fresh items in the
+    /// order-statistic treap *without* feeding the summary or advancing
+    /// the stream length — the first half of [`push`](Self::push), split
+    /// out for the panic-free driver: the treap must know the items
+    /// before any summary call so that, when the summary panics mid-run,
+    /// rank/next/prev queries for the partial audit trail stay coherent.
+    /// Follow up with [`feed_summary`](Self::feed_summary) per item.
+    ///
+    /// # Panics
+    ///
+    /// Same validity requirements as [`push_run`](Self::push_run).
+    pub fn index_run(&mut self, run: &[Item]) {
+        assert!(
+            run.windows(2).all(|w| w[0] < w[1]),
+            "adversarial stream items must be distinct"
+        );
+        if let (Some(first), Some(last)) = (run.first(), run.last()) {
+            let occupied = self.order.count_le(last) - self.order.count_less(first);
+            assert!(occupied == 0, "adversarial stream items must be distinct");
+        }
+        for it in run {
+            self.max_label_depth = self.max_label_depth.max(it.depth());
+        }
+        let start = self.n;
+        self.order
+            .extend_sorted_tagged(run.iter().cloned().zip(start..));
+    }
+
+    /// Feeds one item (already indexed via [`index_run`](Self::index_run))
+    /// to the summary and advances the stream length. The caller is
+    /// responsible for feeding items in the same order they were indexed;
+    /// the arrival tags assigned by `index_run` assume it.
+    pub fn feed_summary(&mut self, item: Item) {
+        self.summary.insert(item);
+        self.n += 1;
+    }
+
     /// Stream length so far.
     pub fn len(&self) -> u64 {
         self.n

@@ -47,6 +47,13 @@ impl Role {
     pub fn may_mint_items(self) -> bool {
         matches!(self, Role::Universe)
     }
+
+    /// Whether the panic-free-driver rules apply: the guarded adversary
+    /// driver (`try_run` and friends) lives in `cqs-core` and promises
+    /// typed errors, never raw panics.
+    pub fn driver_rules(self) -> bool {
+        matches!(self, Role::Core)
+    }
 }
 
 /// Classifies a crate directory name (or the root package) into a role.
@@ -58,7 +65,7 @@ pub fn role_of(crate_name: &str) -> Role {
             Role::Summary
         }
         "streams" => Role::Substrate,
-        "bench" | "cli" => Role::Harness,
+        "bench" | "cli" | "faults" => Role::Harness,
         "xtask" => Role::Tooling,
         // Strictest by default: new crates opt *out* of summary rules by
         // being added here, not by silence.
@@ -79,6 +86,21 @@ pub const HOT_PATH_FNS: &[&str] = &[
     "merge",
 ];
 
+/// Function names that form the panic-free adversary driver: every
+/// abort must surface as a typed `AdversaryError`, so these bodies may
+/// not contain panicking constructs (the legacy `run`/`adv`/`leaf`
+/// drivers keep their asserts for tests — only the `try_*` surface and
+/// its helpers make the no-panic promise).
+pub const DRIVER_PATH_FNS: &[&str] = &[
+    "try_run",
+    "try_adv",
+    "try_leaf",
+    "try_run_adversary",
+    "try_refine_from",
+    "final_rank_probe",
+    "into_error",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,7 +110,16 @@ mod tests {
         assert_eq!(role_of("universe"), Role::Universe);
         assert_eq!(role_of("gk"), Role::Summary);
         assert_eq!(role_of("bench"), Role::Harness);
+        assert_eq!(role_of("faults"), Role::Harness);
         assert_eq!(role_of("."), Role::Core);
+    }
+
+    #[test]
+    fn driver_rules_apply_only_to_core() {
+        assert!(role_of("core").driver_rules());
+        assert!(!role_of("gk").driver_rules());
+        assert!(!role_of("faults").driver_rules());
+        assert!(!role_of("xtask").driver_rules());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! allocates per call — the batched insert APIs and reusable scratch
 //! buffers exist so that it never has to.
 
-use super::super::config::{Role, HOT_PATH_FNS};
+use super::super::config::{Role, DRIVER_PATH_FNS, HOT_PATH_FNS};
 use super::super::scanner::contains_word;
 use super::{Rule, RuleCtx};
 use crate::lint::{Diagnostic, Severity};
@@ -50,6 +50,16 @@ static HOT_PATH_PANIC: Rule = Rule {
     check: check_hot_path_panic,
 };
 
+static DRIVER_NO_PANIC: Rule = Rule {
+    id: "driver-no-panic",
+    severity: Severity::Error,
+    rationale: "the guarded adversary driver (try_run and friends) promises typed \
+                AdversaryError results; a panicking construct in its body would escape \
+                try_run_adversary as a raw unwind",
+    applies: Role::driver_rules,
+    check: check_driver_no_panic,
+};
+
 static HOT_PATH_ALLOC: Rule = Rule {
     id: "hot-path-alloc",
     severity: Severity::Warning,
@@ -74,6 +84,7 @@ pub fn rules() -> Vec<&'static Rule> {
         &FORBID_UNSAFE,
         &MISSING_DOCS_ATTR,
         &HOT_PATH_PANIC,
+        &DRIVER_NO_PANIC,
         &HOT_PATH_ALLOC,
         &FLOAT_EQ,
     ]
@@ -116,26 +127,52 @@ fn check_missing_docs_attr(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
 }
 
 fn check_hot_path_panic(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    scan_panic_words(
+        ctx,
+        out,
+        &HOT_PATH_PANIC,
+        HOT_PATH_FNS,
+        "summary hot paths must not panic on adversarial input",
+    );
+}
+
+fn check_driver_no_panic(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    scan_panic_words(
+        ctx,
+        out,
+        &DRIVER_NO_PANIC,
+        DRIVER_PATH_FNS,
+        "the guarded driver must return typed AdversaryError values, never unwind",
+    );
+}
+
+/// Shared scan: flags any [`PANIC_WORDS`] occurrence on lines whose
+/// enclosing-function stack touches one of `watched_fns`.
+/// debug_assert*/assert* are fine (the former vanishes in release, the
+/// latter states invariants); word-boundary matching already keeps
+/// `unwrap_or*` and `#[should_panic]` out.
+fn scan_panic_words(
+    ctx: &RuleCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+    rule: &'static Rule,
+    watched_fns: &[&str],
+    why: &str,
+) {
     for line in &ctx.file.lines {
-        if line.in_test || ctx.test_file || ctx.file.suppressed(line, HOT_PATH_PANIC.id) {
+        if line.in_test || ctx.test_file || ctx.file.suppressed(line, rule.id) {
             continue;
         }
-        let on_hot_path = line.fns.iter().any(|f| HOT_PATH_FNS.contains(&f.as_str()));
-        if !on_hot_path {
+        if !line.fns.iter().any(|f| watched_fns.contains(&f.as_str())) {
             continue;
         }
-        // debug_assert*/assert* are fine (the former vanishes in release,
-        // the latter states invariants); word-boundary matching already
-        // keeps `unwrap_or*` and `#[should_panic]` out.
         for w in PANIC_WORDS {
             if contains_word(&line.code, w) {
                 ctx.emit(
                     out,
-                    &HOT_PATH_PANIC,
+                    rule,
                     line.number,
                     format!(
-                        "`{w}` inside `{}` — summary hot paths must not panic on adversarial \
-                         input",
+                        "`{w}` inside `{}` — {why}",
                         line.fns.last().map(String::as_str).unwrap_or("?")
                     ),
                 );

@@ -1,0 +1,48 @@
+//! Fixture: panicking constructs inside the guarded adversary driver
+//! (`try_*` surface) — the driver-no-panic rule must flag every one of
+//! them in a Core-role crate and stay quiet elsewhere. Never compiled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub struct Driver {
+    steps: u64,
+}
+
+impl Driver {
+    pub fn try_run(&mut self, k: u32) -> Result<u64, String> {
+        // A raw unwrap in the guarded driver would escape as an unwind.
+        let depth = k.checked_sub(1).unwrap();
+        self.try_adv(depth)
+    }
+
+    fn try_adv(&mut self, depth: u32) -> Result<u64, String> {
+        if depth == 0 {
+            return self.try_leaf();
+        }
+        unreachable!("depth bookkeeping broke");
+    }
+
+    fn try_leaf(&mut self) -> Result<u64, String> {
+        self.steps += 1;
+        Ok(self.steps)
+    }
+
+    fn try_refine_from(&self) -> Result<u64, String> {
+        Err("refine".to_string())
+    }
+
+    fn final_rank_probe(&self) -> u64 {
+        self.steps.checked_mul(2).expect("probe overflow")
+    }
+
+    pub fn run(&mut self) -> u64 {
+        // The legacy panicking driver keeps its asserts: not flagged.
+        self.steps.checked_add(1).unwrap()
+    }
+
+    fn helper_may_unwrap(&self) -> u64 {
+        // Not a driver fn name: unwrap is allowed here.
+        self.steps.checked_sub(1).unwrap()
+    }
+}

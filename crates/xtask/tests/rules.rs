@@ -11,6 +11,7 @@ const BAD_COMPARISON: &str = include_str!("fixtures/bad_comparison.rs");
 const BAD_DETERMINISM: &str = include_str!("fixtures/bad_determinism.rs");
 const BAD_ROBUSTNESS: &str = include_str!("fixtures/bad_robustness.rs");
 const BAD_HOT_ALLOC: &str = include_str!("fixtures/bad_hot_alloc.rs");
+const BAD_DRIVER: &str = include_str!("fixtures/bad_driver.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 
@@ -109,6 +110,37 @@ fn hot_alloc_does_not_apply_to_harness_crates() {
 }
 
 #[test]
+fn driver_fixture_fires_only_inside_try_fns() {
+    let diags = lint_source("core", "src/lib.rs", BAD_DRIVER);
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "driver-no-panic")
+        .collect();
+    // Exactly three: unwrap in try_run, unreachable! in try_adv,
+    // expect in final_rank_probe. The legacy `run` and the helper keep
+    // their unwraps, and the quiet try_* fns stay quiet.
+    assert_eq!(hits.len(), 3, "{diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+    for f in ["try_run", "try_adv", "final_rank_probe"] {
+        assert!(
+            hits.iter().any(|d| d.message.contains(&format!("`{f}`"))),
+            "no driver-no-panic hit inside {f}: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn driver_rule_does_not_apply_outside_core() {
+    for krate in ["gk", "bench", "faults"] {
+        let diags = lint_source(krate, "src/lib.rs", BAD_DRIVER);
+        assert!(
+            !rules_fired(&diags).contains(&"driver-no-panic"),
+            "driver-no-panic fired for role of `{krate}`: {diags:?}"
+        );
+    }
+}
+
+#[test]
 fn missing_docs_is_a_warning_not_an_error() {
     let diags = lint_as_summary(BAD_ROBUSTNESS);
     let d = diags
@@ -161,6 +193,7 @@ fn registry_covers_every_fixture_rule() {
         "forbid-unsafe",
         "missing-docs-attr",
         "hot-path-panic",
+        "driver-no-panic",
         "hot-path-alloc",
         "float-eq",
     ] {

@@ -20,6 +20,7 @@
 //! | q-digest | [`qdigest`] | the non-comparison-based contrast \[18\] |
 //! | CKMS biased quantiles | [`ckms`] | Theorem 6.5's upper-bound side \[3\] |
 //! | Workloads & reporting | [`streams`] | experiment harness support |
+//! | Fault injection & verdicts | [`faults`] | "any summary" really means any (Theorem 2.2) |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub mod sketch;
 
 pub use cqs_ckms as ckms;
 pub use cqs_core as core;
+pub use cqs_faults as faults;
 pub use cqs_gk as gk;
 pub use cqs_kll as kll;
 pub use cqs_mrl as mrl;
@@ -62,9 +64,10 @@ pub use cqs_window as window;
 pub mod prelude {
     pub use cqs_ckms::{Bias, CkmsSummary};
     pub use cqs_core::{
-        equi_depth_histogram, run_lower_bound, ComparisonSummary, Eps, Item, MaxSpaceTracker,
-        RankEstimator,
+        equi_depth_histogram, run_lower_bound, try_run_adversary, AdversaryBudget, AdversaryError,
+        ComparisonSummary, Eps, Item, MaxSpaceTracker, RankEstimator, RunVerdict,
     };
+    pub use cqs_faults::{FaultKind, FaultPlan, FaultySummary};
     pub use cqs_gk::{CappedGk, GkSummary, GreedyGk};
     pub use cqs_kll::{KllSketch, SampledKll};
     pub use cqs_mrl::MrlSummary;

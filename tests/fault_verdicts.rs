@@ -1,0 +1,172 @@
+//! Verdict taxonomy: every `cqs-faults` fault kind, driven through the
+//! guarded adversary driver, must land on its documented [`RunVerdict`]
+//! — no raw panic ever escapes `try_run`, and aborted runs salvage the
+//! audit prefix the construction had completed (the Lemma 5.2 evidence
+//! survives the crash).
+
+use cqs::prelude::*;
+use cqs_core::adversary::NodeAudit;
+use cqs_core::Adversary;
+
+const EPS_INV: u64 = 16;
+const K: u32 = 5;
+
+fn eps() -> Eps {
+    Eps::from_inverse(EPS_INV)
+}
+
+fn gk() -> GkSummary<Item> {
+    GkSummary::new(eps().value())
+}
+
+/// Runs the guarded driver against GK wrapped with `plan` (both copies
+/// get a clone, as the CLI matrix does).
+fn try_run_with(
+    plan: &FaultPlan,
+    budget: AdversaryBudget,
+) -> Result<cqs_core::AdversaryOutcome<FaultySummary<GkSummary<Item>>>, AdversaryError> {
+    Adversary::new(
+        eps(),
+        FaultySummary::new(gk(), plan.clone()),
+        FaultySummary::new(gk(), plan.clone()),
+    )
+    .with_budget(budget)
+    .try_run(K)
+}
+
+/// The audit trail of a clean full-depth run — the reference the
+/// salvaged prefixes are compared against.
+fn full_run_audits() -> Vec<NodeAudit> {
+    Adversary::new(eps(), gk(), gk()).run(K).audits
+}
+
+#[test]
+fn empty_plan_completes() {
+    let out = try_run_with(&FaultPlan::none(), AdversaryBudget::default()).unwrap();
+    assert_eq!(out.verdict(), RunVerdict::Completed);
+    assert!(out.equivalence_error.is_none());
+    let probe = out.rank_probe.as_ref().expect("probe ran");
+    assert!(probe.max_rank_error <= probe.rank_budget);
+}
+
+#[test]
+fn panic_on_insert_yields_summary_panicked_with_partial_report() {
+    let n = eps().stream_len(K);
+    let at = n / 2;
+    let plan = FaultPlan::none().inject(at, FaultKind::PanicOnInsert);
+    let err = try_run_with(&plan, AdversaryBudget::default()).unwrap_err();
+    assert_eq!(err.verdict(), RunVerdict::SummaryPanicked);
+    match &err {
+        AdversaryError::SummaryPanicked {
+            step,
+            during,
+            partial,
+            ..
+        } => {
+            assert_eq!(*step, at, "panic surfaced at the armed step");
+            assert_eq!(*during, "insert");
+            // A panic at step N leaves exactly N − 1 verified steps.
+            assert_eq!(partial.items_fed, at - 1);
+            // The salvaged audits are a verbatim prefix of the clean run.
+            let full = full_run_audits();
+            assert!(partial.audits.len() < full.len());
+            assert_eq!(partial.audits[..], full[..partial.audits.len()]);
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+}
+
+#[test]
+fn panic_on_query_yields_summary_panicked_during_query() {
+    let n = eps().stream_len(K);
+    let plan = FaultPlan::none().inject(n / 2, FaultKind::PanicOnQuery);
+    let err = try_run_with(&plan, AdversaryBudget::default()).unwrap_err();
+    assert_eq!(err.verdict(), RunVerdict::SummaryPanicked);
+    match &err {
+        AdversaryError::SummaryPanicked {
+            during, partial, ..
+        } => {
+            assert_eq!(*during, "query_rank");
+            // The construction itself finished: the whole stream was fed
+            // before the final probe tripped the fault.
+            assert_eq!(partial.items_fed, n);
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+}
+
+#[test]
+fn rank_slack_yields_summary_incorrect() {
+    let n = eps().stream_len(K);
+    let slack = 3 * eps().rank_budget(n) + 1;
+    let plan = FaultPlan::none().inject(n / 2, FaultKind::RankSlack(slack));
+    // Model-conforming but inaccurate: the run finishes, the verdict
+    // condemns it.
+    let out = try_run_with(&plan, AdversaryBudget::default()).unwrap();
+    assert_eq!(out.verdict(), RunVerdict::SummaryIncorrect);
+    let probe = out.rank_probe.as_ref().expect("probe ran");
+    assert!(
+        probe.max_rank_error > probe.rank_budget,
+        "slack {slack} should exceed the εN budget {}",
+        probe.rank_budget
+    );
+}
+
+#[test]
+fn non_monotone_rank_yields_model_violation() {
+    let n = eps().stream_len(K);
+    let plan = FaultPlan::none().inject(n / 2, FaultKind::NonMonotoneRank);
+    let err = try_run_with(&plan, AdversaryBudget::default()).unwrap_err();
+    assert_eq!(err.verdict(), RunVerdict::ModelViolation);
+}
+
+#[test]
+fn value_peek_yields_model_violation() {
+    let n = eps().stream_len(K);
+    let plan = FaultPlan::seeded(0xFA17).inject(n / 4, FaultKind::ValuePeek);
+    let err = try_run_with(&plan, AdversaryBudget::default()).unwrap_err();
+    assert_eq!(err.verdict(), RunVerdict::ModelViolation);
+}
+
+#[test]
+fn understate_space_yields_model_violation() {
+    let n = eps().stream_len(K);
+    let plan = FaultPlan::none().inject(n / 2, FaultKind::UnderstateSpace(5));
+    let err = try_run_with(&plan, AdversaryBudget::default()).unwrap_err();
+    assert_eq!(err.verdict(), RunVerdict::ModelViolation);
+    match &err {
+        AdversaryError::ModelViolation { detail, .. } => {
+            assert!(detail.contains("understates"), "detail: {detail}");
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+}
+
+#[test]
+fn budget_exhausted_preserves_the_lemma52_audit_prefix() {
+    let n = eps().stream_len(K);
+    let budget = AdversaryBudget {
+        max_steps: Some(n / 2),
+        ..AdversaryBudget::default()
+    };
+    let err = try_run_with(&FaultPlan::none(), budget).unwrap_err();
+    assert_eq!(err.verdict(), RunVerdict::BudgetExhausted);
+    let partial = err.partial().expect("budget aborts salvage a partial run");
+    assert!(partial.items_fed <= n / 2);
+    assert!(!partial.audits.is_empty(), "some subtrees completed");
+    // The prefix is verbatim from the clean run, and its Lemma 5.2
+    // evidence is intact.
+    let full = full_run_audits();
+    assert_eq!(partial.audits[..], full[..partial.audits.len()]);
+    assert_eq!(partial.lemma52_violations(), 0);
+}
+
+#[test]
+fn every_fault_kind_maps_to_a_documented_verdict_string() {
+    // The CLI leans on these names; keep them stable.
+    assert_eq!(RunVerdict::Completed.as_str(), "completed");
+    assert_eq!(RunVerdict::SummaryIncorrect.as_str(), "summary-incorrect");
+    assert_eq!(RunVerdict::ModelViolation.as_str(), "model-violation");
+    assert_eq!(RunVerdict::SummaryPanicked.as_str(), "summary-panicked");
+    assert_eq!(RunVerdict::BudgetExhausted.as_str(), "budget-exhausted");
+}

@@ -1,0 +1,62 @@
+//! Acceptance anchor: a zero-fault `FaultySummary<GkSummary>` run
+//! through the guarded driver reproduces the committed
+//! `BENCH_adversary.json` numbers for the (gk, 1/64, k = 8) cell
+//! *exactly* — final gap, peak |I| and label depth. The wrapper and the
+//! `try_run` driver add observability, not behaviour.
+
+use cqs::prelude::*;
+use cqs_bench::json::{parse, Json};
+use cqs_core::Adversary;
+
+const INV: u64 = 64;
+const K: u32 = 8;
+
+/// The committed baseline row for (gk, eps_inverse = 64, k = 8).
+fn baseline_row() -> Json {
+    let src = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_adversary.json"))
+        .expect("BENCH_adversary.json is committed at the workspace root");
+    let doc = parse(&src).expect("baseline parses");
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
+    runs.iter()
+        .find(|r| {
+            r.get("target").and_then(Json::as_str) == Some("gk")
+                && r.get("eps_inverse").and_then(Json::as_f64) == Some(INV as f64)
+                && r.get("k").and_then(Json::as_f64) == Some(K as f64)
+        })
+        .expect("baseline has the (gk, 64, 8) cell")
+        .clone()
+}
+
+fn field_u64(row: &Json, key: &str) -> u64 {
+    row.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("baseline field {key} missing")) as u64
+}
+
+#[test]
+fn zero_fault_gk_run_reproduces_the_committed_baseline() {
+    let row = baseline_row();
+    // Sanity-pin the committed numbers themselves, so a silent baseline
+    // regeneration cannot weaken this test.
+    assert_eq!(field_u64(&row, "n"), 16384);
+    assert_eq!(field_u64(&row, "final_gap"), 498);
+    assert_eq!(field_u64(&row, "max_stored"), 318);
+    assert_eq!(field_u64(&row, "max_label_depth"), 14);
+
+    let eps = Eps::from_inverse(INV);
+    let mk = || FaultySummary::new(GkSummary::<Item>::new(eps.value()), FaultPlan::none());
+    let out = Adversary::new(eps, mk(), mk())
+        .try_run(K)
+        .expect("zero-fault run completes");
+    assert_eq!(out.verdict(), RunVerdict::Completed);
+
+    let rep = out.report();
+    assert_eq!(rep.n, field_u64(&row, "n"));
+    assert_eq!(rep.final_gap, field_u64(&row, "final_gap"));
+    assert_eq!(rep.max_stored as u64, field_u64(&row, "max_stored"));
+    assert_eq!(
+        rep.max_label_depth as u64,
+        field_u64(&row, "max_label_depth")
+    );
+    assert!(rep.equivalence_ok);
+}
