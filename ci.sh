@@ -54,6 +54,17 @@ if [[ $fast -eq 0 ]]; then
 
     echo "==> fault-matrix smoke (cqs faults, gk, eps=1/16, k=6)"
     faults_smoke --release
+
+    echo "==> parallel-determinism smoke (thm22 --smoke, --jobs 1 vs --jobs 4)"
+    # CQS_RESULTS_DIR redirects the CSV mirrors so the committed
+    # results/ artifacts are never clobbered by a smoke grid.
+    rm -rf target/sweep-smoke
+    CQS_RESULTS_DIR=target/sweep-smoke/serial \
+        cargo run --release -q -p cqs-bench --bin thm22_lower_bound_sweep -- --smoke --jobs 1
+    CQS_RESULTS_DIR=target/sweep-smoke/parallel \
+        cargo run --release -q -p cqs-bench --bin thm22_lower_bound_sweep -- --smoke --jobs 4
+    diff target/sweep-smoke/serial/thm22_lower_bound_sweep.csv \
+         target/sweep-smoke/parallel/thm22_lower_bound_sweep.csv
 fi
 
 echo "ci: all green"

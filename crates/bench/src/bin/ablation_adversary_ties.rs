@@ -16,7 +16,7 @@ use cqs_core::{Eps, Item};
 use cqs_gk::GkSummary;
 use cqs_streams::Table;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let eps = Eps::from_inverse(32);
     let mut t = Table::new(&[
         "k",
@@ -61,4 +61,5 @@ fn main() {
         &t,
         "ablation_adversary_ties.csv",
     );
+    cqs_bench::exit_status()
 }

@@ -21,7 +21,7 @@ use cqs_core::{ComparisonSummary, Eps, Item};
 use cqs_gk::{GkSummary, GreedyGk};
 use cqs_streams::{workload, Table, Workload};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let n = 100_000u64;
     let eps = 0.005;
     let canonical = (1.0 / (2.0 * eps)) as u64; // 100
@@ -94,4 +94,5 @@ fn main() {
         &t,
         "ablation_gk_variants.csv",
     );
+    cqs_bench::exit_status()
 }

@@ -13,7 +13,7 @@ use cqs_bench::{drive_u64, emit, f1};
 use cqs_kll::KllSketch;
 use cqs_streams::{workload, Table, Workload};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let n = 200_000u64;
     let k = 256usize;
     let vals = workload(Workload::Shuffled, n, 31).expect("non-empty");
@@ -45,4 +45,5 @@ fn main() {
         &t,
         "ablation_kll_decay.csv",
     );
+    cqs_bench::exit_status()
 }

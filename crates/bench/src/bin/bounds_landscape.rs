@@ -7,9 +7,16 @@
 //! at N = 1/ε²; measured GK tracks the new bound's slope from below the
 //! GK-upper shape; q-digest sits flat once N ≫ |U|.
 //!
+//! The measured column is one adversary run per row; rows fan out over
+//! the `cqs_bench::exec` pool and come back in input order.
+//!
 //! Run: `cargo run -p cqs-bench --release --bin bounds_landscape`
+//!      `[-- --jobs N]`
 
-use cqs_bench::{attack, emit, f1, Target};
+use std::process::ExitCode;
+
+use cqs_bench::exec::{default_jobs, items_per_sec, parse_jobs, run_cells, CellOutcome};
+use cqs_bench::{emit, f1, try_attack, Target};
 use cqs_core::bounds::{
     crossover_vs_hung_ting, cv_lower, cv_lower_concrete, hung_ting_lower, kll_upper, mrl_upper,
     qdigest_upper, trivial_lower,
@@ -17,11 +24,50 @@ use cqs_core::bounds::{
 use cqs_core::Eps;
 use cqs_streams::Table;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut jobs = default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = match arg.as_str() {
+            "--jobs" => match args.next() {
+                Some(v) => parse_jobs(&v).map(|j| jobs = j),
+                None => Err("--jobs needs a value".into()),
+            },
+            other => Err(format!("unknown argument: {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("bounds_landscape: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let eps = Eps::from_inverse(64);
     println!(
         "eps = {eps}; Hung–Ting crossover at N = 1/eps^2 = {}",
         crossover_vs_hung_ting(eps)
+    );
+
+    let ks: Vec<u32> = (3..=10).collect();
+    let measured = run_cells(
+        &ks,
+        jobs,
+        |_, &k| try_attack(eps, k, Target::Gk).map(|rep| rep.max_stored),
+        |c| {
+            let k = ks[c.index];
+            let n = eps.stream_len(k);
+            eprintln!(
+                "[landscape {}/{}] k={k} N={n} {} {:.0} items/s ({:.2}s)",
+                c.finished,
+                c.total,
+                match c.outcome {
+                    CellOutcome::Done(Ok(_)) => "completed",
+                    CellOutcome::Done(Err(_)) => "skipped",
+                    CellOutcome::Panicked(_) => "panicked",
+                },
+                items_per_sec(2 * n, c.elapsed),
+                c.elapsed.as_secs_f64()
+            );
+        },
     );
 
     let mut t = Table::new(&[
@@ -35,16 +81,28 @@ fn main() {
         "qdigest(|U|=2^32)",
         "kll(d=1e-6)",
     ]);
-    for k in 3..=10u32 {
+    for (&k, outcome) in ks.iter().zip(measured) {
         let n = eps.stream_len(k);
-        let measured = attack(eps, k, Target::Gk).max_stored;
+        // Skip-and-record: a failed measurement leaves a "-" cell, the
+        // analytic columns still print.
+        let measured_cell = match outcome {
+            CellOutcome::Done(Ok(stored)) => stored.to_string(),
+            CellOutcome::Done(Err(e)) => {
+                eprintln!("[landscape] k={k}: {e}");
+                "-".into()
+            }
+            CellOutcome::Panicked(msg) => {
+                eprintln!("[landscape] k={k}: cell panicked: {msg}");
+                "-".into()
+            }
+        };
         t.row(&[
             &n.to_string(),
             &f1(trivial_lower(eps)),
             &f1(hung_ting_lower(eps)),
             &f1(cv_lower(eps, n)),
             &f1(cv_lower_concrete(eps, n)),
-            &measured.to_string(),
+            &measured_cell,
             &f1(mrl_upper(eps, n)),
             &f1(qdigest_upper(eps, 32)),
             &f1(kll_upper(eps, 1e-6)),
@@ -58,4 +116,5 @@ fn main() {
     println!("\nreading guide: CV20(shape) passes hung-ting at N = 4096 and keeps growing —");
     println!("that growth is what rules out f(eps)·o(log N) algorithms; flat rows are the");
     println!("bounds the paper subsumed (trivial, HT) or that escape the model (q-digest, KLL).");
+    cqs_bench::exit_status()
 }

@@ -29,7 +29,7 @@ fn fit(points: &[(f64, f64)]) -> (f64, f64) {
     (a, b)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut t = Table::new(&[
         "target",
         "eps",
@@ -68,4 +68,5 @@ fn main() {
     );
     println!("GK's worst-case analysis allows up to ~5.5. The measured a is the");
     println!("constant-factor truth the two proofs bracket.");
+    cqs_bench::exit_status()
 }

@@ -67,7 +67,7 @@ impl ComparisonSummary<Item> for ScriptedSummary {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     // 14 items arrive in increasing order, so arrival position = rank−1.
     // Stored ranks 1, 6, 11, 14 → arrivals 0, 5, 10, 13. The interval
     // endpoints of the figure are the rank-1 and rank-14 items; to make
@@ -135,4 +135,5 @@ fn main() {
         show(refinement.iv_rho.hi())
     );
     assert_eq!(gap.gap, 5, "figure's configuration must yield gap 5");
+    cqs_bench::exit_status()
 }

@@ -20,7 +20,7 @@ fn shape(eps: f64, n: u64) -> f64 {
     (1.0 / eps) * ((eps * n as f64).max(2.0).log2() + 1.0)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let mut t = Table::new(&[
         "eps",
         "N",
@@ -80,4 +80,5 @@ fn main() {
         &t,
         "gk_upper_bound_profile.csv",
     );
+    cqs_bench::exit_status()
 }

@@ -15,7 +15,7 @@ use cqs_core::spacegap::theorem22_bound;
 use cqs_core::Eps;
 use cqs_streams::Table;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let eps = Eps::from_inverse(32);
     let k = 8u32;
     let n = eps.stream_len(k);
@@ -81,4 +81,5 @@ fn main() {
         &t,
         "lemma34_failure_witness.csv",
     );
+    cqs_bench::exit_status()
 }

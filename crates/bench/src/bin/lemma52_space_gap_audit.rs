@@ -64,7 +64,7 @@ where
     audit_rows(t, label, eps, &out.audits);
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let eps = Eps::from_inverse(32);
     let k = 8u32;
     let mut t = Table::new(&[
@@ -100,4 +100,5 @@ fn main() {
     println!(
         "\n(min-slack is S_k - RHS over all nodes of the level; non-negative => Lemma 5.2 held)"
     );
+    cqs_bench::exit_status()
 }

@@ -13,7 +13,7 @@ use cqs_core::offline::{uncovered_quantile, OfflineSummary};
 use cqs_core::Eps;
 use cqs_streams::Table;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let n = 100_000u64;
     let data: Vec<u64> = (1..=n).collect();
 
@@ -60,4 +60,5 @@ fn main() {
         &t,
         "offline_optimal_summary.csv",
     );
+    cqs_bench::exit_status()
 }

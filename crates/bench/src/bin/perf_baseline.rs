@@ -17,11 +17,18 @@
 //! (that is how before/after numbers end up side by side in one PR);
 //! `--verify DIR` re-parses the files in DIR and checks the schema —
 //! the CI smoke step runs exactly that.
+//!
+//! `--jobs N` fans the adversary configs out over the `cqs_bench::exec`
+//! worker pool. The default is **1** (unlike the sweep binaries): this
+//! binary's job is honest per-config timings, and concurrent runs
+//! contend for cores. The JSON `runs` array is in config order for any
+//! `--jobs`; only the interleaving of progress lines changes.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use cqs_bench::exec::{parse_jobs, run_cells, CellOutcome};
 use cqs_bench::json::{parse, Json};
 use cqs_bench::{attack, Target};
 use cqs_core::{ComparisonSummary, Eps};
@@ -39,6 +46,7 @@ struct Opts {
     out_dir: PathBuf,
     smoke: bool,
     verify: Option<PathBuf>,
+    jobs: usize,
 }
 
 fn workspace_root() -> PathBuf {
@@ -53,6 +61,7 @@ fn parse_opts() -> Result<Opts, String> {
         out_dir: workspace_root(),
         smoke: false,
         verify: None,
+        jobs: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +69,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--phase" => opts.phase = args.next().ok_or("--phase needs a value")?,
             "--merge" => opts.merge = true,
             "--smoke" => opts.smoke = true,
+            "--jobs" => opts.jobs = parse_jobs(&args.next().ok_or("--jobs needs a value")?)?,
             "--out-dir" => {
                 opts.out_dir = PathBuf::from(args.next().ok_or("--out-dir needs a value")?)
             }
@@ -326,10 +336,23 @@ fn run(opts: &Opts) -> Result<(), String> {
             (Target::Gk, 256, 12),
         ]
     };
-    let adversary_runs: Vec<Json> = adversary_configs
-        .iter()
-        .map(|&(t, e, k)| adversary_run(phase, t, e, k))
-        .collect();
+    // Fan the configs over the worker pool; results come back in config
+    // order, so the JSON runs array is deterministic for any --jobs.
+    let outcomes = run_cells(
+        adversary_configs,
+        opts.jobs,
+        |_, &(t, e, k)| adversary_run(phase, t, e, k),
+        |_| {},
+    );
+    let mut adversary_runs: Vec<Json> = Vec::with_capacity(adversary_configs.len());
+    for (cfg, outcome) in adversary_configs.iter().zip(outcomes) {
+        match outcome {
+            CellOutcome::Done(json) => adversary_runs.push(json),
+            CellOutcome::Panicked(msg) => {
+                return Err(format!("adversary config {cfg:?} panicked: {msg}"))
+            }
+        }
+    }
 
     println!("== summary update throughput (phase: {phase}) ==");
     let (n, workloads): (u64, &[Workload]) = if opts.smoke {

@@ -8,7 +8,7 @@ use cqs_bench::{attack_gk_outcome, emit, f1};
 use cqs_core::Eps;
 use cqs_streams::Table;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let eps = Eps::from_inverse(32);
     let k = 7u32;
     let out = attack_gk_outcome(eps, k);
@@ -38,4 +38,5 @@ fn main() {
         &t,
         "recursion_tree_dump.csv",
     );
+    cqs_bench::exit_status()
 }

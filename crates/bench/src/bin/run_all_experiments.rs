@@ -1,9 +1,20 @@
 //! Convenience driver: runs every experiment binary in DESIGN.md's index
 //! in sequence (the exact set EXPERIMENTS.md is generated from).
 //!
+//! The binaries themselves run one after another (their stdout tables
+//! would interleave otherwise), but `--jobs N` is forwarded to the
+//! parallel-aware sweeps so each of them fans its cell grid out over N
+//! workers. Experiment binaries exit nonzero when any `results/` CSV
+//! mirror fails to write (see `cqs_bench::exit_status`), so a sweep
+//! with missing artifacts is reported as a failure here, not silently
+//! green-lit.
+//!
 //! Run: `cargo run -p cqs-bench --release --bin run_all_experiments`
+//!      `[-- --jobs N]`
 
-use std::process::Command;
+use std::process::{Command, ExitCode};
+
+use cqs_bench::exec::{default_jobs, parse_jobs};
 
 const EXPERIMENTS: &[&str] = &[
     "fig1_gap_illustration",
@@ -26,18 +37,49 @@ const EXPERIMENTS: &[&str] = &[
     "recursion_tree_dump",
 ];
 
-fn main() {
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+/// The binaries that accept `--jobs N` (the rest take no arguments).
+const PARALLEL_AWARE: &[&str] = &["thm22_lower_bound_sweep", "bounds_landscape"];
+
+fn main() -> ExitCode {
+    let mut jobs = default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = match arg.as_str() {
+            "--jobs" => match args.next() {
+                Some(v) => parse_jobs(&v).map(|j| jobs = j),
+                None => Err("--jobs needs a value".into()),
+            },
+            other => Err(format!("unknown argument: {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("run_all_experiments: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let exe_dir = match std::env::current_exe() {
+        Ok(path) => match path.parent() {
+            Some(dir) => dir.to_path_buf(),
+            None => {
+                eprintln!("run_all_experiments: executable path has no parent directory");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("run_all_experiments: cannot resolve own path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut failures: Vec<String> = Vec::new();
     for name in EXPERIMENTS {
         println!("\n################ {name} ################");
+        let mut cmd = Command::new(exe_dir.join(name));
+        if PARALLEL_AWARE.contains(name) {
+            cmd.arg("--jobs").arg(jobs.to_string());
+        }
         // Skip-and-record: a binary that fails to launch or exits
         // nonzero is logged and the rest of the suite still runs.
-        match Command::new(exe_dir.join(name)).status() {
+        match cmd.status() {
             Ok(status) if status.success() => {}
             Ok(status) => failures.push(format!("{name} (exit {status})")),
             Err(e) => failures.push(format!("{name} (failed to launch: {e})")),
@@ -49,8 +91,9 @@ fn main() {
             "all {} experiments completed; CSVs in results/",
             EXPERIMENTS.len()
         );
+        ExitCode::SUCCESS
     } else {
         println!("FAILED: {failures:?}");
-        std::process::exit(1);
+        ExitCode::FAILURE
     }
 }

@@ -48,7 +48,7 @@ where
     ]);
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let n = 200_000u64;
     let mut t = Table::new(&[
         "summary",
@@ -128,4 +128,5 @@ fn main() {
     );
     println!("\n(*) q-digest is not comparison-based: bounded integer universe, answers may be");
     println!("    non-stream values — the contrast the lower bound paper exempts explicitly.");
+    cqs_bench::exit_status()
 }

@@ -14,83 +14,74 @@
 //! k at fixed ε and linearly in 1/ε at fixed k, sandwiched between the
 //! lower-bound line and the GK upper-bound line.
 //!
+//! The grid cells are independent adversary runs, so they fan out over
+//! the `cqs_bench::exec` worker pool; rows come back in input order, so
+//! the table and its CSV mirror are byte-identical for every `--jobs`.
+//!
 //! Run: `cargo run -p cqs-bench --release --bin thm22_lower_bound_sweep`
+//!      `[-- [--jobs N] [--smoke]]`
+//! (`--jobs 0` or absent = available parallelism; `--smoke` runs a
+//! small CI grid. Set `CQS_RESULTS_DIR` to redirect the CSV mirror.)
 
-use cqs_bench::{emit, f1, try_attack, Target};
-use cqs_core::Eps;
-use cqs_streams::Table;
+use std::process::ExitCode;
 
-fn main() {
-    let mut t = Table::new(&[
-        "eps",
-        "k",
-        "N",
-        "target",
-        "gap",
-        "ceil(2epsN)",
-        "peak|I|",
-        "thm2.2",
-        "peak/bound",
-        "gk-upper",
-        "claim1-viol",
-        "lemma52-viol",
-        "indist",
-    ]);
+use cqs_bench::emit;
+use cqs_bench::exec::{default_jobs, parse_jobs};
+use cqs_bench::sweeps::{thm22_full_grid, thm22_smoke_grid, thm22_sweep};
 
-    let mut all_ok = true;
-    let mut skipped: Vec<String> = Vec::new();
-    for inv in [32u64, 64, 128] {
-        let eps = Eps::from_inverse(inv);
-        for k in 4..=9u32 {
-            for target in [Target::Gk, Target::GkGreedy, Target::KllFixed] {
-                // Skip-and-record: one crashing or model-violating
-                // config must not abort the remaining ~50 cells.
-                let rep = match try_attack(eps, k, target) {
-                    Ok(rep) => rep,
-                    Err(e) => {
-                        skipped.push(format!("eps={eps} k={k} {}: {e}", target.name()));
-                        continue;
-                    }
-                };
-                let gk_upper = inv as f64 * (k as f64 + 1.0);
-                let ratio = rep.max_stored as f64 / rep.theorem22_bound;
-                let correct = rep.final_gap <= rep.gap_ceiling;
-                let met = rep.max_stored as f64 >= rep.theorem22_bound;
-                if correct && !met {
-                    all_ok = false;
-                }
-                t.row(&[
-                    &eps.to_string(),
-                    &k.to_string(),
-                    &rep.n.to_string(),
-                    &target.name(),
-                    &rep.final_gap.to_string(),
-                    &rep.gap_ceiling.to_string(),
-                    &rep.max_stored.to_string(),
-                    &f1(rep.theorem22_bound),
-                    &f1(ratio),
-                    &f1(gk_upper),
-                    &rep.claim1_violations.to_string(),
-                    &rep.lemma52_violations.to_string(),
-                    &rep.equivalence_ok.to_string(),
-                ]);
+fn main() -> ExitCode {
+    let mut jobs = default_jobs();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = match arg.as_str() {
+            "--jobs" => match args.next() {
+                Some(v) => parse_jobs(&v).map(|j| jobs = j),
+                None => Err("--jobs needs a value".into()),
+            },
+            "--smoke" => {
+                smoke = true;
+                Ok(())
             }
+            other => Err(format!("unknown argument: {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("thm22_lower_bound_sweep: {e}");
+            return ExitCode::FAILURE;
         }
     }
 
+    let cells = if smoke {
+        thm22_smoke_grid()
+    } else {
+        thm22_full_grid()
+    };
+    eprintln!(
+        "[thm22] {} cells on {} worker(s){}",
+        cells.len(),
+        jobs,
+        if smoke { " (smoke grid)" } else { "" }
+    );
+    let sweep = thm22_sweep(&cells, jobs, true);
+
     emit(
         "Theorem 2.2 — lower-bound sweep (space vs c(k+2)/(4eps) on adversarial streams)",
-        &t,
+        &sweep.table,
         "thm22_lower_bound_sweep.csv",
     );
     println!(
         "\nevery correct run met the Theorem 2.2 bound: {}",
-        if all_ok { "YES" } else { "NO (investigate!)" }
+        if sweep.all_ok {
+            "YES"
+        } else {
+            "NO (investigate!)"
+        }
     );
-    if !skipped.is_empty() {
-        println!("\nskipped {} config(s):", skipped.len());
-        for s in &skipped {
+    if !sweep.skipped.is_empty() {
+        println!("\nskipped {} config(s):", sweep.skipped.len());
+        for s in &sweep.skipped {
             println!("  {s}");
         }
     }
+    cqs_bench::exit_status()
 }

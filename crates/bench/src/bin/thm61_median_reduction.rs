@@ -13,7 +13,7 @@ use cqs_core::median::{median_reduction, MedianOutcome};
 use cqs_core::Eps;
 use cqs_streams::Table;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let eps = Eps::from_inverse(32);
     let k = 8u32;
     let mut t = Table::new(&[
@@ -116,4 +116,5 @@ fn main() {
         &t,
         "thm61_median_reduction.csv",
     );
+    cqs_bench::exit_status()
 }

@@ -13,7 +13,7 @@ use cqs_core::rank_estimation::rank_failure_witness;
 use cqs_core::Eps;
 use cqs_streams::Table;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let eps = Eps::from_inverse(32);
     let k = 8u32;
     let mut t = Table::new(&[
@@ -77,4 +77,5 @@ fn main() {
         &t,
         "thm62_rank_lower_bound.csv",
     );
+    cqs_bench::exit_status()
 }

@@ -23,7 +23,7 @@ use cqs_core::randomized::{
 use cqs_core::Eps;
 use cqs_streams::Table;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let eps = Eps::from_inverse(32);
 
     let mut t = Table::new(&[
@@ -75,4 +75,5 @@ fn main() {
     );
     println!("\n(a fixed-seed sketch must either blow the gap ceiling — failing as a");
     println!(" deterministic summary — or obey the deterministic space bound)");
+    cqs_bench::exit_status()
 }

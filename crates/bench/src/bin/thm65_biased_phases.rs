@@ -23,7 +23,7 @@ use cqs_core::{Eps, Item};
 use cqs_gk::GkSummary;
 use cqs_streams::Table;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let eps = Eps::from_inverse(32);
     let k = 8u32;
 
@@ -79,4 +79,5 @@ fn main() {
         &totals,
         "thm65_biased_totals.csv",
     );
+    cqs_bench::exit_status()
 }

@@ -1,0 +1,284 @@
+//! Deterministic parallel sweep executor.
+//!
+//! Every sweep in this workspace is a grid of independent cells (one
+//! adversary run, one fault-matrix row, one bound evaluation). This
+//! module fans a flattened cell grid out over a scoped `std::thread`
+//! worker pool — no channels, no external crates — while keeping the
+//! one property the experiment tables and `results/*.csv` mirrors rely
+//! on: **results come back in input order**, byte-for-byte identical to
+//! a serial run, regardless of completion order.
+//!
+//! Design (see DESIGN.md "Parallel sweep executor"):
+//!
+//! * **Work index, not channels.** Workers claim cells by bumping one
+//!   shared `AtomicUsize` over the flattened grid. There is no work
+//!   queue to build, no sender/receiver pairing to tear down, and the
+//!   claim order is irrelevant to the output: each worker writes its
+//!   result into the slot of the cell it claimed.
+//! * **Per-index slots.** Results land in a `Vec` of per-cell mutexed
+//!   slots, so the returned `Vec` is in input order by construction and
+//!   two workers never contend on the same slot.
+//! * **Panic isolation.** Each cell runs under `catch_unwind`; a
+//!   panicking cell degrades to [`CellOutcome::Panicked`] (which the
+//!   sweeps map onto PR 3's `RunVerdict` taxonomy) instead of tearing
+//!   down the whole sweep.
+//! * **`jobs == 1` is the serial path.** No threads are spawned; cells
+//!   run in input order on the calling thread, which reproduces the
+//!   pre-parallel binaries' behaviour exactly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What happened to one cell of the grid.
+#[derive(Debug)]
+pub enum CellOutcome<R> {
+    /// The cell's closure returned normally.
+    Done(R),
+    /// The cell's closure panicked; the payload rendered as text.
+    Panicked(String),
+}
+
+impl<R> CellOutcome<R> {
+    /// The result, if the cell completed.
+    pub fn as_done(&self) -> Option<&R> {
+        match self {
+            CellOutcome::Done(r) => Some(r),
+            CellOutcome::Panicked(_) => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the result if the cell completed.
+    pub fn into_done(self) -> Option<R> {
+        match self {
+            CellOutcome::Done(r) => Some(r),
+            CellOutcome::Panicked(_) => None,
+        }
+    }
+}
+
+/// A completed cell, as seen by the progress callback.
+pub struct Completion<'a, R> {
+    /// Input-order index of the cell that just finished.
+    pub index: usize,
+    /// How many cells have finished so far (including this one).
+    pub finished: usize,
+    /// Total number of cells in the grid.
+    pub total: usize,
+    /// The cell's outcome.
+    pub outcome: &'a CellOutcome<R>,
+    /// Wall-clock time this cell took.
+    pub elapsed: Duration,
+}
+
+/// The number of workers used when `--jobs` is not given: the machine's
+/// available parallelism (1 when it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses the value of a `--jobs` flag: a positive worker count, or `0`
+/// meaning "auto" (available parallelism).
+pub fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(0) => Ok(default_jobs()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--jobs: expected a non-negative integer, got {v}")),
+    }
+}
+
+/// Runs `run(index, &cell)` for every cell of the grid on `jobs` worker
+/// threads and returns the outcomes **in input order**.
+///
+/// `report` is invoked once per completed cell (under the cell's slot
+/// lock, so invocations never interleave); sweeps use it to print the
+/// coarse progress line. With `jobs <= 1` everything runs on the
+/// calling thread in input order — the byte-for-byte serial path.
+pub fn run_cells<T, R, F, P>(cells: &[T], jobs: usize, run: F, report: P) -> Vec<CellOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    P: Fn(&Completion<'_, R>) + Sync,
+{
+    let total = cells.len();
+    let finished = AtomicUsize::new(0);
+    let one = |i: usize| -> CellOutcome<R> {
+        let started = Instant::now();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run(i, &cells[i]))) {
+            Ok(r) => CellOutcome::Done(r),
+            Err(payload) => CellOutcome::Panicked(panic_message(payload.as_ref())),
+        };
+        report(&Completion {
+            index: i,
+            finished: finished.fetch_add(1, Ordering::Relaxed) + 1,
+            total,
+            outcome: &outcome,
+            elapsed: started.elapsed(),
+        });
+        outcome
+    };
+
+    let jobs = jobs.clamp(1, total.max(1));
+    if jobs <= 1 {
+        return (0..total).map(one).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutcome<R>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let outcome = one(i);
+                match slots[i].lock() {
+                    Ok(mut slot) => *slot = Some(outcome),
+                    Err(poisoned) => *poisoned.into_inner() = Some(outcome),
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            let inner = match slot.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            // Unreachable in practice (every claimed index stores before
+            // the scope joins), but degrade rather than panic.
+            inner.unwrap_or_else(|| CellOutcome::Panicked("cell result missing".into()))
+        })
+        .collect()
+}
+
+/// Renders a caught panic payload (`&str` or `String`, the two shapes
+/// `panic!` produces) as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Items-per-second over a wall-clock duration (progress lines).
+pub fn items_per_sec(items: u64, elapsed: Duration) -> f64 {
+    items as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn silent<R>(_: &Completion<'_, R>) {}
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let cells: Vec<u64> = (0..64).collect();
+        // Make late cells finish first so completion order differs from
+        // input order under any parallelism.
+        let out = run_cells(
+            &cells,
+            8,
+            |_, &c| {
+                std::thread::sleep(Duration::from_micros(2 * (64 - c)));
+                c * 3
+            },
+            silent,
+        );
+        let values: Vec<u64> = out.into_iter().map(|o| o.into_done().unwrap()).collect();
+        let expected: Vec<u64> = (0..64).map(|c| c * 3).collect();
+        assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let cells: Vec<u64> = (0..40).collect();
+        let run = |_: usize, &c: &u64| c.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let serial: Vec<_> = run_cells(&cells, 1, run, silent)
+            .into_iter()
+            .map(|o| o.into_done().unwrap())
+            .collect();
+        let parallel: Vec<_> = run_cells(&cells, 4, run, silent)
+            .into_iter()
+            .map(|o| o.into_done().unwrap())
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated() {
+        // Silence the default hook: the panic below is the point.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let cells: Vec<u64> = (0..8).collect();
+        let out = run_cells(
+            &cells,
+            4,
+            |_, &c| {
+                if c == 3 {
+                    panic!("boom at {c}");
+                }
+                c
+            },
+            silent,
+        );
+        std::panic::set_hook(hook);
+        for (i, o) in out.iter().enumerate() {
+            match o {
+                CellOutcome::Done(v) => {
+                    assert_ne!(i, 3);
+                    assert_eq!(*v, i as u64);
+                }
+                CellOutcome::Panicked(msg) => {
+                    assert_eq!(i, 3);
+                    assert!(msg.contains("boom at 3"), "{msg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_cell_once() {
+        let cells: Vec<u64> = (0..16).collect();
+        let seen = Mutex::new(vec![0usize; 16]);
+        let finished_max = AtomicUsize::new(0);
+        run_cells(
+            &cells,
+            4,
+            |_, &c| c,
+            |c: &Completion<'_, u64>| {
+                seen.lock().unwrap()[c.index] += 1;
+                finished_max.fetch_max(c.finished, Ordering::Relaxed);
+                assert_eq!(c.total, 16);
+            },
+        );
+        assert!(seen.lock().unwrap().iter().all(|&n| n == 1));
+        assert_eq!(finished_max.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        assert_eq!(parse_jobs("3"), Ok(3));
+        assert_eq!(parse_jobs("0"), Ok(default_jobs()));
+        assert!(parse_jobs("-1").is_err());
+        assert!(parse_jobs("many").is_err());
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let cells: Vec<u64> = Vec::new();
+        let out = run_cells(&cells, 4, |_, &c| c, silent);
+        assert!(out.is_empty());
+    }
+}

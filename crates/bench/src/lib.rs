@@ -12,10 +12,14 @@
 //! EXPERIMENTS.md's numbers are regenerable with
 //! `cargo run -p cqs-bench --release --bin <name>`.
 
+pub mod exec;
 pub mod json;
 pub mod micro;
+pub mod sweeps;
 
 use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cqs_core::adversary::{run_adversary, try_run_adversary, AdversaryOutcome, AdversaryReport};
 use cqs_core::{ComparisonSummary, Eps, Item};
@@ -100,8 +104,13 @@ pub fn attack_gk_outcome(eps: Eps, k: u32) -> AdversaryOutcome<GkSummary<Item>> 
     run_adversary(eps, k, || GkSummary::<Item>::new(eps.value()))
 }
 
-/// Resolves `results/<file>` at the workspace root.
+/// Resolves `results/<file>` at the workspace root, or `<dir>/<file>`
+/// when the `CQS_RESULTS_DIR` environment variable is set (CI smoke
+/// runs redirect there so they never clobber the committed CSVs).
 pub fn results_path(file: &str) -> PathBuf {
+    if let Some(dir) = std::env::var_os("CQS_RESULTS_DIR") {
+        return PathBuf::from(dir).join(file);
+    }
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("..")
         .join("..");
@@ -111,16 +120,46 @@ pub fn results_path(file: &str) -> PathBuf {
         .join(file)
 }
 
+/// How many CSV mirrors failed to write in this process (see [`emit`]).
+static MIRROR_FAILURES: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`emit`] calls whose CSV mirror failed so far.
+pub fn mirror_failures() -> usize {
+    MIRROR_FAILURES.load(Ordering::Relaxed)
+}
+
+/// Exit code for an experiment binary: failure when any CSV mirror
+/// failed to write, so `run_all_experiments` (and CI) cannot green-light
+/// a sweep whose `results/` artifacts are missing. Every experiment
+/// `main` ends with `cqs_bench::exit_status()`.
+pub fn exit_status() -> ExitCode {
+    let n = mirror_failures();
+    if n == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[csv] {n} mirror(s) failed — results/ artifacts are incomplete");
+        ExitCode::FAILURE
+    }
+}
+
 /// Prints a table under a titled banner and mirrors it to
-/// `results/<csv_name>` (errors on the mirror are reported, not fatal —
-/// the table on stdout is the experiment's primary output).
+/// `results/<csv_name>`. A failed mirror is reported on stderr *and*
+/// counted, so [`exit_status`] turns it into a nonzero exit — the table
+/// on stdout remains the experiment's primary output, but CI must not
+/// treat a sweep with missing `results/` artifacts as fully successful.
 pub fn emit(title: &str, table: &Table, csv_name: &str) {
     println!("\n=== {title} ===\n");
     print!("{}", table.render());
     let path = results_path(csv_name);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
     match cqs_streams::write_csv(table, &path) {
         Ok(()) => println!("\n[csv] {}", path.display()),
-        Err(e) => eprintln!("\n[csv] failed to write {}: {e}", path.display()),
+        Err(e) => {
+            MIRROR_FAILURES.fetch_add(1, Ordering::Relaxed);
+            eprintln!("\n[csv] failed to write {}: {e}", path.display());
+        }
     }
 }
 
@@ -214,5 +253,29 @@ mod tests {
     fn results_path_lands_in_workspace_results() {
         let p = results_path("x.csv");
         assert!(p.to_string_lossy().contains("results"));
+    }
+
+    #[test]
+    fn failed_mirror_is_counted_and_fails_exit_status() {
+        // Block the mirror by routing CQS_RESULTS_DIR *under a file* —
+        // create_dir_all and the write both fail with NotADirectory.
+        // (The override value still contains "results", so the sibling
+        // results_path test stays valid while this env var is set.)
+        let blocker = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join("mirror-blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        std::env::set_var("CQS_RESULTS_DIR", blocker.join("results-sub"));
+        let before = mirror_failures();
+        let mut t = Table::new(&["a"]);
+        t.row(&["1"]);
+        emit("mirror failure test", &t, "never_lands.csv");
+        std::env::remove_var("CQS_RESULTS_DIR");
+        assert!(mirror_failures() > before, "mirror failure not counted");
+        // ExitCode has no PartialEq; compare the Debug rendering.
+        assert_eq!(
+            format!("{:?}", exit_status()),
+            format!("{:?}", ExitCode::FAILURE)
+        );
     }
 }

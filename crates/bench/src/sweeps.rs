@@ -1,0 +1,202 @@
+//! Shared sweep grids: the (ε, k, target) cell grids the experiment
+//! binaries fan out over the [`crate::exec`] worker pool.
+//!
+//! The Theorem 2.2 sweep lives here (rather than inside its binary) so
+//! `tests/parallel_determinism.rs` can assert that `--jobs 1` and
+//! `--jobs N` produce byte-identical tables without spawning processes
+//! or touching the committed `results/` CSVs.
+
+use std::ops::RangeInclusive;
+
+use cqs_core::Eps;
+use cqs_streams::Table;
+
+use crate::exec::{items_per_sec, run_cells, CellOutcome, Completion};
+use crate::{f1, try_attack, Target};
+
+/// One cell of the Theorem 2.2 sweep grid.
+#[derive(Clone, Copy, Debug)]
+pub struct Thm22Cell {
+    /// Approximation guarantee.
+    pub eps: Eps,
+    /// Recursion depth (stream length (1/ε)·2^k).
+    pub k: u32,
+    /// Summary under attack.
+    pub target: Target,
+}
+
+/// Flattens an (inverse-ε, k, target) product into the cell grid, in
+/// the same nesting order the serial loops used (ε outermost, target
+/// innermost) so the table row order is unchanged.
+pub fn thm22_grid(invs: &[u64], ks: RangeInclusive<u32>, targets: &[Target]) -> Vec<Thm22Cell> {
+    let mut cells = Vec::new();
+    for &inv in invs {
+        let eps = Eps::from_inverse(inv);
+        for k in ks.clone() {
+            for &target in targets {
+                cells.push(Thm22Cell { eps, k, target });
+            }
+        }
+    }
+    cells
+}
+
+/// The full grid the committed `results/thm22_lower_bound_sweep.csv`
+/// is generated from.
+pub fn thm22_full_grid() -> Vec<Thm22Cell> {
+    thm22_grid(
+        &[32, 64, 128],
+        4..=9,
+        &[Target::Gk, Target::GkGreedy, Target::KllFixed],
+    )
+}
+
+/// A small grid for CI smoke runs (seconds, not minutes).
+pub fn thm22_smoke_grid() -> Vec<Thm22Cell> {
+    thm22_grid(&[16], 4..=6, &[Target::Gk, Target::GkGreedy])
+}
+
+/// Outcome of a Theorem 2.2 sweep, in input-cell order.
+pub struct Thm22Sweep {
+    /// One row per successfully attacked cell.
+    pub table: Table,
+    /// Whether every *correct* run met the Theorem 2.2 space bound.
+    pub all_ok: bool,
+    /// Skip-and-record log for cells whose run errored or panicked.
+    pub skipped: Vec<String>,
+}
+
+/// Runs the grid on `jobs` workers. Cell results are assembled in input
+/// order, so the table (and its CSV mirror) is identical for every
+/// `jobs`. With `progress` set, a coarse per-cell line (cell id,
+/// verdict, items/s) goes to stderr as each cell completes.
+pub fn thm22_sweep(cells: &[Thm22Cell], jobs: usize, progress: bool) -> Thm22Sweep {
+    let report = |c: &Completion<'_, Result<cqs_core::AdversaryReport, String>>| {
+        if !progress {
+            return;
+        }
+        let cell = &cells[c.index];
+        let (verdict, items) = match c.outcome {
+            CellOutcome::Done(Ok(rep)) => ("completed", 2 * rep.n),
+            CellOutcome::Done(Err(_)) => ("skipped", 0),
+            CellOutcome::Panicked(_) => ("panicked", 0),
+        };
+        eprintln!(
+            "[thm22 {}/{}] eps={} k={} {} {} {:.0} items/s ({:.2}s)",
+            c.finished,
+            c.total,
+            cell.eps,
+            cell.k,
+            cell.target.name(),
+            verdict,
+            items_per_sec(items, c.elapsed),
+            c.elapsed.as_secs_f64()
+        );
+    };
+    let outcomes = run_cells(
+        cells,
+        jobs,
+        |_, cell| try_attack(cell.eps, cell.k, cell.target),
+        report,
+    );
+
+    let mut table = Table::new(&[
+        "eps",
+        "k",
+        "N",
+        "target",
+        "gap",
+        "ceil(2epsN)",
+        "peak|I|",
+        "thm2.2",
+        "peak/bound",
+        "gk-upper",
+        "claim1-viol",
+        "lemma52-viol",
+        "indist",
+    ]);
+    let mut all_ok = true;
+    let mut skipped = Vec::new();
+    for (cell, outcome) in cells.iter().zip(outcomes) {
+        // Skip-and-record: one crashing or model-violating config must
+        // not abort the remaining cells; a panic that escaped the
+        // guarded driver is recorded the same way.
+        let rep = match outcome {
+            CellOutcome::Done(Ok(rep)) => rep,
+            CellOutcome::Done(Err(e)) => {
+                skipped.push(format!(
+                    "eps={} k={} {}: {e}",
+                    cell.eps,
+                    cell.k,
+                    cell.target.name()
+                ));
+                continue;
+            }
+            CellOutcome::Panicked(msg) => {
+                skipped.push(format!(
+                    "eps={} k={} {}: cell panicked: {msg} [summary-panicked]",
+                    cell.eps,
+                    cell.k,
+                    cell.target.name()
+                ));
+                continue;
+            }
+        };
+        let gk_upper = cell.eps.inverse() as f64 * (cell.k as f64 + 1.0);
+        let ratio = rep.max_stored as f64 / rep.theorem22_bound;
+        let correct = rep.final_gap <= rep.gap_ceiling;
+        let met = rep.max_stored as f64 >= rep.theorem22_bound;
+        if correct && !met {
+            all_ok = false;
+        }
+        table.row(&[
+            &cell.eps.to_string(),
+            &cell.k.to_string(),
+            &rep.n.to_string(),
+            &cell.target.name(),
+            &rep.final_gap.to_string(),
+            &rep.gap_ceiling.to_string(),
+            &rep.max_stored.to_string(),
+            &f1(rep.theorem22_bound),
+            &f1(ratio),
+            &f1(gk_upper),
+            &rep.claim1_violations.to_string(),
+            &rep.lemma52_violations.to_string(),
+            &rep.equivalence_ok.to_string(),
+        ]);
+    }
+    Thm22Sweep {
+        table,
+        all_ok,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_order_matches_serial_nesting() {
+        let cells = thm22_grid(&[8, 16], 3..=4, &[Target::Gk, Target::GkGreedy]);
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(cells[0].eps.inverse(), 8);
+        assert_eq!(cells[0].k, 3);
+        assert_eq!(cells[0].target, Target::Gk);
+        assert_eq!(cells[1].target, Target::GkGreedy);
+        assert_eq!(cells[2].k, 4);
+        assert_eq!(cells[4].eps.inverse(), 16);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_rows_in_cell_order() {
+        let cells = thm22_grid(&[8], 3..=3, &[Target::Gk, Target::GkGreedy]);
+        let sweep = thm22_sweep(&cells, 2, false);
+        assert!(sweep.skipped.is_empty(), "{:?}", sweep.skipped);
+        let csv = sweep.table.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains("gk"), "{csv}");
+        assert!(rows[1].contains("gk-greedy"), "{csv}");
+    }
+}

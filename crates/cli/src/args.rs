@@ -11,7 +11,7 @@ pub enum Cli {
     Adversary(AdversaryArgs),
     /// `cqs compare [--eps E]`.
     Compare(CompareArgs),
-    /// `cqs faults [--inv-eps I] [--k K] [--target A] [--seed S]`.
+    /// `cqs faults [--inv-eps I] [--k K] [--target A] [--seed S] [--jobs N]`.
     Faults(FaultsArgs),
     /// `cqs help` (or `--help`).
     Help,
@@ -101,6 +101,9 @@ pub struct FaultsArgs {
     pub target: SummaryKind,
     /// Seed choosing the fault steps.
     pub seed: u64,
+    /// Worker threads for the matrix cells (`0` = available
+    /// parallelism; `1` reproduces the serial path byte-for-byte).
+    pub jobs: usize,
 }
 
 /// Usage text printed by `cqs help`.
@@ -114,6 +117,7 @@ USAGE:
                 [--target gk|gk-greedy|gk-capped|mrl|kll] [--budget B]
   cqs compare   [--eps E] [--expected-n N] [--seed S]           < numbers.txt
   cqs faults    [--inv-eps I] [--k K] [--target gk|gk-greedy|mrl] [--seed S]
+                [--jobs N]
   cqs help
 
 `cqs faults` sweeps the fault matrix (every FaultPlan kind plus a budget
@@ -122,6 +126,11 @@ codes: 0 = every cell matched its expected verdict; on the first
 mismatch, the observed verdict's code: 3 summary-incorrect,
 4 model-violation, 5 summary-panicked, 6 budget-exhausted,
 7 undetected fault (run completed); 1 = usage error.
+
+`--jobs N` runs the matrix cells on N worker threads (default: the
+machine's available parallelism; `--jobs 1` is the serial path). The
+rendered table and exit code are identical for every N — cells are
+independent adversary runs and results are assembled in input order.
 ";
 
 /// Parses an argument list (without the program name).
@@ -253,6 +262,7 @@ fn parse_faults(words: &[String]) -> Result<FaultsArgs, CliError> {
         k: 6,
         target: SummaryKind::Gk,
         seed: 0xFA17,
+        jobs: 0,
     };
     let mut f = Flags::new(words);
     while let Some(flag) = f.next_flag() {
@@ -266,6 +276,7 @@ fn parse_faults(words: &[String]) -> Result<FaultsArgs, CliError> {
             "--k" => out.k = parse_u64(flag, f.value(flag)?)?.clamp(3, 24) as u32,
             "--target" => out.target = SummaryKind::parse(f.value(flag)?)?,
             "--seed" => out.seed = parse_u64(flag, f.value(flag)?)?,
+            "--jobs" => out.jobs = parse_u64(flag, f.value(flag)?)? as usize,
             other => return Err(CliError::new(format!("unknown flag: {other}"))),
         }
     }

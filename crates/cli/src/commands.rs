@@ -5,6 +5,7 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::io::BufRead;
 
+use cqs_bench::exec::{default_jobs, run_cells, CellOutcome};
 use cqs_ckms::CkmsSummary;
 use cqs_core::adversary::run_adversary;
 use cqs_core::failure::quantile_failure_witness;
@@ -97,7 +98,9 @@ pub fn run_quantiles(args: &QuantilesArgs, input: impl BufRead) -> Result<String
         s.stored_count()
     );
     for &phi in &args.phis {
-        let q = s.quantile(phi).expect("non-empty");
+        let q = s
+            .quantile(phi)
+            .ok_or_else(|| CliError::new(format!("{}: no quantile for phi = {phi}", s.name())))?;
         let _ = writeln!(out, "  phi = {phi:<8} -> {}", f64::from(q));
     }
     Ok(out)
@@ -291,30 +294,57 @@ fn fault_matrix(eps: Eps, k: u32, seed: u64) -> Vec<FaultCell> {
 
 /// Runs the matrix against one summary constructor, rendering the
 /// per-cell verdict table and computing the exit code.
-fn faults_matrix_run<S, F>(eps: Eps, k: u32, seed: u64, make: F) -> (String, u8)
+///
+/// Cells are independent adversary runs, so they fan out over the
+/// `cqs_bench::exec` pool; the table is assembled from the input-order
+/// result vector, so it is identical for every `jobs` value.
+fn faults_matrix_run<S, F>(eps: Eps, k: u32, seed: u64, jobs: usize, make: F) -> (String, u8)
 where
     S: ComparisonSummary<Item>,
-    F: Fn() -> S,
+    F: Fn() -> S + Sync,
 {
     let cells = fault_matrix(eps, k, seed);
+    // The driver converts summary panics into verdicts; silence the
+    // default hook so each caught panic doesn't splatter a backtrace
+    // over the report. The hook is process-global, so the swap stays
+    // hoisted around the whole pool run instead of per cell.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcomes = run_cells(
+        &cells,
+        jobs,
+        |_, cell| {
+            let adv = Adversary::new(
+                eps,
+                FaultySummary::new(make(), cell.plan.clone()),
+                FaultySummary::new(make(), cell.plan.clone()),
+            )
+            .with_budget(cell.budget);
+            match adv.try_run(k) {
+                Ok(out) => out.verdict(),
+                Err(e) => e.verdict(),
+            }
+        },
+        |c| {
+            eprintln!(
+                "[faults {}/{}] {} ({:.2}s)",
+                c.finished,
+                c.total,
+                cells[c.index].name,
+                c.elapsed.as_secs_f64()
+            );
+        },
+    );
+    std::panic::set_hook(hook);
     let mut t = Table::new(&["cell", "at-step", "expected", "observed", "ok"]);
     let mut code = 0u8;
     let mut mismatches = 0usize;
-    // The driver converts summary panics into verdicts; silence the
-    // default hook so each caught panic doesn't splatter a backtrace
-    // over the report.
-    let hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    for cell in &cells {
-        let adv = Adversary::new(
-            eps,
-            FaultySummary::new(make(), cell.plan.clone()),
-            FaultySummary::new(make(), cell.plan.clone()),
-        )
-        .with_budget(cell.budget);
-        let observed = match adv.try_run(k) {
-            Ok(out) => out.verdict(),
-            Err(e) => e.verdict(),
+    for (cell, outcome) in cells.iter().zip(outcomes) {
+        // A panic that escapes the driver (e.g. in the constructor) is
+        // still a summary panic, not a pool failure.
+        let observed = match outcome {
+            CellOutcome::Done(v) => v,
+            CellOutcome::Panicked(_) => RunVerdict::SummaryPanicked,
         };
         let ok = observed == cell.expected;
         if !ok {
@@ -337,7 +367,6 @@ where
             if ok { "yes" } else { "NO" },
         ]);
     }
-    std::panic::set_hook(hook);
     let summary_name = make().name();
     let verdict_line = if mismatches == 0 {
         format!("all {} cells matched their expected verdict", cells.len())
@@ -364,14 +393,19 @@ pub fn run_faults_cmd(args: &FaultsArgs) -> Result<(String, u8), CliError> {
             "stream length {n} too large; lower --k or --inv-eps"
         )));
     }
+    let jobs = if args.jobs == 0 {
+        default_jobs()
+    } else {
+        args.jobs
+    };
     Ok(match args.target {
-        SummaryKind::Gk => faults_matrix_run(eps, args.k, args.seed, || {
+        SummaryKind::Gk => faults_matrix_run(eps, args.k, args.seed, jobs, || {
             GkSummary::<Item>::new(eps.value())
         }),
-        SummaryKind::GkGreedy => faults_matrix_run(eps, args.k, args.seed, || {
+        SummaryKind::GkGreedy => faults_matrix_run(eps, args.k, args.seed, jobs, || {
             GreedyGk::<Item>::new(eps.value())
         }),
-        SummaryKind::Mrl => faults_matrix_run(eps, args.k, args.seed, move || {
+        SummaryKind::Mrl => faults_matrix_run(eps, args.k, args.seed, jobs, move || {
             MrlSummary::<Item>::new(eps.value(), n)
         }),
         other => {

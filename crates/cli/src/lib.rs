@@ -114,6 +114,7 @@ mod tests {
                 assert_eq!(fa.k, 6);
                 assert_eq!(fa.target, SummaryKind::Gk);
                 assert_eq!(fa.seed, 0xFA17);
+                assert_eq!(fa.jobs, 0, "default --jobs is auto");
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -127,6 +128,8 @@ mod tests {
             "mrl",
             "--seed",
             "7",
+            "--jobs",
+            "3",
         ])
         .unwrap()
         {
@@ -135,6 +138,7 @@ mod tests {
                 assert_eq!(fa.k, 5);
                 assert_eq!(fa.target, SummaryKind::Mrl);
                 assert_eq!(fa.seed, 7);
+                assert_eq!(fa.jobs, 3);
             }
             other => panic!("wrong command: {other:?}"),
         }

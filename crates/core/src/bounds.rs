@@ -38,9 +38,15 @@ pub fn cv_lower(eps: Eps, n: u64) -> f64 {
 /// The paper's concrete constant: c·(k+2)/(4ε) with c = 1/8 − 2ε at
 /// N = (1/ε)·2^k (see `spacegap::theorem22_bound` for the audited
 /// version; this one interpolates continuous N).
+///
+/// Small-N clamp: the construction needs at least one halving step
+/// (k ≥ 1, i.e. N ≥ 2/ε), so εN is clamped at 2 — the same floor
+/// [`cv_lower`] uses. Clamping at 1 (as this function once did) would
+/// let the concrete bound keep sinking toward k = 0 on streams too
+/// short for the construction to exist at all.
 pub fn cv_lower_concrete(eps: Eps, n: u64) -> f64 {
     let inv = eps.inverse() as f64;
-    let k = (n as f64 / inv).max(1.0).log2();
+    let k = (n as f64 / inv).max(2.0).log2();
     (0.125 - 2.0 * eps.value()) * (k + 2.0) * inv / 4.0
 }
 
@@ -119,6 +125,22 @@ mod tests {
             (r1 / r2 - 1.0).abs() < 0.2,
             "growth shapes diverge: {r1} vs {r2}"
         );
+    }
+
+    #[test]
+    fn tiny_n_clamps_agree_on_the_construction_floor() {
+        // Below N = 2/ε (no room for one halving step) both the shape
+        // and the concrete bound must flatten at their k = 1 value, not
+        // keep shrinking — and they must share that floor.
+        let eps = Eps::from_inverse(64);
+        let floor = 2 * eps.inverse();
+        for n in [1u64, 4, 64, 127, floor] {
+            assert!((cv_lower(eps, n) - cv_lower(eps, floor)).abs() < 1e-9);
+            assert!((cv_lower_concrete(eps, n) - cv_lower_concrete(eps, floor)).abs() < 1e-9);
+        }
+        // Strictly above the floor both grow again.
+        assert!(cv_lower(eps, 4 * floor) > cv_lower(eps, floor) + 1e-9);
+        assert!(cv_lower_concrete(eps, 4 * floor) > cv_lower_concrete(eps, floor) + 1e-9);
     }
 
     #[test]

@@ -84,3 +84,19 @@ pub use spacegap::{space_gap_rhs, theorem22_bound, SPACE_GAP_C_NUM};
 pub use state::StreamState;
 
 pub use cqs_universe::{Endpoint, Interval, Item};
+
+/// Compile-time audit that the adversary state machine can cross thread
+/// boundaries: the `cqs-bench` parallel sweep pool moves whole runs onto
+/// scoped worker threads, so the driver types must be `Send` whenever
+/// the summary is. Never called — instantiating the inner assertions
+/// type-checks the bounds; the `sharding-send-sync` lint rule keeps the
+/// lines from being deleted.
+#[allow(dead_code)]
+fn sharding_send_audit<S: ComparisonSummary<Item> + Send>() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Adversary<S>>();
+    assert_send::<AdversaryOutcome<S>>();
+    assert_send::<AdversaryError>();
+    assert_send::<AdversaryReport>();
+    assert_send::<StreamState<S>>();
+}

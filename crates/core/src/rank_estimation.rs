@@ -65,9 +65,9 @@ where
 
     // q_π ∈ (I_π[i], next(π, I_π[i])): strictly between the low extreme
     // and its stream successor, so its true rank is rank_π(I_π[i]).
-    let q_pi = fresh_above(&outcome.pi, &gap.pi_low);
+    let q_pi = fresh_above(&outcome.pi, &gap.pi_low)?;
     // q_ϱ ∈ (prev(ϱ, I_ϱ[i+1]), I_ϱ[i+1]).
-    let q_rho = fresh_below(&outcome.rho, &gap.rho_high);
+    let q_rho = fresh_below(&outcome.rho, &gap.rho_high)?;
 
     // True ranks: # items ≤ q (q itself never occurred in the stream).
     let true_pi = outcome.pi.rank(&q_pi) - 1;
@@ -90,46 +90,50 @@ where
 }
 
 /// Mints a fresh item strictly between `low` and its successor in the
-/// stream (or below the stream minimum when `low` is −∞).
+/// stream (or below the stream minimum when `low` is −∞). `None` on the
+/// degenerate inputs no gap computation produces (an empty stream, or a
+/// +∞ low extreme) — reachable only from driver paths, so it must not
+/// panic.
 fn fresh_above<S: ComparisonSummary<Item>>(
     st: &crate::state::StreamState<MaxSpaceTracker<S>>,
     low: &Endpoint,
-) -> Item {
+) -> Option<Item> {
     match low {
         Endpoint::NegInf => {
-            let min = st.min().expect("non-empty stream");
-            Item::from_label(between_labels(None, Some(min.label())))
+            let min = st.min()?;
+            Some(Item::from_label(between_labels(None, Some(min.label()))))
         }
         Endpoint::Finite(a) => {
             let hi = st.next(a);
-            Item::from_label(between_labels(
+            Some(Item::from_label(between_labels(
                 Some(a.label()),
                 hi.as_ref().map(|h| h.label()),
-            ))
+            )))
         }
-        Endpoint::PosInf => unreachable!("gap low extreme cannot be +inf"),
+        Endpoint::PosInf => None,
     }
 }
 
 /// Mints a fresh item strictly between the stream predecessor of `high`
-/// and `high` (or above the stream maximum when `high` is +∞).
+/// and `high` (or above the stream maximum when `high` is +∞). `None`
+/// on an empty stream or a −∞ high extreme, mirroring [`fresh_above`].
 fn fresh_below<S: ComparisonSummary<Item>>(
     st: &crate::state::StreamState<MaxSpaceTracker<S>>,
     high: &Endpoint,
-) -> Item {
+) -> Option<Item> {
     match high {
         Endpoint::PosInf => {
-            let max = st.max().expect("non-empty stream");
-            Item::from_label(between_labels(Some(max.label()), None))
+            let max = st.max()?;
+            Some(Item::from_label(between_labels(Some(max.label()), None)))
         }
         Endpoint::Finite(b) => {
             let lo = st.prev(b);
-            Item::from_label(between_labels(
+            Some(Item::from_label(between_labels(
                 lo.as_ref().map(|l| l.label()),
                 Some(b.label()),
-            ))
+            )))
         }
-        Endpoint::NegInf => unreachable!("gap high extreme cannot be -inf"),
+        Endpoint::NegInf => None,
     }
 }
 
@@ -159,10 +163,12 @@ mod tests {
         let eps = Eps::from_inverse(8);
         let out = run_adversary(eps, 4, ExactSummary::new);
         let min = out.pi.min().unwrap();
-        let q = fresh_above(&out.pi, &Endpoint::NegInf);
+        let q = fresh_above(&out.pi, &Endpoint::NegInf).unwrap();
         assert!(q < min);
         let max = out.pi.max().unwrap();
-        let q2 = fresh_below(&out.pi, &Endpoint::PosInf);
+        let q2 = fresh_below(&out.pi, &Endpoint::PosInf).unwrap();
         assert!(q2 > max);
+        assert!(fresh_above(&out.pi, &Endpoint::PosInf).is_none());
+        assert!(fresh_below(&out.pi, &Endpoint::NegInf).is_none());
     }
 }

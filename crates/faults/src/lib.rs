@@ -330,6 +330,20 @@ where
     }
 }
 
+/// Compile-time audit that fault plans and wrapped summaries can move
+/// onto `cqs-bench` pool workers. Each matrix cell owns its own copies,
+/// so `Send` suffices; `FaultySummary` uses [`Cell`] internally and is
+/// deliberately *not* `Sync`. The `sharding-send-sync` lint rule keeps
+/// these lines from being deleted.
+#[allow(dead_code)]
+fn sharding_send_audit<S: Send>() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Fault>();
+    assert_send::<FaultKind>();
+    assert_send::<FaultPlan>();
+    assert_send::<FaultySummary<S>>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

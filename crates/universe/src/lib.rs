@@ -68,6 +68,18 @@ pub fn generate_increasing(interval: &Interval, n: usize) -> Vec<Item> {
     out.into_iter().map(|o| o.expect("slot filled")).collect()
 }
 
+/// Compile-time audit that items (and the endpoints and intervals built
+/// from them) can be shared across the `cqs-bench` parallel sweep
+/// pool's worker threads. The `sharding-send-sync` lint rule keeps
+/// these lines from being deleted.
+#[allow(dead_code)]
+fn sharding_send_audit() {
+    fn assert_send<T: Send + Sync>() {}
+    assert_send::<Item>();
+    assert_send::<Endpoint>();
+    assert_send::<Interval>();
+}
+
 fn fill(lo: &Endpoint, hi: &Endpoint, out: &mut [Option<Item>]) {
     if out.is_empty() {
         return;

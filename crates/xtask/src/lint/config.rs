@@ -99,6 +99,33 @@ pub const DRIVER_PATH_FNS: &[&str] = &[
     "try_refine_from",
     "final_rank_probe",
     "into_error",
+    // Witness extraction runs on driver output (`cqs adversary` calls it
+    // after try_run), so it shares the no-panic promise.
+    "quantile_failure_witness",
+    "rank_failure_witness",
+    "fresh_above",
+    "fresh_below",
+];
+
+/// Types the `cqs-bench` parallel sweep pool moves across scoped worker
+/// threads, per crate. Each listed crate's `src/lib.rs` must keep a
+/// compile-time `assert_send` audit line naming every marker (the
+/// `sharding-send-sync` rule enforces this). Markers are substrings of
+/// the audit lines; the trailing `<` keeps `Adversary<` from matching
+/// its `AdversaryOutcome<` sibling line.
+pub const SEND_AUDITED_TYPES: &[(&str, &[&str])] = &[
+    (
+        "core",
+        &[
+            "Adversary<",
+            "AdversaryOutcome<",
+            "AdversaryError",
+            "AdversaryReport",
+            "StreamState<",
+        ],
+    ),
+    ("faults", &["FaultPlan", "FaultySummary<"]),
+    ("universe", &["Item"]),
 ];
 
 #[cfg(test)]

@@ -114,6 +114,7 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Diagnosti
     let scanned = scanner::scan(src);
     let ctx = RuleCtx {
         path: rel_path,
+        crate_name,
         role,
         file: &scanned,
         test_file: is_test_path(rel_path),
@@ -146,6 +147,7 @@ pub fn run_workspace(root: &Path) -> io::Result<LintReport> {
         let scanned = scanner::scan(&src);
         let ctx = RuleCtx {
             path: &rel,
+            crate_name,
             role: role_of(crate_name),
             file: &scanned,
             test_file: is_test_path(in_crate),

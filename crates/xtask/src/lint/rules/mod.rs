@@ -31,6 +31,9 @@ pub struct Rule {
 pub struct RuleCtx<'a> {
     /// Path as reported in diagnostics (workspace-relative).
     pub path: &'a str,
+    /// Crate directory name (`"."` for the root package) — the key the
+    /// per-crate rule tables (e.g. `SEND_AUDITED_TYPES`) are indexed by.
+    pub crate_name: &'a str,
     /// Role of the owning crate.
     pub role: Role,
     /// The scanned file.

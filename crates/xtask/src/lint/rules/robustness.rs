@@ -9,7 +9,7 @@
 //! allocates per call — the batched insert APIs and reusable scratch
 //! buffers exist so that it never has to.
 
-use super::super::config::{Role, DRIVER_PATH_FNS, HOT_PATH_FNS};
+use super::super::config::{Role, DRIVER_PATH_FNS, HOT_PATH_FNS, SEND_AUDITED_TYPES};
 use super::super::scanner::contains_word;
 use super::{Rule, RuleCtx};
 use crate::lint::{Diagnostic, Severity};
@@ -69,6 +69,16 @@ static HOT_PATH_ALLOC: Rule = Rule {
     check: check_hot_path_alloc,
 };
 
+static SHARDING_SEND_SYNC: Rule = Rule {
+    id: "sharding-send-sync",
+    severity: Severity::Error,
+    rationale: "crates whose types ride the cqs-bench parallel sweep pool must keep the \
+                compile-time assert_send audit in src/lib.rs (SEND_AUDITED_TYPES in config.rs); \
+                deleting a line there would let a !Send regression compile until the pool breaks",
+    applies: |_| true,
+    check: check_sharding_send_sync,
+};
+
 static FLOAT_EQ: Rule = Rule {
     id: "float-eq",
     severity: Severity::Error,
@@ -86,6 +96,7 @@ pub fn rules() -> Vec<&'static Rule> {
         &HOT_PATH_PANIC,
         &DRIVER_NO_PANIC,
         &HOT_PATH_ALLOC,
+        &SHARDING_SEND_SYNC,
         &FLOAT_EQ,
     ]
 }
@@ -178,6 +189,40 @@ fn scan_panic_words(
                 );
                 break;
             }
+        }
+    }
+}
+
+/// An audited crate's root must carry one `assert_send` line per marker
+/// in its [`SEND_AUDITED_TYPES`] entry. Substring matching on the audit
+/// lines is enough: the audit function itself only compiles if the
+/// bound holds, so the rule's job is just to keep those lines present.
+fn check_sharding_send_sync(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_lib_root || ctx.file.file_allows.contains(SHARDING_SEND_SYNC.id) {
+        return;
+    }
+    let Some((_, markers)) = SEND_AUDITED_TYPES
+        .iter()
+        .find(|(name, _)| *name == ctx.crate_name)
+    else {
+        return;
+    };
+    for marker in *markers {
+        let audited = ctx
+            .file
+            .lines
+            .iter()
+            .any(|l| l.code.contains("assert_send") && l.code.contains(marker));
+        if !audited {
+            ctx.emit(
+                out,
+                &SHARDING_SEND_SYNC,
+                1,
+                format!(
+                    "crate root lacks an `assert_send` audit line for `{marker}` — the \
+                     parallel sweep pool moves this type across worker threads"
+                ),
+            );
         }
     }
 }

@@ -36,6 +36,11 @@ impl Driver {
         self.steps.checked_mul(2).expect("probe overflow")
     }
 
+    fn quantile_failure_witness(&self) -> u64 {
+        // Witness extraction runs on driver output: also guarded.
+        self.steps.checked_mul(3).expect("witness overflow")
+    }
+
     pub fn run(&mut self) -> u64 {
         // The legacy panicking driver keeps its asserts: not flagged.
         self.steps.checked_add(1).unwrap()

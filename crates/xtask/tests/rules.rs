@@ -116,12 +116,18 @@ fn driver_fixture_fires_only_inside_try_fns() {
         .iter()
         .filter(|d| d.rule == "driver-no-panic")
         .collect();
-    // Exactly three: unwrap in try_run, unreachable! in try_adv,
-    // expect in final_rank_probe. The legacy `run` and the helper keep
-    // their unwraps, and the quiet try_* fns stay quiet.
-    assert_eq!(hits.len(), 3, "{diags:?}");
+    // Exactly four: unwrap in try_run, unreachable! in try_adv, expect
+    // in final_rank_probe and in quantile_failure_witness. The legacy
+    // `run` and the helper keep their unwraps, and the quiet try_* fns
+    // stay quiet.
+    assert_eq!(hits.len(), 4, "{diags:?}");
     assert!(hits.iter().all(|d| d.severity == Severity::Error));
-    for f in ["try_run", "try_adv", "final_rank_probe"] {
+    for f in [
+        "try_run",
+        "try_adv",
+        "final_rank_probe",
+        "quantile_failure_witness",
+    ] {
         assert!(
             hits.iter().any(|d| d.message.contains(&format!("`{f}`"))),
             "no driver-no-panic hit inside {f}: {hits:?}"
@@ -138,6 +144,44 @@ fn driver_rule_does_not_apply_outside_core() {
             "driver-no-panic fired for role of `{krate}`: {diags:?}"
         );
     }
+}
+
+#[test]
+fn sharding_send_sync_requires_the_audit_lines() {
+    let bare = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub struct Item;\n";
+    let diags = lint_source("universe", "src/lib.rs", bare);
+    assert!(
+        rules_fired(&diags).contains(&"sharding-send-sync"),
+        "{diags:?}"
+    );
+
+    let audited = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n\
+                   fn sharding_send_audit() {\n    fn assert_send<T: Send + Sync>() {}\n    \
+                   assert_send::<Item>();\n}\n";
+    let diags = lint_source("universe", "src/lib.rs", audited);
+    assert!(
+        !rules_fired(&diags).contains(&"sharding-send-sync"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn sharding_send_sync_fires_once_per_missing_marker() {
+    // core lists five audited types; a bare lib root misses all five.
+    let bare = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+    let hits = lint_source("core", "src/lib.rs", bare)
+        .into_iter()
+        .filter(|d| d.rule == "sharding-send-sync")
+        .count();
+    assert_eq!(hits, 5);
+}
+
+#[test]
+fn sharding_send_sync_ignores_unaudited_crates_and_non_roots() {
+    let bare = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+    assert!(!rules_fired(&lint_source("gk", "src/lib.rs", bare)).contains(&"sharding-send-sync"));
+    assert!(!rules_fired(&lint_source("core", "src/adversary.rs", bare))
+        .contains(&"sharding-send-sync"));
 }
 
 #[test]
@@ -195,6 +239,7 @@ fn registry_covers_every_fixture_rule() {
         "hot-path-panic",
         "driver-no-panic",
         "hot-path-alloc",
+        "sharding-send-sync",
         "float-eq",
     ] {
         assert!(ids.contains(&rule), "registry lost rule {rule}");

@@ -1,0 +1,90 @@
+//! The parallel sweep engine's contract, end to end: for any `--jobs`
+//! value the rendered tables, CSV mirrors, and exit codes are
+//! byte-identical to the serial run, and a panicking cell is isolated
+//! to its own verdict without poisoning siblings.
+
+use cqs_bench::exec::{run_cells, CellOutcome};
+use cqs_bench::sweeps::{thm22_grid, thm22_sweep};
+use cqs_bench::Target;
+use cqs_cli::{parse_args, run_faults_cmd, Cli};
+
+/// thm22 sweep: jobs = 1 and jobs = 4 must produce identical tables,
+/// CSVs, skip logs, and verdicts over a small grid.
+#[test]
+fn thm22_sweep_is_jobs_invariant() {
+    let cells = thm22_grid(&[8, 16], 3..=4, &[Target::Gk, Target::GkGreedy]);
+    let serial = thm22_sweep(&cells, 1, false);
+    let parallel = thm22_sweep(&cells, 4, false);
+    assert_eq!(serial.table.render(), parallel.table.render());
+    assert_eq!(serial.table.to_csv(), parallel.table.to_csv());
+    assert_eq!(serial.skipped, parallel.skipped);
+    assert_eq!(serial.all_ok, parallel.all_ok);
+    // The grid is small enough that nothing should be skipped at all.
+    assert!(serial.skipped.is_empty(), "{:?}", serial.skipped);
+}
+
+fn faults_output(jobs: &str) -> (String, u8) {
+    let words = [
+        "faults",
+        "--inv-eps",
+        "8",
+        "--k",
+        "4",
+        "--target",
+        "gk",
+        "--jobs",
+        jobs,
+    ];
+    let cli = parse_args(words.iter().map(|s| s.to_string())).expect("parse");
+    let Cli::Faults(args) = cli else {
+        panic!("wrong command");
+    };
+    run_faults_cmd(&args).expect("run")
+}
+
+/// The 8-cell fault matrix: serial and 4-worker runs must agree on the
+/// rendered table and exit code, the panic cells must land on their
+/// expected verdicts, and no sibling cell may be poisoned by them.
+#[test]
+fn fault_matrix_is_jobs_invariant_and_panic_isolated() {
+    let (out1, code1) = faults_output("1");
+    let (out4, code4) = faults_output("4");
+    assert_eq!(out1, out4);
+    assert_eq!(code1, code4);
+    assert_eq!(code1, 0, "matrix mismatched:\n{out1}");
+    assert!(out1.contains("panic-insert"), "{out1}");
+    assert!(out1.contains("all 8 cells matched"), "{out1}");
+}
+
+/// Engine-level isolation: a panicking cell yields `Panicked` in its
+/// own slot; every other cell still completes, in input order.
+#[test]
+fn panicking_cell_does_not_poison_siblings() {
+    let cells: Vec<u32> = (0..16).collect();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = run_cells(
+        &cells,
+        4,
+        |_, &x| {
+            if x == 7 {
+                panic!("cell seven exploded");
+            }
+            x * 2
+        },
+        |_| {},
+    );
+    std::panic::set_hook(hook);
+    for (i, o) in out.iter().enumerate() {
+        match o {
+            CellOutcome::Done(v) => {
+                assert_ne!(i, 7);
+                assert_eq!(*v, cells[i] * 2);
+            }
+            CellOutcome::Panicked(msg) => {
+                assert_eq!(i, 7);
+                assert!(msg.contains("cell seven exploded"), "{msg}");
+            }
+        }
+    }
+}
