@@ -5,6 +5,7 @@
 #
 #   ./ci.sh            # full gate
 #   ./ci.sh --fast     # skip the release build (lint + tests only)
+#   ./ci.sh --lint     # only fmt + the static-analysis lint gate
 #   ./ci.sh --faults   # only the fault-matrix smoke (debug build)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -15,6 +16,15 @@ faults_smoke() {
     # (the binary exits nonzero on the first mismatch).
     cargo run "$@" -q -p cqs-cli --bin cqs-tool -- faults --inv-eps 16 --k 6
 }
+
+if [[ "${1:-}" == "--lint" ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+    echo "==> static-analysis lint (cargo run -p cqs-xtask -- lint)"
+    cargo run -p cqs-xtask -q -- lint
+    echo "ci: lint green"
+    exit 0
+fi
 
 if [[ "${1:-}" == "--faults" ]]; then
     echo "==> fault-matrix smoke (cqs faults, gk, eps=1/16, k=6)"

@@ -153,18 +153,18 @@ impl<T: Ord + Clone> CkmsSummary<T> {
         }
         let mut ts = std::mem::take(&mut self.tuples);
         let mut kept_rev: Vec<CkmsTuple<T>> = Vec::with_capacity(ts.len());
-        kept_rev.push(ts.pop().expect("non-empty"));
+        kept_rev.extend(ts.pop());
         let mut idx = ts.len();
         while let Some(t) = ts.pop() {
             idx -= 1;
             let is_first = ts.is_empty();
-            let succ = kept_rev.last_mut().expect("absorber");
             // Budget at the *predecessor's* rank, per CKMS.
             let budget = if idx == 0 { 1 } else { self.f(r_mins[idx - 1]) };
-            if !is_first && t.g + succ.g + succ.delta <= budget {
-                succ.g += t.g;
-            } else {
-                kept_rev.push(t);
+            match kept_rev.last_mut() {
+                Some(succ) if !is_first && t.g + succ.g + succ.delta <= budget => {
+                    succ.g += t.g;
+                }
+                _ => kept_rev.push(t),
             }
         }
         kept_rev.reverse();

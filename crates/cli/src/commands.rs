@@ -227,6 +227,15 @@ struct FaultCell {
     budget: AdversaryBudget,
 }
 
+/// Compile-time audit that fault-matrix cells can ride the sweep pool.
+/// Never called — the `sharding-send-sync` lint rule derives this from
+/// the spawn-site call graph and keeps the line from being deleted.
+#[allow(dead_code)]
+fn sharding_send_audit() {
+    fn assert_send<T: Send>() {}
+    assert_send::<FaultCell>();
+}
+
 /// The standard fault matrix: every [`FaultKind`] plus the zero-fault
 /// control and a step-budget cell. Fault steps land deterministically in
 /// the middle half of the stream so every fault arms after the first

@@ -99,4 +99,7 @@ fn sharding_send_audit<S: ComparisonSummary<Item> + Send>() {
     assert_send::<AdversaryError>();
     assert_send::<AdversaryReport>();
     assert_send::<StreamState<S>>();
+    assert_send::<RunVerdict>();
+    assert_send::<AdversaryBudget>();
+    assert_send::<Eps>();
 }

@@ -105,14 +105,14 @@ impl<T: Ord + Clone> GreedyGk<T> {
         }
         let mut ts = std::mem::take(&mut self.tuples);
         let mut kept_rev: Vec<GkTuple<T>> = Vec::with_capacity(ts.len());
-        kept_rev.push(ts.pop().expect("non-empty"));
+        kept_rev.extend(ts.pop());
         while let Some(t) = ts.pop() {
             let is_first = ts.is_empty();
-            let succ = kept_rev.last_mut().expect("absorber exists");
-            if !is_first && t.g + succ.g + succ.delta < cap {
-                succ.g += t.g;
-            } else {
-                kept_rev.push(t);
+            match kept_rev.last_mut() {
+                Some(succ) if !is_first && t.g + succ.g + succ.delta < cap => {
+                    succ.g += t.g;
+                }
+                _ => kept_rev.push(t),
             }
         }
         kept_rev.reverse();

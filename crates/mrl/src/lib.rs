@@ -144,18 +144,14 @@ impl<T: Ord + Clone> MrlSummary<T> {
             b.items.into_iter().peekable(),
         );
         loop {
-            match (ia.peek(), ib.peek()) {
-                (Some(x), Some(y)) => {
-                    if x <= y {
-                        merged.push(ia.next().expect("peeked"));
-                    } else {
-                        merged.push(ib.next().expect("peeked"));
-                    }
-                }
-                (Some(_), None) => merged.push(ia.next().expect("peeked")),
-                (None, Some(_)) => merged.push(ib.next().expect("peeked")),
+            let take_a = match (ia.peek(), ib.peek()) {
+                (Some(x), Some(y)) => x <= y,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
                 (None, None) => break,
-            }
+            };
+            let next = if take_a { ia.next() } else { ib.next() };
+            merged.extend(next);
         }
         let items: Vec<T> = merged.into_iter().skip(offset).step_by(2).collect();
         Buffer {

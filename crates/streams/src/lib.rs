@@ -18,6 +18,18 @@ pub use ordf64::OrdF64;
 pub use report::{write_csv, Table};
 pub use workloads::{workload, workload_names, Workload};
 
+/// Compile-time audit that workload specs and result tables can cross
+/// `cqs-bench` pool workers: cells carry a [`Workload`] out, rows come
+/// back into a [`Table`]. Never called — the `sharding-send-sync` lint
+/// rule derives this list from the spawn-site call graph and keeps the
+/// lines from being deleted.
+#[allow(dead_code)]
+fn sharding_send_audit() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Table>();
+    assert_send::<Workload>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,21 +15,34 @@
 //! on wall-clock time.
 //!
 //! This crate is that missing enforcement layer: a std-only static
-//! analysis engine that walks every `.rs` file in the workspace and
-//! checks three rule families (see [`lint::rules`]):
+//! analysis engine. The per-file lexical rules (see [`lint::rules`])
+//! check three families — **comparison-model** (summary crates must
+//! treat items opaquely), **determinism** (library behaviour must be a
+//! pure function of comparison outcomes, Lemma 3.4's
+//! indistinguishability argument), and **robustness**
+//! (`#![forbid(unsafe_code)]`, no raw float equality). On top of those,
+//! a whole-workspace pass (see [`lint::analysis`]) tokenizes every
+//! file, indexes its items, and builds a cross-crate call graph to run:
 //!
-//! * **comparison-model** — summary crates must treat items opaquely;
-//! * **determinism** — library behaviour must be a pure function of
-//!   comparison outcomes (Lemma 3.4's indistinguishability argument);
-//! * **robustness** — `#![forbid(unsafe_code)]`, no panics on summary
-//!   hot paths, no raw float equality.
+//! * **purity certification** — a taint analysis proving each summary
+//!   crate's item values flow only into `Ord`/`Eq`/`Clone` operations,
+//!   emitting a per-crate `ModelCertificate` (and *refusing* one for
+//!   the bounded-universe `cqs-qdigest`, which is the point: the lower
+//!   bound only constrains certified crates);
+//! * **panic reachability** — from the `try_*` driver entry points and
+//!   the summary hot paths, replacing the old name-list heuristics;
+//! * **shared-state audit** — derives the set of types riding the
+//!   parallel sweep pool and checks their `assert_send` audits.
 //!
-//! Run it as `cargo run -p cqs-xtask -- lint`; it is also embedded in
-//! tier-1 via the root package's `tests/conformance.rs`. Suppress a
-//! finding with a documented `// cqs-lint: allow(<rule>)` comment on (or
-//! directly above) the offending line, or `// cqs-lint: allow-file(<rule>)`
-//! anywhere in the file. DESIGN.md's "Model enforcement" section maps
-//! every rule to the paper condition it guards.
+//! Run it as `cargo run -p cqs-xtask -- lint` (add `--json` for the
+//! machine-readable report, byte-stable for the committed
+//! `lint-baseline.json`); it is also embedded in tier-1 via the root
+//! package's `tests/conformance.rs`. Suppress a finding with a
+//! documented `// cqs-lint: allow(<rule>)` comment on (or directly
+//! above) the offending line, or `// cqs-lint: allow-file(<rule>)`
+//! anywhere in the file — unused directives are themselves reported.
+//! DESIGN.md's "Model enforcement" section maps every rule to the paper
+//! condition it guards.
 
 pub mod lint;
 

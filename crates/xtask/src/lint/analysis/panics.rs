@@ -1,0 +1,250 @@
+//! Panic reachability from the driver entry points and hot paths.
+//!
+//! The old `driver-no-panic` / `hot-path-panic` rules matched function
+//! *names* against hand-maintained lists — a helper called from
+//! `try_run` but not on the list was silently unchecked (reachability
+//! found `audit_node`, `size_divergence`, `payload_string`, and
+//! `compute_gap_scratch` exactly that way). This pass walks the call
+//! graph instead:
+//!
+//! * **driver**: from the `try_*` entry points and witness extractors
+//!   ([`DRIVER_ROOT_FNS`](super::super::config::DRIVER_ROOT_FNS)),
+//!   staying inside driver-role crates — summary code the driver invokes
+//!   is *allowed* to panic; that is what the `catch_unwind` guards and
+//!   the typed `AdversaryError` surface are for;
+//! * **hot path**: from every summary function named in
+//!   [`HOT_PATH_FNS`](super::super::config::HOT_PATH_FNS), following
+//!   calls into any library crate (a substrate helper that unwraps is a
+//!   hot-path panic the name list could never see).
+//!
+//! Unknown callees (std, or gated std-colliding names) are assumed
+//! non-panicking — the same conservative policy the purity analysis
+//! counts as assumptions. Panicking constructs: `unwrap`/`expect`
+//! method calls and `panic!`-family macros (errors), plus slice/map
+//! indexing (`x[i]`), reported separately as the warning-severity
+//! `reachable-indexing` rule since indexing against a checked local
+//! invariant is pervasive and is ratcheted via the committed baseline.
+//! `assert!`/`debug_assert!` remain allowed: they state invariants, and
+//! the driver documents its asserts as the model-violation backstop.
+
+use std::collections::BTreeMap;
+
+use super::super::config::{Role, DRIVER_ROOT_FNS, HOT_PATH_FNS};
+use super::super::items::FnId;
+use super::super::tokens::{TokKind, Token};
+use super::super::{Diagnostic, Severity};
+use super::Workspace;
+
+/// `.unwrap()` / `.expect(...)` method names.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+/// Panicking macro names (matched as `name!`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs both reachability analyses.
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let driver_roots: Vec<FnId> = (0..ws.index.fns.len())
+        .filter(|&id| {
+            let f = &ws.index.fns[id];
+            !f.in_test
+                && f.body.is_some()
+                && DRIVER_ROOT_FNS.contains(&f.name.as_str())
+                && ws.role_of_fn(id).driver_rules()
+        })
+        .collect();
+    let hot_roots: Vec<FnId> = (0..ws.index.fns.len())
+        .filter(|&id| {
+            let f = &ws.index.fns[id];
+            !f.in_test
+                && f.body.is_some()
+                && HOT_PATH_FNS.contains(&f.name.as_str())
+                && ws.role_of_fn(id).hot_path_rules()
+        })
+        .collect();
+
+    check(
+        ws,
+        &driver_roots,
+        |role| role.driver_rules(),
+        "driver-no-panic",
+        "driver entry",
+        "the guarded driver must return typed AdversaryError values, never unwind",
+        out,
+    );
+    check(
+        ws,
+        &hot_roots,
+        |role| !matches!(role, Role::Harness | Role::Tooling),
+        "hot-path-panic",
+        "hot path",
+        "summary hot paths must not panic on adversarial input",
+        out,
+    );
+}
+
+/// BFS from `roots`, following edges only into crates `follow` admits,
+/// then scans every reached body for panic sites.
+#[allow(clippy::too_many_arguments)]
+fn check(
+    ws: &Workspace,
+    roots: &[FnId],
+    follow: fn(Role) -> bool,
+    rule: &'static str,
+    root_kind: &str,
+    why: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+    let mut sorted = roots.to_vec();
+    sorted.sort_unstable();
+    for r in sorted {
+        parent.insert(r, r);
+        queue.push_back(r);
+    }
+    while let Some(f) = queue.pop_front() {
+        for call in &ws.graph.calls[f] {
+            for &t in &call.targets {
+                if ws.index.fns[t].in_test || !follow(ws.role_of_fn(t)) {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(t) {
+                    e.insert(f);
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    // Deterministic: visit reached fns in FnId order (= walk order).
+    let mut seen: BTreeMap<(&'static str, String, usize), ()> = BTreeMap::new();
+    for &id in parent.keys() {
+        let chain = chain_of(&parent, ws, id);
+        let root = root_of(&parent, id);
+        let root_name = ws.index.fns[root].name.clone();
+        scan_fn(
+            ws, id, &chain, &root_name, rule, root_kind, why, &mut seen, out,
+        );
+    }
+}
+
+fn root_of(parent: &BTreeMap<FnId, FnId>, mut id: FnId) -> FnId {
+    while parent[&id] != id {
+        id = parent[&id];
+    }
+    id
+}
+
+fn chain_of(parent: &BTreeMap<FnId, FnId>, ws: &Workspace, id: FnId) -> String {
+    let mut chain = vec![id];
+    let mut cur = id;
+    while parent[&cur] != cur {
+        cur = parent[&cur];
+        chain.push(cur);
+    }
+    chain.reverse();
+    chain
+        .iter()
+        .map(|&f| ws.index.fns[f].name.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Scans one function body for panic sites, attributing each to `chain`.
+#[allow(clippy::too_many_arguments)]
+fn scan_fn(
+    ws: &Workspace,
+    id: FnId,
+    chain: &str,
+    root_name: &str,
+    rule: &'static str,
+    root_kind: &str,
+    why: &str,
+    seen: &mut BTreeMap<(&'static str, String, usize), ()>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let f = &ws.index.fns[id];
+    let Some((start, end)) = f.body else { return };
+    let file = ws.file_of_fn(id);
+    let toks = &file.tokens;
+    let owners = &file.items.owner;
+    let name = &f.name;
+
+    let mut emit = |r: &'static str, sev: Severity, line: usize, msg: String| {
+        if seen.insert((r, f.file.clone(), line), ()).is_none() {
+            out.push(Diagnostic {
+                file: f.file.clone(),
+                line,
+                rule: r,
+                severity: sev,
+                message: msg,
+                baselined: false,
+            });
+        }
+    };
+
+    for i in start..end {
+        // Attribute nested fns to themselves, not the enclosing body.
+        if owners.get(i).copied().flatten() != Some(id) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            if PANIC_METHODS.contains(&t.text.as_str())
+                && i > start
+                && toks[i - 1].is_punct(".")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+            {
+                emit(
+                    rule,
+                    Severity::Error,
+                    t.line,
+                    format!(
+                        "`{}` in `{name}` reachable from {root_kind} `{root_name}` \
+                         ({chain}) — {why}",
+                        t.text
+                    ),
+                );
+            }
+            if PANIC_MACROS.contains(&t.text.as_str())
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+            {
+                emit(
+                    rule,
+                    Severity::Error,
+                    t.line,
+                    format!(
+                        "`{}!` in `{name}` reachable from {root_kind} `{root_name}` \
+                         ({chain}) — {why}",
+                        t.text
+                    ),
+                );
+            }
+        }
+        if t.is_punct("[") && i > start && is_index_receiver(&toks[i - 1]) {
+            emit(
+                "reachable-indexing",
+                Severity::Warning,
+                t.line,
+                format!(
+                    "indexing in `{name}` reachable from {root_kind} `{root_name}` \
+                     ({chain}) — panics out-of-bounds; prefer get()/checked access"
+                ),
+            );
+        }
+    }
+}
+
+/// `x[...]`, `f(..)[...]`, `a[i][j]` index; `#[attr]`, `vec![...]`,
+/// `[T; N]` types and literals do not.
+fn is_index_receiver(prev: &Token) -> bool {
+    prev.kind == TokKind::Ident && !is_keyword_before_bracket(&prev.text)
+        || prev.is_punct(")")
+        || prev.is_punct("]")
+}
+
+fn is_keyword_before_bracket(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "break" | "in" | "else" | "match" | "if" | "mut" | "dyn" | "as"
+    )
+}

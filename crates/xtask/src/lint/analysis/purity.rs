@@ -1,0 +1,669 @@
+//! Comparison-model purity certification (Definition 2.1).
+//!
+//! For every [`Role::Summary`] crate the analysis proves — up to the
+//! documented approximations — that item values flow only into
+//! `Ord`/`Eq`/`Clone` operations along all reachable call paths, and
+//! emits a [`ModelCertificate`]. The old lexical rules (`item-bits`,
+//! `item-arithmetic`) only see one line at a time; this pass follows an
+//! item through helper functions, across crates, via the call graph.
+//!
+//! **Taint seeding.** In each summary crate, every non-test function's
+//! parameters whose type mentions `Item` or an in-scope generic type
+//! parameter are tainted — those are the item *values*. `self` and
+//! `&Self` are deliberately **not** seeded: a summary's state mixes
+//! items with counts (`g`, `Δ`, level sizes), and Definition 2.1 only
+//! constrains the items — rank bookkeeping arithmetic is the whole
+//! point of a quantile summary. Field-level flows out of `self` are
+//! covered by the lexical `item-bits`/`item-arithmetic` rules, which
+//! scan every summary-crate line regardless of reachability.
+//!
+//! **Propagation.** `let`/`for` bindings whose right-hand side mentions
+//! a tainted name taint the bound names (return-value taint falls out of
+//! this: `let y = helper(x)` taints `y` because `x` is in the RHS).
+//! Call arguments containing tainted names taint the callee's matching
+//! parameters; tainted method receivers taint the callee's `self`. The
+//! fixpoint crosses crate boundaries — a harness helper that bit-reads
+//! a summary's item is a violation *of the summary's certificate*.
+//!
+//! **Sinks.** Binary arithmetic (`+ - * / % ^`, shifts), `as` casts, and
+//! the representation-reading methods (`to_bits`, `to_ne_bytes`, ...)
+//! on a tainted receiver chain. Comparisons (`< > <= >= == !=`) are the
+//! allowed vocabulary and never sink.
+//!
+//! **Assumptions.** A call that resolves to no workspace function
+//! (std, or a std-colliding name on an unknown receiver — see the
+//! call-graph policy) with tainted arguments is *assumed* item-opaque;
+//! each such site is counted on the certificate so the trust boundary
+//! is visible. Closure parameters and `match` bindings are not tracked
+//! (the lexical rules still cover summary-crate bodies line-by-line).
+//!
+//! `cqs-qdigest` is a bounded-universe sketch
+//! ([`Role::BoundedUniverse`]): it consumes concrete `u64` keys and is
+//! *refused* a certificate by role — that contrast (the Ω((1/ε)·log εN)
+//! bound does not constrain it, per arXiv 2404.03847) is the point.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::super::config::Role;
+use super::super::items::FnId;
+use super::super::tokens::{TokKind, Token};
+use super::super::{Diagnostic, Severity};
+use super::{AnalysisResult, Workspace};
+
+/// Methods that read a value's bit representation (kept in sync with
+/// the lexical `item-bits` rule).
+const BIT_METHODS: &[&str] = &[
+    "to_bits",
+    "from_bits",
+    "to_ne_bytes",
+    "from_ne_bytes",
+    "to_le_bytes",
+    "from_le_bytes",
+    "to_be_bytes",
+    "from_be_bytes",
+];
+
+/// Binary operators that leave the comparison model when applied to an
+/// item. `<`/`>` are comparisons unless doubled into a shift.
+const ARITH_OPS: &[&str] = &["+", "-", "/", "%", "^"];
+
+/// The allowed vocabulary on items (Definition 2.1): comparison,
+/// equality, cloning. External calls to these with tainted arguments
+/// are model-conformant by definition, not assumptions.
+const ALLOWED_METHODS: &[&str] = &[
+    "clone",
+    "clone_from",
+    "cmp",
+    "eq",
+    "ge",
+    "gt",
+    "le",
+    "lt",
+    "max",
+    "min",
+    "ne",
+    "partial_cmp",
+];
+
+/// Certificate status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CertStatus {
+    /// No model-leaving flow found along any reachable path.
+    Certified,
+    /// At least one violation (or a role-level refusal).
+    Refused,
+}
+
+/// A per-crate comparison-model purity certificate.
+#[derive(Clone, Debug)]
+pub struct ModelCertificate {
+    /// Crate directory name (`gk`, `kll`, ...).
+    pub crate_name: String,
+    /// Certified or refused.
+    pub status: CertStatus,
+    /// Refusal reasons (empty when certified).
+    pub reasons: Vec<String>,
+    /// Item-carrying functions traversed by the taint fixpoint.
+    pub fns_analyzed: usize,
+    /// External calls with tainted arguments assumed item-opaque.
+    pub assumptions: usize,
+}
+
+/// Runs certification for every summary / bounded-universe crate.
+pub fn run(ws: &Workspace, out: &mut AnalysisResult) {
+    let mut crates: BTreeSet<(&str, Role)> = BTreeSet::new();
+    for f in &ws.files {
+        if matches!(f.role, Role::Summary | Role::BoundedUniverse) {
+            crates.insert((f.crate_name.as_str(), f.role));
+        }
+    }
+    for (name, role) in crates {
+        if role == Role::BoundedUniverse {
+            out.certificates.push(ModelCertificate {
+                crate_name: name.to_string(),
+                status: CertStatus::Refused,
+                reasons: vec![
+                    "bounded-universe sketch: consumes concrete u64 keys, outside the \
+                     comparison model (Definition 2.1); the lower bound does not apply"
+                        .to_string(),
+                ],
+                fns_analyzed: 0,
+                assumptions: 0,
+            });
+            continue;
+        }
+        certify(ws, name, out);
+    }
+}
+
+/// Entry-taint state for one function: names tainted on entry.
+type Entry = BTreeSet<String>;
+
+fn certify(ws: &Workspace, crate_name: &str, out: &mut AnalysisResult) {
+    let mut entry: BTreeMap<FnId, Entry> = BTreeMap::new();
+    let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+    let mut work: Vec<FnId> = Vec::new();
+
+    for (id, f) in ws.index.fns.iter().enumerate() {
+        if f.crate_name != crate_name || f.in_test || f.body.is_none() {
+            continue;
+        }
+        let mut taint = Entry::new();
+        for p in &f.params {
+            if p.name != "self" && item_valued(&p.ty, &f.generics) {
+                taint.insert(p.name.clone());
+            }
+        }
+        if !taint.is_empty() {
+            entry.insert(id, taint);
+            parent.insert(id, id);
+            work.push(id);
+        }
+    }
+
+    let mut fns_analyzed: BTreeSet<FnId> = BTreeSet::new();
+    let mut assumptions = 0usize;
+    let mut violations: BTreeMap<(String, usize, String), ()> = BTreeMap::new();
+
+    while let Some(id) = work.pop() {
+        fns_analyzed.insert(id);
+        let taint = entry.get(&id).cloned().unwrap_or_default();
+        let scan = scan_body(ws, id, &taint);
+        for (line, msg) in scan.violations {
+            let file = ws.index.fns[id].file.clone();
+            let chain = path_of(&parent, ws, id);
+            violations.insert((file, line, format!("{msg} (item flow: {chain})")), ());
+        }
+        assumptions += scan.assumptions;
+        for (target, names) in scan.propagations {
+            let e = entry.entry(target).or_default();
+            let before = e.len();
+            e.extend(names);
+            if e.len() > before {
+                parent.entry(target).or_insert(id);
+                if !work.contains(&target) {
+                    work.push(target);
+                }
+            }
+        }
+    }
+
+    let mut reasons: Vec<String> = Vec::new();
+    for ((file, line, msg), ()) in &violations {
+        reasons.push(msg.clone());
+        out.diagnostics.push(Diagnostic {
+            file: file.clone(),
+            line: *line,
+            rule: "model-purity",
+            severity: Severity::Error,
+            message: format!("[cqs-{crate_name}] {msg}"),
+            baselined: false,
+        });
+    }
+    out.certificates.push(ModelCertificate {
+        crate_name: crate_name.to_string(),
+        status: if reasons.is_empty() {
+            CertStatus::Certified
+        } else {
+            CertStatus::Refused
+        },
+        reasons,
+        fns_analyzed: fns_analyzed.len(),
+        assumptions,
+    });
+}
+
+/// Containers that are transparent for item-valuedness: a `Vec<T>` or
+/// `Option<T>` of items still *is* items — nothing but items comes out
+/// of it.
+const TRANSPARENT_TYPES: &[&str] = &["Arc", "Box", "Cow", "Option", "Rc", "Vec", "VecDeque"];
+
+/// Whether a parameter type is *item-valued*: it mentions the concrete
+/// `Item` or an in-scope generic type parameter, and every other type
+/// name in it is a transparent container. `&GkSummary<T>`, `Buffer<T>`,
+/// and `&[GkTuple<T>]` are **not** item-valued — those structs carry
+/// rank bookkeeping (`g`, `Δ`, `n`) alongside items, and Definition 2.1
+/// only constrains the items; reading `other.n` off a merged-in summary
+/// is legitimate count arithmetic. `Self` is excluded for the same
+/// reason (see the module docs on seeding).
+fn item_valued(ty: &[String], generics: &[String]) -> bool {
+    let mut saw_item = false;
+    for t in ty {
+        let ident_like = t
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false);
+        if !ident_like {
+            continue; // `&`, `[`, lifetimes, angle brackets.
+        }
+        if t == "Item" || generics.iter().any(|g| g == t) {
+            saw_item = true;
+        } else if !TRANSPARENT_TYPES.contains(&t.as_str()) && t != "mut" && t != "dyn" {
+            return false;
+        }
+    }
+    saw_item
+}
+
+fn path_of(parent: &BTreeMap<FnId, FnId>, ws: &Workspace, id: FnId) -> String {
+    let mut chain = vec![id];
+    let mut cur = id;
+    while let Some(&p) = parent.get(&cur) {
+        if p == cur {
+            break;
+        }
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    chain
+        .iter()
+        .map(|&f| ws.index.fns[f].qual.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+struct BodyScan {
+    violations: Vec<(usize, String)>,
+    propagations: Vec<(FnId, BTreeSet<String>)>,
+    assumptions: usize,
+}
+
+/// Analyzes one function body under the given entry taints.
+fn scan_body(ws: &Workspace, id: FnId, entry: &Entry) -> BodyScan {
+    let toks = ws.body_tokens(id);
+    let qual = &ws.index.fns[id].qual;
+    let tainted = local_taint(toks, entry);
+    let mut scan = BodyScan {
+        violations: Vec::new(),
+        propagations: Vec::new(),
+        assumptions: 0,
+    };
+
+    // Sinks on tainted names.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if tainted.contains(&t.text) {
+            if let Some(op) = arith_at(toks, i) {
+                scan.violations.push((
+                    t.line,
+                    format!("`{op}` arithmetic on item-tainted `{}` in `{qual}`", t.text),
+                ));
+            }
+            if matches!(toks.get(i + 1), Some(n) if n.is_ident("as")) {
+                scan.violations.push((
+                    t.line,
+                    format!("`as` cast of item-tainted `{}` in `{qual}`", t.text),
+                ));
+            }
+        }
+        // Representation-reading methods on a tainted receiver chain.
+        if BIT_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].is_punct(".")
+            && receiver_chain_tainted(toks, i - 2, &tainted)
+        {
+            scan.violations.push((
+                t.line,
+                format!(
+                    "`{}` reads the representation of an item-tainted value in `{qual}`",
+                    t.text
+                ),
+            ));
+        }
+    }
+
+    // Call-site taint propagation.
+    let calls = &ws.graph.calls[id];
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !matches!(toks.get(i + 1), Some(n) if n.is_punct("(")) {
+            continue;
+        }
+        let Some(call) = calls.iter().find(|c| c.name == t.text && c.line == t.line) else {
+            continue;
+        };
+        let receiver_tainted =
+            i >= 2 && toks[i - 1].is_punct(".") && receiver_chain_tainted(toks, i - 2, &tainted);
+        let args = split_args(toks, i + 1);
+        let arg_tainted: Vec<bool> = args
+            .iter()
+            .map(|span| {
+                toks[span.0..span.1]
+                    .iter()
+                    .any(|a| a.kind == TokKind::Ident && tainted.contains(&a.text))
+            })
+            .collect();
+        if !receiver_tainted && !arg_tainted.iter().any(|&b| b) {
+            continue;
+        }
+        if call.targets.is_empty() {
+            if !ALLOWED_METHODS.contains(&call.name.as_str()) {
+                scan.assumptions += 1;
+            }
+            continue;
+        }
+        for &target in &call.targets {
+            let tf = &ws.index.fns[target];
+            let mut names = BTreeSet::new();
+            let offset = usize::from(tf.is_method);
+            if receiver_tainted && tf.is_method {
+                names.insert("self".to_string());
+            }
+            for (k, &is_tainted) in arg_tainted.iter().enumerate() {
+                if is_tainted {
+                    if let Some(p) = tf.params.get(k + offset) {
+                        if p.name != "_" {
+                            names.insert(p.name.clone());
+                        }
+                    }
+                }
+            }
+            if !names.is_empty() {
+                scan.propagations.push((target, names));
+            }
+        }
+    }
+    scan
+}
+
+/// Local taint fixpoint: `let` and `for` bindings whose RHS mentions a
+/// tainted name taint the bound pattern names.
+fn local_taint(toks: &[Token], entry: &Entry) -> Entry {
+    let mut tainted = entry.clone();
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.is_ident("let") {
+                let in_cond =
+                    i > 0 && (toks[i - 1].is_ident("if") || toks[i - 1].is_ident("while"));
+                let (names, after_pat) = pattern_names(toks, i + 1, "=");
+                if matches!(toks.get(after_pat), Some(eq) if eq.is_punct("=")) {
+                    let end = rhs_end(toks, after_pat + 1, in_cond);
+                    if rhs_mentions_tainted(toks, after_pat + 1, end, &tainted) {
+                        for n in names {
+                            changed |= tainted.insert(n);
+                        }
+                    }
+                    i = end;
+                    continue;
+                }
+                i = after_pat;
+                continue;
+            }
+            if t.is_ident("for") && i + 1 < toks.len() && !toks[i + 1].is_punct("<") {
+                let (names, after_pat) = pattern_names(toks, i + 1, "in");
+                if matches!(toks.get(after_pat), Some(k) if k.is_ident("in")) {
+                    let end = rhs_end(toks, after_pat + 1, true);
+                    if rhs_mentions_tainted(toks, after_pat + 1, end, &tainted) {
+                        for n in names {
+                            changed |= tainted.insert(n);
+                        }
+                    }
+                    i = end;
+                    continue;
+                }
+                i = after_pat;
+                continue;
+            }
+            i += 1;
+        }
+        if !changed {
+            return tainted;
+        }
+    }
+}
+
+/// Whether the token range `[start, end)` mentions a tainted name
+/// *outside* a comparison. A comparison produces a `bool` — the allowed
+/// vocabulary of Definition 2.1 — so bindings like
+/// `let cum = ws.iter().filter(|(x, _)| x <= q).count();` derive a
+/// *rank* from the item, not the item itself, and carry no taint.
+fn rhs_mentions_tainted(toks: &[Token], start: usize, end: usize, tainted: &Entry) -> bool {
+    for j in start..end.min(toks.len()) {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident && tainted.contains(&t.text) && !comparison_adjacent(toks, j) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the ident at `j` sits immediately beside a comparison
+/// operator (`< > <= >= == !=`). Doubled `<`/`>` are shifts, not
+/// comparisons — shifts on a tainted name are caught by the arithmetic
+/// sink anyway.
+fn comparison_adjacent(toks: &[Token], j: usize) -> bool {
+    if let Some(n) = toks.get(j + 1) {
+        if n.kind == TokKind::Punct {
+            match n.text.as_str() {
+                "<" | ">" if !matches!(toks.get(j + 2), Some(m) if m.text == n.text) => {
+                    return true;
+                }
+                "=" | "!" if matches!(toks.get(j + 2), Some(m) if m.is_punct("=")) => {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if j >= 1 {
+        let p = &toks[j - 1];
+        if (p.is_punct("<") || p.is_punct(">"))
+            && !(j >= 2 && toks[j - 2].kind == TokKind::Punct && toks[j - 2].text == p.text)
+        {
+            return true;
+        }
+        if p.is_punct("=")
+            && j >= 2
+            && toks[j - 2].kind == TokKind::Punct
+            && matches!(toks[j - 2].text.as_str(), "<" | ">" | "=" | "!")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Collects lowercase binding names in a pattern, stopping at the
+/// top-level `stop` token (`=` or `in`); returns (names, stop index).
+fn pattern_names(toks: &[Token], mut i: usize, stop: &str) -> (Vec<String>, usize) {
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if depth == 0 && ((stop == "=" && t.is_punct("=")) || (stop == "in" && t.is_ident("in"))) {
+            return (names, i);
+        }
+        // A `let` with no initializer, or a malformed pattern: bail.
+        if depth == 0 && (t.is_punct(";") || t.is_punct("{") && stop == "in") {
+            return (names, i);
+        }
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {
+                if t.kind == TokKind::Ident
+                    && t.text
+                        .chars()
+                        .next()
+                        .map(|c| c.is_lowercase() || c == '_')
+                        .unwrap_or(false)
+                    && !matches!(t.text.as_str(), "mut" | "ref" | "_")
+                {
+                    names.push(t.text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    (names, i)
+}
+
+/// End of a binding's right-hand side: the top-level `;` (or `{` for
+/// `if let` / `while let` / `for` headers, where struct literals cannot
+/// appear unparenthesized).
+fn rhs_end(toks: &[Token], mut i: usize, stop_at_brace: bool) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if !stop_at_brace => depth += 1,
+            "}" if !stop_at_brace => depth -= 1,
+            _ => {}
+        }
+        if depth <= 0 {
+            if t.is_punct(";") {
+                return i + 1;
+            }
+            if stop_at_brace && t.is_punct("{") {
+                return i;
+            }
+            if depth < 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Whether the token at `i` participates in binary arithmetic (or a
+/// shift, or unary negation) — returns the operator for the message.
+fn arith_at(toks: &[Token], i: usize) -> Option<String> {
+    let next = toks.get(i + 1);
+    if let Some(n) = next {
+        if n.kind == TokKind::Punct {
+            let s = n.text.as_str();
+            if ARITH_OPS.contains(&s) {
+                return Some(s.to_string());
+            }
+            if s == "*" {
+                return Some("*".to_string());
+            }
+            if (s == "<" || s == ">") && matches!(toks.get(i + 2), Some(m) if m.text == n.text) {
+                return Some(format!("{s}{s}"));
+            }
+        }
+    }
+    if i > 0 && toks[i - 1].kind == TokKind::Punct {
+        let s = toks[i - 1].text.as_str();
+        if ARITH_OPS.contains(&s) {
+            return Some(s.to_string());
+        }
+        if s == "*" && i >= 2 {
+            // `a * x` is arithmetic; `*x` is a deref (allowed). A
+            // keyword before the star (`if *q < ...`, `return *q`) can
+            // only open a deref, never a product.
+            let before = &toks[i - 2];
+            let keyword = matches!(
+                before.text.as_str(),
+                "if" | "while"
+                    | "match"
+                    | "return"
+                    | "in"
+                    | "else"
+                    | "break"
+                    | "continue"
+                    | "loop"
+                    | "move"
+                    | "unsafe"
+                    | "await"
+            );
+            let binary = (matches!(before.kind, TokKind::Ident | TokKind::Number) && !keyword)
+                || before.is_punct(")")
+                || before.is_punct("]");
+            if binary {
+                return Some("*".to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Walks a method receiver chain backwards from `i` (the token before
+/// the `.`); true when any chain segment is a tainted name.
+fn receiver_chain_tainted(toks: &[Token], mut i: usize, tainted: &Entry) -> bool {
+    loop {
+        // Skip a balanced `(...)` or `[...]` group backwards.
+        let t = &toks[i];
+        if t.is_punct(")") || t.is_punct("]") {
+            let (open, close) = if t.is_punct(")") {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            let mut depth = 0i32;
+            loop {
+                let u = &toks[i];
+                if u.is_punct(close) {
+                    depth += 1;
+                } else if u.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if i == 0 {
+                    return false;
+                }
+                i -= 1;
+            }
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if tainted.contains(&t.text) {
+                return true;
+            }
+            if i >= 2 && toks[i - 1].is_punct(".") {
+                i -= 2;
+                continue;
+            }
+            return false;
+        }
+        return false;
+    }
+}
+
+/// Splits the argument list starting at the `(` token index into
+/// half-open token spans, one per top-level comma segment.
+fn split_args(toks: &[Token], open: usize) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut depth = 0i32;
+    let mut start = open + 1;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    if i > start {
+                        spans.push((start, i));
+                    }
+                    return spans;
+                }
+            }
+            "," if depth == 1 => {
+                spans.push((start, i));
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    spans
+}

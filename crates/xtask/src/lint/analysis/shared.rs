@@ -1,0 +1,171 @@
+//! Shared-state audit: derive the pool-crossing type set from the graph.
+//!
+//! The old `sharding-send-sync` rule checked a hand-maintained
+//! `SEND_AUDITED_TYPES` table — a new call site that moved a new type
+//! across the `cqs-bench` worker pool changed nothing in `config.rs`
+//! and so was never audited. This pass derives the set instead:
+//!
+//! 1. **Spawn functions**: any non-test function whose body contains a
+//!    `spawn(` call (today: `run_cells` in `cqs-bench`, which owns the
+//!    `std::thread::scope` worker pool).
+//! 2. **Participants**: each spawn function plus its direct callers —
+//!    the functions whose locals are captured by the worker closures.
+//! 3. **Derived types**: every workspace struct/enum named in a
+//!    participant's signature or body, or in the signature of a function
+//!    a participant directly calls (the per-cell runners). Types defined
+//!    in test code, in `src/bin/` binaries (their spawn site is in the
+//!    same compilation unit), or in the Tooling crate are exempt.
+//!
+//! Every derived type must keep a compile-time `assert_send::<T>()`
+//! audit line somewhere in its defining crate (any non-test line — the
+//! audit function can sit next to a private type). The line proves
+//! `T: Send` at compile time; the rule's job is to keep it from being
+//! deleted, and — unlike the table — the *requirement* now appears the
+//! moment a call site starts moving the type.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::super::config::Role;
+use super::super::items::FnId;
+use super::super::scanner::contains_word;
+use super::super::tokens::TokKind;
+use super::super::{Diagnostic, Severity};
+use super::Workspace;
+
+/// Runs the audit.
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    // Workspace types eligible for auditing: name -> TypeItem index.
+    let mut types: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, ty) in ws.index.types.iter().enumerate() {
+        if ty.in_test || ty.file.contains("/bin/") {
+            continue;
+        }
+        if super::super::config::role_of(&ty.crate_name) == Role::Tooling {
+            continue;
+        }
+        types.entry(ty.name.as_str()).or_insert(i);
+    }
+
+    // 1. Spawn functions.
+    let spawn_fns: Vec<FnId> = (0..ws.index.fns.len())
+        .filter(|&id| {
+            let f = &ws.index.fns[id];
+            if f.in_test || f.body.is_none() {
+                return false;
+            }
+            if super::super::config::role_of(&f.crate_name) == Role::Tooling {
+                return false;
+            }
+            ws.graph.calls[id].iter().any(|c| c.name == "spawn") || body_has_call(ws, id, "spawn")
+        })
+        .collect();
+    if spawn_fns.is_empty() {
+        return;
+    }
+
+    // 2. Participants: spawn fns + their direct non-test callers.
+    let mut participants: BTreeMap<FnId, FnId> = BTreeMap::new(); // fn -> spawn fn
+    for &s in &spawn_fns {
+        participants.insert(s, s);
+        for (caller, calls) in ws.graph.calls.iter().enumerate() {
+            if ws.index.fns[caller].in_test || ws.file_of_fn(caller).test_file {
+                continue;
+            }
+            if calls.iter().any(|c| c.targets.contains(&s)) {
+                participants.entry(caller).or_insert(s);
+            }
+        }
+    }
+
+    // 3. Derived types, each with one (spawn fn, participant) witness.
+    let mut derived: BTreeMap<usize, (FnId, FnId)> = BTreeMap::new();
+    for (&p, &s) in &participants {
+        let mut mention = |name: &str| {
+            if let Some(&ti) = types.get(name) {
+                derived.entry(ti).or_insert((s, p));
+            }
+        };
+        let f = &ws.index.fns[p];
+        for param in &f.params {
+            for t in &param.ty {
+                mention(t);
+            }
+        }
+        for t in &f.ret {
+            mention(t);
+        }
+        for tok in ws.body_tokens(p) {
+            if tok.kind == TokKind::Ident {
+                mention(&tok.text);
+            }
+        }
+        // Signatures of direct callees: the per-cell runner's argument
+        // and result types ride the pool even when the participant only
+        // names them implicitly through the callee.
+        for call in &ws.graph.calls[p] {
+            for &q in &call.targets {
+                let qf = &ws.index.fns[q];
+                for param in &qf.params {
+                    for t in &param.ty {
+                        mention(t);
+                    }
+                }
+                for t in &qf.ret {
+                    mention(t);
+                }
+            }
+        }
+    }
+
+    // Audit check: an `assert_send` line naming the type, anywhere in
+    // the defining crate's non-test code.
+    let mut audited: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new(); // crate -> type names
+    for file in &ws.files {
+        if file.test_file {
+            continue;
+        }
+        for line in &file.scanned.lines {
+            if line.in_test || !line.code.contains("assert_send") {
+                continue;
+            }
+            let per_crate = audited.entry(file.crate_name.as_str()).or_default();
+            for &name in types.keys() {
+                if contains_word(&line.code, name) {
+                    per_crate.insert(name);
+                }
+            }
+        }
+    }
+
+    for (&ti, &(s, p)) in &derived {
+        let ty = &ws.index.types[ti];
+        let ok = audited
+            .get(ty.crate_name.as_str())
+            .map(|set| set.contains(ty.name.as_str()))
+            .unwrap_or(false);
+        if !ok {
+            out.push(Diagnostic {
+                file: ty.file.clone(),
+                line: ty.line,
+                rule: "sharding-send-sync",
+                severity: Severity::Error,
+                message: format!(
+                    "type `{}` rides the parallel sweep pool (spawned by `{}`, via `{}`) \
+                     but crate `{}` has no compile-time `assert_send` audit line for it",
+                    ty.name, ws.index.fns[s].name, ws.index.fns[p].name, ty.crate_name
+                ),
+                baselined: false,
+            });
+        }
+    }
+}
+
+/// Whether a body contains `spawn(` textually (the graph gates `spawn`
+/// behind the common-name policy when the receiver is unknown, so check
+/// the tokens too).
+fn body_has_call(ws: &Workspace, id: FnId, name: &str) -> bool {
+    let toks = ws.body_tokens(id);
+    toks.iter()
+        .enumerate()
+        .any(|(i, t)| t.is_ident(name) && matches!(toks.get(i + 1), Some(n) if n.is_punct("(")))
+}

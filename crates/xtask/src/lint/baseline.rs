@@ -1,0 +1,234 @@
+//! The committed findings baseline (`lint-baseline.json`).
+//!
+//! The reachability and purity analyses are deliberately
+//! over-approximate; the workspace carries a reviewed residue of
+//! warning-level findings (mostly `reachable-indexing` sites whose
+//! bounds are locally checked). Those live in `lint-baseline.json` at
+//! the workspace root: a finding whose `(rule, file, message)` key —
+//! line numbers excluded, so pure line drift never churns the file —
+//! appears there is *baselined*: still reported in `--json`, but it
+//! neither fails the gate nor counts as new.
+//!
+//! Refresh with `cargo run -p cqs-xtask -- lint --update-baseline`
+//! after reviewing each finding; stale entries (baselined findings that
+//! no longer fire) are reported as `stale-baseline` warnings so the
+//! file shrinks as the code improves. The parser below reads only the
+//! subset of JSON the renderer emits (one `{"rule": …, "file": …,
+//! "message": …}` object per line).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use super::json::escape;
+use super::{Diagnostic, LintReport, Severity};
+
+/// Baseline file name, resolved against the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// A set of accepted findings keyed by (rule, file, message).
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Loads the baseline next to `root`; `Ok(None)` when absent.
+    pub fn load(root: &Path) -> Result<Option<Baseline>, String> {
+        let path = root.join(BASELINE_FILE);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => parse(&text).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Marks matching diagnostics as baselined; returns stale entries
+    /// (baselined findings that no longer fire) and appends a
+    /// `stale-baseline` warning for each.
+    pub fn apply(&self, report: &mut LintReport) -> usize {
+        let mut live: BTreeSet<&(String, String, String)> = BTreeSet::new();
+        for d in &mut report.diagnostics {
+            let key = (d.rule.to_string(), d.file.clone(), d.message.clone());
+            if let Some(entry) = self.entries.get(&key) {
+                d.baselined = true;
+                live.insert(entry);
+            }
+        }
+        let stale: Vec<&(String, String, String)> =
+            self.entries.iter().filter(|e| !live.contains(e)).collect();
+        for (rule, file, message) in &stale {
+            report.diagnostics.push(Diagnostic {
+                file: BASELINE_FILE.to_string(),
+                line: 0,
+                rule: "stale-baseline",
+                severity: Severity::Warning,
+                message: format!(
+                    "baselined finding no longer fires (refresh with --update-baseline): \
+                     {rule} @ {file}: {message}"
+                ),
+                baselined: false,
+            });
+        }
+        stale.len()
+    }
+}
+
+/// Renders the current findings as a baseline file (deterministic:
+/// sorted by key, one entry object per line).
+pub fn render(report: &LintReport) -> String {
+    let mut keys: BTreeSet<(&str, &str, &str)> = BTreeSet::new();
+    for d in &report.diagnostics {
+        if d.rule == "stale-baseline" {
+            continue;
+        }
+        keys.insert((d.rule, &d.file, &d.message));
+    }
+    let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+    let lines: Vec<String> = keys
+        .iter()
+        .map(|(rule, file, message)| {
+            format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"message\": \"{}\"}}",
+                escape(rule),
+                escape(file),
+                escape(message)
+            )
+        })
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    if !lines.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the renderer's output format: extracts `"rule"`, `"file"`,
+/// and `"message"` string fields from each single-line entry object.
+fn parse(text: &str) -> Result<Baseline, String> {
+    let mut entries = BTreeSet::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"rule\"") {
+            continue;
+        }
+        let rule = field(line, "rule").ok_or_else(|| format!("line {}: no rule", n + 1))?;
+        let file = field(line, "file").ok_or_else(|| format!("line {}: no file", n + 1))?;
+        let message =
+            field(line, "message").ok_or_else(|| format!("line {}: no message", n + 1))?;
+        entries.insert((rule, file, message));
+    }
+    Ok(Baseline { entries })
+}
+
+/// Extracts and unescapes the string value of `"key": "..."`.
+fn field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(out),
+            b'\\' => {
+                let next = *bytes.get(i + 1)?;
+                match next {
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = line.get(i + 2..i + 6)?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 6;
+                        continue;
+                    }
+                    c => out.push(c as char),
+                }
+                i += 2;
+            }
+            _ => {
+                // Multi-byte chars: copy the full char.
+                let c = line[i..].chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, message: &str) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line: 7,
+            rule,
+            severity: Severity::Warning,
+            message: message.to_string(),
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn roundtrip_marks_baselined() {
+        let mut report = LintReport {
+            diagnostics: vec![diag("reachable-indexing", "a.rs", "indexing in `f`")],
+            ..Default::default()
+        };
+        let text = render(&report);
+        let b = parse(&text).unwrap();
+        assert_eq!(b.len(), 1);
+        let stale = b.apply(&mut report);
+        assert_eq!(stale, 0);
+        assert!(report.diagnostics[0].baselined);
+    }
+
+    #[test]
+    fn stale_entries_warn() {
+        let text = render(&LintReport {
+            diagnostics: vec![diag("reachable-indexing", "gone.rs", "old finding")],
+            ..Default::default()
+        });
+        let b = parse(&text).unwrap();
+        let mut report = LintReport::default();
+        let stale = b.apply(&mut report);
+        assert_eq!(stale, 1);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "stale-baseline"));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let mut report = LintReport {
+            diagnostics: vec![diag("model-purity", "x.rs", "weird \"quoted\" \\ message")],
+            ..Default::default()
+        };
+        let text = render(&report);
+        let b = parse(&text).unwrap();
+        b.apply(&mut report);
+        assert!(report.diagnostics[0].baselined, "{text}");
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let got = Baseline::load(Path::new("/nonexistent-dir-for-cqs-test")).unwrap();
+        assert!(got.is_none());
+    }
+}

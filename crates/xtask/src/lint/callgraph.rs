@@ -1,0 +1,496 @@
+//! Cross-crate call graph over the item index.
+//!
+//! Call sites are recognised token-wise inside function bodies
+//! (`name(...)`, `recv.name(...)`, `Type::name(...)`, and bare
+//! `Type::name` function references) and resolved *by name* against the
+//! whole-workspace [`ItemIndex`] — deliberately over-approximate: a
+//! method call on an unknown receiver resolves to every workspace
+//! method of that name, so reachability never misses a workspace callee
+//! because the receiver type was not inferable.
+//!
+//! Two guards keep the over-approximation useful:
+//!
+//! * `self.name(...)` and `Type::name(...)` resolve *precisely* (same
+//!   impl type / named type first, falling back to the open set);
+//! * calls to [`COMMON_METHOD_NAMES`](super::config::COMMON_METHOD_NAMES)
+//!   (`push`, `insert`, `len`, ... — names shared with the std
+//!   containers) on an *unknown* receiver are recorded as unresolved
+//!   assumptions instead of fanning out to every same-named workspace
+//!   function. This is the documented unknown-callee policy: external
+//!   (std) code is assumed non-panicking and item-opaque, and every such
+//!   assumption is counted and surfaced in the JSON report.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use super::config::COMMON_METHOD_NAMES;
+use super::items::{FnId, ItemIndex};
+use super::tokens::{TokKind, Token};
+
+/// One resolved (or unresolved) call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Callee name as written.
+    pub name: String,
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// Workspace functions this call may dispatch to (empty when the
+    /// callee is external/unresolved).
+    pub targets: Vec<FnId>,
+    /// True when the call site sits inside a `catch_unwind(...)`
+    /// argument — a panic there cannot escape, so panic reachability
+    /// stops at this edge (purity does not: items still flow through).
+    pub guarded: bool,
+}
+
+/// The workspace call graph: per-function call sites.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Outgoing call sites per [`FnId`].
+    pub calls: Vec<Vec<Call>>,
+}
+
+impl CallGraph {
+    /// Unresolved call names for one function (external callees assumed
+    /// total/opaque — the analysis assumptions).
+    pub fn unresolved_names(&self, id: FnId) -> BTreeSet<&str> {
+        self.calls[id]
+            .iter()
+            .filter(|c| c.targets.is_empty())
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Total number of unresolved call sites across the workspace.
+    pub fn unresolved_count(&self) -> usize {
+        self.calls
+            .iter()
+            .flatten()
+            .filter(|c| c.targets.is_empty())
+            .count()
+    }
+
+    /// BFS from `roots`; returns each reached function mapped to its
+    /// predecessor on one shortest path (roots map to themselves).
+    /// Deterministic: roots are visited in sorted order, call sites in
+    /// source order.
+    pub fn reachable_from(&self, roots: &[FnId]) -> BTreeMap<FnId, FnId> {
+        let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        let mut sorted: Vec<FnId> = roots.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for r in sorted {
+            parent.insert(r, r);
+            queue.push_back(r);
+        }
+        while let Some(f) = queue.pop_front() {
+            for call in &self.calls[f] {
+                for &t in &call.targets {
+                    if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(t) {
+                        e.insert(f);
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders the root → ... → `target` chain for diagnostics.
+    pub fn path_to(
+        &self,
+        parent: &BTreeMap<FnId, FnId>,
+        index: &ItemIndex,
+        target: FnId,
+    ) -> String {
+        let mut chain = vec![target];
+        let mut cur = target;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+            .iter()
+            .map(|&id| index.fns[id].name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// How a call site names its callee.
+enum Receiver<'a> {
+    /// `name(...)` — a free-function call.
+    Free,
+    /// `self.name(...)` — a method on the enclosing impl type.
+    SelfDot,
+    /// `expr.name(...)` — a method on an unknown receiver.
+    Unknown,
+    /// `Qual::name(...)` or `Qual::name` — a path-qualified call/ref.
+    Path(&'a str),
+}
+
+/// Keywords that can directly precede `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "mut", "ref", "move", "fn", "pub", "use", "mod", "impl", "trait", "struct", "enum",
+    "where", "dyn", "unsafe", "static", "const", "type", "extern", "true", "false", "super",
+    "crate",
+];
+
+/// Builds the call graph from every file's tokens + owner map.
+///
+/// `files` yields `(tokens, owner)` pairs in walk order; `owner` maps
+/// each token to its innermost enclosing function (see
+/// [`ItemIndex::add_file`](super::items::ItemIndex::add_file)).
+pub fn build<'a>(
+    index: &ItemIndex,
+    files: impl Iterator<Item = (&'a [Token], &'a [Option<FnId>])>,
+) -> CallGraph {
+    let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+    for (id, f) in index.fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(id);
+    }
+    let mut graph = CallGraph {
+        calls: vec![Vec::new(); index.fns.len()],
+    };
+    for (toks, owner) in files {
+        scan_file(index, &by_name, toks, owner, &mut graph);
+    }
+    graph
+}
+
+/// Marks every token inside a `catch_unwind(...)` argument list.
+fn guard_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    for j in 0..toks.len() {
+        if !toks[j].is_ident("catch_unwind") {
+            continue;
+        }
+        if !matches!(toks.get(j + 1), Some(n) if n.is_punct("(")) {
+            continue;
+        }
+        let mut depth = 0i32;
+        for (k, t) in toks.iter().enumerate().skip(j + 1) {
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            mask[k] = true;
+        }
+    }
+    mask
+}
+
+fn scan_file(
+    index: &ItemIndex,
+    by_name: &BTreeMap<&str, Vec<FnId>>,
+    toks: &[Token],
+    owner: &[Option<FnId>],
+    graph: &mut CallGraph,
+) {
+    let guarded = guard_mask(toks);
+    for j in 0..toks.len() {
+        let Some(caller) = owner.get(j).copied().flatten() else {
+            continue;
+        };
+        let t = &toks[j];
+        if t.kind != TokKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let next_is_call = matches!(toks.get(j + 1), Some(n) if n.is_punct("("));
+        let prev = j.checked_sub(1).map(|p| &toks[p]);
+        let prev_is_path = matches!(prev, Some(p) if p.is_punct("::"));
+        let prev_is_dot = matches!(prev, Some(p) if p.is_punct("."));
+
+        // `fn name(` is a definition, not a call.
+        if matches!(prev, Some(p) if p.is_ident("fn")) {
+            continue;
+        }
+
+        let receiver = if prev_is_dot {
+            match j.checked_sub(2).map(|p| &toks[p]) {
+                Some(r) if r.is_ident("self") => {
+                    // `a.self.b` cannot occur; `self.m(...)` it is —
+                    // unless `self` is itself a field access (`x.self`
+                    // is not Rust), so this is safe.
+                    Receiver::SelfDot
+                }
+                _ => Receiver::Unknown,
+            }
+        } else if prev_is_path {
+            match j.checked_sub(2).map(|p| &toks[p]) {
+                Some(q) if q.kind == TokKind::Ident => Receiver::Path(q.text.as_str()),
+                _ => Receiver::Free,
+            }
+        } else {
+            Receiver::Free
+        };
+
+        if next_is_call {
+            // Skip capitalized free calls: tuple-struct / enum-variant
+            // constructors (`Some(`, `Ok(`, `Interval(`) are not fns we
+            // index. Path-qualified and method calls keep going — their
+            // names are lowercase methods.
+            if matches!(receiver, Receiver::Free)
+                && t.text
+                    .chars()
+                    .next()
+                    .map(char::is_uppercase)
+                    .unwrap_or(false)
+            {
+                continue;
+            }
+        } else {
+            // Not a direct call: only `Qual::name` function references
+            // (fn-as-value) create edges, and only for known fn names.
+            let lowercase_start = t
+                .text
+                .chars()
+                .next()
+                .map(|c| c.is_lowercase() || c == '_')
+                .unwrap_or(false);
+            if !(prev_is_path && lowercase_start && by_name.contains_key(t.text.as_str())) {
+                continue;
+            }
+        }
+
+        let targets = resolve(index, by_name, &t.text, &receiver, caller);
+        graph.calls[caller].push(Call {
+            name: t.text.clone(),
+            line: t.line,
+            targets,
+            guarded: guarded[j],
+        });
+    }
+}
+
+/// Resolution policy (see module docs).
+fn resolve(
+    index: &ItemIndex,
+    by_name: &BTreeMap<&str, Vec<FnId>>,
+    name: &str,
+    receiver: &Receiver<'_>,
+    caller: FnId,
+) -> Vec<FnId> {
+    let Some(all) = by_name.get(name) else {
+        return Vec::new(); // external (std) callee
+    };
+    let caller_in_test = index.fns[caller].in_test;
+    let live: Vec<FnId> = all
+        .iter()
+        .copied()
+        .filter(|&id| caller_in_test || !index.fns[id].in_test)
+        .collect();
+    if live.is_empty() {
+        return Vec::new();
+    }
+    let common = COMMON_METHOD_NAMES.contains(&name);
+    let filtered: Vec<FnId> = match receiver {
+        Receiver::SelfDot => {
+            let self_ty = index.fns[caller].self_type.as_deref();
+            live.iter()
+                .copied()
+                .filter(|&id| self_ty.is_some() && index.fns[id].self_type.as_deref() == self_ty)
+                .collect()
+        }
+        Receiver::Path(q) if *q == "Self" => {
+            let self_ty = index.fns[caller].self_type.as_deref();
+            live.iter()
+                .copied()
+                .filter(|&id| self_ty.is_some() && index.fns[id].self_type.as_deref() == self_ty)
+                .collect()
+        }
+        Receiver::Path(q) => {
+            let by_type: Vec<FnId> = live
+                .iter()
+                .copied()
+                .filter(|&id| index.fns[id].self_type.as_deref() == Some(*q))
+                .collect();
+            if !by_type.is_empty() {
+                by_type
+            } else {
+                // `module::free_fn(...)`: fall back to free functions.
+                live.iter()
+                    .copied()
+                    .filter(|&id| index.fns[id].self_type.is_none())
+                    .collect()
+            }
+        }
+        Receiver::Free => live
+            .iter()
+            .copied()
+            .filter(|&id| index.fns[id].self_type.is_none())
+            .collect(),
+        Receiver::Unknown => {
+            if common {
+                // Unknown receiver + std-colliding name: assume external.
+                return Vec::new();
+            }
+            let methods: Vec<FnId> = live
+                .iter()
+                .copied()
+                .filter(|&id| index.fns[id].is_method)
+                .collect();
+            let pool = if methods.is_empty() {
+                live.clone()
+            } else {
+                methods
+            };
+            // Receivers are usually of a local type: prefer same-crate
+            // candidates to keep trait-method fan-out from linking every
+            // summary crate to every other.
+            let caller_crate = &index.fns[caller].crate_name;
+            let same_crate: Vec<FnId> = pool
+                .iter()
+                .copied()
+                .filter(|&id| &index.fns[id].crate_name == caller_crate)
+                .collect();
+            if same_crate.is_empty() {
+                pool
+            } else {
+                same_crate
+            }
+        }
+    };
+    if !filtered.is_empty() {
+        return filtered;
+    }
+    // Precise filter came up empty: open set unless the name is a
+    // std-colliding one (then assume external).
+    if common {
+        Vec::new()
+    } else {
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::items::ItemIndex;
+    use super::super::scanner::scan;
+    use super::super::tokens::tokenize;
+    use super::*;
+
+    struct Built {
+        index: ItemIndex,
+        graph: CallGraph,
+    }
+
+    fn build_one(src: &str) -> Built {
+        let scanned = scan(src);
+        let toks = tokenize(&scanned);
+        let mut index = ItemIndex::default();
+        let items = index.add_file("core", "src/lib.rs", &toks, &scanned, false);
+        let graph = build(&index, std::iter::once((&toks[..], &items.owner[..])));
+        Built { index, graph }
+    }
+
+    fn id_of(b: &Built, name: &str) -> FnId {
+        b.index.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    fn callees(b: &Built, name: &str) -> Vec<String> {
+        let id = id_of(b, name);
+        let mut out: Vec<String> = b.graph.calls[id]
+            .iter()
+            .flat_map(|c| c.targets.iter().map(|&t| b.index.fns[t].name.clone()))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn free_calls_resolve() {
+        let b = build_one("fn a() { b(); }\nfn b() {}\n");
+        assert_eq!(callees(&b, "a"), vec!["b"]);
+    }
+
+    #[test]
+    fn self_method_calls_resolve_within_impl() {
+        let src = "struct S;\nstruct T;\n\
+                   impl S { fn go(&self) { self.step(); } fn step(&self) {} }\n\
+                   impl T { fn step(&self) {} }\n";
+        let b = build_one(src);
+        let go = id_of(&b, "go");
+        let step_targets: Vec<&str> = b.graph.calls[go]
+            .iter()
+            .flat_map(|c| c.targets.iter().map(|&t| b.index.fns[t].qual.as_str()))
+            .collect();
+        assert_eq!(step_targets, vec!["core/S::step"]);
+    }
+
+    #[test]
+    fn unknown_receiver_fans_out_to_all_methods() {
+        let src = "struct A;\nstruct B;\n\
+                   impl A { fn probe(&self) {} }\n\
+                   impl B { fn probe(&self) {} }\n\
+                   fn driver(x: &A) { x.probe(); }\n";
+        let b = build_one(src);
+        assert_eq!(callees(&b, "driver"), vec!["probe"]);
+        let driver = id_of(&b, "driver");
+        assert_eq!(b.graph.calls[driver][0].targets.len(), 2);
+    }
+
+    #[test]
+    fn common_names_on_unknown_receivers_stay_unresolved() {
+        let src = "struct S { v: Vec<u64> }\n\
+                   impl S { fn insert(&mut self, x: u64) { self.v.push(x); } }\n\
+                   fn f(s: &mut Vec<u64>) { s.push(1); }\n";
+        let b = build_one(src);
+        let f = id_of(&b, "f");
+        assert!(b.graph.calls[f].iter().all(|c| c.targets.is_empty()));
+        assert_eq!(b.graph.unresolved_names(f).len(), 1);
+    }
+
+    #[test]
+    fn path_calls_prefer_the_named_type() {
+        let src = "struct S;\nimpl S { fn make() -> S { S } }\nfn f() { let _ = S::make(); }\n";
+        let b = build_one(src);
+        assert_eq!(callees(&b, "f"), vec!["make"]);
+    }
+
+    #[test]
+    fn fn_references_create_edges() {
+        let src = "struct S;\nimpl S { fn hook() {} }\nfn f() { run(S::hook); }\nfn run(g: fn()) { g(); }\n";
+        let b = build_one(src);
+        assert!(callees(&b, "f").contains(&"hook".to_string()));
+    }
+
+    #[test]
+    fn test_fns_are_not_targets_of_lib_callers() {
+        let src = "fn lib() { probe(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn probe() {}\n    fn t() { probe(); }\n}\n";
+        let b = build_one(src);
+        assert!(callees(&b, "lib").is_empty());
+        assert_eq!(callees(&b, "t"), vec!["probe"]);
+    }
+
+    #[test]
+    fn reachability_and_paths() {
+        let b = build_one("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn d() {}\n");
+        let a = id_of(&b, "a");
+        let c = id_of(&b, "c");
+        let d = id_of(&b, "d");
+        let parent = b.graph.reachable_from(&[a]);
+        assert!(parent.contains_key(&c));
+        assert!(!parent.contains_key(&d));
+        assert_eq!(b.graph.path_to(&parent, &b.index, c), "a -> b -> c");
+    }
+
+    #[test]
+    fn variant_constructors_are_not_calls() {
+        let src = "enum E { V(u64) }\nfn f() -> E { E::V(1) }\nfn g() { let _ = Some(2); }\n";
+        let b = build_one(src);
+        assert!(callees(&b, "f").is_empty());
+        assert!(callees(&b, "g").is_empty());
+    }
+}

@@ -7,7 +7,7 @@
 //! consciously classifies it here.
 
 /// What part of the paper's cast a crate implements.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Role {
     /// `cqs-universe`: the only crate allowed to mint `Item`s / labels.
     Universe,
@@ -15,8 +15,16 @@ pub enum Role {
     /// Deterministic, but not itself a summary under test.
     Core,
     /// A quantile summary implementation — the algorithms the lower
-    /// bound constrains. Full comparison-model + determinism rules.
+    /// bound constrains. Full comparison-model + determinism rules, and
+    /// a [`ModelCertificate`](super::analysis::ModelCertificate) from
+    /// the purity analysis.
     Summary,
+    /// A bounded-universe sketch (`cqs-qdigest`): consumes concrete
+    /// `u64` keys, deliberately *outside* the comparison model — it is
+    /// refused a purity certificate by construction (that contrast is
+    /// the paper's separation story, cf. arXiv 2404.03847). Hot-path
+    /// and determinism rules still apply; the item-opacity rules do not.
+    BoundedUniverse,
     /// Supporting data structures (streams, order machinery). Must be
     /// deterministic but handles concrete key types by design.
     Substrate,
@@ -28,9 +36,16 @@ pub enum Role {
 }
 
 impl Role {
-    /// Whether the comparison-model rules (item opacity) apply.
+    /// Whether the lexical comparison-model rules (item opacity) apply.
     pub fn comparison_rules(self) -> bool {
         matches!(self, Role::Summary)
+    }
+
+    /// Whether the hot-path reachability rules apply (`insert`/`query`
+    /// paths must not panic): summaries, plus the bounded-universe
+    /// sketch — its hot paths face the same adversarial streams.
+    pub fn hot_path_rules(self) -> bool {
+        matches!(self, Role::Summary | Role::BoundedUniverse)
     }
 
     /// Whether the determinism rules apply.
@@ -61,9 +76,8 @@ pub fn role_of(crate_name: &str) -> Role {
     match crate_name {
         "universe" => Role::Universe,
         "core" | "." => Role::Core,
-        "gk" | "mrl" | "ckms" | "kll" | "sampling" | "qdigest" | "ostree" | "window" => {
-            Role::Summary
-        }
+        "gk" | "mrl" | "ckms" | "kll" | "sampling" | "ostree" | "window" => Role::Summary,
+        "qdigest" => Role::BoundedUniverse,
         "streams" => Role::Substrate,
         "bench" | "cli" | "faults" => Role::Harness,
         "xtask" => Role::Tooling,
@@ -74,9 +88,9 @@ pub fn role_of(crate_name: &str) -> Role {
 }
 
 /// Function names that form the query/update hot path of a summary —
-/// the paths where a panic would mean the data structure can fail on
-/// adversarial input rather than degrade, and where a stray heap
-/// allocation multiplies by the stream length.
+/// the *roots* of the hot-path panic reachability analysis. Unlike the
+/// old name-list rule, helpers these functions call are covered by the
+/// call graph and do not need to be listed.
 pub const HOT_PATH_FNS: &[&str] = &[
     "insert",
     "insert_sorted_run",
@@ -86,46 +100,94 @@ pub const HOT_PATH_FNS: &[&str] = &[
     "merge",
 ];
 
-/// Function names that form the panic-free adversary driver: every
-/// abort must surface as a typed `AdversaryError`, so these bodies may
-/// not contain panicking constructs (the legacy `run`/`adv`/`leaf`
-/// drivers keep their asserts for tests — only the `try_*` surface and
-/// its helpers make the no-panic promise).
-pub const DRIVER_PATH_FNS: &[&str] = &[
+/// Entry points of the panic-free adversary driver — the *roots* of the
+/// driver panic reachability analysis. Every abort must surface as a
+/// typed `AdversaryError`; the helpers these reach (`try_adv`,
+/// `try_leaf`, `audit_node`, `payload_string`, ...) are found by the
+/// call graph — the old `DRIVER_PATH_FNS` list named eleven functions
+/// and still missed `audit_node`, `size_divergence`, `payload_string`,
+/// and `compute_gap_scratch`.
+pub const DRIVER_ROOT_FNS: &[&str] = &[
     "try_run",
-    "try_adv",
-    "try_leaf",
     "try_run_adversary",
     "try_refine_from",
-    "final_rank_probe",
-    "into_error",
     // Witness extraction runs on driver output (`cqs adversary` calls it
     // after try_run), so it shares the no-panic promise.
     "quantile_failure_witness",
     "rank_failure_witness",
-    "fresh_above",
-    "fresh_below",
 ];
 
-/// Types the `cqs-bench` parallel sweep pool moves across scoped worker
-/// threads, per crate. Each listed crate's `src/lib.rs` must keep a
-/// compile-time `assert_send` audit line naming every marker (the
-/// `sharding-send-sync` rule enforces this). Markers are substrings of
-/// the audit lines; the trailing `<` keeps `Adversary<` from matching
-/// its `AdversaryOutcome<` sibling line.
-pub const SEND_AUDITED_TYPES: &[(&str, &[&str])] = &[
-    (
-        "core",
-        &[
-            "Adversary<",
-            "AdversaryOutcome<",
-            "AdversaryError",
-            "AdversaryReport",
-            "StreamState<",
-        ],
-    ),
-    ("faults", &["FaultPlan", "FaultySummary<"]),
-    ("universe", &["Item"]),
+/// Method names that collide with the std containers and iterator
+/// vocabulary. A call to one of these on an *unknown* receiver is
+/// treated as external (unresolved) by the call graph rather than
+/// fanned out to every same-named workspace function — `self.v.push(x)`
+/// almost never means `GkSummary::push`. Calls with a known receiver
+/// (`self.insert(...)`, `Type::insert(...)`) resolve precisely and are
+/// unaffected.
+pub const COMMON_METHOD_NAMES: &[&str] = &[
+    "abs",
+    "and_then",
+    "as_mut",
+    "as_ref",
+    "binary_search",
+    "binary_search_by",
+    "clear",
+    "clone",
+    "cmp",
+    "contains",
+    "contains_key",
+    "default",
+    "drain",
+    "drop",
+    "entry",
+    "eq",
+    "extend",
+    "filter",
+    "first",
+    "flush",
+    "fmt",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "ne",
+    "new",
+    "next",
+    "partial_cmp",
+    "pop",
+    "push",
+    "push_str",
+    "remove",
+    "resize",
+    "retain",
+    "rev",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "sort_unstable_by",
+    "spawn",
+    "split_off",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "truncate",
+    "try_from",
+    "try_into",
+    "with_capacity",
+    "write",
 ];
 
 #[cfg(test)]
@@ -136,6 +198,7 @@ mod tests {
     fn known_roles() {
         assert_eq!(role_of("universe"), Role::Universe);
         assert_eq!(role_of("gk"), Role::Summary);
+        assert_eq!(role_of("qdigest"), Role::BoundedUniverse);
         assert_eq!(role_of("bench"), Role::Harness);
         assert_eq!(role_of("faults"), Role::Harness);
         assert_eq!(role_of("."), Role::Core);
@@ -159,5 +222,21 @@ mod tests {
         assert!(!role_of("bench").determinism_rules());
         assert!(role_of("gk").determinism_rules());
         assert!(role_of("streams").determinism_rules());
+    }
+
+    #[test]
+    fn bounded_universe_keeps_hot_path_rules_but_not_comparison() {
+        let q = role_of("qdigest");
+        assert!(q.hot_path_rules());
+        assert!(!q.comparison_rules());
+        assert!(q.determinism_rules());
+    }
+
+    #[test]
+    fn common_names_are_sorted_and_unique() {
+        let mut sorted = COMMON_METHOD_NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, COMMON_METHOD_NAMES);
     }
 }

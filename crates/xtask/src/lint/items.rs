@@ -1,0 +1,779 @@
+//! Item indexer: `fn` / `impl` / `trait` / `struct` / `enum` items with
+//! spans, signatures, and ownership.
+//!
+//! A single recursive-descent pass over the [`tokens`](super::tokens)
+//! stream produces, per file:
+//!
+//! * one [`FnItem`] per function, carrying its enclosing impl/trait self
+//!   type, the generic type-parameter names in scope (impl-level plus
+//!   fn-level — the purity analysis treats values of those types as
+//!   opaque items), the parsed parameter list, and the token span of its
+//!   body;
+//! * one [`TypeItem`] per struct/enum/union, with the token span of its
+//!   definition (field types feed the shared-state audit);
+//! * an *owner map*: for every token, the innermost enclosing function,
+//!   so the call-graph builder can attribute a call site to exactly one
+//!   function even when functions nest.
+//!
+//! This is still not a full parser — it balances delimiters and trusts
+//! the scanner's lexical cleanup — but unlike the line rules it sees
+//! *structure*: signatures, bodies, and cross-file identity.
+
+use super::scanner::ScannedFile;
+use super::tokens::{TokKind, Token};
+
+/// Index of a function in [`ItemIndex::fns`].
+pub type FnId = usize;
+
+/// One parsed parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name (`"self"` for receivers, `"_"` when destructured).
+    pub name: String,
+    /// Type tokens, as text.
+    pub ty: Vec<String>,
+}
+
+/// One indexed function.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Display path: `crate/Type::name` or `crate/name`.
+    pub qual: String,
+    /// Owning crate (directory name, `"."` for the root package).
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` name.
+    pub line: usize,
+    /// Self type of the enclosing `impl`/`trait`, if any.
+    pub self_type: Option<String>,
+    /// Whether the first parameter is a `self` receiver.
+    pub is_method: bool,
+    /// Generic type-parameter names in scope (impl + fn level).
+    pub generics: Vec<String>,
+    /// Parsed parameters, receiver included.
+    pub params: Vec<Param>,
+    /// Return-type tokens, as text (empty for `()`).
+    pub ret: Vec<String>,
+    /// Token span of the body `{ ... }` (half-open, braces included);
+    /// `None` for bodiless trait/extern declarations.
+    pub body: Option<(usize, usize)>,
+    /// True for functions in test files or `#[cfg(test)]` modules.
+    pub in_test: bool,
+}
+
+/// What kind of type definition a [`TypeItem`] is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TypeKind {
+    /// `struct`
+    Struct,
+    /// `enum`
+    Enum,
+}
+
+/// One indexed type definition.
+#[derive(Clone, Debug)]
+pub struct TypeItem {
+    /// Type name.
+    pub name: String,
+    /// Owning crate.
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the name.
+    pub line: usize,
+    /// Token span of the definition (fields/variants), half-open.
+    pub def: (usize, usize),
+    /// Struct or enum.
+    pub kind: TypeKind,
+    /// True for definitions in test files or `#[cfg(test)]` modules.
+    pub in_test: bool,
+}
+
+/// Per-file parse result: local slices plus the token owner map.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Functions defined in this file (global [`FnId`]s).
+    pub fns: Vec<FnId>,
+    /// For each token, the innermost enclosing function, if any.
+    pub owner: Vec<Option<FnId>>,
+}
+
+/// The whole-workspace item index.
+#[derive(Debug, Default)]
+pub struct ItemIndex {
+    /// Every function in the workspace, in walk order.
+    pub fns: Vec<FnItem>,
+    /// Every struct/enum in the workspace, in walk order.
+    pub types: Vec<TypeItem>,
+}
+
+impl ItemIndex {
+    /// All functions with the given bare name.
+    pub fn fns_named<'a>(&'a self, name: &str) -> impl Iterator<Item = FnId> + 'a {
+        let name = name.to_string();
+        (0..self.fns.len()).filter(move |&id| self.fns[id].name == name)
+    }
+
+    /// Whether any workspace type has this name.
+    pub fn type_named(&self, name: &str) -> Option<&TypeItem> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// Parses one file's tokens into the index. `test_file` marks files
+    /// under `tests/`/`benches/`/`examples/`.
+    pub fn add_file(
+        &mut self,
+        crate_name: &str,
+        path: &str,
+        tokens: &[Token],
+        scanned: &ScannedFile,
+        test_file: bool,
+    ) -> FileItems {
+        let mut p = Parser {
+            toks: tokens,
+            i: 0,
+            crate_name,
+            path,
+            test_file,
+            scanned,
+            index: self,
+            out: FileItems {
+                fns: Vec::new(),
+                owner: vec![None; tokens.len()],
+            },
+            fn_stack: Vec::new(),
+        };
+        let scope = Scope::default();
+        p.parse_items(&scope, None);
+        let mut out = std::mem::take(&mut p.out);
+        out.owner.truncate(tokens.len());
+        out
+    }
+}
+
+/// Enclosing impl/trait context while parsing.
+#[derive(Clone, Debug, Default)]
+struct Scope {
+    self_type: Option<String>,
+    generics: Vec<String>,
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+    crate_name: &'a str,
+    path: &'a str,
+    test_file: bool,
+    scanned: &'a ScannedFile,
+    index: &'a mut ItemIndex,
+    out: FileItems,
+    fn_stack: Vec<FnId>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.i)
+    }
+
+    /// Consumes one token, attributing it to the innermost function.
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.i)?;
+        self.out.owner[self.i] = self.fn_stack.last().copied();
+        self.i += 1;
+        Some(t)
+    }
+
+    fn in_test_at(&self, line: usize) -> bool {
+        self.test_file
+            || self
+                .scanned
+                .lines
+                .get(line.saturating_sub(1))
+                .map(|l| l.in_test)
+                .unwrap_or(false)
+    }
+
+    /// Parses items and statements until `stop_at_close` (a `}` closing
+    /// the current block) or end of tokens.
+    fn parse_items(&mut self, scope: &Scope, stop_at_close: Option<()>) {
+        while let Some(t) = self.peek() {
+            if t.is_punct("}") && stop_at_close.is_some() {
+                return; // caller consumes the brace
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "fn" => {
+                        self.parse_fn(scope);
+                        continue;
+                    }
+                    "impl" => {
+                        self.parse_impl(scope);
+                        continue;
+                    }
+                    "trait" => {
+                        self.parse_trait(scope);
+                        continue;
+                    }
+                    "struct" | "enum" | "union" => {
+                        self.parse_type_item();
+                        continue;
+                    }
+                    "mod" => {
+                        self.parse_mod(scope);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if t.is_punct("{") {
+                self.bump();
+                self.parse_items(scope, Some(()));
+                self.bump(); // the `}`
+                continue;
+            }
+            self.bump();
+        }
+    }
+
+    /// `fn name <generics>? ( params ) (-> ret)? where...? ({ body } | ;)`
+    fn parse_fn(&mut self, scope: &Scope) {
+        self.bump(); // `fn`
+        let Some(name_tok) = self.peek() else { return };
+        if name_tok.kind != TokKind::Ident {
+            // `fn` in type position (`fn(u32) -> u32`); not an item.
+            self.bump();
+            return;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        self.bump();
+
+        let mut generics = scope.generics.clone();
+        if self.peek().map(|t| t.is_punct("<")).unwrap_or(false) {
+            generics.extend(self.parse_generics());
+        }
+
+        let mut params = Vec::new();
+        let mut is_method = false;
+        if self.peek().map(|t| t.is_punct("(")).unwrap_or(false) {
+            params = self.parse_params();
+            is_method = params.first().map(|p| p.name == "self").unwrap_or(false);
+        }
+
+        let mut ret = Vec::new();
+        if self.peek().map(|t| t.is_punct("->")).unwrap_or(false) {
+            self.bump();
+            ret = self.collect_until_body_or_semi();
+        }
+        // `where` clause (or leftovers): skip to `{` or `;`.
+        while let Some(t) = self.peek() {
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            self.bump();
+        }
+
+        let qual = match &scope.self_type {
+            Some(ty) => format!("{}/{}::{}", self.crate_name, ty, name),
+            None => format!("{}/{}", self.crate_name, name),
+        };
+        let id = self.index.fns.len();
+        self.index.fns.push(FnItem {
+            name,
+            qual,
+            crate_name: self.crate_name.to_string(),
+            file: self.path.to_string(),
+            line,
+            self_type: scope.self_type.clone(),
+            is_method,
+            generics,
+            params,
+            ret,
+            body: None,
+            in_test: self.in_test_at(line),
+        });
+        self.out.fns.push(id);
+
+        match self.peek() {
+            Some(t) if t.is_punct("{") => {
+                let start = self.i;
+                self.fn_stack.push(id);
+                self.bump(); // `{`
+                self.parse_items(scope, Some(()));
+                self.bump(); // `}`
+                self.fn_stack.pop();
+                self.index.fns[id].body = Some((start, self.i));
+            }
+            Some(t) if t.is_punct(";") => {
+                self.bump();
+            }
+            _ => {}
+        }
+    }
+
+    /// Return type: tokens until `{`, `;`, or a top-level `where`.
+    fn collect_until_body_or_semi(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        while let Some(t) = self.peek() {
+            if angle <= 0
+                && paren <= 0
+                && (t.is_punct("{") || t.is_punct(";") || t.is_ident("where"))
+            {
+                break;
+            }
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                _ => {}
+            }
+            out.push(t.text.clone());
+            self.bump();
+        }
+        out
+    }
+
+    /// `< ... >`: returns the declared type-parameter names.
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut depth = 0i32;
+        let mut at_param_start = true;
+        let mut after_const = false;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "<" if t.kind == TokKind::Punct => {
+                    depth += 1;
+                    self.bump();
+                    continue;
+                }
+                ">" if t.kind == TokKind::Punct => {
+                    depth -= 1;
+                    self.bump();
+                    if depth <= 0 {
+                        break;
+                    }
+                    continue;
+                }
+                "," if t.kind == TokKind::Punct && depth == 1 => {
+                    at_param_start = true;
+                    after_const = false;
+                    self.bump();
+                    continue;
+                }
+                _ => {}
+            }
+            if depth == 1 && at_param_start {
+                if t.kind == TokKind::Ident {
+                    if t.text == "const" {
+                        after_const = true;
+                    } else {
+                        // Const parameters are values, not item types.
+                        if !after_const {
+                            names.push(t.text.clone());
+                        }
+                        at_param_start = false;
+                    }
+                } else if t.kind == TokKind::Lifetime {
+                    at_param_start = false;
+                }
+            }
+            self.bump();
+        }
+        names
+    }
+
+    /// `( ... )`: splits top-level comma segments into [`Param`]s.
+    fn parse_params(&mut self) -> Vec<Param> {
+        let mut params = Vec::new();
+        let mut seg: Vec<&Token> = Vec::new();
+        let mut paren = 0i32;
+        let mut angle = 0i32;
+        let mut bracket = 0i32;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => {
+                    paren -= 1;
+                    if paren == 0 {
+                        self.bump();
+                        break;
+                    }
+                }
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "<" if t.kind == TokKind::Punct => angle += 1,
+                ">" if t.kind == TokKind::Punct => angle -= 1,
+                "," if paren == 1 && angle == 0 && bracket == 0 => {
+                    if let Some(p) = param_from(&seg) {
+                        params.push(p);
+                    }
+                    seg.clear();
+                    self.bump();
+                    continue;
+                }
+                _ => {}
+            }
+            if paren >= 1 && !(paren == 1 && t.is_punct("(")) {
+                seg.push(t);
+            }
+            self.bump();
+        }
+        if let Some(p) = param_from(&seg) {
+            params.push(p);
+        }
+        params
+    }
+
+    /// `impl <generics>? Path (for Path)? where...? { ... }`
+    fn parse_impl(&mut self, outer: &Scope) {
+        self.bump(); // `impl`
+        let mut generics = outer.generics.clone();
+        if self.peek().map(|t| t.is_punct("<")).unwrap_or(false) {
+            generics = self.parse_generics();
+        }
+        // First path; if a top-level `for` follows, the second path is
+        // the self type.
+        let first = self.collect_type_path();
+        let self_path = if self.peek().map(|t| t.is_ident("for")).unwrap_or(false) {
+            self.bump();
+            self.collect_type_path()
+        } else {
+            first
+        };
+        while let Some(t) = self.peek() {
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            self.bump();
+        }
+        let scope = Scope {
+            self_type: last_path_ident(&self_path),
+            generics,
+        };
+        if self.peek().map(|t| t.is_punct("{")).unwrap_or(false) {
+            self.bump();
+            self.parse_items(&scope, Some(()));
+            self.bump();
+        }
+    }
+
+    /// A type path: tokens until a top-level `for`, `where`, `{`, or `;`.
+    fn collect_type_path(&mut self) -> Vec<&'a Token> {
+        let mut out = Vec::new();
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            if angle <= 0
+                && (t.is_ident("for") || t.is_ident("where") || t.is_punct("{") || t.is_punct(";"))
+            {
+                break;
+            }
+            match t.text.as_str() {
+                "<" if t.kind == TokKind::Punct => angle += 1,
+                ">" if t.kind == TokKind::Punct => angle -= 1,
+                _ => {}
+            }
+            out.push(t);
+            self.bump();
+        }
+        out
+    }
+
+    /// `trait Name <generics>? (: bounds)? { ... }`
+    fn parse_trait(&mut self, outer: &Scope) {
+        self.bump(); // `trait`
+        let Some(name_tok) = self.peek() else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        self.bump();
+        let mut generics = outer.generics.clone();
+        if self.peek().map(|t| t.is_punct("<")).unwrap_or(false) {
+            generics = self.parse_generics();
+        }
+        while let Some(t) = self.peek() {
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            self.bump();
+        }
+        let scope = Scope {
+            self_type: Some(name),
+            generics,
+        };
+        if self.peek().map(|t| t.is_punct("{")).unwrap_or(false) {
+            self.bump();
+            self.parse_items(&scope, Some(()));
+            self.bump();
+        }
+    }
+
+    /// `struct/enum/union Name <generics>? ( {fields} | (tuple); | ; )`
+    fn parse_type_item(&mut self) {
+        let kind = match self.peek().map(|t| t.text.as_str()) {
+            Some("enum") => TypeKind::Enum,
+            _ => TypeKind::Struct,
+        };
+        self.bump(); // keyword
+        let Some(name_tok) = self.peek() else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        self.bump();
+        if self.peek().map(|t| t.is_punct("<")).unwrap_or(false) {
+            self.parse_generics();
+        }
+        // Skip where clauses up to the definition itself.
+        while let Some(t) = self.peek() {
+            if t.is_punct("{") || t.is_punct("(") || t.is_punct(";") {
+                break;
+            }
+            self.bump();
+        }
+        let def = match self.peek() {
+            Some(t) if t.is_punct("{") => {
+                let start = self.i;
+                self.skip_balanced("{", "}");
+                (start, self.i)
+            }
+            Some(t) if t.is_punct("(") => {
+                let start = self.i;
+                self.skip_balanced("(", ")");
+                if self.peek().map(|t| t.is_punct(";")).unwrap_or(false) {
+                    self.bump();
+                }
+                (start, self.i)
+            }
+            _ => {
+                if self.peek().map(|t| t.is_punct(";")).unwrap_or(false) {
+                    self.bump();
+                }
+                (self.i, self.i)
+            }
+        };
+        self.index.types.push(TypeItem {
+            name,
+            crate_name: self.crate_name.to_string(),
+            file: self.path.to_string(),
+            line,
+            def,
+            kind,
+            in_test: self.in_test_at(line),
+        });
+    }
+
+    /// `mod name { ... }` or `mod name;` — a fresh item scope.
+    fn parse_mod(&mut self, _outer: &Scope) {
+        self.bump(); // `mod`
+        if self
+            .peek()
+            .map(|t| t.kind == TokKind::Ident)
+            .unwrap_or(false)
+        {
+            self.bump(); // name
+        }
+        match self.peek() {
+            Some(t) if t.is_punct("{") => {
+                self.bump();
+                let scope = Scope::default();
+                self.parse_items(&scope, Some(()));
+                self.bump();
+            }
+            Some(t) if t.is_punct(";") => {
+                self.bump();
+            }
+            _ => {}
+        }
+    }
+
+    /// Consumes a balanced `open ... close` region (no item parsing).
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+}
+
+/// Interprets one comma segment of a parameter list.
+fn param_from(seg: &[&Token]) -> Option<Param> {
+    if seg.is_empty() {
+        return None;
+    }
+    // Receiver forms: `self`, `&self`, `&'a self`, `mut self`, `&mut self`.
+    let head: Vec<&str> = seg.iter().take(4).map(|t| t.text.as_str()).collect();
+    if head.contains(&"self")
+        && !seg
+            .iter()
+            .take_while(|t| !t.is_ident("self"))
+            .any(|t| t.is_punct(":"))
+    {
+        return Some(Param {
+            name: "self".to_string(),
+            ty: vec!["Self".to_string()],
+        });
+    }
+    // `name: Type` — name is the last ident before the first top-level `:`.
+    let colon = seg.iter().position(|t| t.is_punct(":"))?;
+    let name = seg[..colon]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .unwrap_or_else(|| "_".to_string());
+    let ty = seg[colon + 1..].iter().map(|t| t.text.clone()).collect();
+    Some(Param { name, ty })
+}
+
+/// Last identifier at angle-depth 0 before any `<` — the bare type name
+/// of a possibly-generic, possibly-qualified path.
+fn last_path_ident(path: &[&Token]) -> Option<String> {
+    let mut last = None;
+    for t in path {
+        if t.is_punct("<") {
+            break;
+        }
+        if t.kind == TokKind::Ident && t.text != "dyn" && t.text != "mut" {
+            last = Some(t.text.clone());
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scanner::scan;
+    use super::super::tokens::tokenize;
+    use super::*;
+
+    fn index(src: &str) -> (ItemIndex, FileItems, Vec<Token>) {
+        let scanned = scan(src);
+        let toks = tokenize(&scanned);
+        let mut idx = ItemIndex::default();
+        let items = idx.add_file("gk", "src/lib.rs", &toks, &scanned, false);
+        (idx, items, toks)
+    }
+
+    #[test]
+    fn free_fn_with_params_and_ret() {
+        let (idx, _, _) = index("fn add(a: u64, b: u64) -> u64 { a }\n");
+        assert_eq!(idx.fns.len(), 1);
+        let f = &idx.fns[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.qual, "gk/add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "a");
+        assert_eq!(f.params[1].ty, vec!["u64"]);
+        assert_eq!(f.ret, vec!["u64"]);
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_carry_self_type_and_generics() {
+        let src = "struct Gk<T> { xs: Vec<T> }\n\
+                   impl<T: Ord + Clone> Gk<T> {\n\
+                       pub fn insert(&mut self, x: T) { self.xs.push(x); }\n\
+                       fn helper(v: &T) -> bool { true }\n\
+                   }\n";
+        let (idx, _, _) = index(src);
+        assert_eq!(idx.types.len(), 1);
+        assert_eq!(idx.types[0].name, "Gk");
+        assert_eq!(idx.fns.len(), 2);
+        let ins = &idx.fns[0];
+        assert_eq!(ins.qual, "gk/Gk::insert");
+        assert!(ins.is_method);
+        assert_eq!(ins.self_type.as_deref(), Some("Gk"));
+        assert_eq!(ins.generics, vec!["T"]);
+        assert_eq!(ins.params[1].name, "x");
+        assert_eq!(ins.params[1].ty, vec!["T"]);
+        let helper = &idx.fns[1];
+        assert!(!helper.is_method);
+        assert_eq!(helper.generics, vec!["T"]);
+    }
+
+    #[test]
+    fn trait_impl_self_type_is_the_for_path() {
+        let src = "impl<T: Ord> Summary<T> for Gk<T> {\n    fn insert(&mut self, x: T) {}\n}\n";
+        let (idx, _, _) = index(src);
+        assert_eq!(idx.fns[0].self_type.as_deref(), Some("Gk"));
+    }
+
+    #[test]
+    fn trait_decls_have_no_body() {
+        let src = "trait Summary<T> {\n    fn insert(&mut self, x: T);\n    fn len(&self) -> usize { 0 }\n}\n";
+        let (idx, _, _) = index(src);
+        assert_eq!(idx.fns.len(), 2);
+        assert!(idx.fns[0].body.is_none());
+        assert!(idx.fns[1].body.is_some());
+        assert_eq!(idx.fns[0].self_type.as_deref(), Some("Summary"));
+        assert_eq!(idx.fns[0].generics, vec!["T"]);
+    }
+
+    #[test]
+    fn nested_fns_own_their_tokens() {
+        let src = "fn outer() {\n    inner_call();\n    fn inner() { deep_call(); }\n    tail_call();\n}\n";
+        let (idx, items, toks) = index(src);
+        assert_eq!(idx.fns.len(), 2);
+        let outer = idx.fns.iter().position(|f| f.name == "outer").unwrap();
+        let inner = idx.fns.iter().position(|f| f.name == "inner").unwrap();
+        let owner_of = |name: &str| {
+            let at = toks.iter().position(|t| t.is_ident(name)).unwrap();
+            items.owner[at]
+        };
+        assert_eq!(owner_of("inner_call"), Some(outer));
+        assert_eq!(owner_of("deep_call"), Some(inner));
+        assert_eq!(owner_of("tail_call"), Some(outer));
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let (idx, _, _) = index(src);
+        assert!(!idx.fns[0].in_test);
+        assert!(idx.fns[1].in_test);
+    }
+
+    #[test]
+    fn enums_and_tuple_structs_are_indexed() {
+        let src = "pub enum Verdict { Ok, Bad(String) }\npub struct Wrap(u64);\n";
+        let (idx, _, _) = index(src);
+        assert_eq!(idx.types.len(), 2);
+        assert_eq!(idx.types[0].kind, TypeKind::Enum);
+        assert_eq!(idx.types[1].name, "Wrap");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real() { let f: fn(u32) -> u32 = helper; f(1); }\n";
+        let (idx, _, _) = index(src);
+        assert_eq!(idx.fns.len(), 1);
+        assert_eq!(idx.fns[0].name, "real");
+    }
+
+    #[test]
+    fn where_clauses_and_const_generics() {
+        let src = "fn f<T, const N: usize>(x: T) -> bool where T: Ord { true }\n";
+        let (idx, _, _) = index(src);
+        let f = &idx.fns[0];
+        assert_eq!(f.generics, vec!["T"]);
+        assert_eq!(f.params.len(), 1);
+        assert!(f.body.is_some());
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministic, std-only JSON rendering of a lint report.
+//!
+//! Hand-rolled on purpose: the workspace takes no dependencies, and the
+//! output must be *byte-stable* — same findings in, same bytes out — so
+//! the committed baseline and the golden-file test can diff it. Keys are
+//! emitted in a fixed order and collections are pre-sorted by the
+//! engine; nothing here consults a clock, a map with randomized
+//! iteration order, or the environment.
+
+use std::fmt::Write as _;
+
+use super::analysis::{CertStatus, ModelCertificate};
+use super::{Diagnostic, LintReport, Severity};
+
+/// Escapes a string per JSON (RFC 8259).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+fn diag_json(d: &Diagnostic, indent: &str) -> String {
+    format!(
+        "{indent}{{\n{indent}  \"rule\": \"{}\",\n{indent}  \"severity\": \"{}\",\n\
+         {indent}  \"file\": \"{}\",\n{indent}  \"line\": {},\n\
+         {indent}  \"message\": \"{}\",\n{indent}  \"baselined\": {}\n{indent}}}",
+        escape(d.rule),
+        severity_str(d.severity),
+        escape(&d.file),
+        d.line,
+        escape(&d.message),
+        d.baselined
+    )
+}
+
+fn cert_json(c: &ModelCertificate, indent: &str) -> String {
+    let status = match c.status {
+        CertStatus::Certified => "certified",
+        CertStatus::Refused => "refused",
+    };
+    let reasons = if c.reasons.is_empty() {
+        "[]".to_string()
+    } else {
+        let items: Vec<String> = c
+            .reasons
+            .iter()
+            .map(|r| format!("{indent}    \"{}\"", escape(r)))
+            .collect();
+        format!("[\n{}\n{indent}  ]", items.join(",\n"))
+    };
+    format!(
+        "{indent}{{\n{indent}  \"crate\": \"cqs-{}\",\n{indent}  \"status\": \"{status}\",\n\
+         {indent}  \"fns_analyzed\": {},\n{indent}  \"assumptions\": {},\n\
+         {indent}  \"reasons\": {reasons}\n{indent}}}",
+        escape(&c.crate_name),
+        c.fns_analyzed,
+        c.assumptions
+    )
+}
+
+/// Renders the full report as pretty-printed JSON (trailing newline).
+pub fn render(report: &LintReport) -> String {
+    let diags: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| diag_json(d, "    "))
+        .collect();
+    let certs: Vec<String> = report
+        .certificates
+        .iter()
+        .map(|c| cert_json(c, "    "))
+        .collect();
+    let errors = report.errors().count();
+    let warnings = report.warnings().count();
+    let baselined = report.diagnostics.iter().filter(|d| d.baselined).count();
+    let wrap = |items: Vec<String>| {
+        if items.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{}\n  ]", items.join(",\n"))
+        }
+    };
+    format!(
+        "{{\n  \"version\": 1,\n  \"files_scanned\": {},\n  \"fns_indexed\": {},\n  \
+         \"unresolved_calls\": {},\n  \"summary\": {{\n    \"errors\": {errors},\n    \
+         \"warnings\": {warnings},\n    \"baselined\": {baselined}\n  }},\n  \
+         \"diagnostics\": {},\n  \"certificates\": {}\n}}\n",
+        report.files_scanned,
+        report.fns_indexed,
+        report.unresolved_calls,
+        wrap(diags),
+        wrap(certs)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = LintReport::default();
+        let json = render(&report);
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"diagnostics\": []"));
+        assert!(json.ends_with("}\n"));
+    }
+}

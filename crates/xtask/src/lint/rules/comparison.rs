@@ -93,7 +93,7 @@ pub fn rules() -> Vec<&'static Rule> {
 
 fn check_item_arithmetic(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     for line in &ctx.file.lines {
-        if line.in_test || ctx.test_file || ctx.file.suppressed(line, ITEM_ARITHMETIC.id) {
+        if line.in_test || ctx.test_file {
             continue;
         }
         // Bounds appear in generics and where-clauses; an `impl Add for`
@@ -118,7 +118,7 @@ fn check_item_arithmetic(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
 
 fn check_item_bits(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     for line in &ctx.file.lines {
-        if line.in_test || ctx.test_file || ctx.file.suppressed(line, ITEM_BITS.id) {
+        if line.in_test || ctx.test_file {
             continue;
         }
         for m in BIT_METHODS {
@@ -140,9 +140,6 @@ fn check_item_bits(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
 
 fn check_transmute(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     for line in &ctx.file.lines {
-        if ctx.file.suppressed(line, TRANSMUTE.id) {
-            continue;
-        }
         if contains_word(&line.code, "transmute") {
             ctx.emit(
                 out,
@@ -156,7 +153,7 @@ fn check_transmute(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
 
 fn check_item_mint(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     for line in &ctx.file.lines {
-        if line.in_test || ctx.test_file || ctx.file.suppressed(line, ITEM_MINT.id) {
+        if line.in_test || ctx.test_file {
             continue;
         }
         for f in MINT_FNS {

@@ -67,7 +67,7 @@ fn check_words(
     out: &mut Vec<Diagnostic>,
 ) {
     for line in &ctx.file.lines {
-        if line.in_test || ctx.test_file || ctx.file.suppressed(line, rule.id) {
+        if line.in_test || ctx.test_file {
             continue;
         }
         for w in words {

@@ -46,7 +46,9 @@ pub struct RuleCtx<'a> {
 }
 
 impl RuleCtx<'_> {
-    /// Helper: push a diagnostic unless suppressed.
+    /// Helper: push a diagnostic. Suppression is *not* checked here —
+    /// the engine filters findings against `cqs-lint: allow` directives
+    /// centrally, so it can also report unused directives.
     pub fn emit(&self, out: &mut Vec<Diagnostic>, rule: &Rule, line: usize, message: String) {
         out.push(Diagnostic {
             file: self.path.to_string(),
@@ -54,8 +56,75 @@ impl RuleCtx<'_> {
             rule: rule.id,
             severity: rule.severity,
             message,
+            baselined: false,
         });
     }
+}
+
+/// Metadata for a diagnostic id that is produced by the whole-workspace
+/// analyses (or the engine itself) rather than a per-file [`Rule`]. The
+/// CLI's `rules` subcommand prints these alongside the lexical registry
+/// so every id that can appear in a report is documented in one place.
+pub struct RuleMeta {
+    /// Stable kebab-case identifier.
+    pub id: &'static str,
+    /// Diagnostic severity.
+    pub severity: Severity,
+    /// One-line description.
+    pub rationale: &'static str,
+}
+
+/// Ids emitted by the call-graph analyses and the engine.
+pub fn analysis_rules() -> &'static [RuleMeta] {
+    const METAS: &[RuleMeta] = &[
+        RuleMeta {
+            id: "model-purity",
+            severity: Severity::Error,
+            rationale: "taint analysis over the call graph: item values in a summary crate \
+                        may flow only into Ord/Eq/Clone operations (Definition 2.1); any \
+                        arithmetic/bit sink refuses the crate's ModelCertificate",
+        },
+        RuleMeta {
+            id: "driver-no-panic",
+            severity: Severity::Error,
+            rationale: "panic reachability from the try_* driver entry points: every helper \
+                        the guarded driver can reach must return typed AdversaryError values, \
+                        never unwind",
+        },
+        RuleMeta {
+            id: "hot-path-panic",
+            severity: Severity::Error,
+            rationale: "panic reachability from the summary hot paths (insert/query/merge): \
+                        unwrap/expect/panic! anywhere the hot path can reach fails under \
+                        adversarial input",
+        },
+        RuleMeta {
+            id: "reachable-indexing",
+            severity: Severity::Warning,
+            rationale: "slice/map indexing reachable from a hot path or the driver panics \
+                        out-of-bounds; reviewed sites are ratcheted via lint-baseline.json",
+        },
+        RuleMeta {
+            id: "sharding-send-sync",
+            severity: Severity::Error,
+            rationale: "types that ride the cqs-bench parallel sweep pool are derived from \
+                        the call graph (spawn sites and their callers); each must keep a \
+                        compile-time assert_send audit line in its defining crate",
+        },
+        RuleMeta {
+            id: "unused-allow",
+            severity: Severity::Warning,
+            rationale: "a cqs-lint: allow(...) directive that matches no finding is dead \
+                        weight and hides future regressions at that site",
+        },
+        RuleMeta {
+            id: "stale-baseline",
+            severity: Severity::Warning,
+            rationale: "a lint-baseline.json entry that no longer fires should be removed \
+                        (refresh with --update-baseline) so the baseline only shrinks",
+        },
+    ];
+    METAS
 }
 
 /// The full registry, in reporting order.
@@ -92,6 +161,17 @@ mod tests {
                 r.id
             );
         }
-        assert!(rules.len() >= 10, "expected the full registry");
+        for m in analysis_rules() {
+            assert!(seen.insert(m.id), "duplicate rule id {}", m.id);
+            assert!(
+                m.id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "rule id {} is not kebab-case",
+                m.id
+            );
+        }
+        assert!(
+            rules.len() + analysis_rules().len() >= 15,
+            "expected the full registry"
+        );
     }
 }

@@ -1,27 +1,22 @@
-//! Robustness rules.
+//! Robustness rules (the lexical remainder).
 //!
 //! The adversary exists to feed summaries their worst case; a summary
 //! that panics mid-attack has not "used little space", it has failed.
-//! These rules require memory safety to be declared at the crate root,
-//! keep panicking constructs off the summary hot paths, forbid raw
-//! float equality (`OrdF64` in cqs-streams exists precisely so ordering
-//! and equality agree via `total_cmp`), and warn when a hot path heap-
-//! allocates per call — the batched insert APIs and reusable scratch
-//! buffers exist so that it never has to.
+//! The panic rules themselves (`driver-no-panic`, `hot-path-panic`) and
+//! the shared-state audit (`sharding-send-sync`) moved to the
+//! call-graph [`analysis`](super::super::analysis) passes — name lists
+//! could not see helpers, and the hand-maintained type table could not
+//! see new pool call sites. What remains lexical here: memory safety
+//! must be declared at the crate root, raw float equality is forbidden
+//! (`OrdF64` in cqs-streams exists precisely so ordering and equality
+//! agree via `total_cmp`), and hot paths should not heap-allocate per
+//! call — the batched insert APIs and reusable scratch buffers exist so
+//! that they never have to.
 
-use super::super::config::{Role, DRIVER_PATH_FNS, HOT_PATH_FNS, SEND_AUDITED_TYPES};
+use super::super::config::{Role, HOT_PATH_FNS};
 use super::super::scanner::contains_word;
 use super::{Rule, RuleCtx};
 use crate::lint::{Diagnostic, Severity};
-
-const PANIC_WORDS: &[&str] = &[
-    "unwrap",
-    "expect",
-    "panic",
-    "unreachable",
-    "todo",
-    "unimplemented",
-];
 
 static FORBID_UNSAFE: Rule = Rule {
     id: "forbid-unsafe",
@@ -41,42 +36,13 @@ static MISSING_DOCS_ATTR: Rule = Rule {
     check: check_missing_docs_attr,
 };
 
-static HOT_PATH_PANIC: Rule = Rule {
-    id: "hot-path-panic",
-    severity: Severity::Error,
-    rationale: "insert/query paths must not panic under adversarial input; return a value or \
-                restructure (documented allowlist via cqs-lint: allow)",
-    applies: Role::comparison_rules,
-    check: check_hot_path_panic,
-};
-
-static DRIVER_NO_PANIC: Rule = Rule {
-    id: "driver-no-panic",
-    severity: Severity::Error,
-    rationale: "the guarded adversary driver (try_run and friends) promises typed \
-                AdversaryError results; a panicking construct in its body would escape \
-                try_run_adversary as a raw unwind",
-    applies: Role::driver_rules,
-    check: check_driver_no_panic,
-};
-
 static HOT_PATH_ALLOC: Rule = Rule {
     id: "hot-path-alloc",
     severity: Severity::Warning,
     rationale: "insert/query hot paths should not heap-allocate per call (to_vec, format!, \
                 wholesale container clones); use insert_sorted_run batching and scratch buffers",
-    applies: Role::comparison_rules,
+    applies: Role::hot_path_rules,
     check: check_hot_path_alloc,
-};
-
-static SHARDING_SEND_SYNC: Rule = Rule {
-    id: "sharding-send-sync",
-    severity: Severity::Error,
-    rationale: "crates whose types ride the cqs-bench parallel sweep pool must keep the \
-                compile-time assert_send audit in src/lib.rs (SEND_AUDITED_TYPES in config.rs); \
-                deleting a line there would let a !Send regression compile until the pool breaks",
-    applies: |_| true,
-    check: check_sharding_send_sync,
 };
 
 static FLOAT_EQ: Rule = Rule {
@@ -93,16 +59,13 @@ pub fn rules() -> Vec<&'static Rule> {
     vec![
         &FORBID_UNSAFE,
         &MISSING_DOCS_ATTR,
-        &HOT_PATH_PANIC,
-        &DRIVER_NO_PANIC,
         &HOT_PATH_ALLOC,
-        &SHARDING_SEND_SYNC,
         &FLOAT_EQ,
     ]
 }
 
 fn check_forbid_unsafe(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if !ctx.is_lib_root || ctx.file.file_allows.contains(FORBID_UNSAFE.id) {
+    if !ctx.is_lib_root {
         return;
     }
     let found = ctx
@@ -121,7 +84,7 @@ fn check_forbid_unsafe(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
 }
 
 fn check_missing_docs_attr(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if !ctx.is_lib_root || ctx.file.file_allows.contains(MISSING_DOCS_ATTR.id) {
+    if !ctx.is_lib_root {
         return;
     }
     let found = ctx.file.lines.iter().any(|l| {
@@ -137,99 +100,9 @@ fn check_missing_docs_attr(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_hot_path_panic(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
-    scan_panic_words(
-        ctx,
-        out,
-        &HOT_PATH_PANIC,
-        HOT_PATH_FNS,
-        "summary hot paths must not panic on adversarial input",
-    );
-}
-
-fn check_driver_no_panic(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
-    scan_panic_words(
-        ctx,
-        out,
-        &DRIVER_NO_PANIC,
-        DRIVER_PATH_FNS,
-        "the guarded driver must return typed AdversaryError values, never unwind",
-    );
-}
-
-/// Shared scan: flags any [`PANIC_WORDS`] occurrence on lines whose
-/// enclosing-function stack touches one of `watched_fns`.
-/// debug_assert*/assert* are fine (the former vanishes in release, the
-/// latter states invariants); word-boundary matching already keeps
-/// `unwrap_or*` and `#[should_panic]` out.
-fn scan_panic_words(
-    ctx: &RuleCtx<'_>,
-    out: &mut Vec<Diagnostic>,
-    rule: &'static Rule,
-    watched_fns: &[&str],
-    why: &str,
-) {
-    for line in &ctx.file.lines {
-        if line.in_test || ctx.test_file || ctx.file.suppressed(line, rule.id) {
-            continue;
-        }
-        if !line.fns.iter().any(|f| watched_fns.contains(&f.as_str())) {
-            continue;
-        }
-        for w in PANIC_WORDS {
-            if contains_word(&line.code, w) {
-                ctx.emit(
-                    out,
-                    rule,
-                    line.number,
-                    format!(
-                        "`{w}` inside `{}` — {why}",
-                        line.fns.last().map(String::as_str).unwrap_or("?")
-                    ),
-                );
-                break;
-            }
-        }
-    }
-}
-
-/// An audited crate's root must carry one `assert_send` line per marker
-/// in its [`SEND_AUDITED_TYPES`] entry. Substring matching on the audit
-/// lines is enough: the audit function itself only compiles if the
-/// bound holds, so the rule's job is just to keep those lines present.
-fn check_sharding_send_sync(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if !ctx.is_lib_root || ctx.file.file_allows.contains(SHARDING_SEND_SYNC.id) {
-        return;
-    }
-    let Some((_, markers)) = SEND_AUDITED_TYPES
-        .iter()
-        .find(|(name, _)| *name == ctx.crate_name)
-    else {
-        return;
-    };
-    for marker in *markers {
-        let audited = ctx
-            .file
-            .lines
-            .iter()
-            .any(|l| l.code.contains("assert_send") && l.code.contains(marker));
-        if !audited {
-            ctx.emit(
-                out,
-                &SHARDING_SEND_SYNC,
-                1,
-                format!(
-                    "crate root lacks an `assert_send` audit line for `{marker}` — the \
-                     parallel sweep pool moves this type across worker threads"
-                ),
-            );
-        }
-    }
-}
-
 fn check_hot_path_alloc(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     for line in &ctx.file.lines {
-        if line.in_test || ctx.test_file || ctx.file.suppressed(line, HOT_PATH_ALLOC.id) {
+        if line.in_test || ctx.test_file {
             continue;
         }
         if !line.fns.iter().any(|f| HOT_PATH_FNS.contains(&f.as_str())) {
@@ -308,7 +181,7 @@ fn container_field_clone(code: &str) -> Option<&str> {
 
 fn check_float_eq(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
     for line in &ctx.file.lines {
-        if line.in_test || ctx.test_file || ctx.file.suppressed(line, FLOAT_EQ.id) {
+        if line.in_test || ctx.test_file {
             continue;
         }
         let nan_like = (contains_word(&line.code, "NAN") || contains_word(&line.code, "INFINITY"))

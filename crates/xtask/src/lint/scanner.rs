@@ -52,6 +52,9 @@ pub struct ScannedFile {
     /// Rules suppressed for the entire file via
     /// `// cqs-lint: allow-file(...)`.
     pub file_allows: BTreeSet<String>,
+    /// Where each `allow-file(...)` directive sits: (1-based line, rule).
+    /// The engine uses these to report unused file-level suppressions.
+    pub file_allow_sites: Vec<(usize, String)>,
 }
 
 impl ScannedFile {
@@ -268,6 +271,7 @@ fn is_char_literal(chars: &[char], i: usize) -> bool {
 /// Pass 2: suppressions, test regions, fn stack, brace depth.
 fn annotate(code_lines: Vec<String>, comment_lines: Vec<String>) -> ScannedFile {
     let mut file_allows = BTreeSet::new();
+    let mut file_allow_sites: Vec<(usize, String)> = Vec::new();
     let mut pending_allows: Vec<String> = Vec::new();
     let mut lines = Vec::with_capacity(code_lines.len());
 
@@ -282,7 +286,10 @@ fn annotate(code_lines: Vec<String>, comment_lines: Vec<String>) -> ScannedFile 
     for (idx, (code, comment)) in code_lines.iter().zip(comment_lines.iter()).enumerate() {
         let mut allows: Vec<String> = std::mem::take(&mut pending_allows);
         let (line_allows, file_only) = parse_directives(comment);
-        file_allows.extend(file_only);
+        for rule in file_only {
+            file_allow_sites.push((idx + 1, rule.clone()));
+            file_allows.insert(rule);
+        }
         let has_code = !code.trim().is_empty();
         if has_code {
             allows.extend(line_allows);
@@ -349,7 +356,11 @@ fn annotate(code_lines: Vec<String>, comment_lines: Vec<String>) -> ScannedFile 
         }
     }
 
-    ScannedFile { lines, file_allows }
+    ScannedFile {
+        lines,
+        file_allows,
+        file_allow_sites,
+    }
 }
 
 /// Extracts `allow(...)` and `allow-file(...)` rule lists from a line
@@ -377,7 +388,13 @@ fn parse_directives(comment: &str) -> (Vec<String>, Vec<String>) {
             if let Some(end) = after.find(')') {
                 for rule in after[..end].split(',') {
                     let rule = rule.trim();
-                    if !rule.is_empty() {
+                    // Only kebab-case rule names count as directives;
+                    // prose like `allow(...)` in a doc comment does not.
+                    if rule.starts_with(|c: char| c.is_ascii_lowercase())
+                        && rule
+                            .chars()
+                            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                    {
                         sink.push(rule.to_string());
                     }
                 }
@@ -534,6 +551,39 @@ mod tests {
             "trait T {\n    fn decl(&self);\n    fn has_default(&self) {\n        ();\n    }\n}\n";
         let f = scan(src);
         assert_eq!(f.lines[3].fns, vec!["has_default".to_string()]);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_containing_quote_hash() {
+        // `"#` inside an `r##"..."##` body must not close the literal.
+        let f = scan("let x = r##\"has \"# inside unsafe \"##; let y = 2;\n");
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn multiline_string_spanning_cfg_test_boundary() {
+        // A string literal that *contains* `#[cfg(test)]` across lines
+        // must not open a test region: the attribute text is data.
+        let src = "let s = \"first line\n#[cfg(test)]\nmod tests {\";\nfn real() { let a = 1; }\n";
+        let f = scan(src);
+        assert!(!f.lines[1].code.contains("cfg"));
+        assert!(!f.lines[3].in_test, "string contents opened a test region");
+        assert!(f.lines[3].code.contains("let a = 1;"));
+    }
+
+    #[test]
+    fn multiline_string_blanks_interior_code_words() {
+        let src = "let s = \"\n    x.unwrap()\n\";\nlet t = 0;\n";
+        let f = scan(src);
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[3].code.contains("let t = 0;"));
+    }
+
+    #[test]
+    fn file_allow_sites_record_directive_lines() {
+        let f = scan("fn a() {}\n// cqs-lint: allow-file(float-eq)\nfn b() {}\n");
+        assert_eq!(f.file_allow_sites, vec![(2, "float-eq".to_string())]);
     }
 
     #[test]

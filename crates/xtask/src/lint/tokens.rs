@@ -1,0 +1,224 @@
+//! Token stream over scanner-cleaned source.
+//!
+//! The [`scanner`](super::scanner) already blanks comments and literal
+//! *contents* (so nothing inside a string can ever look like code); this
+//! module turns the cleaned lines into a flat token stream the item
+//! indexer and call-graph builder consume. Tokens carry their 1-based
+//! source line so every downstream diagnostic can point at real code.
+//!
+//! The stream is deliberately coarse: identifiers, numbers, lifetimes,
+//! and punctuation. String/char literal *quotes* are dropped entirely
+//! (their contents are already spaces), and only the three punctuation
+//! pairs that change parsing decisions (`::`, `->`, `=>`) are fused
+//! into single tokens — `<`/`>` stay single characters so generic-depth
+//! tracking in [`items`](super::items) can balance them.
+
+use super::scanner::ScannedFile;
+
+/// What kind of lexeme a token is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `insert`, `T`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — kept distinct so it never looks
+    /// like an identifier in type position.
+    Lifetime,
+    /// Numeric literal (`1`, `0.5`, `0xFF`, `1u64`).
+    Number,
+    /// Punctuation: single characters plus the fused `::`, `->`, `=>`.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The token text, exactly as it appears in the cleaned source.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Tokenizes a scanned file into a flat stream.
+pub fn tokenize(file: &ScannedFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for line in &file.lines {
+        let bytes = line.code.as_bytes();
+        let n = bytes.len();
+        let mut i = 0;
+        while i < n {
+            let c = bytes[i];
+            if c.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == b'_' {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokKind::Ident,
+                    text: line.code[start..i].to_string(),
+                    line: line.number,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                i += 1;
+                while i < n {
+                    let b = bytes[i];
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        i += 1;
+                    } else if b == b'.' {
+                        // `1..n` is a range, not a float continuation.
+                        if bytes.get(i + 1) == Some(&b'.') {
+                            break;
+                        }
+                        // `1.max(2)`: a method call on an integer, not a
+                        // float — only digits may follow the dot.
+                        match bytes.get(i + 1) {
+                            Some(d) if d.is_ascii_digit() => i += 1,
+                            _ => break,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokKind::Number,
+                    text: line.code[start..i].to_string(),
+                    line: line.number,
+                });
+                continue;
+            }
+            if c == b'\'' {
+                // Lifetime if an identifier follows directly; otherwise a
+                // (blanked) char-literal quote — drop it.
+                if i + 1 < n && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_') {
+                    let start = i;
+                    i += 1;
+                    while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    out.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: line.code[start..i].to_string(),
+                        line: line.number,
+                    });
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if c == b'"' {
+                // Blanked string quote: contents are already spaces, so
+                // the quote itself carries no information.
+                i += 1;
+                continue;
+            }
+            // Fused two-character puncts that change parsing decisions.
+            let two = if i + 1 < n { &line.code[i..i + 2] } else { "" };
+            if two == "::" || two == "->" || two == "=>" {
+                out.push(Token {
+                    kind: TokKind::Punct,
+                    text: two.to_string(),
+                    line: line.number,
+                });
+                i += 2;
+                continue;
+            }
+            out.push(Token {
+                kind: TokKind::Punct,
+                text: line.code[i..i + 1].to_string(),
+                line: line.number,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scanner::scan;
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(&scan(src))
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let t = toks("fn f(x: u64) -> u64 { x + 1 }\n");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["fn", "f", "(", "x", ":", "u64", ")", "->", "u64", "{", "x", "+", "1", "}"]
+        );
+        assert_eq!(t[8].kind, TokKind::Ident);
+        assert_eq!(t[7].kind, TokKind::Punct);
+    }
+
+    #[test]
+    fn string_and_comment_contents_vanish() {
+        let t = toks("call(\"unwrap()\"); // unwrap()\n");
+        assert!(!t.iter().any(|t| t.text == "unwrap"));
+        assert!(t.iter().any(|t| t.is_ident("call")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_idents() {
+        let t = toks("fn f<'a>(x: &'a str) {}\n");
+        let lt: Vec<&Token> = t.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lt.len(), 2);
+        assert_eq!(lt[0].text, "'a");
+    }
+
+    #[test]
+    fn char_literal_quotes_are_dropped() {
+        let t = toks("let c = 'x'; let d = '\\n';\n");
+        assert!(!t.iter().any(|t| t.text.contains('\'')));
+    }
+
+    #[test]
+    fn path_and_arrow_are_fused() {
+        let t = toks("a::b(x) -> c => d\n");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"::"));
+        assert!(texts.contains(&"->"));
+        assert!(texts.contains(&"=>"));
+    }
+
+    #[test]
+    fn ranges_and_method_calls_on_numbers() {
+        let t = toks("for i in 1..n { x.max(2.5); 1.max(2) }\n");
+        assert!(t.iter().any(|t| t.kind == TokKind::Number && t.text == "1"));
+        assert!(t
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "2.5"));
+        assert!(t.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let t = toks("a\nb\nc\n");
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+        assert_eq!(t[2].line, 3);
+    }
+}

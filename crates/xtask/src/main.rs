@@ -3,14 +3,16 @@
 //! CLI for the model-conformance lint engine.
 //!
 //! ```text
-//! cargo run -p cqs-xtask -- lint [--root PATH]   # exit 1 on any error
-//! cargo run -p cqs-xtask -- rules                # list rules + rationale
+//! cargo run -p cqs-xtask -- lint [--root PATH] [--json]   # exit 1 on any error
+//! cargo run -p cqs-xtask -- lint --update-baseline        # accept current findings
+//! cargo run -p cqs-xtask -- rules                         # list rules + rationale
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cqs_xtask::lint::rules::all_rules;
+use cqs_xtask::lint::rules::{all_rules, analysis_rules};
+use cqs_xtask::lint::{baseline, json};
 use cqs_xtask::run_workspace;
 
 fn main() -> ExitCode {
@@ -18,20 +20,39 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("rules") => {
+            println!("# per-file lexical rules");
             for r in all_rules() {
-                println!("{:<18} {:<8} {}", r.id, severity_name(r), r.rationale);
+                println!(
+                    "{:<20} {:<8} {}",
+                    r.id,
+                    severity_name(r.severity),
+                    r.rationale
+                );
+            }
+            println!();
+            println!("# whole-workspace analyses (call graph)");
+            for m in analysis_rules() {
+                println!(
+                    "{:<20} {:<8} {}",
+                    m.id,
+                    severity_name(m.severity),
+                    m.rationale
+                );
             }
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: cargo run -p cqs-xtask -- <lint [--root PATH] | rules>");
+            eprintln!(
+                "usage: cargo run -p cqs-xtask -- \
+                 <lint [--root PATH] [--json] [--no-baseline] [--update-baseline] | rules>"
+            );
             ExitCode::from(2)
         }
     }
 }
 
-fn severity_name(r: &cqs_xtask::lint::rules::Rule) -> &'static str {
-    match r.severity {
+fn severity_name(s: cqs_xtask::Severity) -> &'static str {
+    match s {
         cqs_xtask::Severity::Error => "error",
         cqs_xtask::Severity::Warning => "warning",
     }
@@ -39,6 +60,9 @@ fn severity_name(r: &cqs_xtask::lint::rules::Rule) -> &'static str {
 
 fn lint(args: &[String]) -> ExitCode {
     let mut root = workspace_root();
+    let mut as_json = false;
+    let mut use_baseline = true;
+    let mut update_baseline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,25 +73,53 @@ fn lint(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => as_json = true,
+            "--no-baseline" => use_baseline = false,
+            "--update-baseline" => update_baseline = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::from(2);
             }
         }
     }
-    match run_workspace(&root) {
-        Ok(report) => {
-            print!("{}", report.render());
-            if report.is_clean() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+    let mut report = match run_workspace(&root) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("cqs-lint: io error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if update_baseline {
+        let path = root.join(baseline::BASELINE_FILE);
+        let text = baseline::render(&report);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cqs-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("cqs-lint: wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+    if use_baseline {
+        match baseline::Baseline::load(&root) {
+            Ok(Some(b)) => {
+                b.apply(&mut report);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("cqs-lint: bad baseline: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if as_json {
+        print!("{}", json::render(&report));
+    } else {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

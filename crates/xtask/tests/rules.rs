@@ -3,8 +3,9 @@
 //! `fixtures/` are scanned as text (never compiled) and are skipped by
 //! the workspace walker, so they can be as broken as they like.
 
-use cqs_xtask::lint::lint_source;
-use cqs_xtask::lint::rules::all_rules;
+use cqs_xtask::lint::analysis::FileInput;
+use cqs_xtask::lint::rules::{all_rules, analysis_rules};
+use cqs_xtask::lint::{lint_inputs, lint_source};
 use cqs_xtask::Severity;
 
 const BAD_COMPARISON: &str = include_str!("fixtures/bad_comparison.rs");
@@ -110,21 +111,24 @@ fn hot_alloc_does_not_apply_to_harness_crates() {
 }
 
 #[test]
-fn driver_fixture_fires_only_inside_try_fns() {
+fn driver_fixture_fires_on_everything_reachable_from_the_roots() {
     let diags = lint_source("core", "src/lib.rs", BAD_DRIVER);
     let hits: Vec<_> = diags
         .iter()
         .filter(|d| d.rule == "driver-no-panic")
         .collect();
-    // Exactly four: unwrap in try_run, unreachable! in try_adv, expect
-    // in final_rank_probe and in quantile_failure_witness. The legacy
-    // `run` and the helper keep their unwraps, and the quiet try_* fns
-    // stay quiet.
-    assert_eq!(hits.len(), 4, "{diags:?}");
+    // Exactly five: unwrap in try_run (a root), unreachable! in try_adv
+    // and expect in final_rank_probe (both reached from try_run), expect
+    // in audit_helper (a helper no name list mentions — only the call
+    // graph finds it, via try_adv -> try_leaf), and expect in
+    // quantile_failure_witness (a root). The legacy `run` and
+    // helper_may_unwrap keep their unwraps: no root reaches them.
+    assert_eq!(hits.len(), 5, "{diags:?}");
     assert!(hits.iter().all(|d| d.severity == Severity::Error));
     for f in [
         "try_run",
         "try_adv",
+        "audit_helper",
         "final_rank_probe",
         "quantile_failure_witness",
     ] {
@@ -133,6 +137,19 @@ fn driver_fixture_fires_only_inside_try_fns() {
             "no driver-no-panic hit inside {f}: {hits:?}"
         );
     }
+    // The call chain is spelled out in the message.
+    assert!(
+        hits.iter().any(|d| d
+            .message
+            .contains("try_run -> try_adv -> try_leaf -> audit_helper")),
+        "{hits:?}"
+    );
+    assert!(
+        !hits
+            .iter()
+            .any(|d| d.message.contains("`run`") || d.message.contains("`helper_may_unwrap`")),
+        "unreachable fns were flagged: {hits:?}"
+    );
 }
 
 #[test]
@@ -146,42 +163,62 @@ fn driver_rule_does_not_apply_outside_core() {
     }
 }
 
-#[test]
-fn sharding_send_sync_requires_the_audit_lines() {
-    let bare = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub struct Item;\n";
-    let diags = lint_source("universe", "src/lib.rs", bare);
-    assert!(
-        rules_fired(&diags).contains(&"sharding-send-sync"),
-        "{diags:?}"
+/// A minimal spawn site: `run_cells` hands `Cell` values to a worker
+/// pool, so `Cell` must carry an `assert_send` audit in its crate.
+fn pool_inputs(with_audit: bool) -> Vec<FileInput> {
+    let mut src = String::from(
+        "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n\
+         pub struct Cell {\n    pub id: u64,\n}\n\
+         pub fn run_cells(cells: Vec<Cell>) {\n    std::thread::scope(|s| {\n        \
+         for c in &cells {\n            s.spawn(|| run_one(c));\n        }\n    });\n}\n\
+         fn run_one(_c: &Cell) {}\n",
     );
-
-    let audited = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n\
-                   fn sharding_send_audit() {\n    fn assert_send<T: Send + Sync>() {}\n    \
-                   assert_send::<Item>();\n}\n";
-    let diags = lint_source("universe", "src/lib.rs", audited);
-    assert!(
-        !rules_fired(&diags).contains(&"sharding-send-sync"),
-        "{diags:?}"
-    );
+    if with_audit {
+        src.push_str(
+            "fn sharding_send_audit() {\n    fn assert_send<T: Send>() {}\n    \
+             assert_send::<Cell>();\n}\n",
+        );
+    }
+    vec![FileInput {
+        rel: "crates/bench/src/lib.rs".to_string(),
+        crate_name: "bench".to_string(),
+        role: cqs_xtask::lint::config::role_of("bench"),
+        test_file: false,
+        is_lib_root: true,
+        src,
+    }]
 }
 
 #[test]
-fn sharding_send_sync_fires_once_per_missing_marker() {
-    // core lists five audited types; a bare lib root misses all five.
-    let bare = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
-    let hits = lint_source("core", "src/lib.rs", bare)
-        .into_iter()
+fn sharding_send_sync_derives_pool_types_from_the_graph() {
+    let report = lint_inputs(pool_inputs(false));
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
         .filter(|d| d.rule == "sharding-send-sync")
-        .count();
-    assert_eq!(hits, 5);
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert!(hits[0].message.contains("`Cell`"), "{hits:?}");
+    assert!(hits[0].message.contains("run_cells"), "{hits:?}");
+    assert_eq!(hits[0].severity, Severity::Error);
+
+    let report = lint_inputs(pool_inputs(true));
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "sharding-send-sync"),
+        "{:?}",
+        report.diagnostics
+    );
 }
 
 #[test]
-fn sharding_send_sync_ignores_unaudited_crates_and_non_roots() {
-    let bare = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
-    assert!(!rules_fired(&lint_source("gk", "src/lib.rs", bare)).contains(&"sharding-send-sync"));
-    assert!(!rules_fired(&lint_source("core", "src/adversary.rs", bare))
-        .contains(&"sharding-send-sync"));
+fn sharding_send_sync_is_quiet_without_a_spawn_site() {
+    let bare = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub struct Item;\n";
+    assert!(
+        !rules_fired(&lint_source("universe", "src/lib.rs", bare)).contains(&"sharding-send-sync")
+    );
 }
 
 #[test]
@@ -225,7 +262,8 @@ fn diagnostics_carry_file_line_and_render() {
 
 #[test]
 fn registry_covers_every_fixture_rule() {
-    let ids: Vec<&str> = all_rules().iter().map(|r| r.id).collect();
+    let mut ids: Vec<&str> = all_rules().iter().map(|r| r.id).collect();
+    ids.extend(analysis_rules().iter().map(|m| m.id));
     for rule in [
         "item-arithmetic",
         "item-bits",
@@ -241,6 +279,10 @@ fn registry_covers_every_fixture_rule() {
         "hot-path-alloc",
         "sharding-send-sync",
         "float-eq",
+        "model-purity",
+        "reachable-indexing",
+        "unused-allow",
+        "stale-baseline",
     ] {
         assert!(ids.contains(&rule), "registry lost rule {rule}");
     }
