@@ -58,9 +58,23 @@ echo "==> cargo test -q (tier-1; includes tests/conformance.rs = the lint gate)"
 cargo test -q
 
 if [[ $fast -eq 0 ]]; then
-    echo "==> perf baseline smoke (tiny configs; schema + speedup-line check)"
-    cargo run --release -q -p cqs-bench --bin perf_baseline -- --smoke --out-dir target/bench-smoke
-    cargo run --release -q -p cqs-bench --bin perf_baseline -- --verify target/bench-smoke
+    echo "==> perf baseline smoke (tiny configs; schema check; --jobs 1 vs --jobs 4)"
+    for j in 1 4; do
+        cargo run --release -q -p cqs-bench --bin perf_baseline -- \
+            --smoke --jobs "$j" --out-dir "target/bench-smoke-j$j"
+        cargo run --release -q -p cqs-bench --bin perf_baseline -- \
+            --verify "target/bench-smoke-j$j"
+    done
+    # The batched tree walks must leave every measured outcome (gaps,
+    # stored sizes, equivalence verdicts) identical under any fan-out:
+    # diff the smoke artifacts with the timing fields stripped.
+    for f in BENCH_adversary.json BENCH_summaries.json; do
+        for j in 1 4; do
+            sed -E 's/"(elapsed_ms|items_per_sec)": *[0-9.e+-]+,?//' \
+                "target/bench-smoke-j$j/$f" > "target/bench-smoke-j$j/$f.det"
+        done
+        diff "target/bench-smoke-j1/$f.det" "target/bench-smoke-j4/$f.det"
+    done
 
     echo "==> fault-matrix smoke (cqs faults, gk, eps=1/16, k=6)"
     faults_smoke --release

@@ -425,6 +425,7 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
     /// outcome.
     pub fn run(mut self, k: u32) -> AdversaryOutcome<S> {
         assert!(k >= 1);
+        self.reserve_streams(k);
         let whole = Interval::whole();
         self.adv(k, &whole, &whole);
         AdversaryOutcome {
@@ -470,6 +471,7 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
                 return Err(self.into_error(TryAbort::Budget { detail }, k));
             }
         }
+        self.reserve_streams(k);
         let whole = Interval::whole();
         let walked = {
             let this = &mut self;
@@ -552,6 +554,18 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
     /// Node audits accumulated so far (post-order).
     pub fn audits(&self) -> &[NodeAudit] {
         &self.audits
+    }
+
+    /// Pre-sizes both stream indexes for the N = (1/ε)·2^k items the
+    /// depth-`k` construction will feed them. Capped so a deep run that
+    /// a budget (or memory itself) would stop early doesn't pre-commit
+    /// the whole theoretical stream length; past the cap the arena
+    /// falls back to doubling.
+    fn reserve_streams(&mut self, k: u32) {
+        const RESERVE_CAP: u64 = 1 << 21;
+        let n = usize::try_from(self.eps.stream_len(k).min(RESERVE_CAP)).unwrap_or(0);
+        self.pi.reserve_items(n);
+        self.rho.reserve_items(n);
     }
 
     /// One node of the recursion tree; returns the node's final gap info

@@ -82,66 +82,26 @@ pub fn compute_gap_tie<S: ComparisonSummary<Item>>(
     compute_gap_scratch(pi, rho, iv_pi, iv_rho, tie, &mut scratch)
 }
 
-/// Reusable buffer for the gap scan: holds the ϱ-side restricted ranks
-/// between invocations so the recursion's 2^k − 1 gap computations share
-/// one allocation instead of cloning both restricted arrays every time.
+/// Reusable buffers for the gap scan: both sides' restricted ranks and
+/// interior items, plus the batched walk's count scratch, so the
+/// recursion's 2^k − 1 gap computations share five allocations instead
+/// of cloning both restricted arrays every time.
 #[derive(Default)]
 pub struct GapScratch {
     ranks_rho: Vec<u64>,
-}
-
-/// Streaming argmax over the π-side restricted entries: visits entry `i`
-/// with its restricted rank and clones the entry only when it becomes
-/// the current best gap's low extreme.
-struct GapScan<'a> {
-    ranks_rho: &'a [u64],
-    tie: TieBreak,
-    i: usize,
-    best: u64,
-    best_i: usize,
-    best_low: Endpoint,
-}
-
-impl GapScan<'_> {
-    fn visit(&mut self, rank_pi: u64, entry: impl FnOnce() -> Endpoint) {
-        let i = self.i;
-        // Out-of-range entries only occur for a non-conforming summary
-        // whose arrays diverged in size; the caller raises the proper
-        // diagnostic after the walk.
-        if i < self.ranks_rho.len() {
-            // The construction keeps rank_π(I'_π[i]) ≤ rank_ϱ(I'_ϱ[i])
-            // (Section 4.6); verify rather than assume.
-            debug_assert!(
-                rank_pi <= self.ranks_rho[i],
-                "rank ordering invariant violated at index {i}: {} > {}",
-                rank_pi,
-                self.ranks_rho[i]
-            );
-            if i + 1 < self.ranks_rho.len() {
-                // ranks_rho[i+1] ≥ ranks_pi[i] always (both sides sorted
-                // and the ordering invariant); checked in debug builds.
-                let g = self.ranks_rho[i + 1] - rank_pi;
-                let wins = match self.tie {
-                    TieBreak::LowestIndex => g > self.best,
-                    TieBreak::HighestIndex => g >= self.best && g > 0,
-                };
-                if wins {
-                    self.best = g;
-                    self.best_i = i;
-                    self.best_low = entry();
-                }
-            }
-        }
-        self.i += 1;
-    }
+    ranks_pi: Vec<u64>,
+    items_rho: Vec<Item>,
+    items_pi: Vec<Item>,
+    les: Vec<usize>,
 }
 
 /// [`compute_gap_tie`] against a caller-owned [`GapScratch`].
 ///
-/// Three passes, none materialising a restricted array: (1) the ϱ-side
-/// restricted ranks go into the scratch; (2) the π side streams through
-/// [`GapScan`], computing each candidate gap on the fly; (3) the winning
-/// index's ϱ-side entry is fetched by a positional re-walk.
+/// One batched treap walk per side
+/// ([`StreamState::restricted_ranks_inside`]) produces the full
+/// Definition 5.1 rank sequences; the argmax is then a flat zip over the
+/// two rank buffers, and the winning extremes resolve directly from the
+/// collected interior items — no positional re-walk.
 pub fn compute_gap_scratch<S: ComparisonSummary<Item>>(
     pi: &StreamState<S>,
     rho: &StreamState<S>,
@@ -150,62 +110,70 @@ pub fn compute_gap_scratch<S: ComparisonSummary<Item>>(
     tie: TieBreak,
     scratch: &mut GapScratch,
 ) -> GapInfo {
-    let ranks_rho = &mut scratch.ranks_rho;
-    ranks_rho.clear();
-    let base_rho = rho.rank_base(iv_rho);
-    ranks_rho.push(rho.rank_in(iv_rho, iv_rho.lo()));
-    rho.for_each_stored_inside(iv_rho, &mut |it| {
-        ranks_rho.push(rho.rank_in_item_from(iv_rho, base_rho, it));
-    });
-    ranks_rho.push(rho.rank_in(iv_rho, iv_rho.hi()));
-    let m = ranks_rho.len();
-
-    let mut scan = GapScan {
+    let GapScratch {
         ranks_rho,
-        tie,
-        i: 0,
-        best: 0,
-        best_i: 0,
-        best_low: iv_pi.lo().clone(),
-    };
-    let base_pi = pi.rank_base(iv_pi);
-    scan.visit(pi.rank_in(iv_pi, iv_pi.lo()), || iv_pi.lo().clone());
-    pi.for_each_stored_inside(iv_pi, &mut |it| {
-        scan.visit(pi.rank_in_item_from(iv_pi, base_pi, it), || {
-            Endpoint::Finite(it.clone())
-        });
-    });
-    scan.visit(pi.rank_in(iv_pi, iv_pi.hi()), || iv_pi.hi().clone());
+        ranks_pi,
+        items_rho,
+        items_pi,
+        les,
+    } = scratch;
+    let rho_off = rho.restricted_ranks_inside(iv_rho, items_rho, les, ranks_rho);
+    let pi_off = pi.restricted_ranks_inside(iv_pi, items_pi, les, ranks_pi);
 
+    let m = ranks_rho.len();
     assert_eq!(
-        scan.i, m,
+        ranks_pi.len(),
+        m,
         "restricted item arrays differ in size — summary is not comparison-based"
     );
     assert!(
         m >= 2,
         "restricted arrays must at least contain the two boundaries"
     );
-    let (best, best_i, pi_low) = (scan.best, scan.best_i, scan.best_low);
+    // The construction keeps rank_π(I'_π[i]) ≤ rank_ϱ(I'_ϱ[i])
+    // (Section 4.6); verify rather than assume.
+    debug_assert!(
+        ranks_pi.iter().zip(ranks_rho.iter()).all(|(p, r)| p <= r),
+        "rank ordering invariant violated: rank_pi > rank_rho"
+    );
 
-    // Pass 3: I'_ϱ[best_i + 1]. Index m−1 is the high boundary; interior
-    // index j is the (j−1)-th stored item inside the interval.
+    let mut best = 0u64;
+    let mut best_i = 0usize;
+    for (i, (rank_pi, rank_rho_next)) in ranks_pi.iter().zip(ranks_rho.iter().skip(1)).enumerate() {
+        // ranks_rho[i+1] ≥ ranks_pi[i] always (both sides sorted and the
+        // ordering invariant); checked in debug builds above.
+        let g = rank_rho_next - rank_pi;
+        let wins = match tie {
+            TieBreak::LowestIndex => g > best,
+            TieBreak::HighestIndex => g >= best && g > 0,
+        };
+        if wins {
+            best = g;
+            best_i = i;
+        }
+    }
+
+    // Map the winning indices back through the restricted array layout
+    // `[lo] ++ interior ++ [hi]`: full index 0 is the low boundary,
+    // m−1 the high boundary, and interior index j the j-th collected
+    // item past that side's returned boundary offset. The argmax range
+    // keeps best_i ≤ m−2, so the interior lookups are always in range;
+    // the boundary fallbacks are unreachable but keep the function
+    // total for the panic-free driver.
+    let pi_low = match best_i.checked_sub(1) {
+        None => iv_pi.lo().clone(),
+        Some(j) => match items_pi.get(j + pi_off) {
+            Some(it) => Endpoint::Finite(it.clone()),
+            None => iv_pi.hi().clone(),
+        },
+    };
     let rho_high = if best_i + 1 == m - 1 {
         iv_rho.hi().clone()
     } else {
-        let target = best_i; // = (best_i + 1) − 1
-        let mut idx = 0usize;
-        let mut found: Option<Endpoint> = None;
-        rho.for_each_stored_inside(iv_rho, &mut |it| {
-            if idx == target && found.is_none() {
-                found = Some(Endpoint::Finite(it.clone()));
-            }
-            idx += 1;
-        });
-        // `best_i` indexes the same stored-item scan that produced it
-        // above; an absent endpoint is a logic bug in this function,
-        // not a reachable adversarial input.
-        // cqs-lint: allow(driver-no-panic)
-        found.expect("interior restricted index in range")
+        match items_rho.get(best_i + rho_off) {
+            Some(it) => Endpoint::Finite(it.clone()),
+            None => iv_rho.hi().clone(),
+        }
     };
 
     GapInfo {

@@ -70,6 +70,35 @@ pub trait ComparisonSummary<T: Ord + Clone> {
         }
     }
 
+    /// Visits, in order, the stored items strictly inside the open
+    /// range `(lo, hi)` — `None` meaning unbounded on that side.
+    /// Semantically identical to filtering
+    /// [`for_each_item`](Self::for_each_item) by `lo < item < hi`; the
+    /// default does exactly that, so it is correct for any storage.
+    /// Summaries over sorted storage override it to locate the range
+    /// start by binary search and stop at the first item `>= hi`,
+    /// turning the adversary's per-node interval scans from O(|I|)
+    /// into O(log |I| + inside).
+    fn for_each_item_between(&self, lo: Option<&T>, hi: Option<&T>, f: &mut dyn FnMut(&T)) {
+        let mut past_lo = lo.is_none();
+        let mut done = false;
+        self.for_each_item(&mut |it| {
+            if done {
+                return;
+            }
+            if !past_lo {
+                match lo {
+                    Some(lo) if *it <= *lo => return,
+                    _ => past_lo = true,
+                }
+            }
+            match hi {
+                Some(hi) if *it >= *hi => done = true,
+                _ => f(it),
+            }
+        });
+    }
+
     /// `|I|` — the number of occupied item cells. Must be cheap (the
     /// harness polls it after every insert) and a deterministic function
     /// of the summary state; it should equal `item_array().len()` up to
@@ -172,6 +201,10 @@ impl<T: Ord + Clone, S: ComparisonSummary<T>> ComparisonSummary<T> for MaxSpaceT
 
     fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
         self.inner.for_each_item(f)
+    }
+
+    fn for_each_item_between(&self, lo: Option<&T>, hi: Option<&T>, f: &mut dyn FnMut(&T)) {
+        self.inner.for_each_item_between(lo, hi, f)
     }
 
     fn stored_count(&self) -> usize {

@@ -123,6 +123,12 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         self.n += 1;
     }
 
+    /// Pre-allocates order-statistic index capacity for `additional`
+    /// more stream items (see [`OsTree::reserve`]).
+    pub fn reserve_items(&mut self, additional: usize) {
+        self.order.reserve(additional);
+    }
+
     /// Stream length so far.
     pub fn len(&self) -> u64 {
         self.n
@@ -255,6 +261,80 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         (lo_finite as u64) + le.saturating_sub(base)
     }
 
+    /// Batched [`rank_in_item_from`](Self::rank_in_item_from) over the
+    /// whole restricted item array: fills `out` with the Definition 5.1
+    /// rank sequence
+    /// `[rank(lo)] ++ [rank(it) for stored it inside iv] ++ [rank(hi)]`
+    /// while collecting the enclosed restricted array — finite
+    /// boundaries included — into `items` (O(1) arena clones). ALL ranks
+    /// come from ONE batched treap walk ([`OsTree::multi_count_le`]):
+    /// the finite boundaries ride along as the first/last queries (the
+    /// open interval keeps the batch sorted), so the per-call
+    /// `rank_base`/`rank_in` descents of the unfused version disappear,
+    /// and a +∞ high sentinel needs only the tree size. `les` is the
+    /// walk's count scratch.
+    ///
+    /// Returns the interior offset into `items`: `1` when the low
+    /// boundary is finite (and therefore occupies `items[0]`), else `0`
+    /// — interior item `j` of the restricted array lives at
+    /// `items[j + offset]`.
+    pub fn restricted_ranks_inside(
+        &self,
+        iv: &Interval,
+        items: &mut Vec<Item>,
+        les: &mut Vec<usize>,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        items.clear();
+        let lo_finite = match iv.lo() {
+            Endpoint::Finite(l) => {
+                items.push(l.clone());
+                true
+            }
+            _ => false,
+        };
+        self.for_each_stored_inside(iv, &mut |it| items.push(it.clone()));
+        let hi_finite = match iv.hi() {
+            Endpoint::Finite(h) => {
+                items.push(h.clone());
+                true
+            }
+            _ => false,
+        };
+        self.order.multi_count_le(items, les);
+        let lo_off = usize::from(lo_finite);
+        let base = if lo_finite {
+            les.first().copied().unwrap_or(0) as u64
+        } else {
+            0
+        };
+        out.clear();
+        out.reserve(les.len() + 2);
+        // The low boundary's restricted rank is 1 when finite (it is the
+        // array's first element), 0 for the −∞ sentinel.
+        out.push(u64::from(lo_finite));
+        let interior = les.len().saturating_sub(lo_off + usize::from(hi_finite));
+        for &le in les.iter().skip(lo_off).take(interior) {
+            out.push(u64::from(lo_finite) + (le as u64).saturating_sub(base));
+        }
+        let hi_rank = if hi_finite {
+            u64::from(lo_finite) + (les.last().copied().unwrap_or(0) as u64).saturating_sub(base)
+        } else {
+            // +∞ sentinel: one past the whole restricted substream,
+            // whose length is the tree size minus everything ≤ lo.
+            u64::from(lo_finite) + (self.order.len() as u64).saturating_sub(base) + 1
+        };
+        out.push(hi_rank);
+        lo_off
+    }
+
+    /// Batched [`arrival_of`](Self::arrival_of): arrival tags for a
+    /// *sorted* slice of query items, one treap walk for the whole
+    /// batch.
+    pub fn multi_arrival_of(&self, qs: &[Item], out: &mut Vec<Option<u64>>) {
+        self.order.multi_tag_of(qs, out);
+    }
+
     /// The restricted item array `I^(ℓ,r)`: the summary's stored items
     /// that fall strictly inside `iv`, *enclosed* by the interval's own
     /// endpoints (which, per the paper, count as array elements even when
@@ -276,21 +356,21 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
     /// [`restricted_item_array`](Self::restricted_item_array), minus the
     /// two boundary entries the caller supplies itself.
     pub fn for_each_stored_inside(&self, iv: &Interval, f: &mut dyn FnMut(&Item)) {
-        self.summary.for_each_item(&mut |it| {
-            if iv.contains(it) {
-                f(it);
-            }
-        });
+        let lo = match iv.lo() {
+            Endpoint::Finite(l) => Some(l),
+            _ => None,
+        };
+        let hi = match iv.hi() {
+            Endpoint::Finite(h) => Some(h),
+            _ => None,
+        };
+        self.summary.for_each_item_between(lo, hi, f);
     }
 
     /// Number of summary-stored items strictly inside `iv`.
     pub fn stored_inside(&self, iv: &Interval) -> usize {
         let mut count = 0usize;
-        self.summary.for_each_item(&mut |it| {
-            if iv.contains(it) {
-                count += 1;
-            }
-        });
+        self.for_each_stored_inside(iv, &mut |_| count += 1);
         count
     }
 
@@ -343,25 +423,31 @@ pub fn check_indistinguishable<S: ComparisonSummary<Item>>(
 /// Incremental re-verifier for [`check_indistinguishable`] over a
 /// growing pair of streams.
 ///
-/// Arrival positions never change once an item enters its stream, so a
-/// pair of stored items that verified at one leaf stays verified for as
-/// long as both summaries keep storing it. The checker memoizes the item
-/// arrays and their (verified-equal) arrival tags from the previous
-/// call; the next call walks old and new arrays in lockstep — surviving
-/// items resolve from the memo in O(1), and only newly stored items pay
-/// the O(log N) treap lookup. Amortized cost per leaf is therefore
-/// O(|I| + changed·log N) instead of O(|I|·log N), which is what makes
-/// the per-leaf Definition 3.2 check affordable at depth k = 12.
+/// Arrival positions never change once an item enters its stream, so an
+/// item's tag, once learned, is valid forever. The checker memoizes
+/// tags per side in a direct-mapped arena-id table ([`TagTable`]): each
+/// call streams the item arrays straight off the summaries (no
+/// materialisation, no item clones for previously seen items) and only
+/// never-seen items pay a treap lookup — all of them in one batched
+/// walk. Amortized cost per leaf is therefore O(|I| + new·log N)
+/// instead of O(|I|·log N), which is what makes the per-leaf
+/// Definition 3.2 check affordable at depth k = 12.
 ///
 /// Any anomaly (size mismatch, unknown item, tag divergence) falls back
-/// to the full [`check_indistinguishable`] walk and drops the memo, so
-/// results — including the diagnostic strings — are always identical to
-/// the non-memoized check.
+/// to the full [`check_indistinguishable`] walk, so results — including
+/// the diagnostic strings — are always identical to the non-memoized
+/// check.
 #[derive(Default)]
 pub struct EquivalenceChecker {
-    items_pi: Vec<Item>,
-    items_rho: Vec<Item>,
-    tags: Vec<u64>,
+    tag_pi: TagTable,
+    tag_rho: TagTable,
+    // Streaming scratch, reused across calls so a steady-state check
+    // performs no allocation at all.
+    tags_pi: Vec<u64>,
+    tags_rho: Vec<u64>,
+    misses: Vec<Item>,
+    miss_pos: Vec<usize>,
+    miss_tags: Vec<Option<u64>>,
 }
 
 impl EquivalenceChecker {
@@ -377,71 +463,145 @@ impl EquivalenceChecker {
         pi: &StreamState<S>,
         rho: &StreamState<S>,
     ) -> Result<(), String> {
-        let ia = pi.summary.item_array();
-        let ib = rho.summary.item_array();
-        if ia.len() == ib.len() {
-            if let Some(tags) = self.fast_scan(&ia, &ib, pi, rho) {
-                self.items_pi = ia;
-                self.items_rho = ib;
-                self.tags = tags;
-                return Ok(());
-            }
+        let ok = resolve_side_streaming(
+            pi,
+            &mut self.tag_pi,
+            &mut self.tags_pi,
+            &mut self.misses,
+            &mut self.miss_pos,
+            &mut self.miss_tags,
+        ) && resolve_side_streaming(
+            rho,
+            &mut self.tag_rho,
+            &mut self.tags_rho,
+            &mut self.misses,
+            &mut self.miss_pos,
+            &mut self.miss_tags,
+        );
+        // Equal tag sequences imply equal array sizes (one tag per
+        // stored item), so this is the whole Definition 3.2 condition.
+        if ok && self.tags_pi == self.tags_rho {
+            return Ok(());
         }
-        // Anomaly: let the reference walk produce the diagnostic and
-        // restart the memo cold.
-        self.items_pi.clear();
-        self.items_rho.clear();
-        self.tags.clear();
+        // Anomaly: let the reference walk produce the diagnostic. The
+        // tag tables stay — a memoized tag is an immutable fact about
+        // its stream, never stale.
         check_indistinguishable(pi, rho)
-    }
-
-    /// Verifies positional correspondence, returning the common tag
-    /// sequence on success and `None` on the first anomaly.
-    fn fast_scan<S: ComparisonSummary<Item>>(
-        &self,
-        ia: &[Item],
-        ib: &[Item],
-        pi: &StreamState<S>,
-        rho: &StreamState<S>,
-    ) -> Option<Vec<u64>> {
-        let mut tags = Vec::with_capacity(ia.len());
-        let mut ja = 0usize;
-        let mut jb = 0usize;
-        for (a, b) in ia.iter().zip(ib.iter()) {
-            let pa = memo_or_lookup(a, &self.items_pi, &mut ja, &self.tags, pi)?;
-            let pb = memo_or_lookup(b, &self.items_rho, &mut jb, &self.tags, rho)?;
-            if pa != pb {
-                return None;
-            }
-            tags.push(pa);
-        }
-        Some(tags)
     }
 }
 
-/// Arrival tag of `q`: resolved from the previous call's memo when `q`
-/// survived (both arrays are sorted, so one forward cursor suffices; the
-/// `Item` pointer-equality fast path makes the common hit free), from
-/// the stream's treap when newly stored.
-fn memo_or_lookup<S: ComparisonSummary<Item>>(
-    q: &Item,
-    prev: &[Item],
-    j: &mut usize,
-    tags: &[u64],
-    st: &StreamState<S>,
-) -> Option<u64> {
-    while *j < prev.len() {
-        match prev[*j].cmp(q) {
-            std::cmp::Ordering::Less => *j += 1, // dropped by the summary
-            std::cmp::Ordering::Equal => {
-                let t = tags[*j];
-                *j += 1;
-                return Some(t);
-            }
-            std::cmp::Ordering::Greater => break, // newly stored
+/// Direct-mapped arena-id → arrival-tag memo for one stream side.
+///
+/// Arrival positions never change once an item enters its stream, and
+/// arena ids are globally unique with id equality proving label equality
+/// ([`Item::arena_id`]), so `id → tag` is an immutable fact: the table
+/// only ever grows and is never invalidated. Ids minted during one
+/// adversary run form a compact range, so a plain vector offset by the
+/// first id seen beats a hash map; `u32::MAX` marks unknown slots.
+///
+/// Tags are stored as `u32`: the table is the equivalence check's
+/// hottest randomly-accessed structure, and halving its footprint keeps
+/// it cache-resident at bench stream lengths. A stream position at or
+/// beyond `u32::MAX` (never reached in practice) is simply not
+/// memoized — the item stays a miss and resolves through the batched
+/// treap walk, costing speed, never correctness.
+#[derive(Default)]
+struct TagTable {
+    base: u32,
+    tags: Vec<u32>,
+}
+
+impl TagTable {
+    const EMPTY: u32 = u32::MAX;
+
+    fn get(&self, id: u32) -> Option<u64> {
+        let idx = (id as usize).checked_sub(self.base as usize)?;
+        match self.tags.get(idx) {
+            Some(&t) if t != Self::EMPTY => Some(u64::from(t)),
+            _ => None,
         }
     }
-    st.arrival_of(q)
+
+    fn set(&mut self, id: u32, tag: u64) {
+        let Ok(tag) = u32::try_from(tag) else {
+            // Beyond the compact representation; the item would just
+            // stay a cache miss.
+            return;
+        };
+        if tag == Self::EMPTY {
+            // The sentinel value itself is likewise unrepresentable.
+            return;
+        }
+        if self.tags.is_empty() {
+            self.base = id;
+        } else if id < self.base {
+            // Rare: an id below the first one seen. Re-base by
+            // prepending empty slots.
+            let shift = (self.base - id) as usize;
+            let old = std::mem::take(&mut self.tags);
+            self.tags = std::iter::repeat_n(Self::EMPTY, shift).chain(old).collect();
+            self.base = id;
+        }
+        let idx = (id - self.base) as usize;
+        if idx >= self.tags.len() {
+            self.tags.resize(idx + 1, Self::EMPTY);
+        }
+        if let Some(slot) = self.tags.get_mut(idx) {
+            *slot = tag;
+        }
+    }
+}
+
+/// Arrival tags of one side's item array, streamed straight off the
+/// summary (no intermediate `item_array` materialisation): items seen in
+/// any earlier call resolve from the [`TagTable`] in O(1) with no item
+/// clone at all, and the newly stored remainder — sorted, because the
+/// walk is — pays ONE batched treap walk
+/// ([`StreamState::multi_arrival_of`]) instead of an O(log N) descent
+/// per miss, then lands in the table for every later call. Fills `tags`
+/// with the array's tag sequence. Returns `false` if any item never
+/// appeared in its stream (an anomaly; the caller falls back to the
+/// reference walk for the diagnostic).
+fn resolve_side_streaming<S: ComparisonSummary<Item>>(
+    st: &StreamState<S>,
+    table: &mut TagTable,
+    tags: &mut Vec<u64>,
+    misses: &mut Vec<Item>,
+    miss_pos: &mut Vec<usize>,
+    miss_tags: &mut Vec<Option<u64>>,
+) -> bool {
+    tags.clear();
+    misses.clear();
+    miss_pos.clear();
+    // Pass 1: table lookups; misses are queued for the batch, with a
+    // placeholder tag marking the slot to patch.
+    st.summary
+        .for_each_item(&mut |q| match q.arena_id().and_then(|id| table.get(id)) {
+            Some(t) => tags.push(t),
+            None => {
+                miss_pos.push(tags.len());
+                tags.push(0);
+                misses.push(q.clone());
+            }
+        });
+    // Pass 2: all treap lookups in one walk.
+    st.multi_arrival_of(misses, miss_tags);
+    if miss_tags.len() != miss_pos.len() {
+        return false;
+    }
+    // Pass 3: patch the batched answers into their slots and memoize.
+    for ((&pos, mt), q) in miss_pos.iter().zip(miss_tags.iter()).zip(misses.iter()) {
+        match (tags.get_mut(pos), mt) {
+            (Some(slot), Some(t)) => {
+                *slot = *t;
+                if let Some(id) = q.arena_id() {
+                    table.set(id, *t);
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
 }
 
 #[cfg(test)]

@@ -14,6 +14,16 @@
 
 /// The band of an uncertainty value `delta` at threshold `p = ⌊2εn⌋`.
 ///
+/// Closed form: writing `diff = p − Δ ≥ 1` and `lo_α = 2^{α−1} +
+/// (p mod 2^{α−1})`, the band windows `[lo_α, lo_{α+1})` tile `[1, ∞)`
+/// contiguously (the window's upper end `2^α + (p mod 2^α)` IS the next
+/// window's `lo`), so the band is the largest α with `lo_α ≤ diff`.
+/// Since `lo_α ∈ [2^{α−1}, 2^α)`, that α is `⌊log₂ diff⌋ + 1` or one
+/// less — a `leading_zeros` and one comparison, where the defining scan
+/// pays one iteration per candidate band. COMPRESS evaluates this per
+/// stored tuple per call, which made the scan the single hottest piece
+/// of the GK insert path under the adversary.
+///
 /// # Panics
 ///
 /// Debug-panics if `delta > p` (no legal tuple exceeds the threshold).
@@ -23,23 +33,56 @@ pub fn band(delta: u64, p: u64) -> u32 {
         return 0;
     }
     let diff = p - delta; // ≥ 1
-    let mut alpha = 1u32;
-    while alpha < 64 {
-        let half = 1u64 << (alpha - 1);
-        let full = 1u64 << alpha;
-        let lo = half + (p & (half - 1));
-        let hi = full + (p & (full - 1));
-        if diff >= lo && diff < hi {
-            return alpha;
-        }
-        alpha += 1;
+    let alpha = 64 - diff.leading_zeros(); // ⌊log₂ diff⌋ + 1, in [1, 64]
+    let half = 1u64 << (alpha - 1);
+    if half + (p & (half - 1)) <= diff {
+        alpha
+    } else {
+        alpha - 1
     }
-    64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The defining window scan from the paper, kept as the oracle for
+    /// the closed form.
+    fn band_by_scan(delta: u64, p: u64) -> u32 {
+        if delta == p {
+            return 0;
+        }
+        let diff = p - delta;
+        let mut alpha = 1u32;
+        while alpha < 64 {
+            let half = 1u64 << (alpha - 1);
+            let full = 1u64 << alpha;
+            let lo = half + (p & (half - 1));
+            let hi = full + (p & (full - 1));
+            if diff >= lo && diff < hi {
+                return alpha;
+            }
+            alpha += 1;
+        }
+        64
+    }
+
+    #[test]
+    fn closed_form_matches_window_scan() {
+        for p in [1u64, 2, 3, 7, 8, 9, 100, 255, 256, 1023, 1024, 65535] {
+            for delta in 0..=p.min(5000) {
+                assert_eq!(
+                    band(delta, p),
+                    band_by_scan(delta, p),
+                    "mismatch at delta={delta}, p={p}"
+                );
+            }
+            // High-Δ corner (thresholds above the exhaustive sweep).
+            for delta in p.saturating_sub(300)..=p {
+                assert_eq!(band(delta, p), band_by_scan(delta, p));
+            }
+        }
+    }
 
     #[test]
     fn band_zero_is_exactly_p() {

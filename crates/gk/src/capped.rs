@@ -79,6 +79,10 @@ impl<T: Ord + Clone> ComparisonSummary<T> for CappedGk<T> {
         self.inner.for_each_item(f)
     }
 
+    fn for_each_item_between(&self, lo: Option<&T>, hi: Option<&T>, f: &mut dyn FnMut(&T)) {
+        self.inner.for_each_item_between(lo, hi, f)
+    }
+
     fn stored_count(&self) -> usize {
         self.inner.stored_count()
     }

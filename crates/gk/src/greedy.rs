@@ -21,6 +21,11 @@ pub struct GreedyGk<T> {
     n: u64,
     eps: f64,
     compress_period: u64,
+    /// Sorted-run merge scratch, kept across calls so the bulk insert
+    /// path never allocates on the adversary's hot path (the periodic
+    /// compress itself runs in place).
+    #[cfg_attr(feature = "serde", serde(skip))]
+    scratch_mid: Vec<GkTuple<T>>,
 }
 
 impl<T: Ord + Clone> GreedyGk<T> {
@@ -48,6 +53,7 @@ impl<T: Ord + Clone> GreedyGk<T> {
             n: 0,
             eps,
             compress_period: period,
+            scratch_mid: Vec::new(),
         }
     }
 
@@ -99,24 +105,35 @@ impl<T: Ord + Clone> GreedyGk<T> {
     /// post-merge span). Cascades naturally: an absorber's grown `g` is
     /// what the next candidate is tested against. The first and last
     /// tuples (stream extremes) are never removed.
+    ///
+    /// Runs in place: an absorbed tuple is marked dead via `g = 0`
+    /// (live tuples always carry `g >= 1`) and swept out by one
+    /// `retain` pass — the compress fires every `period` inserts, and
+    /// shuffling the whole tuple vector through a scratch buffer on
+    /// each firing dominated the greedy insert path.
     pub(crate) fn compress(&mut self, cap: u64) {
         if self.tuples.len() < 3 || cap < 2 {
             return;
         }
-        let mut ts = std::mem::take(&mut self.tuples);
-        let mut kept_rev: Vec<GkTuple<T>> = Vec::with_capacity(ts.len());
-        kept_rev.extend(ts.pop());
-        while let Some(t) = ts.pop() {
-            let is_first = ts.is_empty();
-            match kept_rev.last_mut() {
-                Some(succ) if !is_first && t.g + succ.g + succ.delta < cap => {
-                    succ.g += t.g;
+        let mut succ = self.tuples.len() - 1;
+        for i in (1..self.tuples.len() - 1).rev() {
+            let t_g = self.tuples.get(i).map_or(0, |t| t.g);
+            let fits = self
+                .tuples
+                .get(succ)
+                .is_some_and(|s| t_g + s.g + s.delta < cap);
+            if fits {
+                if let Some(s) = self.tuples.get_mut(succ) {
+                    s.g += t_g;
                 }
-                _ => kept_rev.push(t),
+                if let Some(t) = self.tuples.get_mut(i) {
+                    t.g = 0;
+                }
+            } else {
+                succ = i;
             }
         }
-        kept_rev.reverse();
-        self.tuples = kept_rev;
+        self.tuples.retain(|t| t.g != 0);
     }
 }
 
@@ -137,7 +154,13 @@ impl<T: Ord + Clone> ComparisonSummary<T> for GreedyGk<T> {
             // the peak-accounting rationale).
             let until = (self.compress_period - self.n % self.compress_period) as usize;
             let (chunk, tail) = rest.split_at(until.min(rest.len()));
-            merge_sorted_chunk(&mut self.tuples, &mut self.n, self.eps, chunk);
+            merge_sorted_chunk(
+                &mut self.tuples,
+                &mut self.n,
+                self.eps,
+                chunk,
+                &mut self.scratch_mid,
+            );
             let pre_compress = self.tuples.len();
             if self.n.is_multiple_of(self.compress_period) {
                 self.compress(self.threshold());
@@ -161,6 +184,28 @@ impl<T: Ord + Clone> ComparisonSummary<T> for GreedyGk<T> {
 
     fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
         for t in &self.tuples {
+            f(&t.v);
+        }
+    }
+
+    fn for_each_item_between(&self, lo: Option<&T>, hi: Option<&T>, f: &mut dyn FnMut(&T)) {
+        // Both bounds become plain indices (ranks) via partition scans,
+        // so the visit loop below runs comparison-free: the per-tuple
+        // `>= hi` probe was a deep label comparison on every visited
+        // item of the gap scan.
+        let mut start = 0;
+        if let Some(lo) = lo {
+            start = self.tuples.partition_point(|t| &t.v <= lo);
+        }
+        let mut end = self.tuples.len();
+        if let Some(hi) = hi {
+            end = start
+                + self
+                    .tuples
+                    .get(start..)
+                    .map_or(0, |ts| ts.partition_point(|t| &t.v < hi));
+        }
+        for t in self.tuples.get(start..end).unwrap_or(&[]) {
             f(&t.v);
         }
     }

@@ -18,6 +18,15 @@ pub struct GkSummary<T> {
     n: u64,
     eps: f64,
     compress_period: u64,
+    /// COMPRESS scratch (band per tuple / merge flags / chunk-merge
+    /// middle), kept across calls so the periodic compress and the
+    /// sorted-run merge do not allocate on the adversary's hot path.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    scratch_bands: Vec<u32>,
+    #[cfg_attr(feature = "serde", serde(skip))]
+    scratch_remove: Vec<bool>,
+    #[cfg_attr(feature = "serde", serde(skip))]
+    scratch_mid: Vec<GkTuple<T>>,
 }
 
 impl<T: Ord + Clone> GkSummary<T> {
@@ -47,6 +56,9 @@ impl<T: Ord + Clone> GkSummary<T> {
             n: 0,
             eps,
             compress_period: period,
+            scratch_bands: Vec::new(),
+            scratch_remove: Vec::new(),
+            scratch_mid: Vec::new(),
         }
     }
 
@@ -228,14 +240,14 @@ impl<T: Ord + Clone> GkSummary<T> {
         if thr < 2 || self.tuples.len() < 3 {
             return;
         }
-        let bands: Vec<u32> = self
-            .tuples
-            .iter()
-            .map(|t| band(t.delta.min(thr), thr))
-            .collect();
+        let mut bands = std::mem::take(&mut self.scratch_bands);
+        bands.clear();
+        bands.extend(self.tuples.iter().map(|t| band(t.delta.min(thr), thr)));
         // Collect merges on a right-to-left pass, then apply in one
         // sweep to keep the pass O(s).
-        let mut remove = vec![false; self.tuples.len()];
+        let mut remove = std::mem::take(&mut self.scratch_remove);
+        remove.clear();
+        remove.resize(self.tuples.len(), false);
         let mut i = self.tuples.len() as isize - 2;
         while i >= 1 {
             let iu = i as usize;
@@ -272,6 +284,8 @@ impl<T: Ord + Clone> GkSummary<T> {
                 keep
             });
         }
+        self.scratch_bands = bands;
+        self.scratch_remove = remove;
     }
 }
 
@@ -292,7 +306,13 @@ impl<T: Ord + Clone> ComparisonSummary<T> for GkSummary<T> {
             // merge never has to interleave with COMPRESS.
             let until = (self.compress_period - self.n % self.compress_period) as usize;
             let (chunk, tail) = rest.split_at(until.min(rest.len()));
-            merge_sorted_chunk(&mut self.tuples, &mut self.n, self.eps, chunk);
+            merge_sorted_chunk(
+                &mut self.tuples,
+                &mut self.n,
+                self.eps,
+                chunk,
+                &mut self.scratch_mid,
+            );
             let pre_compress = self.tuples.len();
             if self.n.is_multiple_of(self.compress_period) {
                 self.compress();
@@ -319,6 +339,28 @@ impl<T: Ord + Clone> ComparisonSummary<T> for GkSummary<T> {
 
     fn for_each_item(&self, f: &mut dyn FnMut(&T)) {
         for t in &self.tuples {
+            f(&t.v);
+        }
+    }
+
+    fn for_each_item_between(&self, lo: Option<&T>, hi: Option<&T>, f: &mut dyn FnMut(&T)) {
+        // Both bounds become plain indices (ranks) via partition scans,
+        // so the visit loop below runs comparison-free: the per-tuple
+        // `>= hi` probe was a deep label comparison on every visited
+        // item of the gap scan.
+        let mut start = 0;
+        if let Some(lo) = lo {
+            start = self.tuples.partition_point(|t| &t.v <= lo);
+        }
+        let mut end = self.tuples.len();
+        if let Some(hi) = hi {
+            end = start
+                + self
+                    .tuples
+                    .get(start..)
+                    .map_or(0, |ts| ts.partition_point(|t| &t.v < hi));
+        }
+        for t in self.tuples.get(start..end).unwrap_or(&[]) {
             f(&t.v);
         }
     }

@@ -93,18 +93,21 @@ pub(crate) fn merge_sorted_chunk<T: Ord + Clone>(
     n: &mut u64,
     eps: f64,
     chunk: &[T],
+    mid: &mut Vec<GkTuple<T>>,
 ) {
     if chunk.is_empty() {
         return;
     }
     // Tuples below the chunk's smallest item are untouched, so the merge
     // materializes only the interleaved middle (consumed old tuples plus
-    // the chunk) and splices it over the consumed range. The adversary's
-    // runs land inside one refined interval, where this turns the old
-    // whole-list rebuild into a short middle plus one tail move.
+    // the chunk) and splices it over the consumed range; `mid` is
+    // caller-owned scratch so repeated runs reuse one buffer. The
+    // adversary's runs land inside one refined interval, where this
+    // turns the old whole-list rebuild into a short middle plus one
+    // tail move.
     let lo = tuples.partition_point(|t| t.v < chunk[0]);
     let mut cur = lo;
-    let mut mid: Vec<GkTuple<T>> = Vec::with_capacity(chunk.len());
+    mid.clear();
     let mut idx = 0usize;
     while idx < chunk.len() {
         let x = &chunk[idx];
@@ -136,7 +139,7 @@ pub(crate) fn merge_sorted_chunk<T: Ord + Clone>(
         mid[group_start..].reverse();
         idx = end;
     }
-    tuples.splice(lo..cur, mid);
+    tuples.splice(lo..cur, mid.drain(..));
 }
 
 #[cfg(test)]

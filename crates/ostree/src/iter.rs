@@ -1,23 +1,30 @@
 //! In-order iteration over a treap.
 
-use crate::tree::{Link, Node};
+use crate::tree::Node;
 
 /// In-order (sorted) iterator over an [`crate::OsTree`].
+///
+/// Holds the tree's node arena and a stack of node indices; freed
+/// arena slots are unreachable from the root and are never visited.
 pub struct Iter<'a, T> {
-    stack: Vec<&'a Node<T>>,
+    nodes: &'a [Node<T>],
+    stack: Vec<u32>,
 }
 
 impl<'a, T> Iter<'a, T> {
-    pub(crate) fn new(root: &'a Link<T>) -> Self {
-        let mut it = Iter { stack: Vec::new() };
+    pub(crate) fn new(nodes: &'a [Node<T>], root: u32) -> Self {
+        let mut it = Iter {
+            nodes,
+            stack: Vec::new(),
+        };
         it.push_left(root);
         it
     }
 
-    fn push_left(&mut self, mut link: &'a Link<T>) {
-        while let Some(node) = link.as_deref() {
-            self.stack.push(node);
-            link = &node.left;
+    fn push_left(&mut self, mut link: u32) {
+        while let Some(node) = self.nodes.get(link as usize) {
+            self.stack.push(link);
+            link = node.left;
         }
     }
 }
@@ -26,8 +33,8 @@ impl<'a, T> Iterator for Iter<'a, T> {
     type Item = &'a T;
 
     fn next(&mut self) -> Option<&'a T> {
-        let node = self.stack.pop()?;
-        self.push_left(&node.right);
+        let node = self.nodes.get(self.stack.pop()? as usize)?;
+        self.push_left(node.right);
         Some(&node.item)
     }
 }

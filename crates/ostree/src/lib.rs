@@ -189,17 +189,76 @@ mod tests {
     }
 
     #[test]
-    fn count_between_and_range_items() {
+    fn count_between_and_range_visit() {
         let mut t = OsTree::new();
         for x in 0..100u32 {
             t.insert(x);
         }
         assert_eq!(t.count_between(&10, &20), 9);
         assert_eq!(t.count_between(&20, &10), 0);
-        let r = t.range_items(&10, &14);
-        let vals: Vec<u32> = r.into_iter().copied().collect();
+        let mut vals: Vec<u32> = Vec::new();
+        t.for_each_in_range(&10, &14, &mut |&x| vals.push(x));
         assert_eq!(vals, vec![10, 11, 12, 13, 14]);
-        assert!(t.range_items(&200, &300).is_empty());
+        let mut none = 0usize;
+        t.for_each_in_range(&200, &300, &mut |_| none += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn multi_count_rank_select_match_single_queries() {
+        // Differential: every batched answer must equal its one-walk
+        // counterpart, on a tree with duplicates and over query sets
+        // containing absent, duplicate, and boundary values.
+        let mut t = OsTree::new();
+        for x in [5u32, 5, 9, 9, 9, 12, 40, 41, 60] {
+            t.insert(x);
+        }
+        let qs: Vec<u32> = vec![0, 4, 5, 5, 8, 9, 10, 40, 42, 60, 61, 100];
+        let mut le = Vec::new();
+        let mut less = Vec::new();
+        let mut ranks = Vec::new();
+        t.multi_count_le(&qs, &mut le);
+        t.multi_count_less(&qs, &mut less);
+        t.multi_rank(&qs, &mut ranks);
+        for ((q, (&l, &ls)), &r) in qs.iter().zip(le.iter().zip(&less)).zip(&ranks) {
+            assert_eq!(l, t.count_le(q), "count_le diverged at {q}");
+            assert_eq!(ls, t.count_less(q), "count_less diverged at {q}");
+            assert_eq!(r, t.rank(q), "rank diverged at {q}");
+        }
+        let rs: Vec<usize> = (0..=t.len() + 2).collect();
+        let mut sel = Vec::new();
+        t.multi_select(&rs, &mut sel);
+        for (&r, &s) in rs.iter().zip(&sel) {
+            assert_eq!(s, t.select(r), "select diverged at rank {r}");
+        }
+    }
+
+    #[test]
+    fn multi_tag_of_matches_single_lookups() {
+        let mut t = OsTree::new();
+        for (i, x) in [10u32, 20, 30, 40].iter().enumerate() {
+            assert!(t.insert_unique_tagged(*x, 100 + i as u64));
+        }
+        let qs: Vec<u32> = vec![5, 10, 15, 20, 20, 40, 99];
+        let mut tags = Vec::new();
+        t.multi_tag_of(&qs, &mut tags);
+        for (q, &tag) in qs.iter().zip(&tags) {
+            assert_eq!(tag, t.tag_of(q), "tag diverged at {q}");
+        }
+    }
+
+    #[test]
+    fn multi_queries_on_empty_tree() {
+        let t: OsTree<u32> = OsTree::new();
+        let (mut le, mut sel, mut tags) = (Vec::new(), Vec::new(), Vec::new());
+        t.multi_count_le(&[1, 2, 3], &mut le);
+        assert_eq!(le, vec![0, 0, 0]);
+        t.multi_select(&[0, 1, 2], &mut sel);
+        assert_eq!(sel, vec![None, None, None]);
+        t.multi_tag_of(&[7], &mut tags);
+        assert_eq!(tags, vec![None]);
+        t.multi_count_le(&[], &mut le);
+        assert!(le.is_empty());
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Label arena: batch interning of minted labels into shared chunks.
+//!
+//! The adversary mints labels in *runs* — every leaf of the recursion
+//! tree appends a strictly increasing batch of fresh items to each
+//! stream. Before this module each label owned its own `Arc<[u8]>`
+//! allocation, so a run of `m` labels cost `m` allocator round-trips
+//! and scattered the label bytes across the heap; comparisons then paid
+//! a pointer chase per operand into unrelated cache lines.
+//!
+//! [`LabelArena`] instead accumulates a run's labels into one
+//! contiguous buffer and *seals* the run into a single shared chunk
+//! (`Arc<[u8]>`): every [`Item`] of the run is a `(chunk, offset,
+//! length)` slice of that chunk, so a leaf's labels — exactly the items
+//! the summary and treap will compare against each other most often —
+//! sit adjacent in memory. Sealing is the only copy; the arena keeps no
+//! unsafe self-references (the workspace forbids `unsafe`), it simply
+//! never hands out an item before its chunk is frozen.
+//!
+//! Sealing also assigns each item a fresh **arena id** (a `u32` from a
+//! process-wide mint counter). Ids are globally unique across all
+//! arenas and [`Item::from_label`] mints, and clones share their
+//! original's id — so id equality proves label equality and replaces
+//! the old `Arc::ptr_eq` fast path with a one-word compare that needs
+//! no pointer chase. Ids are *never* observable through the comparison
+//! API: they only ever short-circuit `Ord`/`Eq` toward the verdict the
+//! label bytes would produce anyway, so mint order (which may vary
+//! across thread interleavings of the parallel sweep) cannot influence
+//! any comparison outcome, keeping runs byte-for-byte reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::item::Item;
+
+/// Sentinel id carried by items minted after the 32-bit id space is
+/// exhausted. Two `NO_ID` items are *not* assumed equal — they fall
+/// through to the byte-wise comparison — so exhaustion only costs the
+/// fast path, never correctness.
+pub(crate) const NO_ID: u32 = u32::MAX;
+
+/// Process-wide mint counter. 64-bit so `fetch_add` can never wrap back
+/// into the valid 32-bit id range; everything past `NO_ID` saturates to
+/// the sentinel.
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Mints a globally unique arena id (or [`NO_ID`] on exhaustion).
+///
+/// `Relaxed` suffices: ids carry no ordering information — uniqueness
+/// (guaranteed by the atomic read-modify-write) is the only property
+/// the comparison fast path relies on.
+pub(crate) fn mint_id() -> u32 {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    if id >= u64::from(NO_ID) {
+        NO_ID
+    } else {
+        id as u32
+    }
+}
+
+/// A batch interner for label runs.
+///
+/// Push the run's labels in stream order, then [`seal`](Self::seal) the
+/// run into items backed by one shared chunk. The arena is reusable:
+/// sealing drains it (keeping its buffers' capacity), so one arena per
+/// adversary serves every leaf without fresh allocations once the
+/// high-water mark is reached.
+///
+/// ## Ownership and lifetime contract
+///
+/// The arena owns the pending bytes until `seal`; after `seal` the
+/// chunk is owned jointly by the returned items (plain `Arc`
+/// reference counting — the chunk outlives the arena and is freed when
+/// the last item drops). A chunk is immutable from the moment any item
+/// can see it, which is what lets items alias it without `unsafe`.
+#[derive(Default)]
+pub struct LabelArena {
+    buf: Vec<u8>,
+    ends: Vec<usize>,
+}
+
+impl LabelArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one label to the pending run.
+    pub fn push_label(&mut self, label: &[u8]) {
+        self.buf.extend_from_slice(label);
+        self.ends.push(self.buf.len());
+    }
+
+    /// Number of labels in the pending (unsealed) run.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the pending run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Seals the pending run into one shared chunk and returns its
+    /// items, in push order. Resets the arena for the next run.
+    pub fn seal(&mut self) -> Vec<Item> {
+        let mut out = Vec::with_capacity(self.ends.len());
+        self.seal_into(&mut out);
+        out
+    }
+
+    /// [`seal`](Self::seal) into a caller-owned buffer (appends).
+    pub fn seal_into(&mut self, out: &mut Vec<Item>) {
+        let chunk: Arc<[u8]> = Arc::from(self.buf.as_slice());
+        out.reserve(self.ends.len());
+        let mut start = 0usize;
+        for &end in &self.ends {
+            out.push(Item::from_chunk(Arc::clone(&chunk), start, end));
+            start = end;
+        }
+        self.buf.clear();
+        self.ends.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_items_share_one_chunk_and_keep_order() {
+        let mut arena = LabelArena::new();
+        arena.push_label(&[1]);
+        arena.push_label(&[2, 2]);
+        arena.push_label(&[3, 3, 3]);
+        assert_eq!(arena.len(), 3);
+        let items = arena.seal();
+        assert!(arena.is_empty());
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].label(), &[1]);
+        assert_eq!(items[1].label(), &[2, 2]);
+        assert_eq!(items[2].label(), &[3, 3, 3]);
+        assert!(items[0] < items[1] && items[1] < items[2]);
+    }
+
+    #[test]
+    fn arena_is_reusable_after_seal() {
+        let mut arena = LabelArena::new();
+        arena.push_label(&[9]);
+        let first = arena.seal();
+        arena.push_label(&[7]);
+        let second = arena.seal();
+        assert_eq!(first[0].label(), &[9]);
+        assert_eq!(second[0].label(), &[7]);
+        assert!(second[0] < first[0]);
+    }
+
+    #[test]
+    fn minted_ids_are_distinct_but_clones_share() {
+        let mut arena = LabelArena::new();
+        arena.push_label(&[5]);
+        arena.push_label(&[6]);
+        let items = arena.seal();
+        // Distinct mints never compare equal unless the bytes agree.
+        assert_ne!(items[0], items[1]);
+        let c = items[0].clone();
+        assert_eq!(items[0], c);
+        assert_eq!(items[0].cmp(&c), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn empty_run_seals_to_no_items() {
+        let mut arena = LabelArena::new();
+        assert!(arena.seal().is_empty());
+    }
+
+    #[test]
+    fn interned_equals_individually_minted() {
+        let mut arena = LabelArena::new();
+        arena.push_label(&[4, 4]);
+        let interned = arena.seal().pop().unwrap();
+        let single = Item::from_label(vec![4, 4]);
+        // Different chunks, different ids — equality must come from the
+        // label bytes alone.
+        assert_eq!(interned, single);
+        assert_eq!(interned.cmp(&single), std::cmp::Ordering::Equal);
+    }
+}

@@ -4,6 +4,8 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::arena::{mint_id, NO_ID};
+
 /// An element of the totally ordered universe.
 ///
 /// Internally an item is an immutable byte-string label compared
@@ -13,43 +15,81 @@ use std::sync::Arc;
 /// only compare, test equality, hash, and clone — exactly the operations
 /// permitted by Definition 2.1(i) of the paper.
 ///
-/// Cloning is O(1) (the label is reference-counted).
+/// Cloning is O(1) (the label chunk is reference-counted).
 ///
-/// ## Comparison fast path
+/// ## Memory layout
 ///
-/// The same `Arc` is cloned into the stream index, the treap, and the
-/// summary under attack, so a large share of comparisons on the
-/// adversary hot path are an item against *itself*. `Ord`/`Eq` are
-/// therefore implemented manually (not derived) with a pointer-equality
-/// short-circuit before the byte-wise walk, and the byte-wise walk
-/// compares 8-byte words at a time — refinement-minted labels share
-/// long prefixes, so skipping the common prefix a word per step is the
-/// dominant cost saver on deep labels. The observable semantics are
-/// exactly the derived ones: lexicographic byte order.
-#[derive(Clone, Eq)]
-pub struct Item(Arc<[u8]>);
+/// An item is a view into an arena chunk (see
+/// [`LabelArena`](crate::LabelArena)): a shared `Arc<[u8]>` holding the
+/// labels of a whole minted run, plus the `(off, len)` slice locating
+/// this label. Two inline fields are precomputed at mint time so the
+/// common comparisons never dereference the chunk at all:
+///
+/// * `key` — the first 8 label bytes, big-endian, zero-padded. Because
+///   labels never end in `0x00` (the [`between_labels`]
+///   (crate::between_labels) invariant), zero-padding cannot collide a
+///   short label with a longer one that it is not genuinely ordered
+///   against: if two keys differ, their order *is* the lexicographic
+///   order of the labels; if they agree, the labels agree on their
+///   first `min(8, len)` bytes and only the tail needs a byte-wise
+///   tiebreak.
+/// * `id` — a globally unique arena id. Clones share their original's
+///   id, so `id` equality proves the labels are the same and yields
+///   `Equal` without touching memory — the arena-layout replacement for
+///   the old `Arc::ptr_eq` fast path. Inequality of ids proves nothing
+///   and falls through. The [`NO_ID`] sentinel (minted only after id
+///   exhaustion) is excluded from the fast path entirely.
+///
+/// The observable semantics are exactly the derived ones on the label
+/// bytes: lexicographic byte order. The prefix `key` is not reachable
+/// through the public API, and the `id` is exposed read-only
+/// ([`arena_id`](Item::arena_id)) for adversary-side bookkeeping only —
+/// summaries, being generic over `T: Ord + Clone`, cannot observe
+/// anything beyond comparison outcomes (the `model-purity` lint
+/// certifies this).
+#[derive(Clone)]
+pub struct Item {
+    key: u64,
+    id: u32,
+    off: u32,
+    len: u32,
+    chunk: Arc<[u8]>,
+}
 
 impl PartialEq for Item {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+        (self.id == other.id && self.id != NO_ID)
+            || (self.key == other.key && self.label() == other.label())
     }
 }
 
-// Manual alongside the manual `PartialEq` (pointer equality implies
-// label equality, so the `k1 == k2 ⇒ hash(k1) == hash(k2)` contract
-// holds); hashes the label bytes exactly as the derive would.
+impl Eq for Item {}
+
+// Manual alongside the manual `PartialEq` (id equality implies label
+// equality, so the `k1 == k2 ⇒ hash(k1) == hash(k2)` contract holds);
+// hashes the label bytes exactly as the old `Arc<[u8]>` layout did.
 impl std::hash::Hash for Item {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.0.hash(state);
+        self.label().hash(state);
     }
 }
 
 impl Ord for Item {
     fn cmp(&self, other: &Self) -> Ordering {
-        if Arc::ptr_eq(&self.0, &other.0) {
+        if self.id == other.id && self.id != NO_ID {
             return Ordering::Equal;
         }
-        lex_cmp(&self.0, &other.0)
+        if self.key != other.key {
+            // Big-endian keys order exactly like the padded first 8
+            // bytes, which (no-trailing-zero invariant aside, see the
+            // type docs) is the labels' lexicographic order.
+            return self.key.cmp(&other.key);
+        }
+        let a = self.label();
+        let b = other.label();
+        // Equal keys ⇒ the labels agree on bytes 0..m; compare tails.
+        let m = a.len().min(b.len()).min(8);
+        lex_cmp(&a[m..], &b[m..])
     }
 }
 
@@ -85,29 +125,90 @@ fn lex_cmp(a: &[u8], b: &[u8]) -> Ordering {
     a.len().cmp(&b.len())
 }
 
+/// The fixed-width comparison key: first 8 label bytes, big-endian,
+/// zero-padded on the right.
+fn prefix_key(label: &[u8]) -> u64 {
+    let mut k = [0u8; 8];
+    let n = label.len().min(8);
+    k[..n].copy_from_slice(&label[..n]);
+    u64::from_be_bytes(k)
+}
+
 impl Item {
-    /// Wraps a raw label. Intended for the adversary/universe machinery;
-    /// summaries should never construct items.
+    /// Wraps a raw label in a single-label chunk. Intended for the
+    /// adversary/universe machinery; summaries should never construct
+    /// items. Run minting goes through [`LabelArena`](crate::LabelArena)
+    /// instead, which packs a whole run into one chunk.
     pub fn from_label(label: Vec<u8>) -> Self {
-        Item(label.into())
+        let chunk: Arc<[u8]> = label.into();
+        let end = chunk.len();
+        Self::from_chunk(chunk, 0, end)
+    }
+
+    /// An item viewing `chunk[start..end]`. The chunk must already be
+    /// frozen (no mutable access can exist behind an `Arc<[u8]>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice bounds are out of range or exceed the `u32`
+    /// offset space (a single chunk holds one minted run; runs are
+    /// nowhere near 4 GiB).
+    pub(crate) fn from_chunk(chunk: Arc<[u8]>, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end && end <= chunk.len(),
+            "chunk slice out of range"
+        );
+        let off = u32::try_from(start).expect("arena chunk exceeds u32 offset space");
+        let len = u32::try_from(end - start).expect("label exceeds u32 length space");
+        let key = prefix_key(&chunk[start..end]);
+        Item {
+            key,
+            id: mint_id(),
+            off,
+            len,
+            chunk,
+        }
     }
 
     /// The underlying label bytes (adversary-side introspection only).
     pub fn label(&self) -> &[u8] {
-        &self.0
+        let start = self.off as usize;
+        &self.chunk[start..start + self.len as usize]
     }
 
     /// Length of the label in bytes — a proxy for how deeply nested in
     /// the interval-refinement recursion this item was minted.
     pub fn depth(&self) -> usize {
-        self.0.len()
+        self.len as usize
+    }
+
+    /// The item's arena id, if it carries a real one (`None` for the
+    /// post-exhaustion [`NO_ID`] sentinel). Ids are globally unique and
+    /// id equality proves label equality, so adversary-side bookkeeping
+    /// (e.g. the equivalence checker's arrival-tag memo) may use the id
+    /// as a stable identity key. Like [`label`](Self::label), this is
+    /// adversary-side introspection only — summaries stay generic over
+    /// `T: Ord + Clone` and physically cannot observe it.
+    pub fn arena_id(&self) -> Option<u32> {
+        (self.id != NO_ID).then_some(self.id)
+    }
+
+    /// A copy of this item carrying the [`NO_ID`] sentinel — test-only,
+    /// for exercising the id-exhaustion comparison path without minting
+    /// 2³² items.
+    #[cfg(test)]
+    pub(crate) fn with_no_id(&self) -> Self {
+        Item {
+            id: NO_ID,
+            ..self.clone()
+        }
     }
 }
 
 impl fmt::Debug for Item {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Item(")?;
-        for (i, b) in self.0.iter().enumerate() {
+        for (i, b) in self.label().iter().enumerate() {
             if i > 0 {
                 write!(f, ".")?;
             }
@@ -158,8 +259,8 @@ mod tests {
     #[test]
     fn fast_path_matches_slice_lexicographic_order() {
         // Exhaustive-ish differential check against the reference
-        // (`<[u8]>::cmp`), with lengths straddling the 8-byte word size
-        // and differences at every position.
+        // (`<[u8]>::cmp`), with lengths straddling the 8-byte key/word
+        // size and differences at every position.
         let mut labels: Vec<Vec<u8>> = vec![vec![]];
         for len in [1usize, 7, 8, 9, 15, 16, 17, 31] {
             for fill in [0u8, 1, 127, 255] {
@@ -187,10 +288,66 @@ mod tests {
     }
 
     #[test]
-    fn shared_arc_compares_equal_via_pointer() {
+    fn shared_id_compares_equal_without_byte_walk() {
         let a = Item::from_label(vec![5; 1000]);
         let b = a.clone();
         assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equal_keys_divergent_tails_still_order_correctly() {
+        // Shared 8-byte prefix: the key cannot decide, the tail must.
+        let a = Item::from_label(vec![7, 7, 7, 7, 7, 7, 7, 7, 1]);
+        let b = Item::from_label(vec![7, 7, 7, 7, 7, 7, 7, 7, 2]);
+        let p = Item::from_label(vec![7, 7, 7, 7, 7, 7, 7, 7]);
+        assert!(a < b);
+        assert!(p < a, "8-byte prefix orders below its extensions");
+    }
+
+    #[test]
+    fn zero_padded_key_collision_resolves_by_length() {
+        // key([5]) == key([5,0,0,0,0,0,0,0,1]) — both pad to
+        // 05 00 00 00 00 00 00 00. The shorter (a strict prefix once
+        // padded) must order first, exactly as slice::cmp says.
+        let short = Item::from_label(vec![5]);
+        let long = Item::from_label(vec![5, 0, 0, 0, 0, 0, 0, 0, 1]);
+        assert!(short < long);
+        assert_eq!(
+            short.cmp(&long),
+            short.label().cmp(long.label()),
+            "key-equal path diverged from reference"
+        );
+    }
+
+    #[test]
+    fn no_id_sentinel_never_fast_paths_to_equal() {
+        let a = Item::from_label(vec![3, 3]).with_no_id();
+        let b = Item::from_label(vec![3, 3]).with_no_id();
+        let c = Item::from_label(vec![3, 4]).with_no_id();
+        // Equal bytes: still Equal — via the byte path, not the id.
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a, b);
+        // Distinct bytes with matching sentinel ids must NOT be equal.
+        assert!(a < c);
+        assert_ne!(a, c);
+        // Sentinel vs regular id also byte-compares.
+        let d = Item::from_label(vec![3, 3]);
+        assert_eq!(a.cmp(&d), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn hash_agrees_with_equality_across_mints() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |it: &Item| {
+            let mut s = DefaultHasher::new();
+            it.hash(&mut s);
+            s.finish()
+        };
+        let a = Item::from_label(vec![1, 2, 3]);
+        let b = Item::from_label(vec![1, 2, 3]); // distinct mint, equal bytes
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
     }
 }

@@ -37,7 +37,8 @@ pub fn between_labels(a: Option<&[u8]>, b: Option<&[u8]>) -> Vec<u8> {
     if let (Some(a), Some(b)) = (a, b) {
         assert!(a < b, "between_labels requires a < b, got {a:?} !< {b:?}");
     }
-    let out = midpoint(a.unwrap_or(&[]), b);
+    let mut out = Vec::new();
+    midpoint(a.unwrap_or(&[]), b, &mut out);
     debug_assert!(!out.is_empty());
     debug_assert!(*out.last().unwrap() != 0);
     if let Some(a) = a {
@@ -47,6 +48,28 @@ pub fn between_labels(a: Option<&[u8]>, b: Option<&[u8]>) -> Vec<u8> {
         debug_assert!(out.as_slice() < b);
     }
     out
+}
+
+/// [`between_labels`] minus the precondition re-checks and the fresh
+/// allocation — for crate callers whose construction guarantees the
+/// invariants (balanced subdivision maintains `lo < mid < hi` and the
+/// no-trailing-zero rule by induction, and
+/// [`crate::generate_labels_into`] validates the run's outer endpoints
+/// once up front). The checked entry point re-compares `a < b` —
+/// O(label depth) — and allocates a `Vec` on every call, which together
+/// dominated minting a dense run under a deeply refined interval; this
+/// one writes into a caller-pooled buffer instead.
+pub(crate) fn between_labels_into(a: Option<&[u8]>, b: Option<&[u8]>, out: &mut Vec<u8>) {
+    out.clear();
+    midpoint(a.unwrap_or(&[]), b, out);
+    debug_assert!(!out.is_empty());
+    debug_assert!(*out.last().unwrap() != 0);
+    if let Some(a) = a {
+        debug_assert!(out.as_slice() > a);
+    }
+    if let Some(b) = b {
+        debug_assert!(out.as_slice() < b);
+    }
 }
 
 /// Returns a fresh label strictly inside the open interval `(lo, hi)`.
@@ -67,24 +90,28 @@ pub fn label_in(lo: &Endpoint, hi: &Endpoint) -> Vec<u8> {
 /// Midpoint between `a` (empty slice = −∞ side, i.e. all-zero padding)
 /// and `b` (`None` = +∞). Requires `a < b` where the empty `a` compares
 /// below everything and `None` `b` above everything.
-fn midpoint(a: &[u8], b: Option<&[u8]>) -> Vec<u8> {
-    if let Some(b) = b {
-        // Strip the common prefix (treating `a` as zero-padded past its end).
-        let mut i = 0;
-        while i < b.len() && digit(a, i) == b[i] {
-            i += 1;
-        }
+///
+/// Iterative: the shared prefix, the split digit, and the low-side
+/// descent are all appended to ONE caller-provided output vector. The
+/// recursive formulation allocated a fresh `Vec` per nesting level,
+/// which made minting under a deeply refined interval (label depth
+/// Θ(εN) in the worst case) allocation-bound.
+fn midpoint(mut a: &[u8], mut b: Option<&[u8]>, out: &mut Vec<u8>) {
+    // Copy the common prefix (treating `a` as zero-padded past its end).
+    // `a < b` guarantees the prefix never consumes all of `b`, so the
+    // tail stays non-empty.
+    if let Some(bs) = b {
+        let i = padded_common_prefix(a, bs);
         if i > 0 {
-            let mut out = b[..i].to_vec();
-            let a_tail = if i <= a.len() { &a[i..] } else { &[][..] };
-            out.extend_from_slice(&midpoint(a_tail, Some(&b[i..])));
-            return out;
+            out.extend_from_slice(bs.get(..i).unwrap_or(bs));
+            a = a.get(i..).unwrap_or(&[]);
+            b = bs.get(i..).filter(|t| !t.is_empty());
         }
     }
     // First digits differ (or b = +∞).
     let da = u16::from(digit(a, 0));
-    let db = match b {
-        Some(b) => u16::from(b[0]),
+    let db = match b.and_then(|bs| bs.first()) {
+        Some(&d) => u16::from(d),
         None => 256,
     };
     debug_assert!(da < db, "midpoint precondition violated: {da} >= {db}");
@@ -92,39 +119,68 @@ fn midpoint(a: &[u8], b: Option<&[u8]>) -> Vec<u8> {
         // A digit strictly between exists; it is nonzero because db >= 2.
         let mid = ((da + db) / 2) as u8;
         debug_assert!(u16::from(mid) > da && u16::from(mid) < db);
-        vec![mid]
+        out.push(mid);
     } else {
         // Consecutive first digits: descend on the low side, unconstrained
-        // above. `[da] ++ x` with `x > a[1..]` sits strictly inside.
-        let a_tail = if a.is_empty() { &[][..] } else { &a[1..] };
-        let mut out = vec![da as u8];
-        out.extend_from_slice(&above(a_tail));
-        out
-    }
-}
-
-/// Returns a label strictly greater than `a` (with no upper constraint),
-/// never ending in zero.
-fn above(a: &[u8]) -> Vec<u8> {
-    if a.is_empty() {
-        return vec![HALF];
-    }
-    let a0 = a[0];
-    if a0 < u8::MAX {
-        // Any single digit in (a0, 256) beats `a` regardless of its tail.
-        let mid = ((u16::from(a0) + 256) / 2) as u8;
-        debug_assert!(mid > a0);
-        vec![mid]
-    } else {
-        let mut out = vec![a0];
-        out.extend_from_slice(&above(&a[1..]));
-        out
+        // above. `[da] ++ x` with `x > a[1..]` sits strictly inside; `x`
+        // copies `a`'s maximal 0xFF run, then one digit above the first
+        // non-0xFF digit (or HALF past `a`'s end) beats any tail.
+        out.push(da as u8);
+        let mut rest = a.get(1..).unwrap_or(&[]);
+        loop {
+            match rest.first() {
+                None => {
+                    out.push(HALF);
+                    break;
+                }
+                Some(&a0) if a0 < u8::MAX => {
+                    let mid = ((u16::from(a0) + 256) / 2) as u8;
+                    debug_assert!(mid > a0);
+                    out.push(mid);
+                    break;
+                }
+                Some(&a0) => {
+                    out.push(a0);
+                    rest = rest.get(1..).unwrap_or(&[]);
+                }
+            }
+        }
     }
 }
 
 #[inline]
 fn digit(a: &[u8], i: usize) -> u8 {
     a.get(i).copied().unwrap_or(0)
+}
+
+/// Length of the common prefix of `a` — treated as zero-padded past its
+/// end — and `b`. The overlap is scanned one `u64` word at a time
+/// (refinement nests labels ~k bytes deep, so the byte-wise scan
+/// dominated minting); the little-endian view makes the first differing
+/// byte the XOR's lowest nonzero byte on every platform.
+fn padded_common_prefix(a: &[u8], b: &[u8]) -> usize {
+    const W: usize = 8;
+    let overlap = a.len().min(b.len());
+    let mut i = 0;
+    while i + W <= overlap {
+        let wa = u64::from_le_bytes(a[i..i + W].try_into().expect("8-byte chunk"));
+        let wb = u64::from_le_bytes(b[i..i + W].try_into().expect("8-byte chunk"));
+        if wa != wb {
+            return i + ((wa ^ wb).trailing_zeros() / 8) as usize;
+        }
+        i += W;
+    }
+    while i < overlap {
+        if a.get(i) != b.get(i) {
+            return i;
+        }
+        i += 1;
+    }
+    // `a` exhausted: its zero padding keeps matching while `b` runs 0x00.
+    while b.get(i) == Some(&0) {
+        i += 1;
+    }
+    i
 }
 
 #[cfg(all(test, feature = "proptest"))]

@@ -38,10 +38,12 @@
 //! assert!(items[1] < mid && mid < items[2]);
 //! ```
 
+mod arena;
 mod interval;
 mod item;
 mod label;
 
+pub use arena::LabelArena;
 pub use interval::{Endpoint, Interval};
 pub use item::Item;
 pub use label::{between_labels, label_in};
@@ -61,11 +63,48 @@ pub fn between_items(a: &Item, b: &Item) -> Item {
 ///
 /// The items are produced by balanced binary subdivision, so label length
 /// grows only O(log n) rather than O(n) as naive repeated insertion after
-/// the previous item would give.
+/// the previous item would give. The whole run is interned through a
+/// [`LabelArena`]: labels are generated first (raw bytes, in order),
+/// then sealed into one shared chunk — so a run's items are contiguous
+/// in memory and cost one chunk allocation instead of `n`.
 pub fn generate_increasing(interval: &Interval, n: usize) -> Vec<Item> {
-    let mut out: Vec<Option<Item>> = vec![None; n];
-    fill(interval.lo(), interval.hi(), &mut out);
-    out.into_iter().map(|o| o.expect("slot filled")).collect()
+    let mut arena = LabelArena::new();
+    generate_labels_into(interval, n, &mut arena);
+    arena.seal()
+}
+
+/// Generates the raw labels of [`generate_increasing`] into `arena`
+/// (same balanced subdivision, same byte-identical labels) without
+/// sealing, so a caller batching several runs can share one chunk.
+pub fn generate_labels_into(interval: &Interval, n: usize, arena: &mut LabelArena) {
+    let lo = match interval.lo() {
+        Endpoint::NegInf => None,
+        Endpoint::Finite(item) => Some(item.label()),
+        Endpoint::PosInf => panic!("interval low endpoint cannot be +inf"),
+    };
+    let hi = match interval.hi() {
+        Endpoint::PosInf => None,
+        Endpoint::Finite(item) => Some(item.label()),
+        Endpoint::NegInf => panic!("interval high endpoint cannot be -inf"),
+    };
+    // Validate the run's outer endpoints ONCE; the subdivision below
+    // maintains the invariants by induction, so the per-label midpoint
+    // calls can skip the O(label depth) re-checks.
+    for side in [lo, hi].into_iter().flatten() {
+        assert!(!side.is_empty(), "finite label must be non-empty");
+        assert!(
+            side.last().is_some_and(|b| *b != 0),
+            "label must not end in 0x00"
+        );
+    }
+    if let (Some(a), Some(b)) = (lo, hi) {
+        assert!(a < b, "generate requires lo < hi, got {a:?} !< {b:?}");
+    }
+    // Midpoint buffer pool: the subdivision holds at most O(log n) mid
+    // labels alive at once (one per recursion level), so a run of n
+    // mints costs O(log n) buffer allocations instead of n.
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    fill_labels(lo, hi, n, arena, &mut pool);
 }
 
 /// Compile-time audit that items (and the endpoints and intervals built
@@ -78,21 +117,33 @@ fn sharding_send_audit() {
     assert_send::<Item>();
     assert_send::<Endpoint>();
     assert_send::<Interval>();
+    // The shared arena handle: minted-run chunks (and the arena that
+    // builds them) cross the parallel sweep pool inside Items and leaf
+    // scratch state.
+    assert_send::<LabelArena>();
 }
 
-fn fill(lo: &Endpoint, hi: &Endpoint, out: &mut [Option<Item>]) {
-    if out.is_empty() {
+/// Balanced subdivision over raw labels: the mid label splits `(lo, hi)`
+/// and the halves recurse, pushing labels in increasing order. Mid
+/// buffers are drawn from (and returned to) `pool` so the recursion
+/// reuses one buffer per level.
+fn fill_labels(
+    lo: Option<&[u8]>,
+    hi: Option<&[u8]>,
+    n: usize,
+    arena: &mut LabelArena,
+    pool: &mut Vec<Vec<u8>>,
+) {
+    if n == 0 {
         return;
     }
-    let m = out.len() / 2;
-    let mid = Item::from_label(label_in(lo, hi));
-    let mid_ep = Endpoint::Finite(mid.clone());
-    {
-        let (left, rest) = out.split_at_mut(m);
-        fill(lo, &mid_ep, left);
-        rest[0] = Some(mid);
-        fill(&mid_ep, hi, &mut rest[1..]);
-    }
+    let m = n / 2;
+    let mut mid = pool.pop().unwrap_or_default();
+    label::between_labels_into(lo, hi, &mut mid);
+    fill_labels(lo, Some(&mid), m, arena, pool);
+    arena.push_label(&mid);
+    fill_labels(Some(&mid), hi, n - m - 1, arena, pool);
+    pool.push(mid);
 }
 
 #[cfg(test)]

@@ -9,7 +9,10 @@
 /// What part of the paper's cast a crate implements.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Role {
-    /// `cqs-universe`: the only crate allowed to mint `Item`s / labels.
+    /// `cqs-universe`: the only crate allowed to mint `Item`s / labels —
+    /// including the `LabelArena` batch interner and the process-wide
+    /// arena-id mint, which exist so minting stays O(1)-clone and
+    /// cache-adjacent without widening the comparison API.
     Universe,
     /// `cqs-core` and the root package: traits, adversary, shared infra.
     /// Deterministic, but not itself a summary under test.
@@ -98,6 +101,14 @@ pub const HOT_PATH_FNS: &[&str] = &[
     "quantile",
     "estimate_rank",
     "merge",
+    // Batched order-statistic walks (cqs-ostree): the adversary's gap
+    // scans and equivalence checks funnel every per-leaf query through
+    // these, so they face the same adversarial input as insert/query.
+    "multi_count_le",
+    "multi_count_less",
+    "multi_rank",
+    "multi_select",
+    "multi_tag_of",
 ];
 
 /// Entry points of the panic-free adversary driver — the *roots* of the
@@ -230,6 +241,19 @@ mod tests {
         assert!(q.hot_path_rules());
         assert!(!q.comparison_rules());
         assert!(q.determinism_rules());
+    }
+
+    #[test]
+    fn batched_walks_are_hot_path_roots() {
+        for f in [
+            "multi_count_le",
+            "multi_count_less",
+            "multi_rank",
+            "multi_select",
+            "multi_tag_of",
+        ] {
+            assert!(HOT_PATH_FNS.contains(&f), "{f} missing from hot-path roots");
+        }
     }
 
     #[test]
