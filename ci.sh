@@ -7,6 +7,7 @@
 #   ./ci.sh --fast     # skip the release build (lint + tests only)
 #   ./ci.sh --lint     # only fmt + the static-analysis lint gate
 #   ./ci.sh --faults   # only the fault-matrix smoke (debug build)
+#   ./ci.sh --recovery # only the crash/resume smoke (release build)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,6 +16,44 @@ faults_smoke() {
     # k = 6 must map every injected fault to its documented verdict
     # (the binary exits nonzero on the first mismatch).
     cargo run "$@" -q -p cqs-cli --bin cqs-tool -- faults --inv-eps 16 --k 6
+}
+
+recovery_smoke() {
+    # Crash/resume smoke: a sweep killed mid-run (the checkpoint layer
+    # exits 86 after CQS_CRASH_AFTER_CELLS completed cells) and resumed
+    # from its checkpoint must emit a CSV byte-identical to an
+    # uninterrupted run — at every --jobs fan-out.
+    local root=target/recovery-smoke
+    rm -rf "$root"
+    for j in 1 4; do
+        CQS_RESULTS_DIR="$root/base-j$j" \
+            cargo run --release -q -p cqs-bench --bin thm22_lower_bound_sweep -- \
+                --smoke --jobs "$j"
+        # The crashed run: expect exactly exit code 86.
+        local code=0
+        CQS_CRASH_AFTER_CELLS=2 CQS_RESULTS_DIR="$root/crashed-j$j" \
+            cargo run --release -q -p cqs-bench --bin thm22_lower_bound_sweep -- \
+                --smoke --jobs "$j" --resume "$root/ckpt-j$j" || code=$?
+        if [[ $code -ne 86 ]]; then
+            echo "recovery smoke: expected injected-crash exit 86, got $code" >&2
+            exit 1
+        fi
+        # The resumed run completes from the checkpoint…
+        env -u CQS_CRASH_AFTER_CELLS CQS_RESULTS_DIR="$root/crashed-j$j" \
+            cargo run --release -q -p cqs-bench --bin thm22_lower_bound_sweep -- \
+                --smoke --jobs "$j" --resume "$root/ckpt-j$j"
+        # …and its CSV is byte-for-byte the uninterrupted one.
+        diff "$root/base-j$j/thm22_lower_bound_sweep.csv" \
+             "$root/crashed-j$j/thm22_lower_bound_sweep.csv"
+    done
+    # Crash points must not matter either: jobs-4 resumed output matches
+    # the jobs-1 baseline (determinism across fan-out AND crash/resume).
+    diff "$root/base-j1/thm22_lower_bound_sweep.csv" \
+         "$root/crashed-j4/thm22_lower_bound_sweep.csv"
+    # Storage fault matrix from the CLI: every corruption family must be
+    # rejected with its typed RestoreError (exit 0 = zero silent
+    # restores).
+    cargo run --release -q -p cqs-cli --bin cqs-tool -- recover
 }
 
 if [[ "${1:-}" == "--lint" ]]; then
@@ -30,6 +69,13 @@ if [[ "${1:-}" == "--faults" ]]; then
     echo "==> fault-matrix smoke (cqs faults, gk, eps=1/16, k=6)"
     faults_smoke
     echo "ci: faults smoke green"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--recovery" ]]; then
+    echo "==> crash/resume smoke (thm22 --smoke, crash after 2 cells, jobs 1 & 4)"
+    recovery_smoke
+    echo "ci: recovery smoke green"
     exit 0
 fi
 
@@ -89,6 +135,9 @@ if [[ $fast -eq 0 ]]; then
         cargo run --release -q -p cqs-bench --bin thm22_lower_bound_sweep -- --smoke --jobs 4
     diff target/sweep-smoke/serial/thm22_lower_bound_sweep.csv \
          target/sweep-smoke/parallel/thm22_lower_bound_sweep.csv
+
+    echo "==> crash/resume smoke (thm22 --smoke, crash after 2 cells, jobs 1 & 4)"
+    recovery_smoke
 fi
 
 echo "ci: all green"

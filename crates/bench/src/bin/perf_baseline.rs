@@ -23,16 +23,31 @@
 //! binary's job is honest per-config timings, and concurrent runs
 //! contend for cores. The JSON `runs` array is in config order for any
 //! `--jobs`; only the interleaving of progress lines changes.
+//!
+//! `--resume DIR` checkpoints the adversary phase to `DIR/perf.ckpt`
+//! after every timed config; a rerun reuses intact stored results and
+//! replays the rest (corrupt checkpoints are rejected with typed
+//! verdicts, never restored). `CQS_CRASH_AFTER_CELLS=k` injects a
+//! mid-run crash (exit code 86) for the CI recovery leg.
+//!
+//! The summaries file also records a `snapshot_roundtrip` mode — the
+//! cost of one `cqs-snapshot` serialize + restore cycle per summary —
+//! so `--verify` guards against checkpointing regressing the hot path.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use cqs_bench::checkpoint::{
+    crash_policy_from_env, grid_fingerprint, run_cells_checkpointed, CheckpointConfig,
+    CheckpointedRun, CrashPolicy,
+};
 use cqs_bench::exec::{parse_jobs, run_cells, CellOutcome};
 use cqs_bench::json::{parse, Json};
 use cqs_bench::{attack, Target};
 use cqs_core::{ComparisonSummary, Eps};
 use cqs_gk::{GkSummary, GreedyGk};
+use cqs_snapshot::{RestoreError, SnapshotRead, SnapshotWrite};
 use cqs_streams::{workload, Workload};
 
 const ADVERSARY_FILE: &str = "BENCH_adversary.json";
@@ -47,6 +62,7 @@ struct Opts {
     smoke: bool,
     verify: Option<PathBuf>,
     jobs: usize,
+    resume: Option<PathBuf>,
 }
 
 fn workspace_root() -> PathBuf {
@@ -62,6 +78,7 @@ fn parse_opts() -> Result<Opts, String> {
         smoke: false,
         verify: None,
         jobs: 1,
+        resume: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +92,11 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--verify" => {
                 opts.verify = Some(PathBuf::from(args.next().ok_or("--verify needs a value")?))
+            }
+            "--resume" => {
+                opts.resume = Some(PathBuf::from(
+                    args.next().ok_or("--resume needs a checkpoint directory")?,
+                ))
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -178,6 +200,58 @@ fn summary_run<S: ComparisonSummary<u64>>(
             "final_stored".into(),
             Json::Num(summary.stored_count() as f64),
         ),
+    ])
+}
+
+/// One timed snapshot/restore overhead configuration: the summary is
+/// filled once, then round-tripped through the `cqs-snapshot` wire
+/// format `rounds` times. Recorded as mode `snapshot_roundtrip` in the
+/// summaries file so `--verify` can insist checkpointing stays off the
+/// hot path's back.
+fn snapshot_run<S>(phase: &str, name: &str, mut summary: S, values: &[u64], rounds: usize) -> Json
+where
+    S: ComparisonSummary<u64> + SnapshotWrite + SnapshotRead,
+{
+    for &v in values {
+        summary.insert(v);
+    }
+    let mut bytes_len = 0usize;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        let bytes = summary.to_snapshot_bytes();
+        bytes_len = bytes.len();
+        let restored = S::from_snapshot_bytes(&bytes).expect("self-written snapshot restores");
+        assert_eq!(restored.stored_count(), summary.stored_count());
+    }
+    let elapsed = started.elapsed();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    // Items covered per second of snapshot+restore work: the honest
+    // "how much stream does one checkpoint cycle cost" figure.
+    let ips = (values.len() * rounds) as f64 / secs;
+    println!(
+        "  snapshot {:>9}  {:<9} {:<11} n={:>7}  {:>8.1} ms  {:>12.0} items/s  ({} bytes)",
+        name,
+        "roundtrip",
+        "snapshot",
+        values.len(),
+        secs * 1e3,
+        ips,
+        bytes_len
+    );
+    Json::Obj(vec![
+        ("phase".into(), Json::Str(phase.into())),
+        ("summary".into(), Json::Str(name.into())),
+        ("workload".into(), Json::Str("shuffled".into())),
+        ("mode".into(), Json::Str("snapshot_roundtrip".into())),
+        ("chunk".into(), Json::Num(rounds as f64)),
+        ("n".into(), Json::Num(values.len() as f64)),
+        ("elapsed_ms".into(), Json::Num(secs * 1e3)),
+        ("items_per_sec".into(), Json::Num(ips)),
+        (
+            "final_stored".into(),
+            Json::Num(summary.stored_count() as f64),
+        ),
+        ("snapshot_bytes".into(), Json::Num(bytes_len as f64)),
     ])
 }
 
@@ -309,6 +383,15 @@ fn verify(dir: &Path) -> Result<(), String> {
                 }
             }
         }
+        if file == SUMMARIES_FILE
+            && !runs
+                .iter()
+                .any(|r| r.get("mode").and_then(Json::as_str) == Some("snapshot_roundtrip"))
+        {
+            return Err(format!(
+                "{file}: no snapshot_roundtrip runs — snapshot overhead is not being tracked"
+            ));
+        }
         println!("[verify] {} ok ({} runs)", path.display(), runs.len());
     }
     Ok(())
@@ -338,12 +421,66 @@ fn run(opts: &Opts) -> Result<(), String> {
     };
     // Fan the configs over the worker pool; results come back in config
     // order, so the JSON runs array is deterministic for any --jobs.
-    let outcomes = run_cells(
-        adversary_configs,
-        opts.jobs,
-        |_, &(t, e, k)| adversary_run(phase, t, e, k),
-        |_| {},
-    );
+    let outcomes = match &opts.resume {
+        None => run_cells(
+            adversary_configs,
+            opts.jobs,
+            |_, &(t, e, k)| adversary_run(phase, t, e, k),
+            |_| {},
+        ),
+        Some(dir) => {
+            // Checkpointed: completed configs persist as rendered JSON
+            // rows and a rerun reuses every intact one. The render →
+            // parse → render cycle is byte-stable, so resumed artifacts
+            // match uninterrupted ones exactly (modulo nothing).
+            let mut cfg = CheckpointConfig::in_dir(dir, "perf");
+            cfg.crash = crash_policy_from_env()?;
+            if let CrashPolicy::Exit(k) = cfg.crash {
+                eprintln!("[perf] crash injection armed: exiting after {k} persisted configs");
+            }
+            let fp = grid_fingerprint(
+                adversary_configs
+                    .iter()
+                    .map(|(t, e, k)| format!("perf {} 1/{e} k={k} phase={phase}", t.name())),
+            );
+            let sweep = run_cells_checkpointed(
+                adversary_configs,
+                opts.jobs,
+                &cfg,
+                fp,
+                |_, &(t, e, k)| adversary_run(phase, t, e, k),
+                |json| Some(json.render().into_bytes()),
+                |bytes| {
+                    let text = std::str::from_utf8(bytes).map_err(|_| RestoreError::Malformed {
+                        section: "CELL".to_string(),
+                        detail: "stored run is not UTF-8".to_string(),
+                    })?;
+                    parse(text).map_err(|e| RestoreError::Malformed {
+                        section: "CELL".to_string(),
+                        detail: e,
+                    })
+                },
+                |_| {},
+            );
+            if sweep.resume.reused > 0 {
+                eprintln!(
+                    "[perf] resumed: {}/{} adversary configs reused from {}",
+                    sweep.resume.reused,
+                    sweep.resume.total,
+                    cfg.path.display()
+                );
+            }
+            for ev in &sweep.resume.events {
+                eprintln!("[perf] recovery: {ev}");
+            }
+            match sweep.run {
+                CheckpointedRun::Complete(outcomes) => outcomes,
+                CheckpointedRun::Halted { completed } => {
+                    return Err(format!("adversary phase halted after {completed} configs"))
+                }
+            }
+        }
+    };
     let mut adversary_runs: Vec<Json> = Vec::with_capacity(adversary_configs.len());
     for (cfg, outcome) in adversary_configs.iter().zip(outcomes) {
         match outcome {
@@ -385,6 +522,28 @@ fn run(opts: &Opts) -> Result<(), String> {
             ));
         }
     }
+
+    println!("== snapshot/restore overhead (phase: {phase}) ==");
+    let (snap_n, rounds) = if opts.smoke {
+        (5_000, 5)
+    } else {
+        (200_000, 50)
+    };
+    let snap_values = workload(Workload::Shuffled, snap_n, 42).expect("n > 0");
+    summary_runs.push(snapshot_run(
+        phase,
+        "gk",
+        GkSummary::new(0.01),
+        &snap_values,
+        rounds,
+    ));
+    summary_runs.push(snapshot_run(
+        phase,
+        "gk-greedy",
+        GreedyGk::new(0.01),
+        &snap_values,
+        rounds,
+    ));
 
     let adv_path = opts.out_dir.join(ADVERSARY_FILE);
     write_runs(&adv_path, ADVERSARY_SCHEMA, opts.merge, adversary_runs)?;

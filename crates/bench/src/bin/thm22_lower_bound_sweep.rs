@@ -18,20 +18,34 @@
 //! the `cqs_bench::exec` worker pool; rows come back in input order, so
 //! the table and its CSV mirror are byte-identical for every `--jobs`.
 //!
+//! With `--resume <dir>` progress persists to `<dir>/thm22.ckpt` after
+//! every cell and a rerun reuses every intact stored result, so a
+//! crashed sweep picks up where it left off and still emits the exact
+//! CSV an uninterrupted run would (corrupt checkpoints are rejected
+//! with typed verdicts and the affected cells replayed). The CI
+//! recovery leg injects crashes via `CQS_CRASH_AFTER_CELLS=k` (exit
+//! code 86 after k freshly persisted cells).
+//!
 //! Run: `cargo run -p cqs-bench --release --bin thm22_lower_bound_sweep`
-//!      `[-- [--jobs N] [--smoke]]`
+//!      `[-- [--jobs N] [--smoke] [--resume DIR]]`
 //! (`--jobs 0` or absent = available parallelism; `--smoke` runs a
 //! small CI grid. Set `CQS_RESULTS_DIR` to redirect the CSV mirror.)
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use cqs_bench::checkpoint::{crash_policy_from_env, CheckpointConfig, CrashPolicy};
 use cqs_bench::emit;
 use cqs_bench::exec::{default_jobs, parse_jobs};
-use cqs_bench::sweeps::{thm22_full_grid, thm22_smoke_grid, thm22_sweep};
+use cqs_bench::sweeps::{
+    thm22_full_grid, thm22_smoke_grid, thm22_sweep, thm22_sweep_checkpointed, Thm22Sweep,
+    Thm22SweepRun,
+};
 
 fn main() -> ExitCode {
     let mut jobs = default_jobs();
     let mut smoke = false;
+    let mut resume: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let parsed = match arg.as_str() {
@@ -43,6 +57,13 @@ fn main() -> ExitCode {
                 smoke = true;
                 Ok(())
             }
+            "--resume" => match args.next() {
+                Some(dir) => {
+                    resume = Some(PathBuf::from(dir));
+                    Ok(())
+                }
+                None => Err("--resume needs a checkpoint directory".into()),
+            },
             other => Err(format!("unknown argument: {other}")),
         };
         if let Err(e) = parsed {
@@ -62,7 +83,23 @@ fn main() -> ExitCode {
         jobs,
         if smoke { " (smoke grid)" } else { "" }
     );
-    let sweep = thm22_sweep(&cells, jobs, true);
+    let sweep = match resume {
+        None => thm22_sweep(&cells, jobs, true),
+        Some(dir) => {
+            let mut cfg = CheckpointConfig::in_dir(&dir, "thm22");
+            cfg.crash = match crash_policy_from_env() {
+                Ok(policy) => policy,
+                Err(e) => {
+                    eprintln!("thm22_lower_bound_sweep: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_checkpointed(&cells, jobs, &cfg) {
+                Some(sweep) => sweep,
+                None => return ExitCode::FAILURE,
+            }
+        }
+    };
 
     emit(
         "Theorem 2.2 — lower-bound sweep (space vs c(k+2)/(4eps) on adversarial streams)",
@@ -84,4 +121,33 @@ fn main() -> ExitCode {
         }
     }
     cqs_bench::exit_status()
+}
+
+fn run_checkpointed(
+    cells: &[cqs_bench::sweeps::Thm22Cell],
+    jobs: usize,
+    cfg: &CheckpointConfig,
+) -> Option<Thm22Sweep> {
+    if let CrashPolicy::Exit(k) = cfg.crash {
+        eprintln!("[thm22] crash injection armed: exiting after {k} freshly persisted cells");
+    }
+    let (run, resume) = thm22_sweep_checkpointed(cells, jobs, true, cfg);
+    if resume.reused > 0 {
+        eprintln!(
+            "[thm22] resumed: {}/{} cells reused from {}",
+            resume.reused,
+            resume.total,
+            cfg.path.display()
+        );
+    }
+    for ev in &resume.events {
+        eprintln!("[thm22] recovery: {ev}");
+    }
+    match run {
+        Thm22SweepRun::Complete(sweep) => Some(sweep),
+        Thm22SweepRun::Halted { completed } => {
+            eprintln!("[thm22] halted after {completed} cells (in-process crash injection)");
+            None
+        }
+    }
 }

@@ -12,6 +12,7 @@
 //! EXPERIMENTS.md's numbers are regenerable with
 //! `cargo run -p cqs-bench --release --bin <name>`.
 
+pub mod checkpoint;
 pub mod exec;
 pub mod json;
 pub mod micro;
@@ -235,6 +236,16 @@ fn sharding_send_audit<R: Send + Sync>() {
     assert_send::<json::Json>();
     assert_send::<sweeps::Thm22Cell>();
     assert_send::<sweeps::Thm22Sweep>();
+    // Checkpointing vocabulary: the persisting report wrapper runs on
+    // pool workers, so everything it touches must cross threads.
+    assert_send::<checkpoint::SweepCheckpoint>();
+    assert_send::<checkpoint::CrashPolicy>();
+    assert_send::<checkpoint::CheckpointConfig>();
+    assert_send::<checkpoint::CkptOutcome<'_, R>>();
+    assert_send::<checkpoint::CkptProgress<'_, R>>();
+    assert_send::<checkpoint::CheckpointedRun<R>>();
+    assert_send::<checkpoint::CheckpointedSweep<R>>();
+    assert_send::<checkpoint::ResumeInfo>();
 }
 
 #[cfg(test)]

@@ -8,9 +8,14 @@
 
 use std::ops::RangeInclusive;
 
-use cqs_core::Eps;
+use cqs_core::{AdversaryReport, Eps};
+use cqs_snapshot::{Decoder, Encoder, RestoreError};
 use cqs_streams::Table;
 
+use crate::checkpoint::{
+    grid_fingerprint, run_cells_checkpointed, CheckpointConfig, CheckpointedRun, CkptOutcome,
+    CkptProgress, ResumeInfo,
+};
 use crate::exec::{items_per_sec, run_cells, CellOutcome, Completion};
 use crate::{f1, try_attack, Target};
 
@@ -71,26 +76,17 @@ pub struct Thm22Sweep {
 /// `jobs`. With `progress` set, a coarse per-cell line (cell id,
 /// verdict, items/s) goes to stderr as each cell completes.
 pub fn thm22_sweep(cells: &[Thm22Cell], jobs: usize, progress: bool) -> Thm22Sweep {
-    let report = |c: &Completion<'_, Result<cqs_core::AdversaryReport, String>>| {
+    let report = |c: &Completion<'_, Result<AdversaryReport, String>>| {
         if !progress {
             return;
         }
-        let cell = &cells[c.index];
         let (verdict, items) = match c.outcome {
             CellOutcome::Done(Ok(rep)) => ("completed", 2 * rep.n),
             CellOutcome::Done(Err(_)) => ("skipped", 0),
             CellOutcome::Panicked(_) => ("panicked", 0),
         };
-        eprintln!(
-            "[thm22 {}/{}] eps={} k={} {} {} {:.0} items/s ({:.2}s)",
-            c.finished,
-            c.total,
-            cell.eps,
-            cell.k,
-            cell.target.name(),
-            verdict,
-            items_per_sec(items, c.elapsed),
-            c.elapsed.as_secs_f64()
+        progress_line(
+            cells, c.index, c.finished, c.total, verdict, items, c.elapsed,
         );
     };
     let outcomes = run_cells(
@@ -99,7 +95,43 @@ pub fn thm22_sweep(cells: &[Thm22Cell], jobs: usize, progress: bool) -> Thm22Swe
         |_, cell| try_attack(cell.eps, cell.k, cell.target),
         report,
     );
+    thm22_table(cells, outcomes)
+}
 
+/// One coarse stderr progress line, shared by the plain and
+/// checkpointed sweeps so both render identically.
+fn progress_line(
+    cells: &[Thm22Cell],
+    index: usize,
+    finished: usize,
+    total: usize,
+    verdict: &str,
+    items: u64,
+    elapsed: std::time::Duration,
+) {
+    let Some(cell) = cells.get(index) else {
+        return;
+    };
+    eprintln!(
+        "[thm22 {}/{}] eps={} k={} {} {} {:.0} items/s ({:.2}s)",
+        finished,
+        total,
+        cell.eps,
+        cell.k,
+        cell.target.name(),
+        verdict,
+        items_per_sec(items, elapsed),
+        elapsed.as_secs_f64()
+    );
+}
+
+/// Renders cell outcomes into the sweep table — the single table
+/// builder for both the plain and the checkpointed sweep, so a resumed
+/// run cannot drift from an uninterrupted one in formatting.
+fn thm22_table(
+    cells: &[Thm22Cell],
+    outcomes: Vec<CellOutcome<Result<AdversaryReport, String>>>,
+) -> Thm22Sweep {
     let mut table = Table::new(&[
         "eps",
         "k",
@@ -172,6 +204,184 @@ pub fn thm22_sweep(cells: &[Thm22Cell], jobs: usize, progress: bool) -> Thm22Swe
     }
 }
 
+/// Intern table for [`AdversaryReport::summary_name`], which is a
+/// `&'static str`: checkpoint records store an index into this list so
+/// restore can hand back the same static string. Append-only — index
+/// positions are part of the checkpoint format.
+const SUMMARY_NAMES: &[&str] = &[
+    "gk",
+    "gk-greedy",
+    "gk-capped",
+    "kll",
+    "mrl",
+    "ckms",
+    "reservoir",
+    "exact",
+    "decimated",
+    "summary",
+];
+
+/// Encodes one cell result for the sweep checkpoint. Floats travel as
+/// IEEE-754 bit patterns, ε as its exact integer inverse — the decoded
+/// report renders byte-identical table text. Returns `None` (skip
+/// persistence, replay on resume) for a summary name outside the
+/// intern table.
+pub fn encode_thm22_result(res: &Result<AdversaryReport, String>) -> Option<Vec<u8>> {
+    let mut e = Encoder::new();
+    match res {
+        Err(msg) => {
+            e.put_u8(0);
+            e.put_str(msg);
+        }
+        Ok(rep) => {
+            let name = SUMMARY_NAMES.iter().position(|&n| n == rep.summary_name)?;
+            e.put_u8(1);
+            e.put_u64(rep.eps.inverse());
+            e.put_u32(rep.k);
+            e.put_u64(rep.n);
+            e.put_u64(rep.final_gap);
+            e.put_u64(rep.gap_ceiling);
+            e.put_u64(rep.stored_final as u64);
+            e.put_u64(rep.max_stored as u64);
+            e.put_f64(rep.space_gap_rhs_at_gap);
+            e.put_f64(rep.theorem22_bound);
+            e.put_u64(rep.claim1_violations as u64);
+            e.put_u64(rep.lemma52_violations as u64);
+            e.put_bool(rep.equivalence_ok);
+            e.put_u64(rep.max_label_depth as u64);
+            e.put_u32(name as u32);
+        }
+    }
+    Some(e.into_bytes())
+}
+
+/// Decodes a checkpoint record written by [`encode_thm22_result`].
+/// Every malformation is a typed [`RestoreError`]; the checkpoint layer
+/// responds by replaying the cell.
+pub fn decode_thm22_result(bytes: &[u8]) -> Result<Result<AdversaryReport, String>, RestoreError> {
+    fn malformed(detail: impl Into<String>) -> RestoreError {
+        RestoreError::Malformed {
+            section: "CELL".to_string(),
+            detail: detail.into(),
+        }
+    }
+    fn to_usize(x: u64) -> Result<usize, RestoreError> {
+        usize::try_from(x).map_err(|_| malformed("count overflows usize"))
+    }
+    let mut d = Decoder::new(bytes, "CELL");
+    let res = match d.take_u8()? {
+        0 => Err(d.take_str()?.to_string()),
+        1 => {
+            let inv = d.take_u64()?;
+            if inv == 0 {
+                return Err(malformed("zero 1/eps"));
+            }
+            let k = d.take_u32()?;
+            let n = d.take_u64()?;
+            let final_gap = d.take_u64()?;
+            let gap_ceiling = d.take_u64()?;
+            let stored_final = to_usize(d.take_u64()?)?;
+            let max_stored = to_usize(d.take_u64()?)?;
+            let space_gap_rhs_at_gap = d.take_f64()?;
+            let theorem22_bound = d.take_f64()?;
+            let claim1_violations = to_usize(d.take_u64()?)?;
+            let lemma52_violations = to_usize(d.take_u64()?)?;
+            let equivalence_ok = d.take_bool()?;
+            let max_label_depth = to_usize(d.take_u64()?)?;
+            let name_idx = to_usize(u64::from(d.take_u32()?))?;
+            let summary_name = SUMMARY_NAMES
+                .get(name_idx)
+                .copied()
+                .ok_or_else(|| malformed(format!("unknown summary-name index {name_idx}")))?;
+            Ok(AdversaryReport {
+                eps: Eps::from_inverse(inv),
+                k,
+                n,
+                final_gap,
+                gap_ceiling,
+                stored_final,
+                max_stored,
+                space_gap_rhs_at_gap,
+                theorem22_bound,
+                claim1_violations,
+                lemma52_violations,
+                equivalence_ok,
+                max_label_depth,
+                summary_name,
+            })
+        }
+        other => return Err(malformed(format!("unknown result tag {other}"))),
+    };
+    d.finish()?;
+    Ok(res)
+}
+
+/// Stable fingerprint of a Theorem 2.2 grid, binding a checkpoint to
+/// the exact (ε, k, target) cells in order.
+pub fn thm22_fingerprint(cells: &[Thm22Cell]) -> u64 {
+    grid_fingerprint(
+        cells
+            .iter()
+            .map(|c| format!("thm22 eps={} k={} {}", c.eps, c.k, c.target.name())),
+    )
+}
+
+/// How a checkpointed Theorem 2.2 sweep ended.
+pub enum Thm22SweepRun {
+    /// All cells accounted for; the table is identical to an
+    /// uninterrupted [`thm22_sweep`] over the same grid.
+    Complete(Thm22Sweep),
+    /// An injected in-process halt tripped before the grid finished.
+    Halted {
+        /// Cells with persisted outcomes.
+        completed: usize,
+    },
+}
+
+/// [`thm22_sweep`] with crash recovery: progress persists to
+/// `cfg.path` after every completed cell, and a rerun reuses every
+/// intact stored result. The returned table is built by the same
+/// renderer as the plain sweep, so crash/resume sequences under any
+/// `jobs` produce byte-identical CSV.
+pub fn thm22_sweep_checkpointed(
+    cells: &[Thm22Cell],
+    jobs: usize,
+    progress: bool,
+    cfg: &CheckpointConfig,
+) -> (Thm22SweepRun, ResumeInfo) {
+    let report = |c: &CkptProgress<'_, Result<AdversaryReport, String>>| {
+        if !progress {
+            return;
+        }
+        let (verdict, items) = match &c.outcome {
+            CkptOutcome::Done(Ok(rep)) => ("completed", 2 * rep.n),
+            CkptOutcome::Done(Err(_)) => ("skipped", 0),
+            CkptOutcome::Panicked(_) => ("panicked", 0),
+            CkptOutcome::Skipped => ("halted", 0),
+        };
+        progress_line(
+            cells, c.index, c.finished, c.total, verdict, items, c.elapsed,
+        );
+    };
+    let sweep = run_cells_checkpointed(
+        cells,
+        jobs,
+        cfg,
+        thm22_fingerprint(cells),
+        |_, cell| try_attack(cell.eps, cell.k, cell.target),
+        encode_thm22_result,
+        decode_thm22_result,
+        report,
+    );
+    let run = match sweep.run {
+        CheckpointedRun::Complete(outcomes) => {
+            Thm22SweepRun::Complete(thm22_table(cells, outcomes))
+        }
+        CheckpointedRun::Halted { completed } => Thm22SweepRun::Halted { completed },
+    };
+    (run, sweep.resume)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +408,90 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!(rows[0].contains("gk"), "{csv}");
         assert!(rows[1].contains("gk-greedy"), "{csv}");
+    }
+
+    #[test]
+    fn thm22_codec_round_trips_reports_and_errors() {
+        let cells = thm22_grid(&[8], 3..=3, &[Target::Gk]);
+        let res = try_attack(cells[0].eps, cells[0].k, cells[0].target);
+        let bytes = encode_thm22_result(&res).expect("known summary name");
+        let back = decode_thm22_result(&bytes).unwrap();
+        match (&res, &back) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.summary_name, b.summary_name);
+                assert_eq!(a.eps.inverse(), b.eps.inverse());
+                assert_eq!(
+                    (a.k, a.n, a.final_gap, a.gap_ceiling),
+                    (b.k, b.n, b.final_gap, b.gap_ceiling)
+                );
+                assert_eq!(
+                    (a.stored_final, a.max_stored),
+                    (b.stored_final, b.max_stored)
+                );
+                assert_eq!(a.theorem22_bound.to_bits(), b.theorem22_bound.to_bits());
+                assert_eq!(
+                    a.space_gap_rhs_at_gap.to_bits(),
+                    b.space_gap_rhs_at_gap.to_bits()
+                );
+                assert_eq!(
+                    (
+                        a.claim1_violations,
+                        a.lemma52_violations,
+                        a.equivalence_ok,
+                        a.max_label_depth
+                    ),
+                    (
+                        b.claim1_violations,
+                        b.lemma52_violations,
+                        b.equivalence_ok,
+                        b.max_label_depth
+                    )
+                );
+            }
+            _ => panic!("adversary outcome shape changed across the codec"),
+        }
+
+        let err: Result<AdversaryReport, String> = Err("fault injected".into());
+        let bytes = encode_thm22_result(&err).expect("errors always encode");
+        match decode_thm22_result(&bytes).unwrap() {
+            Err(msg) => assert_eq!(msg, "fault injected"),
+            Ok(_) => panic!("error record decoded as a report"),
+        }
+
+        // A truncated record is a typed corruption, not a panic.
+        assert!(decode_thm22_result(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn checkpointed_sweep_halt_resume_matches_uninterrupted_csv() {
+        use crate::checkpoint::CrashPolicy;
+
+        let cells = thm22_grid(&[8], 3..=4, &[Target::Gk, Target::GkGreedy]);
+        let baseline = thm22_sweep(&cells, 1, false).table.to_csv();
+        for jobs in [1usize, 4] {
+            let dir =
+                std::env::temp_dir().join(format!("cqs-thm22-ckpt-{jobs}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut cfg = CheckpointConfig::in_dir(&dir, "thm22");
+            cfg.crash = CrashPolicy::Halt(2);
+            let (first, _) = thm22_sweep_checkpointed(&cells, jobs, false, &cfg);
+            if jobs == 1 {
+                // Serial order guarantees the halt trips mid-grid.
+                assert!(matches!(first, Thm22SweepRun::Halted { completed: 2 }));
+            }
+            cfg.crash = CrashPolicy::None;
+            let (second, resume) = thm22_sweep_checkpointed(&cells, jobs, false, &cfg);
+            let Thm22SweepRun::Complete(sweep) = second else {
+                panic!("resumed sweep did not complete");
+            };
+            assert!(resume.reused >= 2, "reused={}", resume.reused);
+            assert!(sweep.skipped.is_empty(), "{:?}", sweep.skipped);
+            assert_eq!(
+                sweep.table.to_csv(),
+                baseline,
+                "resumed CSV diverged at jobs={jobs}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }

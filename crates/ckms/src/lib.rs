@@ -36,7 +36,6 @@ use cqs_core::{ComparisonSummary, RankEstimator};
 
 /// One CKMS tuple (same shape as GK's).
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CkmsTuple<T> {
     /// Stored item.
     pub v: T,
@@ -48,7 +47,6 @@ pub struct CkmsTuple<T> {
 
 /// Which end of the rank spectrum gets the sharp relative guarantee.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Bias {
     /// Error ε·r — sharp at *low* ranks (small quantiles), the original
     /// CKMS setting.
@@ -61,7 +59,6 @@ pub enum Bias {
 
 /// The CKMS biased-quantiles summary (low-rank biased: error ε·r).
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CkmsSummary<T> {
     tuples: Vec<CkmsTuple<T>>,
     n: u64,
@@ -115,6 +112,60 @@ impl<T: Ord + Clone> CkmsSummary<T> {
     /// Raw tuples (diagnostics and tests).
     pub fn tuples(&self) -> &[CkmsTuple<T>] {
         &self.tuples
+    }
+
+    /// The persistent state as `(tuples, n, eps, bias, compress_period)`
+    /// — everything a snapshot must carry.
+    pub fn snapshot_parts(&self) -> (&[CkmsTuple<T>], u64, f64, Bias, u64) {
+        (
+            &self.tuples,
+            self.n,
+            self.eps,
+            self.bias,
+            self.compress_period,
+        )
+    }
+
+    /// Rebuilds a summary from snapshot parts, validating ε range,
+    /// positive period, sorted tuples, total `g` mass equal to `n`, and
+    /// the biased span invariant. Returns a diagnostic instead of
+    /// constructing a broken summary.
+    pub fn from_snapshot_parts(
+        tuples: Vec<CkmsTuple<T>>,
+        n: u64,
+        eps: f64,
+        bias: Bias,
+        compress_period: u64,
+    ) -> Result<Self, String> {
+        if !(eps > 0.0 && eps < 0.5) {
+            return Err(format!("snapshot eps {eps} outside (0, 0.5)"));
+        }
+        if compress_period < 1 {
+            return Err("snapshot compress period must be positive".to_string());
+        }
+        if !tuples.windows(2).all(|w| match (w.first(), w.last()) {
+            (Some(a), Some(b)) => a.v <= b.v,
+            _ => true,
+        }) {
+            return Err("snapshot tuples are not sorted by value".to_string());
+        }
+        let mass: u64 = tuples.iter().map(|t| t.g).sum();
+        if mass != n {
+            return Err(format!(
+                "snapshot g mass {mass} disagrees with stream length {n}"
+            ));
+        }
+        let s = CkmsSummary {
+            tuples,
+            n,
+            eps,
+            bias,
+            compress_period,
+        };
+        if !s.invariant_holds() {
+            return Err("snapshot violates the CKMS biased span invariant".to_string());
+        }
+        Ok(s)
     }
 
     /// The biased invariant function: f(r) = max(⌊2εr⌋, 1) for low

@@ -13,6 +13,8 @@ pub enum Cli {
     Compare(CompareArgs),
     /// `cqs faults [--inv-eps I] [--k K] [--target A] [--seed S] [--jobs N]`.
     Faults(FaultsArgs),
+    /// `cqs recover [--n N]`.
+    Recover(RecoverArgs),
     /// `cqs help` (or `--help`).
     Help,
 }
@@ -106,6 +108,14 @@ pub struct FaultsArgs {
     pub jobs: usize,
 }
 
+/// Arguments of `cqs recover`.
+#[derive(Clone, Debug)]
+pub struct RecoverArgs {
+    /// Items inserted into the GK summary whose snapshot the storage
+    /// fault matrix corrupts.
+    pub n: u64,
+}
+
 /// Usage text printed by `cqs help`.
 pub const USAGE: &str = "\
 cqs — comparison-based quantile summaries (and the proof they can't be smaller)
@@ -118,6 +128,7 @@ USAGE:
   cqs compare   [--eps E] [--expected-n N] [--seed S]           < numbers.txt
   cqs faults    [--inv-eps I] [--k K] [--target gk|gk-greedy|mrl] [--seed S]
                 [--jobs N]
+  cqs recover   [--n N]
   cqs help
 
 `cqs faults` sweeps the fault matrix (every FaultPlan kind plus a budget
@@ -131,6 +142,13 @@ mismatch, the observed verdict's code: 3 summary-incorrect,
 machine's available parallelism; `--jobs 1` is the serial path). The
 rendered table and exit code are identical for every N — cells are
 independent adversary runs and results are assembled in input order.
+
+`cqs recover` runs the storage fault matrix (truncation, torn write,
+bit flip, stale version, swapped sections) against a deterministic GK
+snapshot and checks that every corruption is rejected with its expected
+typed RestoreError — zero silent restores. Exit codes: 0 = every fault
+detected as expected; 7 = a fault was silently restored or produced an
+unexpected verdict; 1 = usage error.
 ";
 
 /// Parses an argument list (without the program name).
@@ -145,6 +163,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
         "adversary" => parse_adversary(&rest).map(Cli::Adversary),
         "compare" => parse_compare(&rest).map(Cli::Compare),
         "faults" => parse_faults(&rest).map(Cli::Faults),
+        "recover" => parse_recover(&rest).map(Cli::Recover),
         "help" | "--help" | "-h" => Ok(Cli::Help),
         other => Err(CliError::new(format!(
             "unknown command: {other}; try `cqs help`"
@@ -277,6 +296,18 @@ fn parse_faults(words: &[String]) -> Result<FaultsArgs, CliError> {
             "--target" => out.target = SummaryKind::parse(f.value(flag)?)?,
             "--seed" => out.seed = parse_u64(flag, f.value(flag)?)?,
             "--jobs" => out.jobs = parse_u64(flag, f.value(flag)?)? as usize,
+            other => return Err(CliError::new(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_recover(words: &[String]) -> Result<RecoverArgs, CliError> {
+    let mut out = RecoverArgs { n: 2_000 };
+    let mut f = Flags::new(words);
+    while let Some(flag) = f.next_flag() {
+        match flag {
+            "--n" => out.n = parse_u64(flag, f.value(flag)?)?.clamp(16, 10_000_000),
             other => return Err(CliError::new(format!("unknown flag: {other}"))),
         }
     }

@@ -3,7 +3,9 @@
 use std::io;
 use std::process::ExitCode;
 
-use cqs_cli::{parse_args, run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, Cli};
+use cqs_cli::{
+    parse_args, run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, run_recover_cmd, Cli,
+};
 
 fn main() -> ExitCode {
     let cli = match parse_args(std::env::args().skip(1)) {
@@ -26,6 +28,20 @@ fn main() -> ExitCode {
             // Faults carries its own exit-code scheme (see USAGE): the
             // report always prints, the code reflects verdict matching.
             return match run_faults_cmd(fa) {
+                Ok((out, code)) => {
+                    print!("{out}");
+                    ExitCode::from(code)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Cli::Recover(r) => {
+            // Same shape as faults: the matrix always prints, the code
+            // says whether every corruption got its typed verdict.
+            return match run_recover_cmd(r) {
                 Ok((out, code)) => {
                     print!("{out}");
                     ExitCode::from(code)

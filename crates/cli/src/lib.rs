@@ -24,9 +24,12 @@ mod args;
 mod commands;
 
 pub use args::{
-    parse_args, AdversaryArgs, Cli, CompareArgs, FaultsArgs, QuantilesArgs, SummaryKind, USAGE,
+    parse_args, AdversaryArgs, Cli, CompareArgs, FaultsArgs, QuantilesArgs, RecoverArgs,
+    SummaryKind, USAGE,
 };
-pub use commands::{run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, CliError};
+pub use commands::{
+    run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, run_recover_cmd, CliError,
+};
 
 #[cfg(test)]
 mod tests {
@@ -142,6 +145,24 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_recover_and_matrix_is_all_green() {
+        match parse(&["recover"]).unwrap() {
+            Cli::Recover(r) => assert_eq!(r.n, 2_000),
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&["recover", "--n", "500"]).unwrap() {
+            Cli::Recover(r) => {
+                assert_eq!(r.n, 500);
+                let (out, code) = run_recover_cmd(&r).unwrap();
+                assert_eq!(code, 0, "{out}");
+                assert!(out.contains("zero silent restores"), "{out}");
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&["recover", "--bogus"]).is_err());
     }
 
     #[test]

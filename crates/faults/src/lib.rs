@@ -49,6 +49,9 @@ use std::hash::{Hash, Hasher};
 
 use cqs_core::{ComparisonSummary, SplitMix64};
 
+pub mod storage;
+pub use storage::{apply_storage_fault, storage_fault_matrix, StorageFault};
+
 /// One injected misbehaviour, armed at a step count (see [`Fault`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {

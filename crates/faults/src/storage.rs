@@ -1,0 +1,251 @@
+//! Storage fault family: deterministic corruptions of snapshot bytes.
+//!
+//! Companion to the in-memory fault kinds: where [`crate::FaultKind`]
+//! exercises the panic-free adversary driver, these exercise the
+//! `cqs-snapshot` restore path. Each fault is a pure byte transform —
+//! `apply` never touches the filesystem — so tests and the `cqs
+//! recover` CLI can corrupt in memory and assert the typed
+//! `RestoreError` the wire format must report. Zero silent restores:
+//! every fault in [`storage_fault_matrix`] must surface as a
+//! corruption-class error, never as a successfully restored value.
+//!
+//! | Fault | Models | Canonical detection |
+//! |-------|--------|---------------------|
+//! | [`StorageFault::Truncate`] | partial flush / disk-full | `Truncated` or `ChecksumMismatch` |
+//! | [`StorageFault::TornWrite`] | non-atomic overwrite cut mid-file | `ChecksumMismatch` (or length framing errors) |
+//! | [`StorageFault::BitFlip`] | media decay | `ChecksumMismatch` |
+//! | [`StorageFault::StaleVersion`] | snapshot from an incompatible build | `UnsupportedVersion` |
+//! | [`StorageFault::SwappedSections`] | reordering writer bug | `UnexpectedSection` |
+
+/// One deterministic corruption of a snapshot byte string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageFault {
+    /// Keep only the first `keep` bytes (partial flush, disk full).
+    Truncate {
+        /// Prefix length preserved.
+        keep: usize,
+    },
+    /// A torn (non-atomic) overwrite: the first `prefix` bytes of the
+    /// new snapshot followed by the old file's tail from that offset —
+    /// exactly what an in-place overwrite leaves when the process dies
+    /// mid-`write`.
+    TornWrite {
+        /// How many bytes of the new snapshot made it to disk.
+        prefix: usize,
+    },
+    /// Flip one bit (media decay, cosmic ray).
+    BitFlip {
+        /// Byte offset of the flip.
+        offset: usize,
+        /// Bit index 0..=7 within that byte.
+        bit: u8,
+    },
+    /// Rewrite the header's format version field to 0 — a snapshot from
+    /// an incompatible (pre-release) build.
+    StaleVersion,
+    /// Swap the first two sections wholesale (a reordering writer bug);
+    /// each section's own CRC stays valid, so only tag sequencing can
+    /// catch it.
+    SwappedSections,
+}
+
+impl StorageFault {
+    /// Short stable name for tables and CSV rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageFault::Truncate { .. } => "truncation",
+            StorageFault::TornWrite { .. } => "torn-write",
+            StorageFault::BitFlip { .. } => "bit-flip",
+            StorageFault::StaleVersion => "stale-version",
+            StorageFault::SwappedSections => "swapped-sections",
+        }
+    }
+}
+
+/// Byte offset of the version field inside the snapshot header
+/// (magic `CQSS` occupies bytes 0..4; the `u32` version follows).
+const VERSION_OFFSET: usize = 4;
+
+/// Walks the section framing (`tag[4] | len u64 LE | payload | crc u32`)
+/// starting after `header_len` bytes and returns each section's
+/// `(start, end)` byte range. Stops at the first malformed frame —
+/// faults must be applicable to any input without panicking.
+fn section_ranges(bytes: &[u8], header_len: usize) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut pos = header_len;
+    while pos < bytes.len() {
+        let Some(len_bytes) = bytes.get(pos + 4..pos + 12) else {
+            break;
+        };
+        let Ok(len_arr) = <[u8; 8]>::try_from(len_bytes) else {
+            break;
+        };
+        let Ok(len) = usize::try_from(u64::from_le_bytes(len_arr)) else {
+            break;
+        };
+        let Some(end) = pos
+            .checked_add(12)
+            .and_then(|p| p.checked_add(len))
+            .and_then(|p| p.checked_add(4))
+        else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        ranges.push((pos, end));
+        pos = end;
+    }
+    ranges
+}
+
+/// Applies `fault` to `bytes`, returning the corrupted file image.
+///
+/// `prev` is the previously published file (used by
+/// [`StorageFault::TornWrite`], which models a non-atomic in-place
+/// overwrite); pass `None` to tear against an empty file.
+/// `header_len` is the wire format's header length
+/// (`cqs_snapshot::HEADER_LEN`), taken as a parameter so this crate
+/// stays a pure byte-transform library with no snapshot dependency.
+pub fn apply_storage_fault(
+    fault: &StorageFault,
+    bytes: &[u8],
+    prev: Option<&[u8]>,
+    header_len: usize,
+) -> Vec<u8> {
+    match fault {
+        StorageFault::Truncate { keep } => bytes
+            .get(..*keep.min(&bytes.len()))
+            .map_or_else(|| bytes.to_vec(), |prefix| prefix.to_vec()),
+        StorageFault::TornWrite { prefix } => {
+            let cut = (*prefix).min(bytes.len());
+            let mut out = bytes.get(..cut).unwrap_or(bytes).to_vec();
+            if let Some(tail) = prev.and_then(|p| p.get(cut..)) {
+                out.extend_from_slice(tail);
+            }
+            out
+        }
+        StorageFault::BitFlip { offset, bit } => {
+            let mut out = bytes.to_vec();
+            if let Some(b) = out.get_mut(*offset) {
+                *b ^= 1u8 << (bit % 8);
+            }
+            out
+        }
+        StorageFault::StaleVersion => {
+            let mut out = bytes.to_vec();
+            if let Some(field) = out.get_mut(VERSION_OFFSET..VERSION_OFFSET + 4) {
+                field.copy_from_slice(&0u32.to_le_bytes());
+            }
+            out
+        }
+        StorageFault::SwappedSections => {
+            let ranges = section_ranges(bytes, header_len);
+            let (Some(&(a_start, a_end)), Some(&(b_start, b_end))) =
+                (ranges.first(), ranges.get(1))
+            else {
+                return bytes.to_vec();
+            };
+            let mut out = bytes.get(..a_start).unwrap_or(&[]).to_vec();
+            out.extend_from_slice(bytes.get(b_start..b_end).unwrap_or(&[]));
+            out.extend_from_slice(bytes.get(a_start..a_end).unwrap_or(&[]));
+            out.extend_from_slice(bytes.get(b_end..).unwrap_or(&[]));
+            out
+        }
+    }
+}
+
+/// The canonical recovery fault matrix for a snapshot of `len` bytes:
+/// one representative instance of every storage fault family, with
+/// offsets placed deterministically inside the file body. Every entry
+/// must yield a corruption-class `RestoreError` on restore.
+pub fn storage_fault_matrix(len: usize) -> Vec<StorageFault> {
+    vec![
+        StorageFault::Truncate { keep: len / 2 },
+        StorageFault::TornWrite {
+            prefix: len * 3 / 4,
+        },
+        StorageFault::BitFlip {
+            offset: (len * 2 / 3).max(1),
+            bit: 3,
+        },
+        StorageFault::StaleVersion,
+        StorageFault::SwappedSections,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake two-section file with the real framing shape (12-byte
+    /// header) but dummy checksums — enough to test the byte
+    /// transforms themselves.
+    fn fake_file() -> Vec<u8> {
+        let mut f = b"CQSS".to_vec();
+        f.extend_from_slice(&1u32.to_le_bytes());
+        f.extend_from_slice(b"TSTK");
+        for (tag, payload) in [(*b"AAAA", vec![1u8; 5]), (*b"BBBB", vec![2u8; 9])] {
+            f.extend_from_slice(&tag);
+            f.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            f.extend_from_slice(&payload);
+            f.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        }
+        f
+    }
+
+    #[test]
+    fn truncate_and_bitflip_shapes() {
+        let f = fake_file();
+        let t = apply_storage_fault(&StorageFault::Truncate { keep: 10 }, &f, None, 12);
+        assert_eq!(t.len(), 10);
+        let b = apply_storage_fault(&StorageFault::BitFlip { offset: 3, bit: 0 }, &f, None, 12);
+        assert_eq!(b.len(), f.len());
+        assert_eq!(b[3], f[3] ^ 1);
+    }
+
+    #[test]
+    fn torn_write_mixes_generations() {
+        let new = vec![1u8; 20];
+        let old = vec![2u8; 30];
+        let torn =
+            apply_storage_fault(&StorageFault::TornWrite { prefix: 8 }, &new, Some(&old), 12);
+        assert_eq!(&torn[..8], &new[..8]);
+        assert_eq!(&torn[8..], &old[8..]);
+    }
+
+    #[test]
+    fn stale_version_rewrites_only_the_version_field() {
+        let f = fake_file();
+        let s = apply_storage_fault(&StorageFault::StaleVersion, &f, None, 12);
+        assert_eq!(&s[..4], b"CQSS");
+        assert_eq!(&s[4..8], &0u32.to_le_bytes());
+        assert_eq!(&s[8..], &f[8..]);
+    }
+
+    #[test]
+    fn swapped_sections_exchanges_whole_frames() {
+        let f = fake_file();
+        let s = apply_storage_fault(&StorageFault::SwappedSections, &f, None, 12);
+        assert_eq!(s.len(), f.len());
+        assert_eq!(&s[12..16], b"BBBB");
+        let second_start = 12 + 4 + 8 + 9 + 4;
+        assert_eq!(&s[second_start..second_start + 4], b"AAAA");
+    }
+
+    #[test]
+    fn matrix_covers_every_family_once() {
+        let m = storage_fault_matrix(100);
+        let names: Vec<&str> = m.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "truncation",
+                "torn-write",
+                "bit-flip",
+                "stale-version",
+                "swapped-sections"
+            ]
+        );
+    }
+}

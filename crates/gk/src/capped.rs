@@ -17,7 +17,6 @@ use crate::tuple::GkTuple;
 
 /// Greedy GK with a hard item budget (incorrect beyond its budget).
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CappedGk<T> {
     inner: GreedyGk<T>,
     budget: usize,

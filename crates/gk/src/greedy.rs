@@ -10,12 +10,12 @@
 use cqs_core::{ComparisonSummary, RankEstimator};
 
 use crate::tuple::{
-    estimate_rank_from_tuples, merge_sorted_chunk, query_rank_from_tuples, GkTuple,
+    estimate_rank_from_tuples, merge_sorted_chunk, query_rank_from_tuples, validate_tuple_parts,
+    GkTuple,
 };
 
 /// Greedy-merge GK summary.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GreedyGk<T> {
     tuples: Vec<GkTuple<T>>,
     n: u64,
@@ -23,8 +23,8 @@ pub struct GreedyGk<T> {
     compress_period: u64,
     /// Sorted-run merge scratch, kept across calls so the bulk insert
     /// path never allocates on the adversary's hot path (the periodic
-    /// compress itself runs in place).
-    #[cfg_attr(feature = "serde", serde(skip))]
+    /// compress itself runs in place). Transient: excluded from
+    /// snapshots and rebuilt empty on restore.
     scratch_mid: Vec<GkTuple<T>>,
 }
 
@@ -65,6 +65,34 @@ impl<T: Ord + Clone> GreedyGk<T> {
     /// Raw tuples (diagnostics and tests).
     pub fn tuples(&self) -> &[GkTuple<T>] {
         &self.tuples
+    }
+
+    /// The persistent state as `(tuples, n, eps, compress_period)`; see
+    /// [`crate::GkSummary::snapshot_parts`].
+    pub fn snapshot_parts(&self) -> (&[GkTuple<T>], u64, f64, u64) {
+        (&self.tuples, self.n, self.eps, self.compress_period)
+    }
+
+    /// Rebuilds a summary from snapshot parts with the same validation
+    /// as [`crate::GkSummary::from_snapshot_parts`].
+    pub fn from_snapshot_parts(
+        tuples: Vec<GkTuple<T>>,
+        n: u64,
+        eps: f64,
+        compress_period: u64,
+    ) -> Result<Self, String> {
+        validate_tuple_parts(&tuples, n, eps, compress_period)?;
+        let s = GreedyGk {
+            tuples,
+            n,
+            eps,
+            compress_period,
+            scratch_mid: Vec::new(),
+        };
+        if !s.invariant_holds() {
+            return Err("snapshot violates the GK span invariant g+Δ ≤ ⌊2εn⌋".to_string());
+        }
+        Ok(s)
     }
 
     fn threshold(&self) -> u64 {

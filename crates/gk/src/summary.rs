@@ -4,7 +4,8 @@ use cqs_core::{ComparisonSummary, RankEstimator};
 
 use crate::band::band;
 use crate::tuple::{
-    estimate_rank_from_tuples, merge_sorted_chunk, query_rank_from_tuples, GkTuple,
+    estimate_rank_from_tuples, merge_sorted_chunk, query_rank_from_tuples, validate_tuple_parts,
+    GkTuple,
 };
 
 /// The Greenwald–Khanna ε-approximate quantile summary (SIGMOD 2001),
@@ -12,7 +13,6 @@ use crate::tuple::{
 /// analysis. Space: O((1/ε)·log εN) — proved optimal by the lower bound
 /// in `cqs-core`.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GkSummary<T> {
     tuples: Vec<GkTuple<T>>,
     n: u64,
@@ -21,11 +21,9 @@ pub struct GkSummary<T> {
     /// COMPRESS scratch (band per tuple / merge flags / chunk-merge
     /// middle), kept across calls so the periodic compress and the
     /// sorted-run merge do not allocate on the adversary's hot path.
-    #[cfg_attr(feature = "serde", serde(skip))]
+    /// Transient: excluded from snapshots and rebuilt empty on restore.
     scratch_bands: Vec<u32>,
-    #[cfg_attr(feature = "serde", serde(skip))]
     scratch_remove: Vec<bool>,
-    #[cfg_attr(feature = "serde", serde(skip))]
     scratch_mid: Vec<GkTuple<T>>,
 }
 
@@ -75,6 +73,40 @@ impl<T: Ord + Clone> GkSummary<T> {
     /// Exposes the raw tuples (diagnostics and tests).
     pub fn tuples(&self) -> &[GkTuple<T>] {
         &self.tuples
+    }
+
+    /// The persistent state as `(tuples, n, eps, compress_period)` —
+    /// everything a snapshot must carry; the scratch buffers are
+    /// transient and rebuilt empty on restore.
+    pub fn snapshot_parts(&self) -> (&[GkTuple<T>], u64, f64, u64) {
+        (&self.tuples, self.n, self.eps, self.compress_period)
+    }
+
+    /// Rebuilds a summary from snapshot parts, validating every
+    /// structural invariant a corrupt snapshot could violate — ε range,
+    /// positive period, sorted tuples with positive `g`, total `g` mass
+    /// equal to `n`, and the GK span invariant — and returning a
+    /// diagnostic instead of constructing a broken summary.
+    pub fn from_snapshot_parts(
+        tuples: Vec<GkTuple<T>>,
+        n: u64,
+        eps: f64,
+        compress_period: u64,
+    ) -> Result<Self, String> {
+        validate_tuple_parts(&tuples, n, eps, compress_period)?;
+        let s = GkSummary {
+            tuples,
+            n,
+            eps,
+            compress_period,
+            scratch_bands: Vec::new(),
+            scratch_remove: Vec::new(),
+            scratch_mid: Vec::new(),
+        };
+        if !s.invariant_holds() {
+            return Err("snapshot violates the GK span invariant g+Δ ≤ ⌊2εn⌋".to_string());
+        }
+        Ok(s)
     }
 
     /// Merges another GK summary into this one.

@@ -7,7 +7,6 @@
 ///   responsible for;
 /// * `delta` — `r_max(v_i) − r_min(v_i)`: the uncertainty in v's rank.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GkTuple<T> {
     /// The stored item.
     pub v: T,
@@ -15,6 +14,37 @@ pub struct GkTuple<T> {
     pub g: u64,
     /// Rank uncertainty of this tuple.
     pub delta: u64,
+}
+
+/// Structural validation shared by the banded and greedy snapshot
+/// restore paths: ε in range, positive compress period, tuples sorted
+/// non-decreasing by value, and total `g` mass equal to the stream
+/// length. Returns a diagnostic for the first violation found.
+pub(crate) fn validate_tuple_parts<T: Ord>(
+    tuples: &[GkTuple<T>],
+    n: u64,
+    eps: f64,
+    compress_period: u64,
+) -> Result<(), String> {
+    if !(eps > 0.0 && eps < 0.5) {
+        return Err(format!("snapshot eps {eps} outside (0, 0.5)"));
+    }
+    if compress_period < 1 {
+        return Err("snapshot compress period must be positive".to_string());
+    }
+    if !tuples.windows(2).all(|w| match (w.first(), w.last()) {
+        (Some(a), Some(b)) => a.v <= b.v,
+        _ => true,
+    }) {
+        return Err("snapshot tuples are not sorted by value".to_string());
+    }
+    let mass: u64 = tuples.iter().map(|t| t.g).sum();
+    if mass != n {
+        return Err(format!(
+            "snapshot g mass {mass} disagrees with stream length {n}"
+        ));
+    }
+    Ok(())
 }
 
 /// Shared query logic over a tuple list with running minimum-rank sums.

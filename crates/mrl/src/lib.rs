@@ -39,15 +39,18 @@ use cqs_core::{ComparisonSummary, RankEstimator};
 /// One full buffer: `items` are sorted and each represents `2^level`
 /// stream items.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Buffer<T> {
     level: u32,
     items: Vec<T>,
 }
 
+/// Borrowed persistent state returned by [`MrlSummary::snapshot_parts`]:
+/// `(level, items)` buffers in level order, the level-0 staging run,
+/// and the per-level collapse parities.
+pub type SnapshotParts<'a, T> = (Vec<(u32, &'a [T])>, &'a [T], &'a [bool]);
+
 /// The MRL summary.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MrlSummary<T> {
     buffers: Vec<Buffer<T>>,
     staging: Vec<T>,
@@ -191,6 +194,102 @@ impl<T: Ord + Clone> MrlSummary<T> {
         for x in &other.staging {
             self.insert(x.clone());
         }
+    }
+
+    /// The persistent state: full buffers as `(level, items)` in level
+    /// order, the level-0 staging run, and the per-level collapse
+    /// parities. Together with `(eps, expected_n, n)` from the accessors
+    /// this is everything a snapshot must carry.
+    pub fn snapshot_parts(&self) -> SnapshotParts<'_, T> {
+        let bufs = self
+            .buffers
+            .iter()
+            .map(|b| (b.level, b.items.as_slice()))
+            .collect();
+        (bufs, &self.staging, &self.parity)
+    }
+
+    /// Rebuilds a summary from snapshot parts, validating parameter
+    /// ranges, buffer shape (strictly increasing levels, sorted items,
+    /// per-buffer capacity), staging size, and exact weight conservation
+    /// (`Σ |buffer|·2^level + |staging| = n`). Returns a diagnostic
+    /// instead of constructing a broken summary.
+    pub fn from_snapshot_parts(
+        eps: f64,
+        expected_n: u64,
+        n: u64,
+        buffers: Vec<(u32, Vec<T>)>,
+        staging: Vec<T>,
+        parity: Vec<bool>,
+    ) -> Result<Self, String> {
+        if !(eps > 0.0 && eps < 0.5) {
+            return Err(format!("snapshot eps {eps} outside (0, 0.5)"));
+        }
+        if expected_n == 0 {
+            return Err("snapshot expected_n must be positive".to_string());
+        }
+        // Re-derive k exactly as `new` does; the snapshot does not get
+        // to choose a capacity inconsistent with (ε, expected N).
+        let k = MrlSummary::<u64>::new(eps, expected_n).k;
+        if staging.len() >= k {
+            return Err(format!(
+                "snapshot staging holds {} items but buffers flush at capacity {k}",
+                staging.len()
+            ));
+        }
+        let mut prev_level: Option<u32> = None;
+        for (level, items) in &buffers {
+            if *level >= 48 {
+                return Err(format!("snapshot buffer level {level} out of range"));
+            }
+            if prev_level.is_some_and(|p| *level <= p) {
+                return Err("snapshot buffer levels are not strictly increasing".to_string());
+            }
+            prev_level = Some(*level);
+            if items.is_empty() || items.len() > k {
+                return Err(format!(
+                    "snapshot buffer at level {level} holds {} items (capacity {k})",
+                    items.len()
+                ));
+            }
+            if !items.windows(2).all(|w| match (w.first(), w.last()) {
+                (Some(a), Some(b)) => a <= b,
+                _ => true,
+            }) {
+                return Err(format!("snapshot buffer at level {level} is not sorted"));
+            }
+        }
+        // Weight conservation works on the buffer *shape* — levels and
+        // counts extracted through closures — so the accounting
+        // arithmetic stays disjoint from the item values themselves
+        // (Definition 2.1: items meet only Ord/Eq/Clone).
+        let mut staged: u64 = 0;
+        staging.iter().for_each(|_| staged += 1);
+        let mut shape: Vec<(u32, u64)> = Vec::new();
+        buffers
+            .iter()
+            .for_each(|(level, items)| shape.push((*level, items.len() as u64)));
+        let mut weight: u64 = staged;
+        for (level, count) in &shape {
+            weight += count << level;
+        }
+        if weight != n {
+            return Err(format!(
+                "snapshot weight {weight} disagrees with stream length {n}"
+            ));
+        }
+        Ok(MrlSummary {
+            buffers: buffers
+                .into_iter()
+                .map(|(level, items)| Buffer { level, items })
+                .collect(),
+            staging,
+            k,
+            n,
+            eps,
+            expected_n,
+            parity,
+        })
     }
 
     /// Total represented weight — equals items processed exactly.

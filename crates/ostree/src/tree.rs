@@ -507,6 +507,21 @@ impl<T: Ord> OsTree<T> {
         Iter::new(&self.nodes, self.root)
     }
 
+    /// Visits, in order, every stored item together with its tag — the
+    /// traversal snapshot/restore uses to persist arrival positions
+    /// alongside the sorted stream (tags are invisible to [`iter`](Self::iter)).
+    pub fn for_each_tagged(&self, f: &mut dyn FnMut(&T, u64)) {
+        fn walk<'a, T>(nodes: &'a [Node<T>], link: u32, f: &mut dyn FnMut(&'a T, u64)) {
+            let Some(node) = nodes.get(link as usize) else {
+                return;
+            };
+            walk(nodes, node.left, f);
+            f(&node.item, node.tag);
+            walk(nodes, node.right, f);
+        }
+        walk(&self.nodes, self.root, f);
+    }
+
     /// Tree height (diagnostics; expected O(log n)).
     pub fn height(&self) -> usize {
         fn h<T>(nodes: &[Node<T>], link: u32) -> usize {

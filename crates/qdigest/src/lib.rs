@@ -35,7 +35,6 @@ use std::collections::BTreeMap;
 
 /// A q-digest over the universe [0, 2^log_universe).
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QDigest {
     /// Dyadic-node counts; node ids follow the heap convention
     /// (root = 1, children 2v and 2v+1, leaves at depth L).

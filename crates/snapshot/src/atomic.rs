@@ -1,0 +1,267 @@
+//! Atomic persistence and graceful-degradation restore.
+//!
+//! The atomicity protocol is write-temp-then-rename: bytes land in a
+//! sibling `<file>.tmp`, then one `rename` publishes them — a reader
+//! never observes a half-written snapshot under POSIX rename semantics.
+//! [`save_rotating`] additionally keeps the previously published
+//! generation as `<file>.prev`, and [`restore_with_fallback`] walks
+//! latest → previous → cold start, recording a typed
+//! [`RecoveryEvent`] for every file it had to reject. This module is
+//! the only sanctioned writer of checkpoint paths; the
+//! `snapshot-atomicity` lint flags `File::create`/`fs::write` on
+//! checkpoint files anywhere else.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::{RestoreError, SnapshotRead};
+
+/// Appends `suffix` to the file name of `path` (not to its extension).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// The previous-generation path `<file>.prev` kept by [`save_rotating`].
+pub fn previous_path(path: &Path) -> PathBuf {
+    sibling(path, ".prev")
+}
+
+/// Atomically publishes `bytes` at `path` via a sibling temp file and
+/// rename. The parent directory is created if absent.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = sibling(path, ".tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+/// Atomically publishes `bytes` at `path`, first rotating any existing
+/// published snapshot to `<file>.prev`.
+///
+/// Crash windows: dying before the rotation leaves the old generation
+/// intact; dying between rotation and publish leaves only `.prev`,
+/// which [`restore_with_fallback`] picks up. No window loses both
+/// generations.
+pub fn save_rotating(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = sibling(path, ".tmp");
+    fs::write(&tmp, bytes)?;
+    if path.exists() {
+        fs::rename(path, previous_path(path))?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Restores a `T` from the snapshot file at `path`.
+///
+/// A nonexistent file maps to [`RestoreError::Missing`]; any other read
+/// failure to [`RestoreError::Io`]; everything else is the wire
+/// format's own taxonomy.
+pub fn restore_from_file<T: SnapshotRead>(path: &Path) -> Result<T, RestoreError> {
+    let bytes = fs::read(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            RestoreError::Missing {
+                path: path.display().to_string(),
+            }
+        } else {
+            RestoreError::Io {
+                path: path.display().to_string(),
+                detail: e.to_string(),
+            }
+        }
+    })?;
+    T::from_snapshot_bytes(&bytes)
+}
+
+/// Which generation a fallback restore came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// The latest published snapshot was intact.
+    Latest,
+    /// The latest was rejected; the rotated previous generation was
+    /// intact.
+    Previous,
+}
+
+/// One rejected snapshot file, with the typed reason.
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// The rejected file.
+    pub path: String,
+    /// Why it was rejected.
+    pub error: RestoreError,
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.error)
+    }
+}
+
+/// Outcome of [`restore_with_fallback`]: the restored value (if any
+/// generation was intact), where it came from, and every rejection
+/// verdict recorded along the way.
+pub struct Recovery<T> {
+    /// The restored value and its generation; `None` means cold start.
+    pub value: Option<(T, RecoverySource)>,
+    /// Typed verdicts for every file that was probed and rejected.
+    /// Empty exactly when the latest snapshot restored cleanly or no
+    /// snapshot existed at all (a clean cold start).
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl<T> Recovery<T> {
+    /// Whether anything was restored.
+    pub fn is_cold_start(&self) -> bool {
+        self.value.is_none()
+    }
+}
+
+/// Graceful degradation: restore the latest snapshot, falling back to
+/// the `.prev` generation, then to a cold start. Corruption is never
+/// restored and never silent — every rejected file yields a
+/// [`RecoveryEvent`] with the typed [`RestoreError`].
+pub fn restore_with_fallback<T: SnapshotRead>(path: &Path) -> Recovery<T> {
+    let latest_err = match restore_from_file::<T>(path) {
+        Ok(v) => {
+            return Recovery {
+                value: Some((v, RecoverySource::Latest)),
+                events: Vec::new(),
+            }
+        }
+        Err(e) => e,
+    };
+    let prev = previous_path(path);
+    let prev_err = match restore_from_file::<T>(&prev) {
+        Ok(v) => {
+            // A missing latest next to an intact .prev is the
+            // crashed-between-renames window: report it too, so the
+            // fallback is visible.
+            let events = vec![RecoveryEvent {
+                path: path.display().to_string(),
+                error: latest_err,
+            }];
+            return Recovery {
+                value: Some((v, RecoverySource::Previous)),
+                events,
+            };
+        }
+        Err(e) => e,
+    };
+    if latest_err.is_missing() && prev_err.is_missing() {
+        // Nothing ever written: a clean cold start, not a recovery.
+        return Recovery {
+            value: None,
+            events: Vec::new(),
+        };
+    }
+    let mut events = Vec::new();
+    if !latest_err.is_missing() {
+        events.push(RecoveryEvent {
+            path: path.display().to_string(),
+            error: latest_err,
+        });
+    }
+    if !prev_err.is_missing() {
+        events.push(RecoveryEvent {
+            path: prev.display().to_string(),
+            error: prev_err,
+        });
+    }
+    Recovery {
+        value: None,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnapshotWrite;
+    use cqs_core::ComparisonSummary;
+    use cqs_gk::GkSummary;
+
+    fn summary(n: u64) -> GkSummary<u64> {
+        let mut gk = GkSummary::new(0.05);
+        for x in 1..=n {
+            gk.insert(x);
+        }
+        gk
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cqs-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_restore_round_trip() {
+        let dir = temp_dir("rt");
+        let path = dir.join("gk.cqss");
+        let gk = summary(1000);
+        write_atomic(&path, &gk.to_snapshot_bytes()).unwrap();
+        let back: GkSummary<u64> = restore_from_file(&path).unwrap();
+        assert_eq!(back.item_array(), gk.item_array());
+        assert!(!sibling(&path, ".tmp").exists(), "temp file left behind");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_typed_and_cold_start_is_clean() {
+        let dir = temp_dir("miss");
+        let path = dir.join("absent.cqss");
+        let err = restore_from_file::<GkSummary<u64>>(&path).unwrap_err();
+        assert!(err.is_missing());
+        assert!(!err.is_corruption());
+        let rec = restore_with_fallback::<GkSummary<u64>>(&path);
+        assert!(rec.is_cold_start());
+        assert!(rec.events.is_empty(), "clean cold start recorded events");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_keeps_previous_generation_and_fallback_uses_it() {
+        let dir = temp_dir("rot");
+        let path = dir.join("gk.cqss");
+        save_rotating(&path, &summary(100).to_snapshot_bytes()).unwrap();
+        save_rotating(&path, &summary(200).to_snapshot_bytes()).unwrap();
+        assert!(previous_path(&path).exists());
+
+        // Corrupt the latest: fallback must land on the 100-item
+        // generation with a recorded verdict.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let rec = restore_with_fallback::<GkSummary<u64>>(&path);
+        let (value, source) = rec.value.expect("previous generation should restore");
+        assert_eq!(source, RecoverySource::Previous);
+        assert_eq!(value.items_processed(), 100);
+        assert_eq!(rec.events.len(), 1);
+        assert!(rec.events.iter().all(|e| e.error.is_corruption()));
+
+        // Corrupt both: cold start with both verdicts recorded.
+        let mut prev_bytes = fs::read(previous_path(&path)).unwrap();
+        prev_bytes.truncate(7);
+        fs::write(previous_path(&path), &prev_bytes).unwrap();
+        let rec = restore_with_fallback::<GkSummary<u64>>(&path);
+        assert!(rec.is_cold_start());
+        assert_eq!(rec.events.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,115 @@
+//! Snapshots of the adversary's live [`StreamState`]: the summary under
+//! attack plus every stream item with its arrival tag, so a restored
+//! state answers `rank`/`next`/`prev`/`arrival_of` identically.
+//!
+//! Layout (`STRM`): `SUMM` (the summary's own complete snapshot,
+//! embedded as one length-prefixed blob) + `TAGS` (count, then per
+//! stream item in sorted order: label-encoded item, arrival tag).
+//! Restore validates the embedded summary with its own reader, then
+//! rebuilds the order-statistic index through
+//! [`StreamState::from_snapshot_parts`], which re-checks sortedness,
+//! tag permutation, and summary/stream length agreement.
+
+use crate::wire::{SnapshotReader, SnapshotWriter};
+use crate::{RestoreError, SnapshotItem, SnapshotRead, SnapshotWrite};
+use cqs_core::{ComparisonSummary, StreamState};
+use cqs_universe::Item;
+
+const SUMM: [u8; 4] = *b"SUMM";
+const TAGS: [u8; 4] = *b"TAGS";
+
+impl<S> SnapshotWrite for StreamState<S>
+where
+    S: ComparisonSummary<Item> + SnapshotWrite,
+{
+    const KIND: [u8; 4] = *b"STRM";
+
+    fn write_sections(&self, w: &mut SnapshotWriter) {
+        w.section_with(SUMM, |e| {
+            e.put_bytes(&self.summary.to_snapshot_bytes());
+        });
+        w.section_with(TAGS, |e| {
+            e.put_u64(self.len());
+            self.for_each_arrival(&mut |item, tag| {
+                item.encode_item(e);
+                e.put_u64(tag);
+            });
+        });
+    }
+}
+
+impl<S> SnapshotRead for StreamState<S>
+where
+    S: ComparisonSummary<Item> + SnapshotRead,
+{
+    fn read_sections(r: &mut SnapshotReader<'_>) -> Result<Self, RestoreError> {
+        let mut summ = r.section(SUMM)?;
+        let blob = summ.take_bytes()?;
+        let summary = S::from_snapshot_bytes(blob)?;
+        summ.finish()?;
+        let mut tags = r.section(TAGS)?;
+        // Each pair is at least 8 (label length) + 1 + 8 (tag) bytes.
+        let count = tags.take_count(17)?;
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let item = Item::decode_item(&mut tags)?;
+            let tag = tags.take_u64()?;
+            pairs.push((item, tag));
+        }
+        tags.finish()?;
+        StreamState::from_snapshot_parts(summary, pairs).map_err(|e| RestoreError::Malformed {
+            section: "TAGS".to_string(),
+            detail: e,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqs_gk::GkSummary;
+    use cqs_universe::{generate_increasing, Interval};
+
+    #[test]
+    fn stream_state_round_trip_preserves_ranks_and_arrivals() {
+        let mut st = StreamState::new(GkSummary::new(0.05));
+        let items = generate_increasing(&Interval::whole(), 500);
+        // Interleave pushes so arrival order differs from sorted order.
+        for chunk in items.chunks(2).rev() {
+            for it in chunk {
+                st.push(it.clone());
+            }
+        }
+        let bytes = st.to_snapshot_bytes();
+        let back = StreamState::<GkSummary<Item>>::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), st.len());
+        assert_eq!(back.max_label_depth(), st.max_label_depth());
+        assert_eq!(back.summary.item_array(), st.summary.item_array());
+        for it in &items {
+            assert_eq!(back.rank(it), st.rank(it));
+            assert_eq!(back.arrival_of(it), st.arrival_of(it));
+            assert_eq!(back.next(it), st.next(it));
+            assert_eq!(back.prev(it), st.prev(it));
+        }
+    }
+
+    #[test]
+    fn tag_permutation_violations_are_rejected() {
+        let mut st = StreamState::new(GkSummary::new(0.05));
+        for it in generate_increasing(&Interval::whole(), 20) {
+            st.push(it);
+        }
+        let mut pairs = Vec::new();
+        st.for_each_arrival(&mut |it, tag| pairs.push((it.clone(), tag)));
+        // Duplicate one tag.
+        if let (Some(first), Some(slot)) = (pairs.first().map(|p| p.1), pairs.get_mut(1)) {
+            slot.1 = first;
+        }
+        let summary = st.summary.clone();
+        let err = match StreamState::from_snapshot_parts(summary, pairs) {
+            Ok(_) => panic!("forged tags restored"),
+            Err(e) => e,
+        };
+        assert!(err.contains("permutation"), "{err}");
+    }
+}

@@ -1,0 +1,72 @@
+//! The snapshot traits and per-item codecs.
+
+use crate::wire::{Decoder, Encoder, SnapshotReader, SnapshotWriter};
+use crate::RestoreError;
+use cqs_universe::Item;
+
+/// A type that can write itself as a snapshot.
+pub trait SnapshotWrite {
+    /// Four-byte kind tag stored in the header; restores of a different
+    /// type fail with [`RestoreError::WrongKind`].
+    const KIND: [u8; 4];
+
+    /// Writes the type's sections into `w` (header already emitted).
+    fn write_sections(&self, w: &mut SnapshotWriter);
+
+    /// The complete snapshot: header plus all sections.
+    fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(Self::KIND);
+        self.write_sections(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// A type that can restore itself from a snapshot, validating
+/// everything.
+pub trait SnapshotRead: SnapshotWrite + Sized {
+    /// Reads the type's sections from `r` (header already verified).
+    fn read_sections(r: &mut SnapshotReader<'_>) -> Result<Self, RestoreError>;
+
+    /// Verifies the header, reads all sections, and rejects trailing
+    /// bytes.
+    fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, RestoreError> {
+        let mut r = SnapshotReader::open(bytes, Self::KIND)?;
+        let value = Self::read_sections(&mut r)?;
+        r.finish()?;
+        Ok(value)
+    }
+}
+
+/// Per-item codec: how one stored item travels inside a section.
+///
+/// Implemented for `u64` (fixed 8 bytes) and for universe [`Item`]s
+/// (length-prefixed label bytes) — the two item types the harness
+/// actually streams.
+pub trait SnapshotItem: Sized {
+    /// Encodes one item.
+    fn encode_item(&self, e: &mut Encoder);
+
+    /// Decodes one item.
+    fn decode_item(d: &mut Decoder<'_>) -> Result<Self, RestoreError>;
+}
+
+impl SnapshotItem for u64 {
+    fn encode_item(&self, e: &mut Encoder) {
+        e.put_u64(*self);
+    }
+
+    fn decode_item(d: &mut Decoder<'_>) -> Result<Self, RestoreError> {
+        d.take_u64()
+    }
+}
+
+impl SnapshotItem for Item {
+    fn encode_item(&self, e: &mut Encoder) {
+        e.put_bytes(self.label());
+    }
+
+    fn decode_item(d: &mut Decoder<'_>) -> Result<Self, RestoreError> {
+        let label = d.take_bytes()?;
+        Ok(Item::from_label(label.to_vec()))
+    }
+}

@@ -1,0 +1,537 @@
+//! Framing, checksums, and the little-endian encoder/decoder.
+
+use crate::RestoreError;
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: [u8; 4] = *b"CQSS";
+
+/// The wire-format version this build writes and reads.
+pub const VERSION: u32 = 1;
+
+/// Header length: magic (4) + version (4) + kind (4).
+pub const HEADER_LEN: usize = 12;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) lookup table, built at
+/// compile time so the crate stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the per-section checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        let idx = ((c ^ u32::from(b)) & 0xff) as usize;
+        let entry = CRC32_TABLE.get(idx).copied().unwrap_or(0);
+        c = entry ^ (c >> 8);
+    }
+    !c
+}
+
+/// Little-endian scalar encoder for one section payload.
+///
+/// Standalone by design: sweep checkpoints use it to encode per-cell
+/// records that then travel as opaque byte strings inside a section.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, x: bool) {
+        self.buf.push(u8::from(x));
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact
+    /// round-trip; restored sweeps must render identical CSV text).
+    pub fn put_f64(&mut self, x: f64) {
+        self.put_u64(x.to_bits());
+    }
+
+    /// Appends raw bytes with no length prefix (fixed-width fields).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u64` length prefix followed by the bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// The encoded payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow of the bytes encoded so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Bounds-checked little-endian decoder over one section payload.
+///
+/// Every read is guarded: running out of bytes, oversized counts, and
+/// invalid UTF-8 all surface as [`RestoreError::Malformed`] naming the
+/// section (the framing layer has already authenticated the payload via
+/// CRC, so a short read here means an encoder/decoder schema mismatch
+/// or a forged file — either way corruption, never a panic).
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: String,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`, reporting errors against `section`.
+    pub fn new(buf: &'a [u8], section: &str) -> Self {
+        Decoder {
+            buf,
+            pos: 0,
+            section: section.to_string(),
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn malformed(&self, detail: impl Into<String>) -> RestoreError {
+        RestoreError::Malformed {
+            section: self.section.clone(),
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RestoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.malformed(format!("payload ends {n}-byte read early")))?;
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.malformed("payload slice out of range"))?;
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, RestoreError> {
+        let b = self.take(1)?;
+        b.first()
+            .copied()
+            .ok_or_else(|| self.malformed("empty u8 read"))
+    }
+
+    /// Reads a bool encoded as one byte; anything but 0/1 is malformed.
+    pub fn take_bool(&mut self) -> Result<bool, RestoreError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(self.malformed(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, RestoreError> {
+        let b = self.take(4)?;
+        let arr: [u8; 4] = b.try_into().map_err(|_| self.malformed("short u32 read"))?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, RestoreError> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| self.malformed("short u64 read"))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads an `f64` stored as its bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, RestoreError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads `n` raw bytes (fixed-width field).
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8], RestoreError> {
+        self.take(n)
+    }
+
+    /// Reads a `u64`-length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], RestoreError> {
+        let len = self.take_u64()?;
+        let len = usize::try_from(len).map_err(|_| self.malformed("length overflows usize"))?;
+        if len > self.remaining() {
+            return Err(self.malformed(format!(
+                "declared length {len} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<&'a str, RestoreError> {
+        let bytes = self.take_bytes()?;
+        std::str::from_utf8(bytes).map_err(|_| self.malformed("invalid utf-8 string"))
+    }
+
+    /// Reads a list count and sanity-checks it against the bytes that
+    /// are actually present (`min_elem_size` bytes per element at
+    /// minimum), so a flipped count can never trigger an absurd
+    /// allocation before decoding fails.
+    pub fn take_count(&mut self, min_elem_size: usize) -> Result<usize, RestoreError> {
+        let count = self.take_u64()?;
+        let count = usize::try_from(count).map_err(|_| self.malformed("count overflows usize"))?;
+        let need = count.checked_mul(min_elem_size.max(1));
+        if need.is_none_or(|n| n > self.remaining()) {
+            return Err(self.malformed(format!(
+                "count {count} needs more than the {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), RestoreError> {
+        if self.remaining() != 0 {
+            return Err(self.malformed(format!(
+                "{} unread bytes at end of section",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Writes a snapshot: header plus checksummed, length-framed sections.
+pub struct SnapshotWriter {
+    out: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot of the given kind (header is written
+    /// immediately).
+    pub fn new(kind: [u8; 4]) -> Self {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&kind);
+        SnapshotWriter { out }
+    }
+
+    /// Appends one section: tag, length, payload, and the CRC32 over
+    /// all three.
+    pub fn section(&mut self, tag: [u8; 4], payload: &[u8]) {
+        let start = self.out.len();
+        self.out.extend_from_slice(&tag);
+        self.out
+            .extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.out.extend_from_slice(payload);
+        let crc = crc32(self.out.get(start..).unwrap_or(&[]));
+        self.out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Convenience: build a payload with an [`Encoder`] closure and
+    /// append it as a section.
+    pub fn section_with(&mut self, tag: [u8; 4], f: impl FnOnce(&mut Encoder)) {
+        let mut enc = Encoder::new();
+        f(&mut enc);
+        self.section(tag, enc.as_slice());
+    }
+
+    /// The finished snapshot bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+/// Reads a snapshot: verifies the header, then yields sections in
+/// order, authenticating each against its CRC before handing the
+/// payload to a [`Decoder`].
+pub struct SnapshotReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Verifies the header (magic, version, kind) and positions the
+    /// reader at the first section.
+    pub fn open(bytes: &'a [u8], kind: [u8; 4]) -> Result<Self, RestoreError> {
+        let magic = bytes
+            .get(..4)
+            .ok_or(RestoreError::Truncated { context: "header" })?;
+        if magic != MAGIC {
+            return Err(RestoreError::BadMagic);
+        }
+        let version_bytes: [u8; 4] = bytes
+            .get(4..8)
+            .and_then(|b| b.try_into().ok())
+            .ok_or(RestoreError::Truncated { context: "header" })?;
+        let version = u32::from_le_bytes(version_bytes);
+        if version != VERSION {
+            return Err(RestoreError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let found: [u8; 4] = bytes
+            .get(8..HEADER_LEN)
+            .and_then(|b| b.try_into().ok())
+            .ok_or(RestoreError::Truncated { context: "header" })?;
+        if found != kind {
+            return Err(RestoreError::WrongKind {
+                expected: kind,
+                found,
+            });
+        }
+        Ok(SnapshotReader {
+            rest: bytes.get(HEADER_LEN..).unwrap_or(&[]),
+        })
+    }
+
+    /// Reads the next section, which must carry `tag`; verifies its CRC
+    /// and returns a [`Decoder`] over the payload.
+    pub fn section(&mut self, tag: [u8; 4]) -> Result<Decoder<'a>, RestoreError> {
+        let found_tag = self.rest.get(..4).ok_or(RestoreError::Truncated {
+            context: "section tag",
+        })?;
+        let found: [u8; 4] = found_tag.try_into().map_err(|_| RestoreError::Truncated {
+            context: "section tag",
+        })?;
+        if found != tag {
+            return Err(RestoreError::UnexpectedSection {
+                expected: String::from_utf8_lossy(&tag).into_owned(),
+                found: String::from_utf8_lossy(&found).into_owned(),
+            });
+        }
+        let len_bytes: [u8; 8] = self.rest.get(4..12).and_then(|b| b.try_into().ok()).ok_or(
+            RestoreError::Truncated {
+                context: "section length",
+            },
+        )?;
+        let len = usize::try_from(u64::from_le_bytes(len_bytes)).map_err(|_| {
+            RestoreError::Truncated {
+                context: "section length",
+            }
+        })?;
+        let payload_end = len.checked_add(12).ok_or(RestoreError::Truncated {
+            context: "section length",
+        })?;
+        let payload = self
+            .rest
+            .get(12..payload_end)
+            .ok_or(RestoreError::Truncated {
+                context: "section payload",
+            })?;
+        let crc_end = payload_end.checked_add(4).ok_or(RestoreError::Truncated {
+            context: "section checksum",
+        })?;
+        let stored_bytes: [u8; 4] = self
+            .rest
+            .get(payload_end..crc_end)
+            .and_then(|b| b.try_into().ok())
+            .ok_or(RestoreError::Truncated {
+                context: "section checksum",
+            })?;
+        let stored = u32::from_le_bytes(stored_bytes);
+        let computed = crc32(self.rest.get(..payload_end).unwrap_or(&[]));
+        if stored != computed {
+            return Err(RestoreError::ChecksumMismatch {
+                section: String::from_utf8_lossy(&tag).into_owned(),
+                stored,
+                computed,
+            });
+        }
+        self.rest = self.rest.get(crc_end..).unwrap_or(&[]);
+        Ok(Decoder::new(payload, &String::from_utf8_lossy(&tag)))
+    }
+
+    /// Asserts the file ends exactly after the last section read.
+    pub fn finish(self) -> Result<(), RestoreError> {
+        if !self.rest.is_empty() {
+            return Err(RestoreError::TrailingBytes {
+                count: self.rest.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_bool(true);
+        e.put_u32(0xdead_beef);
+        e.put_u64(u64::MAX - 3);
+        e.put_f64(1.0 / 3.0);
+        e.put_str("hello");
+        e.put_bytes(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "TEST");
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert!(d.take_bool().unwrap());
+        assert_eq!(d.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.take_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.take_f64().unwrap().to_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(d.take_str().unwrap(), "hello");
+        assert_eq!(d.take_bytes().unwrap(), &[1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_rejects_short_reads_and_bad_counts() {
+        let mut d = Decoder::new(&[1, 2], "TEST");
+        assert!(matches!(d.take_u64(), Err(RestoreError::Malformed { .. })));
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX); // absurd count
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "TEST");
+        assert!(matches!(
+            d.take_count(8),
+            Err(RestoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn framing_round_trip_and_finish() {
+        let mut w = SnapshotWriter::new(*b"TSTK");
+        w.section_with(*b"ONE ", |e| e.put_u64(42));
+        w.section_with(*b"TWO ", |e| e.put_str("payload"));
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::open(&bytes, *b"TSTK").unwrap();
+        let mut d = r.section(*b"ONE ").unwrap();
+        assert_eq!(d.take_u64().unwrap(), 42);
+        d.finish().unwrap();
+        let mut d = r.section(*b"TWO ").unwrap();
+        assert_eq!(d.take_str().unwrap(), "payload");
+        d.finish().unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        let mut w = SnapshotWriter::new(*b"TSTK");
+        w.section_with(*b"ONE ", |e| e.put_u64(1));
+        let good = w.into_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(
+            SnapshotReader::open(&bad_magic, *b"TSTK").err(),
+            Some(RestoreError::BadMagic)
+        );
+
+        let mut stale = good.clone();
+        stale[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            SnapshotReader::open(&stale, *b"TSTK").err(),
+            Some(RestoreError::UnsupportedVersion { found: 0, .. })
+        ));
+
+        assert!(matches!(
+            SnapshotReader::open(&good, *b"OTHR").err(),
+            Some(RestoreError::WrongKind { .. })
+        ));
+
+        assert!(matches!(
+            SnapshotReader::open(&good[..6], *b"TSTK").err(),
+            Some(RestoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_bit_fails_checksum_and_swap_fails_tag() {
+        let mut w = SnapshotWriter::new(*b"TSTK");
+        w.section_with(*b"ONE ", |e| e.put_u64(41));
+        let bytes = w.into_bytes();
+
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 8; // inside the payload
+        flipped[last] ^= 0x10;
+        let mut r = SnapshotReader::open(&flipped, *b"TSTK").unwrap();
+        assert!(matches!(
+            r.section(*b"ONE ").err(),
+            Some(RestoreError::ChecksumMismatch { .. })
+        ));
+
+        let mut r = SnapshotReader::open(&bytes, *b"TSTK").unwrap();
+        assert!(matches!(
+            r.section(*b"TWO ").err(),
+            Some(RestoreError::UnexpectedSection { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = SnapshotWriter::new(*b"TSTK");
+        w.section_with(*b"ONE ", |e| e.put_u64(1));
+        let mut bytes = w.into_bytes();
+        bytes.push(0);
+        let mut r = SnapshotReader::open(&bytes, *b"TSTK").unwrap();
+        let mut d = r.section(*b"ONE ").unwrap();
+        assert_eq!(d.take_u64().unwrap(), 1);
+        d.finish().unwrap();
+        assert_eq!(
+            r.finish().err(),
+            Some(RestoreError::TrailingBytes { count: 1 })
+        );
+    }
+}

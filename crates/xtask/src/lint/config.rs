@@ -34,6 +34,12 @@ pub enum Role {
     /// Benchmarks and CLI drivers: exempt from determinism/wall-clock
     /// rules (they time things and print), still unsafe-free.
     Harness,
+    /// `cqs-snapshot`: the wire format and restore path. Deterministic
+    /// and covered by the driver no-panic analysis (a corrupt file must
+    /// surface as a typed `RestoreError`, never a panic), but exempt
+    /// from item opacity — serialization legitimately reads label bytes
+    /// and reconstructs `Item`s via `from_label`.
+    Snapshot,
     /// This lint engine itself.
     Tooling,
 }
@@ -68,9 +74,11 @@ impl Role {
 
     /// Whether the panic-free-driver rules apply: the guarded adversary
     /// driver (`try_run` and friends) lives in `cqs-core` and promises
-    /// typed errors, never raw panics.
+    /// typed errors, never raw panics. The snapshot restore path makes
+    /// the same promise — every corruption is a typed `RestoreError` —
+    /// so its roots (`read_sections` and friends) are analysed too.
     pub fn driver_rules(self) -> bool {
-        matches!(self, Role::Core)
+        matches!(self, Role::Core | Role::Snapshot)
     }
 }
 
@@ -82,6 +90,7 @@ pub fn role_of(crate_name: &str) -> Role {
         "gk" | "mrl" | "ckms" | "kll" | "sampling" | "ostree" | "window" => Role::Summary,
         "qdigest" => Role::BoundedUniverse,
         "streams" => Role::Substrate,
+        "snapshot" => Role::Snapshot,
         "bench" | "cli" | "faults" => Role::Harness,
         "xtask" => Role::Tooling,
         // Strictest by default: new crates opt *out* of summary rules by
@@ -126,6 +135,13 @@ pub const DRIVER_ROOT_FNS: &[&str] = &[
     // after try_run), so it shares the no-panic promise.
     "quantile_failure_witness",
     "rank_failure_witness",
+    // The snapshot restore path: adversarial (corrupt) bytes in, typed
+    // `RestoreError` out — a panic here would turn a detectable disk
+    // fault into a crash loop on resume.
+    "read_sections",
+    "from_snapshot_bytes",
+    "restore_from_file",
+    "restore_with_fallback",
 ];
 
 /// Method names that collide with the std containers and iterator
@@ -212,15 +228,40 @@ mod tests {
         assert_eq!(role_of("qdigest"), Role::BoundedUniverse);
         assert_eq!(role_of("bench"), Role::Harness);
         assert_eq!(role_of("faults"), Role::Harness);
+        assert_eq!(role_of("snapshot"), Role::Snapshot);
         assert_eq!(role_of("."), Role::Core);
     }
 
     #[test]
-    fn driver_rules_apply_only_to_core() {
+    fn driver_rules_apply_to_core_and_snapshot() {
         assert!(role_of("core").driver_rules());
+        assert!(role_of("snapshot").driver_rules());
         assert!(!role_of("gk").driver_rules());
         assert!(!role_of("faults").driver_rules());
         assert!(!role_of("xtask").driver_rules());
+    }
+
+    #[test]
+    fn snapshot_is_exempt_from_item_opacity_but_not_determinism() {
+        let s = role_of("snapshot");
+        assert!(!s.comparison_rules());
+        assert!(s.determinism_rules());
+        assert!(!s.may_mint_items());
+    }
+
+    #[test]
+    fn restore_entry_points_are_driver_roots() {
+        for f in [
+            "read_sections",
+            "from_snapshot_bytes",
+            "restore_from_file",
+            "restore_with_fallback",
+        ] {
+            assert!(
+                DRIVER_ROOT_FNS.contains(&f),
+                "{f} missing from driver roots"
+            );
+        }
     }
 
     #[test]

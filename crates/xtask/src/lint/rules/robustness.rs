@@ -54,6 +54,16 @@ static FLOAT_EQ: Rule = Rule {
     check: check_float_eq,
 };
 
+static SNAPSHOT_ATOMICITY: Rule = Rule {
+    id: "snapshot-atomicity",
+    severity: Severity::Error,
+    rationale: "checkpoint/snapshot files must go through cqs_snapshot::atomic (write a temp \
+                sibling, fsync-free rename); a direct File::create/fs::write on a checkpoint \
+                path leaves a torn file if the process dies mid-write",
+    applies: |_| true,
+    check: check_snapshot_atomicity,
+};
+
 /// The robustness rule set.
 pub fn rules() -> Vec<&'static Rule> {
     vec![
@@ -61,6 +71,7 @@ pub fn rules() -> Vec<&'static Rule> {
         &MISSING_DOCS_ATTR,
         &HOT_PATH_ALLOC,
         &FLOAT_EQ,
+        &SNAPSHOT_ATOMICITY,
     ]
 }
 
@@ -177,6 +188,54 @@ fn container_field_clone(code: &str) -> Option<&str> {
         }
     }
     None
+}
+
+/// The one file allowed to open checkpoint paths directly: the
+/// temp+rename helper everything else must route through.
+const ATOMIC_HELPER: &str = "crates/snapshot/src/atomic.rs";
+
+/// Tokens that mark a write target as recovery-critical. CSV/JSON
+/// result emitters (streams `report.rs`, `perf_baseline` merge) stay
+/// quiet: losing a report re-runs a sweep, losing a checkpoint torn
+/// mid-write defeats the recovery machinery it feeds.
+const CKPT_TOKENS: &[&str] = &["checkpoint", "snapshot", "ckpt", "cqss"];
+
+fn check_snapshot_atomicity(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.test_file || ctx.path.ends_with(ATOMIC_HELPER) {
+        return;
+    }
+    for line in &ctx.file.lines {
+        if line.in_test {
+            continue;
+        }
+        if !(line.code.contains("File::create") || line.code.contains("fs::write")) {
+            continue;
+        }
+        let lower = line.code.to_ascii_lowercase();
+        let on_ckpt_line = CKPT_TOKENS.iter().any(|t| lower.contains(t));
+        let in_ckpt_fn = line.fns.iter().any(|f| {
+            let f = f.to_ascii_lowercase();
+            CKPT_TOKENS.iter().any(|t| f.contains(t))
+        });
+        // Inside the snapshot crate every byte written is wire format,
+        // so any direct write there is a violation regardless of name.
+        if on_ckpt_line || in_ckpt_fn || ctx.crate_name == "snapshot" {
+            let sink = if line.code.contains("File::create") {
+                "File::create"
+            } else {
+                "fs::write"
+            };
+            ctx.emit(
+                out,
+                &SNAPSHOT_ATOMICITY,
+                line.number,
+                format!(
+                    "`{sink}` on a checkpoint/snapshot path bypasses the temp+rename helper \
+                     (cqs_snapshot::atomic::write_atomic / save_rotating)"
+                ),
+            );
+        }
+    }
 }
 
 fn check_float_eq(ctx: &RuleCtx<'_>, out: &mut Vec<Diagnostic>) {

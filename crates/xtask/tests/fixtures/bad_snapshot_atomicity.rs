@@ -1,0 +1,28 @@
+//! Fixture: persists checkpoint bytes with direct writes, bypassing the
+//! temp+rename helper in `cqs_snapshot::atomic`. A crash between create
+//! and write leaves a torn file where the recovery machinery expects a
+//! checksummed snapshot — the `snapshot-atomicity` rule must flag both
+//! sites, and must stay quiet on the plain report writer.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Truncates the live checkpoint in place (enclosing fn names the sin).
+pub fn save_checkpoint(path: &Path, bytes: &[u8]) {
+    let mut f = File::create(path).expect("create");
+    f.write_all(bytes).expect("write");
+}
+
+/// The variable names the sin even though the fn does not.
+pub fn persist(ckpt_path: &Path, bytes: &[u8]) {
+    std::fs::write(ckpt_path, bytes).expect("write");
+}
+
+/// A CSV report writer: losing a report just re-runs a sweep, so this
+/// is not recovery-critical and must stay quiet.
+pub fn write_report(path: &Path, csv: &str) {
+    std::fs::write(path, csv).expect("write");
+}

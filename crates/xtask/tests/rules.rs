@@ -13,6 +13,7 @@ const BAD_DETERMINISM: &str = include_str!("fixtures/bad_determinism.rs");
 const BAD_ROBUSTNESS: &str = include_str!("fixtures/bad_robustness.rs");
 const BAD_HOT_ALLOC: &str = include_str!("fixtures/bad_hot_alloc.rs");
 const BAD_DRIVER: &str = include_str!("fixtures/bad_driver.rs");
+const BAD_SNAPSHOT: &str = include_str!("fixtures/bad_snapshot_atomicity.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 
@@ -163,6 +164,73 @@ fn driver_rule_does_not_apply_outside_core() {
     }
 }
 
+#[test]
+fn driver_rule_covers_snapshot_restore_roots() {
+    // `read_sections` is a restore entry point: corrupt bytes must come
+    // back as typed RestoreError values, so a panic reachable from it —
+    // even in a helper only the call graph can see — fails the gate.
+    let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n\
+        pub fn read_sections(bytes: &[u8]) -> Vec<u8> {\n    \
+        decode_one(bytes)\n}\n\
+        fn decode_one(bytes: &[u8]) -> Vec<u8> {\n    \
+        bytes.split_first().unwrap();\n    bytes.to_vec()\n}\n";
+    let diags = lint_source("snapshot", "src/wire.rs", src);
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "driver-no-panic")
+        .collect();
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert!(hits[0].message.contains("`decode_one`"), "{hits:?}");
+    // The same source in a harness crate is not a restore path.
+    let diags = lint_source("bench", "src/lib.rs", src);
+    assert!(
+        !rules_fired(&diags).contains(&"driver-no-panic"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn snapshot_atomicity_fires_on_direct_checkpoint_writes() {
+    let diags = lint_source("bench", "src/checkpoint.rs", BAD_SNAPSHOT);
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "snapshot-atomicity")
+        .collect();
+    // Exactly two: File::create inside save_checkpoint and fs::write on
+    // ckpt_path. The plain report writer stays quiet.
+    assert_eq!(hits.len(), 2, "{diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+    assert!(
+        hits.iter().any(|d| d.message.contains("`File::create`")),
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.message.contains("`fs::write`")),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn snapshot_atomicity_exempts_only_the_atomic_helper() {
+    // The temp+rename helper is the one file allowed to touch disk.
+    let diags = lint_source("snapshot", "crates/snapshot/src/atomic.rs", BAD_SNAPSHOT);
+    assert!(
+        !rules_fired(&diags).contains(&"snapshot-atomicity"),
+        "{diags:?}"
+    );
+    // Everywhere else in the snapshot crate, every byte written is wire
+    // format: all three writes fire, token or not.
+    let diags = lint_source("snapshot", "crates/snapshot/src/wire.rs", BAD_SNAPSHOT);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.rule == "snapshot-atomicity")
+            .count(),
+        3,
+        "{diags:?}"
+    );
+}
+
 /// A minimal spawn site: `run_cells` hands `Cell` values to a worker
 /// pool, so `Cell` must carry an `assert_send` audit in its crate.
 fn pool_inputs(with_audit: bool) -> Vec<FileInput> {
@@ -279,6 +347,7 @@ fn registry_covers_every_fixture_rule() {
         "hot-path-alloc",
         "sharding-send-sync",
         "float-eq",
+        "snapshot-atomicity",
         "model-purity",
         "reachable-indexing",
         "unused-allow",

@@ -1,0 +1,166 @@
+//! The recovery fault matrix: every storage fault family applied to a
+//! published snapshot must yield a typed corruption-class
+//! `RestoreError` — zero silent restores — and the rotating fallback
+//! (`restore_with_fallback`) must degrade gracefully from latest, to
+//! previous, to a cold start, recording a verdict for every rejection.
+
+use cqs::prelude::*;
+use cqs_faults::storage::{apply_storage_fault, storage_fault_matrix, StorageFault};
+use cqs_snapshot::atomic::{previous_path, restore_with_fallback, save_rotating, RecoverySource};
+use cqs_snapshot::{SnapshotRead, SnapshotWrite, HEADER_LEN};
+
+/// A deterministic GK snapshot over `n` sequential items.
+fn gk_bytes(n: u64) -> Vec<u8> {
+    let mut gk = GkSummary::<u64>::new(0.02);
+    for v in 1..=n {
+        gk.insert(v);
+    }
+    gk.to_snapshot_bytes()
+}
+
+#[test]
+fn every_matrix_fault_is_detected() {
+    let bytes = gk_bytes(2_000);
+    // The previous generation comes from a *longer* fill so the
+    // TornWrite tail splices bytes from a different file image — the
+    // worst case for a non-atomic in-place overwrite.
+    let prev = gk_bytes(5_000);
+
+    let matrix = storage_fault_matrix(bytes.len());
+    assert_eq!(matrix.len(), 5, "fault families grew; extend this test");
+    for fault in &matrix {
+        let evil = apply_storage_fault(fault, &bytes, Some(&prev), HEADER_LEN);
+        match GkSummary::<u64>::from_snapshot_bytes(&evil) {
+            Err(e) => assert!(
+                e.is_corruption(),
+                "{}: expected a corruption-class verdict, got {e}",
+                fault.name()
+            ),
+            Ok(_) => panic!("{}: corrupted snapshot restored silently", fault.name()),
+        }
+    }
+}
+
+#[test]
+fn bit_flips_anywhere_in_the_body_are_detected() {
+    let bytes = gk_bytes(500);
+    // Denser sweep than the matrix: a flip at every eighth offset.
+    for offset in (0..bytes.len()).step_by(8) {
+        let fault = StorageFault::BitFlip { offset, bit: 5 };
+        let evil = apply_storage_fault(&fault, &bytes, None, HEADER_LEN);
+        assert!(
+            GkSummary::<u64>::from_snapshot_bytes(&evil).is_err(),
+            "bit flip at byte {offset} restored silently"
+        );
+    }
+}
+
+#[test]
+fn fallback_prefers_the_latest_intact_generation() {
+    let dir = tempdir("fallback-latest");
+    let path = dir.join("state.ckpt");
+    save_rotating(&path, &gk_bytes(100)).expect("publish gen 1");
+    save_rotating(&path, &gk_bytes(200)).expect("publish gen 2");
+
+    let rec = restore_with_fallback::<GkSummary<u64>>(&path);
+    let (value, source) = rec.value.expect("latest generation must restore");
+    assert_eq!(source, RecoverySource::Latest);
+    assert_eq!(value.items_processed(), 200);
+    assert!(rec.events.is_empty(), "clean restore must record no events");
+}
+
+#[test]
+fn fallback_degrades_to_the_previous_generation() {
+    let dir = tempdir("fallback-prev");
+    let path = dir.join("state.ckpt");
+    save_rotating(&path, &gk_bytes(100)).expect("publish gen 1");
+    save_rotating(&path, &gk_bytes(200)).expect("publish gen 2");
+
+    // Corrupt the latest generation in place (torn write).
+    let latest = std::fs::read(&path).expect("read latest");
+    std::fs::write(&path, &latest[..latest.len() / 2]).expect("tear latest");
+
+    let rec = restore_with_fallback::<GkSummary<u64>>(&path);
+    let (value, source) = rec.value.expect("previous generation must restore");
+    assert_eq!(source, RecoverySource::Previous);
+    assert_eq!(value.items_processed(), 100, "wrong generation restored");
+    assert_eq!(rec.events.len(), 1, "the rejected latest must be recorded");
+    assert!(
+        rec.events[0].error.is_corruption(),
+        "rejection verdict: {}",
+        rec.events[0].error
+    );
+}
+
+#[test]
+fn fallback_cold_starts_when_every_generation_is_corrupt() {
+    let dir = tempdir("fallback-cold");
+    let path = dir.join("state.ckpt");
+    save_rotating(&path, &gk_bytes(100)).expect("publish gen 1");
+    save_rotating(&path, &gk_bytes(200)).expect("publish gen 2");
+
+    // Corrupt both generations.
+    for p in [path.clone(), previous_path(&path)] {
+        let mut b = std::fs::read(&p).expect("read generation");
+        let mid = b.len() / 2;
+        b[mid] ^= 0xFF;
+        std::fs::write(&p, &b).expect("corrupt generation");
+    }
+
+    let rec = restore_with_fallback::<GkSummary<u64>>(&path);
+    assert!(rec.is_cold_start(), "corrupt snapshots must not restore");
+    assert_eq!(rec.events.len(), 2, "both rejections must be recorded");
+    for ev in &rec.events {
+        assert!(
+            ev.error.is_corruption(),
+            "verdict for {}: {}",
+            ev.path,
+            ev.error
+        );
+    }
+}
+
+#[test]
+fn missing_snapshot_is_a_clean_cold_start() {
+    let dir = tempdir("fallback-missing");
+    let rec = restore_with_fallback::<GkSummary<u64>>(&dir.join("never-written.ckpt"));
+    assert!(rec.is_cold_start());
+    assert!(
+        rec.events.is_empty(),
+        "a missing file is a clean cold start, not a fault"
+    );
+}
+
+#[test]
+fn matrix_faults_on_disk_degrade_through_the_fallback() {
+    // End to end: publish two generations, hit the latest file with
+    // each matrix fault, and demand the fallback restores the previous
+    // generation (never the corrupted bytes) with a recorded verdict.
+    let fresh = gk_bytes(300);
+    let stale = gk_bytes(150);
+    for fault in storage_fault_matrix(fresh.len()) {
+        let dir = tempdir(&format!("matrix-{}", fault.name()));
+        let path = dir.join("state.ckpt");
+        save_rotating(&path, &stale).expect("publish gen 1");
+        save_rotating(&path, &fresh).expect("publish gen 2");
+
+        let evil = apply_storage_fault(&fault, &fresh, Some(&stale), HEADER_LEN);
+        std::fs::write(&path, &evil).expect("inject fault");
+
+        let rec = restore_with_fallback::<GkSummary<u64>>(&path);
+        let (value, source) = rec
+            .value
+            .unwrap_or_else(|| panic!("{}: previous generation lost", fault.name()));
+        assert_eq!(source, RecoverySource::Previous, "{}", fault.name());
+        assert_eq!(value.items_processed(), 150, "{}", fault.name());
+        assert_eq!(rec.events.len(), 1, "{}", fault.name());
+    }
+}
+
+/// A fresh scratch directory under the target-aware temp root.
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cqs-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}

@@ -1,0 +1,116 @@
+//! Snapshotting the adversary's live stream state.
+//!
+//! Runs the PODS'20 construction, replays stream π into a plain
+//! `StreamState<GkSummary<Item>>`, snapshots it through the wire
+//! format, restores, and differentially checks every order/arrival
+//! query against the live original. Then corrupts the bytes and checks
+//! the restore path answers with typed errors, never a silent restore.
+
+use cqs::core::adversary::run_adversary;
+use cqs::core::{ComparisonSummary, Eps, StreamState};
+use cqs::gk::GkSummary;
+use cqs::universe::Item;
+use cqs_snapshot::{RestoreError, SnapshotRead, SnapshotWrite};
+
+/// Runs the adversary against GK and replays its π stream, in arrival
+/// order, into a snapshot-capable `StreamState`.
+fn pi_replica(eps: Eps, k: u32) -> StreamState<GkSummary<Item>> {
+    let outcome = run_adversary(eps, k, || GkSummary::<Item>::new(eps.value()));
+    let mut pairs: Vec<(Item, u64)> = Vec::new();
+    outcome
+        .pi
+        .for_each_arrival(&mut |item, tag| pairs.push((item.clone(), tag)));
+    pairs.sort_by_key(|&(_, tag)| tag);
+    let mut live = StreamState::new(GkSummary::<Item>::new(eps.value()));
+    for (item, _) in pairs {
+        live.push(item);
+    }
+    live
+}
+
+#[test]
+fn stream_state_round_trips_and_answers_identically() {
+    let eps = Eps::from_inverse(16);
+    let live = pi_replica(eps, 4);
+    assert!(!live.is_empty(), "adversary produced an empty stream");
+
+    let bytes = live.to_snapshot_bytes();
+    let restored =
+        StreamState::<GkSummary<Item>>::from_snapshot_bytes(&bytes).expect("restore π replica");
+
+    assert_eq!(live.len(), restored.len());
+    assert_eq!(
+        live.summary.item_array(),
+        restored.summary.item_array(),
+        "summary item arrays diverged"
+    );
+    // Differential order/arrival audit over every stream item.
+    live.for_each_arrival(&mut |item, tag| {
+        assert_eq!(restored.rank(item), live.rank(item), "rank diverged");
+        assert_eq!(restored.arrival_of(item), Some(tag), "arrival tag diverged");
+        assert_eq!(restored.next(item), live.next(item), "next diverged");
+        assert_eq!(restored.prev(item), live.prev(item), "prev diverged");
+    });
+    // And the snapshot of the restored state is byte-identical.
+    assert_eq!(bytes, restored.to_snapshot_bytes());
+}
+
+#[test]
+fn corrupted_stream_snapshots_yield_typed_errors() {
+    let eps = Eps::from_inverse(16);
+    let live = pi_replica(eps, 3);
+    let bytes = live.to_snapshot_bytes();
+
+    // Flip one bit in every region of the file: header, early section
+    // bytes, middle, tail. Every flip must be *detected* — restore may
+    // never succeed on corrupted bytes (CRC32 catches all 1-bit flips).
+    for offset in [0, 4, 12, bytes.len() / 2, bytes.len() - 1] {
+        let mut evil = bytes.clone();
+        evil[offset] ^= 0x10;
+        match StreamState::<GkSummary<Item>>::from_snapshot_bytes(&evil) {
+            Err(e) => assert!(
+                e.is_corruption(),
+                "flip at {offset}: expected corruption, got {e}"
+            ),
+            Ok(_) => panic!("bit flip at {offset} restored silently"),
+        }
+    }
+}
+
+#[test]
+fn tampered_arrival_tags_are_rejected_by_validation() {
+    // A syntactically valid snapshot whose semantic invariants are
+    // broken (duplicate arrival tag) must be refused by
+    // `StreamState::from_snapshot_parts` with a diagnostic.
+    let eps = Eps::from_inverse(16);
+    let live = pi_replica(eps, 3);
+    let mut pairs: Vec<(Item, u64)> = Vec::new();
+    live.for_each_arrival(&mut |item, tag| pairs.push((item.clone(), tag)));
+    assert!(pairs.len() >= 2);
+    pairs[1].1 = pairs[0].1; // duplicate tag, breaks the permutation
+    let summary = live.summary.clone();
+    let err = StreamState::from_snapshot_parts(summary, pairs)
+        .err()
+        .expect("duplicate arrival tags must be rejected");
+    assert!(err.contains("permutation"), "unexpected diagnostic: {err}");
+}
+
+#[test]
+fn stream_snapshot_errors_map_to_the_taxonomy() {
+    let eps = Eps::from_inverse(16);
+    let live = pi_replica(eps, 3);
+    let bytes = live.to_snapshot_bytes();
+
+    // Truncation mid-section.
+    match StreamState::<GkSummary<Item>>::from_snapshot_bytes(&bytes[..bytes.len() - 9]) {
+        Err(e) => assert!(e.is_corruption(), "truncation verdict: {e}"),
+        Ok(_) => panic!("truncated stream snapshot restored"),
+    }
+    // Wrong kind: a bare summary snapshot is not a stream snapshot.
+    let summ_bytes = live.summary.to_snapshot_bytes();
+    match StreamState::<GkSummary<Item>>::from_snapshot_bytes(&summ_bytes) {
+        Err(RestoreError::WrongKind { .. }) => {}
+        Err(other) => panic!("expected WrongKind, got {other}"),
+        Ok(_) => panic!("summary snapshot restored as a stream state"),
+    }
+}
