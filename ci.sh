@@ -8,6 +8,9 @@
 #   ./ci.sh --lint     # only fmt + the static-analysis lint gate
 #   ./ci.sh --faults   # only the fault-matrix smoke (debug build)
 #   ./ci.sh --recovery # only the crash/resume smoke (release build)
+#   ./ci.sh --large-n  # only the large-N smoke (one N ≈ 1.34e8
+#                      # interval-compressed cell, crash/resume;
+#                      # ~2 cell runs of wall-clock — minutes)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -55,6 +58,42 @@ recovery_smoke() {
     # restores).
     cargo run --release -q -p cqs-cli --bin cqs-tool -- recover
 }
+
+large_n_smoke() {
+    # Billion-item representation smoke: the single interval-compressed
+    # N ≈ 1.34e8 cell (ε = 1/1024, k = 17, StreamRepr::Implicit) run
+    # uninterrupted, then crashed right after its checkpoint write
+    # (exit 86) and resumed — the resumed CSV must be byte-identical.
+    # This is the only CI leg that exercises the implicit representation
+    # past the materialized treap's u32 per-item arena ceiling.
+    local root=target/large-n-smoke
+    rm -rf "$root"
+    CQS_RESULTS_DIR="$root/base" \
+        cargo run --release -q -p cqs-bench --bin thm22_lower_bound_sweep -- \
+            --large-n --smoke --jobs 1
+    local code=0
+    CQS_CRASH_AFTER_CELLS=1 CQS_RESULTS_DIR="$root/crashed" \
+        cargo run --release -q -p cqs-bench --bin thm22_lower_bound_sweep -- \
+            --large-n --smoke --jobs 1 --resume "$root/ckpt" || code=$?
+    if [[ $code -ne 86 ]]; then
+        echo "large-n smoke: expected injected-crash exit 86, got $code" >&2
+        exit 1
+    fi
+    # The resumed run reuses the persisted cell (no recompute) and must
+    # emit the exact CSV the uninterrupted run produced.
+    env -u CQS_CRASH_AFTER_CELLS CQS_RESULTS_DIR="$root/crashed" \
+        cargo run --release -q -p cqs-bench --bin thm22_lower_bound_sweep -- \
+            --large-n --smoke --jobs 1 --resume "$root/ckpt"
+    diff "$root/base/thm22_large_n_sweep.csv" \
+         "$root/crashed/thm22_large_n_sweep.csv"
+}
+
+if [[ "${1:-}" == "--large-n" ]]; then
+    echo "==> large-N smoke (thm22 --large-n --smoke, N ~ 1.34e8, crash/resume)"
+    large_n_smoke
+    echo "ci: large-n smoke green"
+    exit 0
+fi
 
 if [[ "${1:-}" == "--lint" ]]; then
     echo "==> cargo fmt --check"

@@ -11,7 +11,14 @@
 //! cargo run -p cqs-bench --release --bin perf_baseline -- --phase post_change --merge
 //! cargo run -p cqs-bench --release --bin perf_baseline -- --smoke --out-dir target/bench-smoke
 //! cargo run -p cqs-bench --release --bin perf_baseline -- --verify target/bench-smoke
+//! cargo run -p cqs-bench --release --bin perf_baseline -- --large-n --merge
 //! ```
+//!
+//! `--large-n` switches the adversary phase (default phase name
+//! `large_n`) to the interval-compressed scaling ladder — ε = 1/1024
+//! with N climbing 10⁶ → 1.7×10⁷ → 1.3×10⁸ on implicit streams — and
+//! records only `BENCH_adversary.json` (the summary workloads are
+//! N-independent and would just be re-measured noise).
 //!
 //! `--merge` appends this invocation's runs to the existing files
 //! (that is how before/after numbers end up side by side in one PR);
@@ -44,8 +51,8 @@ use cqs_bench::checkpoint::{
 };
 use cqs_bench::exec::{parse_jobs, run_cells, CellOutcome};
 use cqs_bench::json::{parse, Json};
-use cqs_bench::{attack, Target};
-use cqs_core::{ComparisonSummary, Eps};
+use cqs_bench::{attack_repr, Target};
+use cqs_core::{ComparisonSummary, Eps, StreamRepr};
 use cqs_gk::{GkSummary, GreedyGk};
 use cqs_snapshot::{RestoreError, SnapshotRead, SnapshotWrite};
 use cqs_streams::{workload, Workload};
@@ -60,6 +67,7 @@ struct Opts {
     merge: bool,
     out_dir: PathBuf,
     smoke: bool,
+    large_n: bool,
     verify: Option<PathBuf>,
     jobs: usize,
     resume: Option<PathBuf>,
@@ -76,6 +84,7 @@ fn parse_opts() -> Result<Opts, String> {
         merge: false,
         out_dir: workspace_root(),
         smoke: false,
+        large_n: false,
         verify: None,
         jobs: 1,
         resume: None,
@@ -86,6 +95,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--phase" => opts.phase = args.next().ok_or("--phase needs a value")?,
             "--merge" => opts.merge = true,
             "--smoke" => opts.smoke = true,
+            "--large-n" => opts.large_n = true,
             "--jobs" => opts.jobs = parse_jobs(&args.next().ok_or("--jobs needs a value")?)?,
             "--out-dir" => {
                 opts.out_dir = PathBuf::from(args.next().ok_or("--out-dir needs a value")?)
@@ -102,7 +112,9 @@ fn parse_opts() -> Result<Opts, String> {
         }
     }
     if opts.phase.is_empty() {
-        opts.phase = if opts.smoke {
+        opts.phase = if opts.large_n {
+            "large_n".into()
+        } else if opts.smoke {
             "smoke".into()
         } else {
             "current".into()
@@ -112,10 +124,10 @@ fn parse_opts() -> Result<Opts, String> {
 }
 
 /// One timed adversary configuration.
-fn adversary_run(phase: &str, target: Target, eps_inv: u64, k: u32) -> Json {
+fn adversary_run(phase: &str, target: Target, eps_inv: u64, k: u32, repr: StreamRepr) -> Json {
     let eps = Eps::from_inverse(eps_inv);
     let started = Instant::now();
-    let report = attack(eps, k, target);
+    let report = attack_repr(eps, k, target, repr);
     let elapsed = started.elapsed();
     // Both streams are fed: the adversary appends N items to π and N to ϱ.
     let items = 2 * report.n;
@@ -133,6 +145,16 @@ fn adversary_run(phase: &str, target: Target, eps_inv: u64, k: u32) -> Json {
     Json::Obj(vec![
         ("phase".into(), Json::Str(phase.into())),
         ("target".into(), Json::Str(target.name())),
+        (
+            "repr".into(),
+            Json::Str(
+                match repr {
+                    StreamRepr::Materialized => "materialized",
+                    StreamRepr::Implicit => "implicit",
+                }
+                .into(),
+            ),
+        ),
         ("eps_inverse".into(), Json::Num(eps_inv as f64)),
         ("k".into(), Json::Num(k as f64)),
         ("n".into(), Json::Num(report.n as f64)),
@@ -406,17 +428,29 @@ fn run(opts: &Opts) -> Result<(), String> {
     let phase = opts.phase.as_str();
 
     println!("== adversary throughput (phase: {phase}) ==");
-    let adversary_configs: &[(Target, u64, u32)] = if opts.smoke {
-        &[(Target::Gk, 8, 4)]
+    use StreamRepr::{Implicit, Materialized};
+    let adversary_configs: &[(Target, u64, u32, StreamRepr)] = if opts.large_n {
+        // The interval-compressed scaling ladder: fixed ε = 1/1024,
+        // N climbing 1.0e6 → 1.7e7 → 1.3e8. Items/s should stay flat
+        // (the implicit representation is O(log)-per-operation in the
+        // *fragment* count, not N) while max_stored traces the
+        // Ω((1/ε)·log εN) shape.
+        &[
+            (Target::Gk, 1024, 10, Implicit),
+            (Target::Gk, 1024, 14, Implicit),
+            (Target::Gk, 1024, 17, Implicit),
+        ]
+    } else if opts.smoke {
+        &[(Target::Gk, 8, 4, Materialized)]
     } else {
         &[
-            (Target::Gk, 64, 8),
-            (Target::Gk, 64, 10),
-            (Target::Gk, 64, 12),
-            (Target::GkGreedy, 64, 12),
-            (Target::Gk, 256, 8),
-            (Target::Gk, 256, 10),
-            (Target::Gk, 256, 12),
+            (Target::Gk, 64, 8, Materialized),
+            (Target::Gk, 64, 10, Materialized),
+            (Target::Gk, 64, 12, Materialized),
+            (Target::GkGreedy, 64, 12, Materialized),
+            (Target::Gk, 256, 8, Materialized),
+            (Target::Gk, 256, 10, Materialized),
+            (Target::Gk, 256, 12, Materialized),
         ]
     };
     // Fan the configs over the worker pool; results come back in config
@@ -425,7 +459,7 @@ fn run(opts: &Opts) -> Result<(), String> {
         None => run_cells(
             adversary_configs,
             opts.jobs,
-            |_, &(t, e, k)| adversary_run(phase, t, e, k),
+            |_, &(t, e, k, repr)| adversary_run(phase, t, e, k, repr),
             |_| {},
         ),
         Some(dir) => {
@@ -438,17 +472,22 @@ fn run(opts: &Opts) -> Result<(), String> {
             if let CrashPolicy::Exit(k) = cfg.crash {
                 eprintln!("[perf] crash injection armed: exiting after {k} persisted configs");
             }
-            let fp = grid_fingerprint(
-                adversary_configs
-                    .iter()
-                    .map(|(t, e, k)| format!("perf {} 1/{e} k={k} phase={phase}", t.name())),
-            );
+            let fp = grid_fingerprint(adversary_configs.iter().map(|(t, e, k, repr)| {
+                // Materialized configs keep the historical fingerprint
+                // text so old checkpoints stay restorable.
+                match repr {
+                    Materialized => format!("perf {} 1/{e} k={k} phase={phase}", t.name()),
+                    Implicit => {
+                        format!("perf {} 1/{e} k={k} phase={phase} repr=implicit", t.name())
+                    }
+                }
+            }));
             let sweep = run_cells_checkpointed(
                 adversary_configs,
                 opts.jobs,
                 &cfg,
                 fp,
-                |_, &(t, e, k)| adversary_run(phase, t, e, k),
+                |_, &(t, e, k, repr)| adversary_run(phase, t, e, k, repr),
                 |json| Some(json.render().into_bytes()),
                 |bytes| {
                     let text = std::str::from_utf8(bytes).map_err(|_| RestoreError::Malformed {
@@ -489,6 +528,17 @@ fn run(opts: &Opts) -> Result<(), String> {
                 return Err(format!("adversary config {cfg:?} panicked: {msg}"))
             }
         }
+    }
+
+    if opts.large_n {
+        // The large-N ladder is an adversary-only phase: re-timing the
+        // 200k-item summary workloads would add nothing but noise to
+        // BENCH_summaries.json.
+        let adv_path = opts.out_dir.join(ADVERSARY_FILE);
+        write_runs(&adv_path, ADVERSARY_SCHEMA, opts.merge, adversary_runs)?;
+        let text = std::fs::read_to_string(&adv_path).map_err(|e| e.to_string())?;
+        report_speedups(&parse(&text)?);
+        return Ok(());
     }
 
     println!("== summary update throughput (phase: {phase}) ==");

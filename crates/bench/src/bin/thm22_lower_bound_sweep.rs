@@ -26,8 +26,15 @@
 //! recovery leg injects crashes via `CQS_CRASH_AFTER_CELLS=k` (exit
 //! code 86 after k freshly persisted cells).
 //!
+//! With `--large-n` the grid switches to interval-compressed
+//! (`StreamRepr::Implicit`) cells at ε = 1/1024 climbing to
+//! N = 1024·2¹⁷ ≈ 1.34×10⁸ — past where the materialized treap's u32
+//! per-item arena tops out — and the CSV mirror goes to
+//! `results/thm22_large_n_sweep.csv`. `--large-n --smoke` is the single
+//! N ≈ 1.34e8 cell the CI crash/resume leg byte-diffs.
+//!
 //! Run: `cargo run -p cqs-bench --release --bin thm22_lower_bound_sweep`
-//!      `[-- [--jobs N] [--smoke] [--resume DIR]]`
+//!      `[-- [--jobs N] [--smoke] [--large-n] [--resume DIR]]`
 //! (`--jobs 0` or absent = available parallelism; `--smoke` runs a
 //! small CI grid. Set `CQS_RESULTS_DIR` to redirect the CSV mirror.)
 
@@ -38,13 +45,14 @@ use cqs_bench::checkpoint::{crash_policy_from_env, CheckpointConfig, CrashPolicy
 use cqs_bench::emit;
 use cqs_bench::exec::{default_jobs, parse_jobs};
 use cqs_bench::sweeps::{
-    thm22_full_grid, thm22_smoke_grid, thm22_sweep, thm22_sweep_checkpointed, Thm22Sweep,
-    Thm22SweepRun,
+    thm22_full_grid, thm22_large_n_grid, thm22_large_n_smoke_grid, thm22_smoke_grid, thm22_sweep,
+    thm22_sweep_checkpointed, Thm22Sweep, Thm22SweepRun,
 };
 
 fn main() -> ExitCode {
     let mut jobs = default_jobs();
     let mut smoke = false;
+    let mut large_n = false;
     let mut resume: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +63,10 @@ fn main() -> ExitCode {
             },
             "--smoke" => {
                 smoke = true;
+                Ok(())
+            }
+            "--large-n" => {
+                large_n = true;
                 Ok(())
             }
             "--resume" => match args.next() {
@@ -72,16 +84,20 @@ fn main() -> ExitCode {
         }
     }
 
-    let cells = if smoke {
-        thm22_smoke_grid()
-    } else {
-        thm22_full_grid()
+    let (cells, grid_name) = match (large_n, smoke) {
+        // The CI crash/resume leg: one interval-compressed N ≈ 1.34e8
+        // cell, cheap enough (in cell count, not wall-clock) to byte-
+        // diff a crashed-and-resumed run against an uninterrupted one.
+        (true, true) => (thm22_large_n_smoke_grid(), " (large-N smoke cell)"),
+        (true, false) => (thm22_large_n_grid(), " (large-N grid)"),
+        (false, true) => (thm22_smoke_grid(), " (smoke grid)"),
+        (false, false) => (thm22_full_grid(), ""),
     };
     eprintln!(
         "[thm22] {} cells on {} worker(s){}",
         cells.len(),
         jobs,
-        if smoke { " (smoke grid)" } else { "" }
+        grid_name
     );
     let sweep = match resume {
         None => thm22_sweep(&cells, jobs, true),
@@ -101,11 +117,19 @@ fn main() -> ExitCode {
         }
     };
 
-    emit(
-        "Theorem 2.2 — lower-bound sweep (space vs c(k+2)/(4eps) on adversarial streams)",
-        &sweep.table,
-        "thm22_lower_bound_sweep.csv",
-    );
+    if large_n {
+        emit(
+            "Theorem 2.2 — large-N sweep (interval-compressed streams, N up to ~1.34e8)",
+            &sweep.table,
+            "thm22_large_n_sweep.csv",
+        );
+    } else {
+        emit(
+            "Theorem 2.2 — lower-bound sweep (space vs c(k+2)/(4eps) on adversarial streams)",
+            &sweep.table,
+            "thm22_lower_bound_sweep.csv",
+        );
+    }
     println!(
         "\nevery correct run met the Theorem 2.2 bound: {}",
         if sweep.all_ok {

@@ -22,8 +22,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use cqs_core::adversary::{run_adversary, try_run_adversary, AdversaryOutcome, AdversaryReport};
-use cqs_core::{ComparisonSummary, Eps, Item};
+use cqs_core::adversary::{
+    run_adversary, try_run_adversary_repr, AdversaryOutcome, AdversaryReport,
+};
+use cqs_core::{ComparisonSummary, Eps, Item, StreamRepr};
 use cqs_gk::{CappedGk, GkSummary, GreedyGk};
 use cqs_kll::KllSketch;
 use cqs_streams::Table;
@@ -56,16 +58,32 @@ impl Target {
 /// Runs the full adversarial construction against the chosen target and
 /// returns the flat report.
 pub fn attack(eps: Eps, k: u32, target: Target) -> AdversaryReport {
+    attack_repr(eps, k, target, StreamRepr::Materialized)
+}
+
+/// [`attack`] with an explicit stream representation — the unguarded
+/// (and therefore honestly-timed) path `perf_baseline` records; sweeps
+/// that must survive misbehaving summaries use [`try_attack_repr`].
+pub fn attack_repr(eps: Eps, k: u32, target: Target, repr: StreamRepr) -> AdversaryReport {
+    fn go<S: ComparisonSummary<Item>>(
+        eps: Eps,
+        k: u32,
+        repr: StreamRepr,
+        mut make: impl FnMut() -> S,
+    ) -> AdversaryReport {
+        cqs_core::Adversary::new(eps, make(), make())
+            .with_stream_repr(repr)
+            .run(k)
+            .report()
+    }
     match target {
-        Target::Gk => run_adversary(eps, k, || GkSummary::<Item>::new(eps.value())).report(),
-        Target::GkGreedy => run_adversary(eps, k, || GreedyGk::<Item>::new(eps.value())).report(),
+        Target::Gk => go(eps, k, repr, || GkSummary::<Item>::new(eps.value())),
+        Target::GkGreedy => go(eps, k, repr, || GreedyGk::<Item>::new(eps.value())),
         Target::KllFixed => {
             let kcap = (4 * eps.inverse() as usize).max(8);
-            run_adversary(eps, k, || KllSketch::<Item>::with_seed(kcap, 0xD1CE)).report()
+            go(eps, k, repr, || KllSketch::<Item>::with_seed(kcap, 0xD1CE))
         }
-        Target::Capped(b) => {
-            run_adversary(eps, k, || CappedGk::<Item>::new(eps.value(), b)).report()
-        }
+        Target::Capped(b) => go(eps, k, repr, || CappedGk::<Item>::new(eps.value(), b)),
     }
 }
 
@@ -74,23 +92,37 @@ pub fn attack(eps: Eps, k: u32, target: Target) -> AdversaryReport {
 /// (with the full error rendered) instead of killing a whole sweep.
 /// The sweep binaries skip-and-record such configs.
 pub fn try_attack(eps: Eps, k: u32, target: Target) -> Result<AdversaryReport, String> {
+    try_attack_repr(eps, k, target, StreamRepr::Materialized)
+}
+
+/// [`try_attack`] with an explicit stream representation.
+/// `StreamRepr::Implicit` keeps the adversary's order indexes
+/// interval-compressed — memory sublinear in N — which is what lets the
+/// large-N sweep grids drive cells at N = 10⁸–10⁹.
+pub fn try_attack_repr(
+    eps: Eps,
+    k: u32,
+    target: Target,
+    repr: StreamRepr,
+) -> Result<AdversaryReport, String> {
     fn go<S: ComparisonSummary<Item>>(
         eps: Eps,
         k: u32,
+        repr: StreamRepr,
         make: impl FnMut() -> S,
     ) -> Result<AdversaryReport, String> {
-        try_run_adversary(eps, k, make)
+        try_run_adversary_repr(eps, k, repr, make)
             .map(|o| o.report())
             .map_err(|e| format!("{} [{}]", e, e.verdict()))
     }
     match target {
-        Target::Gk => go(eps, k, || GkSummary::<Item>::new(eps.value())),
-        Target::GkGreedy => go(eps, k, || GreedyGk::<Item>::new(eps.value())),
+        Target::Gk => go(eps, k, repr, || GkSummary::<Item>::new(eps.value())),
+        Target::GkGreedy => go(eps, k, repr, || GreedyGk::<Item>::new(eps.value())),
         Target::KllFixed => {
             let kcap = (4 * eps.inverse() as usize).max(8);
-            go(eps, k, || KllSketch::<Item>::with_seed(kcap, 0xD1CE))
+            go(eps, k, repr, || KllSketch::<Item>::with_seed(kcap, 0xD1CE))
         }
-        Target::Capped(b) => go(eps, k, || CappedGk::<Item>::new(eps.value(), b)),
+        Target::Capped(b) => go(eps, k, repr, || CappedGk::<Item>::new(eps.value(), b)),
     }
 }
 

@@ -8,7 +8,7 @@
 
 use std::ops::RangeInclusive;
 
-use cqs_core::{AdversaryReport, Eps};
+use cqs_core::{AdversaryReport, Eps, StreamRepr};
 use cqs_snapshot::{Decoder, Encoder, RestoreError};
 use cqs_streams::Table;
 
@@ -17,7 +17,7 @@ use crate::checkpoint::{
     CkptProgress, ResumeInfo,
 };
 use crate::exec::{items_per_sec, run_cells, CellOutcome, Completion};
-use crate::{f1, try_attack, Target};
+use crate::{f1, try_attack_repr, Target};
 
 /// One cell of the Theorem 2.2 sweep grid.
 #[derive(Clone, Copy, Debug)]
@@ -28,18 +28,38 @@ pub struct Thm22Cell {
     pub k: u32,
     /// Summary under attack.
     pub target: Target,
+    /// Stream representation the adversary indexes with: the classic
+    /// grids materialize every item; the large-N grids run
+    /// interval-compressed ([`StreamRepr::Implicit`]) so memory stays
+    /// sublinear in N.
+    pub repr: StreamRepr,
 }
 
 /// Flattens an (inverse-ε, k, target) product into the cell grid, in
 /// the same nesting order the serial loops used (ε outermost, target
 /// innermost) so the table row order is unchanged.
 pub fn thm22_grid(invs: &[u64], ks: RangeInclusive<u32>, targets: &[Target]) -> Vec<Thm22Cell> {
+    thm22_grid_repr(invs, ks, targets, StreamRepr::Materialized)
+}
+
+/// [`thm22_grid`] with an explicit stream representation on every cell.
+pub fn thm22_grid_repr(
+    invs: &[u64],
+    ks: RangeInclusive<u32>,
+    targets: &[Target],
+    repr: StreamRepr,
+) -> Vec<Thm22Cell> {
     let mut cells = Vec::new();
     for &inv in invs {
         let eps = Eps::from_inverse(inv);
         for k in ks.clone() {
             for &target in targets {
-                cells.push(Thm22Cell { eps, k, target });
+                cells.push(Thm22Cell {
+                    eps,
+                    k,
+                    target,
+                    repr,
+                });
             }
         }
     }
@@ -59,6 +79,24 @@ pub fn thm22_full_grid() -> Vec<Thm22Cell> {
 /// A small grid for CI smoke runs (seconds, not minutes).
 pub fn thm22_smoke_grid() -> Vec<Thm22Cell> {
     thm22_grid(&[16], 4..=6, &[Target::Gk, Target::GkGreedy])
+}
+
+/// The large-N grid: interval-compressed cells climbing to
+/// N = 1024·2¹⁷ ≈ 1.34×10⁸ — two decades past where the materialized
+/// treap's per-item arena tops out. Three k values at fixed ε trace the
+/// Ω((1/ε)·log εN) shape (peak |I| grows linearly in k); run it with
+/// `--resume` so the ~10⁸-item final cell survives interruption.
+pub fn thm22_large_n_grid() -> Vec<Thm22Cell> {
+    thm22_grid_repr(&[1024], 10..=17, &[Target::Gk], StreamRepr::Implicit)
+        .into_iter()
+        .filter(|c| matches!(c.k, 10 | 14 | 17))
+        .collect()
+}
+
+/// One N ≈ 1.34×10⁸ interval-compressed cell — the `ci.sh --large-n`
+/// crash/resume leg and the jobs-determinism smoke test share it.
+pub fn thm22_large_n_smoke_grid() -> Vec<Thm22Cell> {
+    thm22_grid_repr(&[1024], 17..=17, &[Target::Gk], StreamRepr::Implicit)
 }
 
 /// Outcome of a Theorem 2.2 sweep, in input-cell order.
@@ -92,7 +130,7 @@ pub fn thm22_sweep(cells: &[Thm22Cell], jobs: usize, progress: bool) -> Thm22Swe
     let outcomes = run_cells(
         cells,
         jobs,
-        |_, cell| try_attack(cell.eps, cell.k, cell.target),
+        |_, cell| try_attack_repr(cell.eps, cell.k, cell.target, cell.repr),
         report,
     );
     thm22_table(cells, outcomes)
@@ -317,13 +355,21 @@ pub fn decode_thm22_result(bytes: &[u8]) -> Result<Result<AdversaryReport, Strin
 }
 
 /// Stable fingerprint of a Theorem 2.2 grid, binding a checkpoint to
-/// the exact (ε, k, target) cells in order.
+/// the exact (ε, k, target, repr) cells in order. Materialized cells
+/// keep the historical fingerprint text (old checkpoints stay
+/// restorable); only implicit cells carry the repr marker.
 pub fn thm22_fingerprint(cells: &[Thm22Cell]) -> u64 {
-    grid_fingerprint(
-        cells
-            .iter()
-            .map(|c| format!("thm22 eps={} k={} {}", c.eps, c.k, c.target.name())),
-    )
+    grid_fingerprint(cells.iter().map(|c| match c.repr {
+        StreamRepr::Materialized => {
+            format!("thm22 eps={} k={} {}", c.eps, c.k, c.target.name())
+        }
+        StreamRepr::Implicit => format!(
+            "thm22 eps={} k={} {} repr=implicit",
+            c.eps,
+            c.k,
+            c.target.name()
+        ),
+    }))
 }
 
 /// How a checkpointed Theorem 2.2 sweep ended.
@@ -368,7 +414,7 @@ pub fn thm22_sweep_checkpointed(
         jobs,
         cfg,
         thm22_fingerprint(cells),
-        |_, cell| try_attack(cell.eps, cell.k, cell.target),
+        |_, cell| try_attack_repr(cell.eps, cell.k, cell.target, cell.repr),
         encode_thm22_result,
         decode_thm22_result,
         report,
@@ -413,7 +459,7 @@ mod tests {
     #[test]
     fn thm22_codec_round_trips_reports_and_errors() {
         let cells = thm22_grid(&[8], 3..=3, &[Target::Gk]);
-        let res = try_attack(cells[0].eps, cells[0].k, cells[0].target);
+        let res = try_attack_repr(cells[0].eps, cells[0].k, cells[0].target, cells[0].repr);
         let bytes = encode_thm22_result(&res).expect("known summary name");
         let back = decode_thm22_result(&bytes).unwrap();
         match (&res, &back) {

@@ -17,14 +17,19 @@ use std::any::Any;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use cqs_universe::{generate_increasing, Interval, Item};
+use cqs_universe::{generate_increasing, generate_increasing_grouped, Interval, Item};
 
 use crate::eps::Eps;
 use crate::gap::{compute_gap_scratch, GapInfo, GapScratch, TieBreak};
 use crate::model::{ComparisonSummary, MaxSpaceTracker};
 use crate::refine::{refine_from, try_refine_from};
 use crate::spacegap::{claim1_holds, space_gap_holds, space_gap_rhs, theorem22_bound};
-use crate::state::{EquivalenceChecker, StreamState};
+use crate::state::{EquivalenceChecker, StreamRepr, StreamState};
+
+/// Chunk-sealing group for runs minted into an implicit stream (see
+/// [`cqs_universe::LabelArena::seal_grouped_into`]): a summary-retained
+/// item pins at most this many labels instead of a whole 2/ε run.
+const LEAF_SEAL_GROUP: usize = 32;
 
 /// Audit record for one node of the recursion tree (post-order).
 #[derive(Clone, Debug, PartialEq)]
@@ -277,6 +282,25 @@ pub enum AdversaryError {
         /// Human-readable reason.
         detail: String,
     },
+    /// The run was never started: the configured stream length
+    /// N_k = (1/ε)·2^k does not fit in `u64`. Split from
+    /// [`InvalidConfig`](Self::InvalidConfig) so sweep drivers can tell
+    /// "you asked for more items than the machine can count" apart from
+    /// structurally bad parameters.
+    ConfigOverflow {
+        /// Human-readable reason, naming ε and k.
+        detail: String,
+    },
+    /// A process-wide capacity ran out mid-run: the arena id mint or
+    /// the implicit stream's run-id space was exhausted. Typed (not a
+    /// silent fast-path degradation, not a panic) so billion-item
+    /// sweeps can report exactly which wall they hit.
+    CapacityExhausted {
+        /// Which capacity ran out, and where.
+        detail: String,
+        /// Salvaged audit prefix.
+        partial: PartialRun,
+    },
     /// A summary call panicked; the driver caught it, poisoned the run,
     /// and stopped issuing summary calls.
     SummaryPanicked {
@@ -312,20 +336,25 @@ impl AdversaryError {
     /// began (callers that care distinguish it by matching the variant).
     pub fn verdict(&self) -> RunVerdict {
         match self {
-            AdversaryError::InvalidConfig { .. } => RunVerdict::BudgetExhausted,
+            AdversaryError::InvalidConfig { .. } | AdversaryError::ConfigOverflow { .. } => {
+                RunVerdict::BudgetExhausted
+            }
             AdversaryError::SummaryPanicked { .. } => RunVerdict::SummaryPanicked,
             AdversaryError::ModelViolation { .. } => RunVerdict::ModelViolation,
-            AdversaryError::BudgetExhausted { .. } => RunVerdict::BudgetExhausted,
+            AdversaryError::BudgetExhausted { .. } | AdversaryError::CapacityExhausted { .. } => {
+                RunVerdict::BudgetExhausted
+            }
         }
     }
 
     /// The salvaged partial run, when one exists.
     pub fn partial(&self) -> Option<&PartialRun> {
         match self {
-            AdversaryError::InvalidConfig { .. } => None,
+            AdversaryError::InvalidConfig { .. } | AdversaryError::ConfigOverflow { .. } => None,
             AdversaryError::SummaryPanicked { partial, .. }
             | AdversaryError::ModelViolation { partial, .. }
-            | AdversaryError::BudgetExhausted { partial, .. } => Some(partial),
+            | AdversaryError::BudgetExhausted { partial, .. }
+            | AdversaryError::CapacityExhausted { partial, .. } => Some(partial),
         }
     }
 }
@@ -335,6 +364,12 @@ impl fmt::Display for AdversaryError {
         match self {
             AdversaryError::InvalidConfig { detail } => {
                 write!(f, "invalid adversary configuration: {detail}")
+            }
+            AdversaryError::ConfigOverflow { detail } => {
+                write!(f, "adversary configuration overflows u64: {detail}")
+            }
+            AdversaryError::CapacityExhausted { detail, .. } => {
+                write!(f, "capacity exhausted: {detail}")
             }
             AdversaryError::SummaryPanicked {
                 step,
@@ -367,6 +402,9 @@ enum TryAbort {
         detail: String,
     },
     Budget {
+        detail: String,
+    },
+    Exhausted {
         detail: String,
     },
 }
@@ -421,10 +459,41 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
         self
     }
 
+    /// Sets the stream representation (see [`StreamRepr`]). Implicit
+    /// streams keep memory sublinear in N — the billion-item
+    /// configuration — and require [`InsertMode::Batched`] (runs are
+    /// the unit of interval compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any items were already fed (the representation is a
+    /// construction-time choice).
+    pub fn with_stream_repr(mut self, repr: StreamRepr) -> Self {
+        assert!(
+            self.pi.is_empty() && self.rho.is_empty(),
+            "stream representation must be chosen before any item is fed"
+        );
+        let pi = self.pi.summary;
+        let rho = self.rho.summary;
+        self.pi = StreamState::with_repr(pi, repr);
+        self.rho = StreamState::with_repr(rho, repr);
+        self
+    }
+
+    /// The representation both streams use.
+    fn repr(&self) -> StreamRepr {
+        self.pi.repr()
+    }
+
     /// Runs `AdvStrategy(k, ∅, ∅, (−∞,∞), (−∞,∞))` and returns the
     /// outcome.
     pub fn run(mut self, k: u32) -> AdversaryOutcome<S> {
         assert!(k >= 1);
+        assert!(
+            !(self.repr() == StreamRepr::Implicit && self.insert_mode == InsertMode::PerItem),
+            "implicit streams require batched insertion (runs are the \
+             unit of interval compression)"
+        );
         self.reserve_streams(k);
         let whole = Interval::whole();
         self.adv(k, &whole, &whole);
@@ -463,6 +532,21 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
         if k < 1 {
             return Err(AdversaryError::InvalidConfig {
                 detail: "recursion depth k must be at least 1".to_string(),
+            });
+        }
+        if self.eps.try_stream_len(k).is_none() {
+            return Err(AdversaryError::ConfigOverflow {
+                detail: format!(
+                    "stream length N_k = (1/{}) * 2^{k} does not fit in u64",
+                    self.eps.inverse()
+                ),
+            });
+        }
+        if self.repr() == StreamRepr::Implicit && self.insert_mode == InsertMode::PerItem {
+            return Err(AdversaryError::InvalidConfig {
+                detail: "implicit streams require batched insertion (runs are the \
+                         unit of interval compression)"
+                    .to_string(),
             });
         }
         if let Some(max_depth) = self.budget.max_depth {
@@ -563,7 +647,13 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
     /// falls back to doubling.
     fn reserve_streams(&mut self, k: u32) {
         const RESERVE_CAP: u64 = 1 << 21;
-        let n = usize::try_from(self.eps.stream_len(k).min(RESERVE_CAP)).unwrap_or(0);
+        let n = usize::try_from(
+            self.eps
+                .try_stream_len(k)
+                .unwrap_or(u64::MAX)
+                .min(RESERVE_CAP),
+        )
+        .unwrap_or(0);
         self.pi.reserve_items(n);
         self.rho.reserve_items(n);
     }
@@ -632,7 +722,11 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
             self.tie_break,
             &mut self.gap_scratch,
         );
-        let n_k = self.eps.stream_len(k);
+        // `try_run` validated N_k at the root; intermediate levels can
+        // only be smaller, so the unwrap is for the panicking `run`
+        // path alone — where `stream_len` itself would already have
+        // panicked with the same message.
+        let n_k = self.eps.try_stream_len(k).unwrap_or(u64::MAX);
         let s_k = gap_now.restricted_len;
         let claim1_ok = match (g_prime, g_dprime) {
             (Some(gp), Some(gd)) => claim1_holds(gap_now.gap, gp, gd),
@@ -657,25 +751,40 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
         gap_now
     }
 
+    /// Mints the two leaf runs of 2/ε fresh items inside the current
+    /// intervals. While the intervals coincide (e.g. the first leaf) the
+    /// very same items are appended to both streams — the paper's
+    /// observation. Implicit streams seal in groups of
+    /// [`LEAF_SEAL_GROUP`]: the run is replayed on demand through a
+    /// `RunGenerator` afterwards, so per-item arena ids would only burn
+    /// the 2³²-id mint space the whole-sweep budget needs.
+    fn mint_leaf_runs(
+        &self,
+        iv_pi: &Interval,
+        iv_rho: &Interval,
+        n: usize,
+    ) -> (Vec<Item>, Vec<Item>) {
+        let mint = |iv: &Interval| match self.repr() {
+            StreamRepr::Materialized => generate_increasing(iv, n),
+            StreamRepr::Implicit => generate_increasing_grouped(iv, n, LEAF_SEAL_GROUP),
+        };
+        if iv_pi == iv_rho {
+            let shared = mint(iv_pi);
+            (shared.clone(), shared)
+        } else {
+            (mint(iv_pi), mint(iv_rho))
+        }
+    }
+
     /// Base case: append 2/ε fresh items inside the current intervals,
     /// in the same order on both streams.
     fn leaf(&mut self, iv_pi: &Interval, iv_rho: &Interval) {
         let n = self.eps.leaf_items() as usize;
-        let (items_pi, items_rho) = if iv_pi == iv_rho {
-            // The paper notes the same items can be appended to both
-            // streams while the intervals coincide (e.g. the first leaf).
-            let shared = generate_increasing(iv_pi, n);
-            (shared.clone(), shared)
-        } else {
-            (
-                generate_increasing(iv_pi, n),
-                generate_increasing(iv_rho, n),
-            )
-        };
+        let (items_pi, items_rho) = self.mint_leaf_runs(iv_pi, iv_rho, n);
         match self.insert_mode {
             InsertMode::Batched => {
-                self.pi.push_run(&items_pi);
-                self.rho.push_run(&items_rho);
+                self.pi.push_run_in(iv_pi, &items_pi);
+                self.rho.push_run_in(iv_rho, &items_rho);
                 self.check_size_divergence();
             }
             InsertMode::PerItem => {
@@ -742,17 +851,38 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
                 });
             }
         }
-        let (items_pi, items_rho) = if iv_pi == iv_rho {
-            let shared = generate_increasing(iv_pi, n);
-            (shared.clone(), shared)
-        } else {
-            (
-                generate_increasing(iv_pi, n),
-                generate_increasing(iv_rho, n),
-            )
-        };
-        self.pi.index_run(&items_pi);
-        self.rho.index_run(&items_rho);
+        // Capacity guards, checked before minting so nothing is wasted
+        // on a doomed leaf. All three are typed `Exhausted` aborts (the
+        // run's prefix is salvaged into a `PartialRun`), never silent
+        // wraparound: the arena mint counter, the implicit run-id
+        // space, and — materialized only — the u32 treap arena links.
+        if cqs_universe::ids_exhausted() {
+            return Err(TryAbort::Exhausted {
+                detail: "label arena mint ids exhausted (2^32 items minted across this \
+                         process); implicit streams avoid per-item ids via grouped sealing"
+                    .to_string(),
+            });
+        }
+        if self.pi.runs_exhausted() || self.rho.runs_exhausted() {
+            return Err(TryAbort::Exhausted {
+                detail: "implicit stream run-id space exhausted (2^32 - 1 runs)".to_string(),
+            });
+        }
+        if self.repr() == StreamRepr::Materialized
+            && self.pi.len() + n as u64 >= u64::from(u32::MAX)
+        {
+            return Err(TryAbort::Exhausted {
+                detail: format!(
+                    "materialized stream index cannot address the next leaf: {} items \
+                     indexed, {n} more would overflow the u32 arena; rerun with \
+                     StreamRepr::Implicit",
+                    self.pi.len()
+                ),
+            });
+        }
+        let (items_pi, items_rho) = self.mint_leaf_runs(iv_pi, iv_rho, n);
+        self.pi.index_run_in(iv_pi, &items_pi);
+        self.rho.index_run_in(iv_rho, &items_rho);
         for (a, b) in items_pi.into_iter().zip(items_rho) {
             let step = self.pi.len() + 1;
             let pi = &mut self.pi;
@@ -905,6 +1035,7 @@ impl<S: ComparisonSummary<Item>> Adversary<S> {
             },
             TryAbort::Model { detail } => AdversaryError::ModelViolation { detail, partial },
             TryAbort::Budget { detail } => AdversaryError::BudgetExhausted { detail, partial },
+            TryAbort::Exhausted { detail } => AdversaryError::CapacityExhausted { detail, partial },
         }
     }
 }
@@ -1004,6 +1135,26 @@ where
     F: FnMut() -> S,
 {
     Adversary::new(eps, make(), make()).try_run(k)
+}
+
+/// [`try_run_adversary`] with an explicit stream representation.
+/// `StreamRepr::Implicit` keeps both order indexes interval-compressed
+/// (memory sublinear in N for summaries that store o(N) items), which
+/// is what lets the sweep drive N = 10⁸–10⁹ cells; `Materialized` is
+/// byte-for-byte the classic treap path.
+pub fn try_run_adversary_repr<S, F>(
+    eps: Eps,
+    k: u32,
+    repr: StreamRepr,
+    mut make: F,
+) -> Result<AdversaryOutcome<S>, AdversaryError>
+where
+    S: ComparisonSummary<Item>,
+    F: FnMut() -> S,
+{
+    Adversary::new(eps, make(), make())
+        .with_stream_repr(repr)
+        .try_run(k)
 }
 
 #[cfg(test)]
@@ -1206,5 +1357,68 @@ mod tests {
         let out = run_adversary(eps, 3, ExactSummary::new);
         let levels: Vec<u32> = out.audits.iter().map(|a| a.level).collect();
         assert_eq!(levels, vec![1, 1, 2, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn absurd_configurations_become_typed_overflow_errors() {
+        // 2^20 · 2^50 and the k ≥ 64 shift both blow past u64: the
+        // panic-free driver must refuse up front, not unwind later.
+        let eps = Eps::from_inverse(1 << 20);
+        for k in [50u32, 64, u32::MAX] {
+            let err = try_run_adversary(eps, k, ExactSummary::new).unwrap_err();
+            assert!(
+                matches!(err, AdversaryError::ConfigOverflow { .. }),
+                "k = {k}: expected ConfigOverflow, got {err}"
+            );
+            assert_eq!(err.verdict(), RunVerdict::BudgetExhausted);
+            assert!(err.partial().is_none(), "no stream was ever fed");
+        }
+        // The largest representable configuration still launches.
+        assert!(try_run_adversary(Eps::from_inverse(4), 4, ExactSummary::new).is_ok());
+    }
+
+    #[test]
+    fn implicit_streams_reproduce_the_materialized_report() {
+        // The tentpole honesty check at unit scale: the
+        // interval-compressed representation must be observationally
+        // identical to the treap — same audits, same report, same
+        // verdict — because the summary sees the very same items in the
+        // very same order and every rank/tag query resolves through
+        // Definition 3.2-equivalent answers.
+        for (inv, k) in [(4u64, 3u32), (8, 4), (16, 5)] {
+            let eps = Eps::from_inverse(inv);
+            let classic = try_run_adversary(eps, k, ExactSummary::new).unwrap();
+            let implicit =
+                try_run_adversary_repr(eps, k, StreamRepr::Implicit, ExactSummary::new).unwrap();
+            assert_eq!(implicit.audits, classic.audits, "1/eps = {inv}, k = {k}");
+            assert_eq!(implicit.report(), classic.report());
+            assert_eq!(implicit.verdict(), classic.verdict());
+            assert_eq!(implicit.rank_probe, classic.rank_probe);
+        }
+    }
+
+    #[test]
+    fn implicit_streams_flag_incorrect_summaries_too() {
+        let eps = Eps::from_inverse(8);
+        let classic = try_run_adversary(eps, 5, || DecimatedSummary::new(3)).unwrap();
+        let implicit =
+            try_run_adversary_repr(eps, 5, StreamRepr::Implicit, || DecimatedSummary::new(3))
+                .unwrap();
+        assert_eq!(implicit.verdict(), RunVerdict::SummaryIncorrect);
+        assert_eq!(implicit.report(), classic.report());
+    }
+
+    #[test]
+    fn implicit_rejects_per_item_insertion() {
+        let eps = Eps::from_inverse(8);
+        let err = Adversary::new(eps, ExactSummary::new(), ExactSummary::new())
+            .with_stream_repr(StreamRepr::Implicit)
+            .with_insert_mode(InsertMode::PerItem)
+            .try_run(3)
+            .unwrap_err();
+        assert!(
+            matches!(err, AdversaryError::InvalidConfig { .. }),
+            "expected InvalidConfig, got {err}"
+        );
     }
 }

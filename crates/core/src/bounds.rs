@@ -8,6 +8,21 @@
 
 use crate::eps::Eps;
 
+/// εN computed in integer space first: quotient and remainder are
+/// exact, so the result is correct to one final rounding for every
+/// `u64` stream length. The old `n as f64 / inv as f64` shape went
+/// through a lossy `u64 → f64` conversion of `n` *before* dividing:
+/// above 2⁵³ the conversion discards low bits, and the division then
+/// rounds a second time — at billion-item-sweep scales (N = 10⁸–10⁹
+/// per cell, extrapolation plots far beyond) the εN the bound charts
+/// was silently off by up to a unit. Dividing first keeps εN exact
+/// whenever it is representable, which covers every N_k = (1/ε)·2^k
+/// the construction can address.
+fn eps_n(eps: Eps, n: u64) -> f64 {
+    let inv = eps.inverse();
+    (n / inv) as f64 + (n % inv) as f64 / inv as f64
+}
+
 /// The trivial lower bound Ω(1/ε) that "holds even offline" (via the
 /// ⌈1/(2ε)⌉ interval-covering argument).
 pub fn trivial_lower(eps: Eps) -> f64 {
@@ -32,7 +47,7 @@ pub fn hung_ting_stream_len(eps: Eps) -> f64 {
 /// N ≥ Ω(1/ε).
 pub fn cv_lower(eps: Eps, n: u64) -> f64 {
     let inv = eps.inverse() as f64;
-    inv * (n as f64 / inv).max(2.0).log2()
+    inv * eps_n(eps, n).max(2.0).log2()
 }
 
 /// The paper's concrete constant: c·(k+2)/(4ε) with c = 1/8 − 2ε at
@@ -46,7 +61,7 @@ pub fn cv_lower(eps: Eps, n: u64) -> f64 {
 /// short for the construction to exist at all.
 pub fn cv_lower_concrete(eps: Eps, n: u64) -> f64 {
     let inv = eps.inverse() as f64;
-    let k = (n as f64 / inv).max(2.0).log2();
+    let k = eps_n(eps, n).max(2.0).log2();
     (0.125 - 2.0 * eps.value()) * (k + 2.0) * inv / 4.0
 }
 
@@ -59,7 +74,7 @@ pub fn gk_upper(eps: Eps, n: u64) -> f64 {
 /// Manku–Rajagopalan–Lindsay upper bound O((1/ε)·log²(εN)).
 pub fn mrl_upper(eps: Eps, n: u64) -> f64 {
     let inv = eps.inverse() as f64;
-    let l = (n as f64 / inv).max(2.0).log2();
+    let l = eps_n(eps, n).max(2.0).log2();
     inv * l * l
 }
 
@@ -141,6 +156,53 @@ mod tests {
         // Strictly above the floor both grow again.
         assert!(cv_lower(eps, 4 * floor) > cv_lower(eps, floor) + 1e-9);
         assert!(cv_lower_concrete(eps, 4 * floor) > cv_lower_concrete(eps, floor) + 1e-9);
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // exactness is the property under test
+    fn eps_n_is_exact_beyond_the_f64_mantissa() {
+        // n = 3·(2⁵³+1) does not survive a u64 → f64 round-trip: the
+        // conversion rounds it up a notch, and the float-first division
+        // then reported εN one ulp above 3. Integer-first division is
+        // exact.
+        let inv = (1u64 << 53) + 1;
+        let eps = Eps::from_inverse(inv);
+        let n = 3 * inv;
+        assert_eq!(eps_n(eps, n), 3.0);
+        let float_first = n as f64 / inv as f64;
+        assert!(
+            float_first > 3.0,
+            "float-first division regained exactness; this regression \
+             guard can be retired"
+        );
+        // And the bound built on it is the exact-εN value.
+        assert_eq!(cv_lower(eps, n), inv as f64 * 3.0f64.log2());
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // εN = 2^k exactly ⇒ the bound is exact
+    fn large_n_keeps_the_construction_floor_clamp() {
+        // The k ≥ 1 clamp must survive the integer-first rewrite at
+        // both ends of the scale: gigantic 1/ε keeps tiny εN pinned at
+        // the 2/ε floor...
+        let eps = Eps::from_inverse(1u64 << 60);
+        for n in [1u64, 1 << 30, 1 << 53, (1 << 60) + 12_345, 1 << 61] {
+            assert!((cv_lower(eps, n) - cv_lower(eps, 2 * (1 << 60))).abs() < 1e-6);
+            assert!(
+                (cv_lower_concrete(eps, n) - cv_lower_concrete(eps, 2 * (1 << 60))).abs() < 1e-6
+            );
+        }
+        // ...while billion-scale N with ordinary ε sits far above it
+        // and stays strictly monotone in k across the 2⁵³ line.
+        let eps = Eps::from_inverse(1024);
+        let mut prev = 0.0;
+        for k in [17u32, 20, 30, 44, 50, 53] {
+            let b = cv_lower(eps, eps.stream_len(k));
+            assert!(b > prev, "bound not increasing at k = {k}");
+            // εN = 2^k exactly, so the bound is analytically k·(1/ε).
+            assert_eq!(b, 1024.0 * f64::from(k));
+            prev = b;
+        }
     }
 
     #[test]

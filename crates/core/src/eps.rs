@@ -35,11 +35,24 @@ impl Eps {
     }
 
     /// The stream length N_k = (1/ε)·2^k used by the construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when N_k overflows `u64`. The panic-free driver validates
+    /// the configuration through
+    /// [`try_stream_len`](Self::try_stream_len) before it ever reaches
+    /// this accessor, turning an absurd (ε, k) into a typed
+    /// `ConfigOverflow` error instead.
     pub fn stream_len(self, k: u32) -> u64 {
-        // (1/ε)·2^k exceeding u64 is a configuration error, not an
-        // adversarial-input path: k and 1/ε are caller-chosen constants.
-        // cqs-lint: allow(driver-no-panic)
-        self.inv.checked_mul(1u64 << k).expect("N_k overflows u64")
+        self.try_stream_len(k).expect("N_k overflows u64")
+    }
+
+    /// [`stream_len`](Self::stream_len) without the panic: `None` when
+    /// (1/ε)·2^k does not fit in `u64` (including k ≥ 64, where the
+    /// shift itself would already be undefined).
+    pub fn try_stream_len(self, k: u32) -> Option<u64> {
+        let pow = 1u64.checked_shl(k)?;
+        self.inv.checked_mul(pow)
     }
 
     /// The number of items appended per leaf of the recursion tree, 2/ε.
@@ -112,5 +125,17 @@ mod tests {
     #[should_panic(expected = "1/eps must be positive")]
     fn zero_inverse_rejected() {
         Eps::from_inverse(0);
+    }
+
+    #[test]
+    fn try_stream_len_detects_overflow() {
+        let e = Eps::from_inverse(1 << 20);
+        assert_eq!(e.try_stream_len(10), Some(1 << 30));
+        // 2^20 · 2^44 = 2^64: one past the top.
+        assert_eq!(e.try_stream_len(44), None);
+        assert_eq!(e.try_stream_len(43), Some(1 << 63));
+        // The shift itself out of range.
+        assert_eq!(Eps::from_inverse(1).try_stream_len(64), None);
+        assert_eq!(Eps::from_inverse(1).try_stream_len(63), Some(1 << 63));
     }
 }

@@ -52,7 +52,9 @@ impl FailureWitness {
 pub fn quantile_failure_witness<S: ComparisonSummary<Item>>(
     outcome: &AdversaryOutcome<S>,
 ) -> Option<FailureWitness> {
-    let n = outcome.eps.stream_len(outcome.k);
+    // A finished outcome implies `try_run` already validated N_k, so
+    // the fallback is unreachable; it keeps this entry point unwind-free.
+    let n = outcome.eps.try_stream_len(outcome.k).unwrap_or(u64::MAX);
     let ceiling = outcome.eps.gap_bound(n);
     let root = outcome.root()?;
     if root.g <= ceiling {

@@ -56,6 +56,7 @@ pub mod eps;
 pub mod failure;
 pub mod gap;
 pub mod histogram;
+mod implicit;
 pub mod median;
 pub mod model;
 pub mod offline;
@@ -70,8 +71,9 @@ pub mod spacegap;
 pub mod state;
 
 pub use adversary::{
-    run_lower_bound, try_run_adversary, Adversary, AdversaryBudget, AdversaryError,
-    AdversaryOutcome, AdversaryReport, InsertMode, NodeAudit, PartialRun, RankProbe, RunVerdict,
+    run_lower_bound, try_run_adversary, try_run_adversary_repr, Adversary, AdversaryBudget,
+    AdversaryError, AdversaryOutcome, AdversaryReport, InsertMode, NodeAudit, PartialRun,
+    RankProbe, RunVerdict,
 };
 pub use eps::Eps;
 pub use failure::{quantile_failure_witness, FailureWitness};
@@ -81,7 +83,7 @@ pub use model::{ComparisonSummary, MaxSpaceTracker, RankEstimator};
 pub use refine::{refine_intervals, RefineError};
 pub use rng::SplitMix64;
 pub use spacegap::{space_gap_rhs, theorem22_bound, SPACE_GAP_C_NUM};
-pub use state::StreamState;
+pub use state::{StreamRepr, StreamState};
 
 pub use cqs_universe::{Endpoint, Interval, Item};
 
@@ -99,6 +101,7 @@ fn sharding_send_audit<S: ComparisonSummary<Item> + Send>() {
     assert_send::<AdversaryError>();
     assert_send::<AdversaryReport>();
     assert_send::<StreamState<S>>();
+    assert_send::<StreamRepr>();
     assert_send::<RunVerdict>();
     assert_send::<AdversaryBudget>();
     assert_send::<Eps>();

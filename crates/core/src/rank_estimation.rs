@@ -55,7 +55,9 @@ where
     S: ComparisonSummary<Item> + RankEstimator<Item>,
 {
     let eps = outcome.eps;
-    let n = eps.stream_len(outcome.k);
+    // A finished outcome implies `try_run` already validated N_k, so
+    // the fallback is unreachable; it keeps this entry point unwind-free.
+    let n = eps.try_stream_len(outcome.k).unwrap_or(u64::MAX);
     let threshold = eps.gap_bound(n) + 2;
     let whole = Interval::whole();
     let gap = compute_gap(&outcome.pi, &outcome.rho, &whole, &whole);

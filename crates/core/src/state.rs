@@ -13,26 +13,174 @@
 use cqs_ostree::OsTree;
 use cqs_universe::{Endpoint, Interval, Item};
 
+use crate::implicit::ImplicitOrder;
 use crate::model::ComparisonSummary;
+
+/// How a [`StreamState`] represents the stream's order statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamRepr {
+    /// Every stream item lives in an order-statistic treap: Θ(N)
+    /// memory, supports arbitrary per-item appends. The default.
+    Materialized,
+    /// Interval-compressed: runs are stored as generators plus a
+    /// fragment treap ([`crate::implicit`]), so memory is sublinear in
+    /// N. Streams must grow through the run-based entry points
+    /// ([`StreamState::push_run_in`] / [`StreamState::index_run_in`]).
+    Implicit,
+}
+
+/// The order-statistic index behind a [`StreamState`], in either
+/// representation. Every query forwards to the active index; the two
+/// sides answer byte-identically for the same stream (the implicit
+/// side replays the deterministic mint subdivision), which the
+/// `cqs-bench` differential suite pins end-to-end.
+enum OrderIndex {
+    Materialized(OsTree<Item>),
+    Implicit(ImplicitOrder),
+}
+
+impl OrderIndex {
+    fn len(&self) -> u64 {
+        match self {
+            OrderIndex::Materialized(t) => t.len() as u64,
+            OrderIndex::Implicit(i) => i.len(),
+        }
+    }
+
+    fn count_less(&self, q: &Item) -> u64 {
+        match self {
+            OrderIndex::Materialized(t) => t.count_less(q) as u64,
+            OrderIndex::Implicit(i) => i.count_less(q),
+        }
+    }
+
+    fn count_le(&self, q: &Item) -> u64 {
+        match self {
+            OrderIndex::Materialized(t) => t.count_le(q) as u64,
+            OrderIndex::Implicit(i) => i.count_le(q),
+        }
+    }
+
+    fn successor(&self, q: &Item) -> Option<Item> {
+        match self {
+            OrderIndex::Materialized(t) => t.successor(q).cloned(),
+            OrderIndex::Implicit(i) => i.successor(q),
+        }
+    }
+
+    fn predecessor(&self, q: &Item) -> Option<Item> {
+        match self {
+            OrderIndex::Materialized(t) => t.predecessor(q).cloned(),
+            OrderIndex::Implicit(i) => i.predecessor(q),
+        }
+    }
+
+    fn min(&self) -> Option<Item> {
+        match self {
+            OrderIndex::Materialized(t) => t.min().cloned(),
+            OrderIndex::Implicit(i) => i.min(),
+        }
+    }
+
+    fn max(&self) -> Option<Item> {
+        match self {
+            OrderIndex::Materialized(t) => t.max().cloned(),
+            OrderIndex::Implicit(i) => i.max(),
+        }
+    }
+
+    fn tag_of(&self, q: &Item) -> Option<u64> {
+        match self {
+            OrderIndex::Materialized(t) => t.tag_of(q),
+            OrderIndex::Implicit(i) => i.tag_of(q),
+        }
+    }
+
+    /// Batched `count_le` over sorted queries. Counts land in `usize`
+    /// scratch (the materialized treap's native width); implicit counts
+    /// are exact — stream lengths stay far below `usize::MAX` on the
+    /// 64-bit targets the billion-item sweep runs on.
+    fn multi_count_le(&self, qs: &[Item], out: &mut Vec<usize>) {
+        match self {
+            OrderIndex::Materialized(t) => t.multi_count_le(qs, out),
+            OrderIndex::Implicit(i) => {
+                out.clear();
+                out.reserve(qs.len());
+                for q in qs {
+                    out.push(i.count_le(q) as usize);
+                }
+            }
+        }
+    }
+
+    fn multi_tag_of(&self, qs: &[Item], out: &mut Vec<Option<u64>>) {
+        match self {
+            OrderIndex::Materialized(t) => t.multi_tag_of(qs, out),
+            OrderIndex::Implicit(i) => {
+                out.clear();
+                i.multi_tag_of(qs, out);
+            }
+        }
+    }
+
+    fn for_each_tagged(&self, f: &mut dyn FnMut(&Item, u64)) {
+        match self {
+            OrderIndex::Materialized(t) => t.for_each_tagged(f),
+            OrderIndex::Implicit(i) => i.for_each_tagged(f),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            OrderIndex::Materialized(t) => t.reserve(additional),
+            // The implicit index allocates per fragment, not per item;
+            // run counts are unknowable here and tiny anyway.
+            OrderIndex::Implicit(_) => {}
+        }
+    }
+}
 
 /// A stream being fed to a summary, with full order-statistic indexing.
 pub struct StreamState<S> {
     /// The summary under adversarial attack.
     pub summary: S,
-    order: OsTree<Item>,
+    order: OrderIndex,
     n: u64,
     max_label_depth: usize,
 }
 
 impl<S: ComparisonSummary<Item>> StreamState<S> {
-    /// Wraps a fresh summary; the stream starts empty.
+    /// Wraps a fresh summary; the stream starts empty. Materialized
+    /// representation — see [`with_repr`](Self::with_repr).
     pub fn new(summary: S) -> Self {
+        Self::with_repr(summary, StreamRepr::Materialized)
+    }
+
+    /// Wraps a fresh summary with an explicit stream representation.
+    pub fn with_repr(summary: S, repr: StreamRepr) -> Self {
+        let order = match repr {
+            StreamRepr::Materialized => OrderIndex::Materialized(OsTree::new()),
+            StreamRepr::Implicit => OrderIndex::Implicit(ImplicitOrder::new()),
+        };
         StreamState {
             summary,
-            order: OsTree::new(),
+            order,
             n: 0,
             max_label_depth: 0,
         }
+    }
+
+    /// The active stream representation.
+    pub fn repr(&self) -> StreamRepr {
+        match self.order {
+            OrderIndex::Materialized(_) => StreamRepr::Materialized,
+            OrderIndex::Implicit(_) => StreamRepr::Implicit,
+        }
+    }
+
+    /// Whether the stream is interval-compressed.
+    pub fn is_implicit(&self) -> bool {
+        matches!(self.order, OrderIndex::Implicit(_))
     }
 
     /// Rebuilds a state from snapshot parts: a restored summary plus the
@@ -75,7 +223,7 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         order.extend_sorted_tagged(pairs);
         Ok(StreamState {
             summary,
-            order,
+            order: OrderIndex::Materialized(order),
             n,
             max_label_depth,
         })
@@ -95,11 +243,17 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
     /// Panics if the item already occurred — the adversarial streams
     /// consist of distinct items, and `rank_σ` is only well-defined then.
     pub fn push(&mut self, item: Item) {
+        let OrderIndex::Materialized(order) = &mut self.order else {
+            // Per-item appends carry no interval, which the implicit
+            // index needs to register a run; the adversary rejects
+            // per-item insertion mode on implicit streams up front.
+            panic!("per-item push requires a materialized stream");
+        };
         self.max_label_depth = self.max_label_depth.max(item.depth());
         // The treap descent doubles as the distinctness check, and the
         // node's tag records the arrival position — one walk where the
         // old BTreeMap-plus-treap layout paid for two.
-        let fresh = self.order.insert_unique_tagged(item.clone(), self.n);
+        let fresh = order.insert_unique_tagged(item.clone(), self.n);
         assert!(fresh, "adversarial stream items must be distinct");
         self.summary.insert(item);
         self.n += 1;
@@ -120,20 +274,21 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
     /// Panics (with the same "distinct" diagnostic as `push`) if the run
     /// is not strictly increasing or its span overlaps existing items.
     pub fn push_run(&mut self, run: &[Item]) -> usize {
-        assert!(
-            run.windows(2).all(|w| w[0] < w[1]),
-            "adversarial stream items must be distinct"
-        );
-        if let (Some(first), Some(last)) = (run.first(), run.last()) {
-            let occupied = self.order.count_le(last) - self.order.count_less(first);
-            assert!(occupied == 0, "adversarial stream items must be distinct");
-        }
-        for it in run {
-            self.max_label_depth = self.max_label_depth.max(it.depth());
-        }
-        let start = self.n;
-        self.order
-            .extend_sorted_tagged(run.iter().cloned().zip(start..));
+        self.index_run(run);
+        let peak = self.summary.insert_sorted_run(run);
+        self.n += run.len() as u64;
+        peak
+    }
+
+    /// [`push_run`](Self::push_run) for a run minted inside the open
+    /// interval `iv` — the entry point that works in **both** stream
+    /// representations. A materialized stream indexes the items
+    /// directly (the interval is redundant there); an implicit stream
+    /// registers the interval's run generator and fragments instead of
+    /// the items. Validity requirements and return value match
+    /// [`push_run`](Self::push_run).
+    pub fn push_run_in(&mut self, iv: &Interval, run: &[Item]) -> usize {
+        self.index_run_in(iv, run);
         let peak = self.summary.insert_sorted_run(run);
         self.n += run.len() as u64;
         peak
@@ -151,8 +306,47 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
     ///
     /// Same validity requirements as [`push_run`](Self::push_run).
     pub fn index_run(&mut self, run: &[Item]) {
+        self.validate_run(run);
+        let OrderIndex::Materialized(order) = &mut self.order else {
+            panic!("index_run requires a materialized stream; use index_run_in");
+        };
+        let start = self.n;
+        order.extend_sorted_tagged(run.iter().cloned().zip(start..));
+    }
+
+    /// [`index_run`](Self::index_run) for a run minted inside `iv`,
+    /// working in both representations (see
+    /// [`push_run_in`](Self::push_run_in)).
+    ///
+    /// # Panics
+    ///
+    /// Same validity requirements as [`push_run`](Self::push_run); on
+    /// an implicit stream additionally panics if the run-id space is
+    /// exhausted (callers on the panic-free driver path check
+    /// [`runs_exhausted`](Self::runs_exhausted) first).
+    pub fn index_run_in(&mut self, iv: &Interval, run: &[Item]) {
+        self.validate_run(run);
+        match &mut self.order {
+            OrderIndex::Materialized(order) => {
+                let start = self.n;
+                order.extend_sorted_tagged(run.iter().cloned().zip(start..));
+            }
+            OrderIndex::Implicit(imp) => {
+                debug_assert!(
+                    run.iter().all(|it| iv.contains(it)),
+                    "run item escaped its mint interval"
+                );
+                imp.insert_run(iv, run);
+            }
+        }
+    }
+
+    /// Shared validity checks of the run entry points: strictly
+    /// increasing items whose closed span contains no existing stream
+    /// item. Also folds the run into the label-depth statistic.
+    fn validate_run(&mut self, run: &[Item]) {
         assert!(
-            run.windows(2).all(|w| w[0] < w[1]),
+            run.iter().zip(run.iter().skip(1)).all(|(a, b)| a < b),
             "adversarial stream items must be distinct"
         );
         if let (Some(first), Some(last)) = (run.first(), run.last()) {
@@ -162,9 +356,17 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         for it in run {
             self.max_label_depth = self.max_label_depth.max(it.depth());
         }
-        let start = self.n;
-        self.order
-            .extend_sorted_tagged(run.iter().cloned().zip(start..));
+    }
+
+    /// Whether the stream can no longer accept runs: an implicit stream
+    /// has a `u32` run-id space (4 × 10⁹ runs ≈ 10¹² items at the
+    /// adversary's leaf sizes — a capacity probe, not a practical
+    /// limit). Materialized streams never exhaust here.
+    pub fn runs_exhausted(&self) -> bool {
+        match &self.order {
+            OrderIndex::Materialized(_) => false,
+            OrderIndex::Implicit(imp) => imp.runs_exhausted(),
+        }
     }
 
     /// Feeds one item (already indexed via [`index_run`](Self::index_run))
@@ -206,27 +408,27 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
     /// `rank_σ(a)`: 1-based position of `a` in the sorted order of the
     /// stream (valid for any universe item, present or not).
     pub fn rank(&self, a: &Item) -> u64 {
-        self.order.rank(a) as u64
+        self.order.count_less(a) + 1
     }
 
     /// `next(σ, a)`: smallest stream item strictly greater than `a`.
     pub fn next(&self, a: &Item) -> Option<Item> {
-        self.order.successor(a).cloned()
+        self.order.successor(a)
     }
 
     /// `prev(σ, b)`: largest stream item strictly smaller than `b`.
     pub fn prev(&self, b: &Item) -> Option<Item> {
-        self.order.predecessor(b).cloned()
+        self.order.predecessor(b)
     }
 
     /// Smallest stream item.
     pub fn min(&self) -> Option<Item> {
-        self.order.min().cloned()
+        self.order.min()
     }
 
     /// Largest stream item.
     pub fn max(&self) -> Option<Item> {
-        self.order.max().cloned()
+        self.order.max()
     }
 
     /// Arrival position (0-based) of a stream item — the tag its treap
@@ -247,7 +449,7 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
             Endpoint::Finite(l) => self.order.count_le(l),
             Endpoint::PosInf => self.order.len(),
         };
-        (below_hi - upto_lo) as u64
+        below_hi - upto_lo
     }
 
     /// The rank of an endpoint within the *restricted substream* of
@@ -260,7 +462,7 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         let lo_finite = matches!(iv.lo(), Endpoint::Finite(_));
         let base = match iv.lo() {
             Endpoint::NegInf => 0,
-            Endpoint::Finite(l) => self.order.count_le(l) as u64,
+            Endpoint::Finite(l) => self.order.count_le(l),
             // Interval construction forbids a +inf lower endpoint.
             // cqs-lint: allow(driver-no-panic)
             Endpoint::PosInf => unreachable!("interval lo cannot be +inf"),
@@ -272,7 +474,7 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
                     iv.lo().cmp_item(it).is_le() && iv.hi().cmp_item(it).is_ge(),
                     "rank_in item outside interval"
                 );
-                let le = self.order.count_le(it) as u64;
+                let le = self.order.count_le(it);
                 (lo_finite as u64) + le.saturating_sub(base)
             }
             Endpoint::PosInf => (lo_finite as u64) + self.count_inside(iv) + 1,
@@ -294,7 +496,7 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
     pub fn rank_base(&self, iv: &Interval) -> (bool, u64) {
         match iv.lo() {
             Endpoint::NegInf => (false, 0),
-            Endpoint::Finite(l) => (true, self.order.count_le(l) as u64),
+            Endpoint::Finite(l) => (true, self.order.count_le(l)),
             // Interval construction forbids a +inf lower endpoint. (No
             // lint suppression here: since the fused rank_in_item_from
             // took over the gap scan, no driver root reaches this.)
@@ -311,7 +513,7 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
             "rank_in item outside interval"
         );
         let (lo_finite, base) = base;
-        let le = self.order.count_le(it) as u64;
+        let le = self.order.count_le(it);
         (lo_finite as u64) + le.saturating_sub(base)
     }
 
@@ -376,7 +578,7 @@ impl<S: ComparisonSummary<Item>> StreamState<S> {
         } else {
             // +∞ sentinel: one past the whole restricted substream,
             // whose length is the tree size minus everything ≤ lo.
-            u64::from(lo_finite) + (self.order.len() as u64).saturating_sub(base) + 1
+            u64::from(lo_finite) + self.order.len().saturating_sub(base) + 1
         };
         out.push(hi_rank);
         lo_off
@@ -627,18 +829,32 @@ fn resolve_side_streaming<S: ComparisonSummary<Item>>(
     tags.clear();
     misses.clear();
     miss_pos.clear();
+    // The dense id-indexed table spans the full range of arena ids the
+    // run has minted — Θ(N) slots. That is the right trade on a
+    // materialized stream (which is Θ(N) anyway), but it would be the
+    // single superlinear structure of an interval-compressed stream,
+    // whose own index already memoizes id → tag in bounded space. So
+    // implicit streams skip the table: every item goes through the
+    // batched lookup, which the implicit index answers from its memo.
+    let memoize = !st.is_implicit();
     // Pass 1: table lookups; misses are queued for the batch, with a
     // placeholder tag marking the slot to patch.
-    st.summary
-        .for_each_item(&mut |q| match q.arena_id().and_then(|id| table.get(id)) {
+    st.summary.for_each_item(&mut |q| {
+        let hit = if memoize {
+            q.arena_id().and_then(|id| table.get(id))
+        } else {
+            None
+        };
+        match hit {
             Some(t) => tags.push(t),
             None => {
                 miss_pos.push(tags.len());
                 tags.push(0);
                 misses.push(q.clone());
             }
-        });
-    // Pass 2: all treap lookups in one walk.
+        }
+    });
+    // Pass 2: all index lookups in one walk.
     st.multi_arrival_of(misses, miss_tags);
     if miss_tags.len() != miss_pos.len() {
         return false;
@@ -648,8 +864,10 @@ fn resolve_side_streaming<S: ComparisonSummary<Item>>(
         match (tags.get_mut(pos), mt) {
             (Some(slot), Some(t)) => {
                 *slot = *t;
-                if let Some(id) = q.arena_id() {
-                    table.set(id, *t);
+                if memoize {
+                    if let Some(id) = q.arena_id() {
+                        table.set(id, *t);
+                    }
                 }
             }
             _ => return false,

@@ -32,9 +32,11 @@
 //! ```
 
 mod iter;
+mod runs;
 mod tree;
 
 pub use iter::Iter;
+pub use runs::{Fragment, Locate, RunTree};
 pub use tree::OsTree;
 
 #[cfg(test)]

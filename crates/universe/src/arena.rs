@@ -57,6 +57,17 @@ pub(crate) fn mint_id() -> u32 {
     }
 }
 
+/// Whether the process-wide 32-bit id space has run out: every item
+/// minted from now on carries the [`NO_ID`] sentinel. Comparisons stay
+/// correct (they fall through to the byte-wise path), but callers that
+/// promise typed errors instead of silent degradation — the adversary's
+/// panic-free driver — check this after a minting burst and surface a
+/// `UniverseExhausted` error rather than silently losing the fast path
+/// and the id-keyed equivalence memo.
+pub fn ids_exhausted() -> bool {
+    NEXT_ID.load(Ordering::Relaxed) >= u64::from(NO_ID)
+}
+
 /// A batch interner for label runs.
 ///
 /// Push the run's labels in stream order, then [`seal`](Self::seal) the
@@ -120,6 +131,44 @@ impl LabelArena {
         self.buf.clear();
         self.ends.clear();
     }
+
+    /// [`seal_into`](Self::seal_into), but splitting the run across
+    /// chunks of at most `group` labels each. Label bytes and push order
+    /// are identical to single-chunk sealing — only the chunk boundaries
+    /// differ, and those are invisible to every comparison.
+    ///
+    /// This is the sealing mode of the implicit stream representation:
+    /// there, a run's items are *transient* (fed to the summary, then
+    /// dropped) and a single summary-retained item would otherwise pin
+    /// the whole run's chunk alive. With grouped sealing a retained item
+    /// pins at most `group` labels, keeping resident label bytes
+    /// proportional to the summary's stored size rather than to N.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group == 0`.
+    pub fn seal_grouped_into(&mut self, group: usize, out: &mut Vec<Item>) {
+        assert!(group > 0, "seal group must be non-empty");
+        out.reserve(self.ends.len());
+        let mut start = 0usize;
+        for ends in self.ends.chunks(group) {
+            let Some(&chunk_end) = ends.last() else {
+                continue;
+            };
+            let chunk: Arc<[u8]> = Arc::from(&self.buf[start..chunk_end]);
+            let base = start;
+            for &end in ends {
+                out.push(Item::from_chunk(
+                    Arc::clone(&chunk),
+                    start - base,
+                    end - base,
+                ));
+                start = end;
+            }
+        }
+        self.buf.clear();
+        self.ends.clear();
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +220,33 @@ mod tests {
     fn empty_run_seals_to_no_items() {
         let mut arena = LabelArena::new();
         assert!(arena.seal().is_empty());
+    }
+
+    #[test]
+    fn grouped_sealing_preserves_labels_and_order() {
+        let labels: Vec<Vec<u8>> = (1u8..=11).map(|b| vec![b, b]).collect();
+        for group in [1usize, 2, 3, 4, 11, 64] {
+            let mut arena = LabelArena::new();
+            for l in &labels {
+                arena.push_label(l);
+            }
+            let mut grouped = Vec::new();
+            arena.seal_grouped_into(group, &mut grouped);
+            assert!(arena.is_empty());
+            assert_eq!(grouped.len(), labels.len());
+            for (it, l) in grouped.iter().zip(&labels) {
+                assert_eq!(it.label(), l.as_slice());
+            }
+            assert!(grouped.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn id_space_is_not_exhausted_under_test_loads() {
+        // The typed-exhaustion probe itself: it must read false for any
+        // realistic test-scale mint volume.
+        let _ = LabelArena::new();
+        assert!(!crate::ids_exhausted());
     }
 
     #[test]

@@ -42,11 +42,13 @@ mod arena;
 mod interval;
 mod item;
 mod label;
+mod rungen;
 
-pub use arena::LabelArena;
+pub use arena::{ids_exhausted, LabelArena};
 pub use interval::{Endpoint, Interval};
 pub use item::Item;
 pub use label::{between_labels, label_in};
+pub use rungen::RunGenerator;
 
 /// Produces a fresh item strictly between `a` and `b`.
 ///
@@ -105,6 +107,19 @@ pub fn generate_labels_into(interval: &Interval, n: usize, arena: &mut LabelAren
     // mints costs O(log n) buffer allocations instead of n.
     let mut pool: Vec<Vec<u8>> = Vec::new();
     fill_labels(lo, hi, n, arena, &mut pool);
+}
+
+/// [`generate_increasing`] with grouped chunk sealing: byte-identical
+/// labels in the same order, but split across chunks of at most `group`
+/// labels each (see [`LabelArena::seal_grouped_into`]). The implicit
+/// stream representation feeds summaries through this entry point so a
+/// retained item pins O(`group`) label bytes instead of a whole run.
+pub fn generate_increasing_grouped(interval: &Interval, n: usize, group: usize) -> Vec<Item> {
+    let mut arena = LabelArena::new();
+    generate_labels_into(interval, n, &mut arena);
+    let mut out = Vec::new();
+    arena.seal_grouped_into(group, &mut out);
+    out
 }
 
 /// Compile-time audit that items (and the endpoints and intervals built
@@ -199,5 +214,20 @@ mod tests {
     fn between_rejects_unordered_endpoints() {
         let a = Item::from_label(vec![10]);
         between_items(&a, &a);
+    }
+
+    #[test]
+    fn grouped_generation_matches_single_chunk_generation() {
+        let a = Item::from_label(vec![3]);
+        let b = Item::from_label(vec![9, 9]);
+        let iv = Interval::open(a, b);
+        let plain = generate_increasing(&iv, 100);
+        for group in [1usize, 7, 32, 100, 1000] {
+            let grouped = generate_increasing_grouped(&iv, 100, group);
+            assert_eq!(grouped.len(), plain.len());
+            for (g, p) in grouped.iter().zip(&plain) {
+                assert_eq!(g.label(), p.label(), "grouped sealing changed a label");
+            }
+        }
     }
 }

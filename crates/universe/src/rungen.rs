@@ -1,0 +1,289 @@
+//! On-demand replay of a minted run — the implicit stream's label oracle.
+//!
+//! [`crate::generate_labels_into`] mints a run of `n` labels inside an
+//! open interval by deterministic balanced subdivision: `fill_labels(lo,
+//! hi, n)` computes `mid = between(lo, hi)`, recurses on the left half
+//! (`m = n/2` labels), emits `mid` (the `m`-th label, 0-based), and
+//! recurses on the right half. The label at every in-order index is
+//! therefore a **pure function of `(lo, hi, n)`** — nothing about it
+//! depends on the rest of the stream.
+//!
+//! A [`RunGenerator`] exploits this: it stores only the interval
+//! endpoints and the count, and answers
+//!
+//! * [`label_at`](RunGenerator::label_at) — the `j`-th label of the run,
+//! * [`count_less`](RunGenerator::count_less) /
+//!   [`count_le`](RunGenerator::count_le) — how many run labels compare
+//!   below a probe, and
+//! * [`index_of`](RunGenerator::index_of) — the index of an exact label,
+//!
+//! each in O(log n) midpoint computations, by descending the same
+//! subdivision the minting walk performed. Every answer is
+//! byte-identical to what the materialized run would give, because both
+//! replay the identical [`crate::between_labels`] recursion — that
+//! equality is what lets the adversary's interval-compressed stream
+//! representation drop O(N) stored items without changing a single
+//! observable comparison outcome.
+
+use crate::interval::Endpoint;
+use crate::item::Item;
+use crate::label::between_labels_into;
+use crate::Interval;
+
+/// The label oracle of one minted run: `count` virtual items strictly
+/// inside the open interval `(lo, hi)`, in the exact byte order the
+/// materialized [`crate::generate_increasing`] run would have.
+#[derive(Clone)]
+pub struct RunGenerator {
+    lo: Option<Item>,
+    hi: Option<Item>,
+    count: u64,
+}
+
+impl RunGenerator {
+    /// A generator for the run of `count` items the balanced subdivision
+    /// mints inside `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same endpoint violations
+    /// [`crate::generate_labels_into`] rejects: an empty or
+    /// trailing-`0x00` finite label, or `lo >= hi`.
+    pub fn new(interval: &Interval, count: u64) -> Self {
+        let lo = match interval.lo() {
+            Endpoint::NegInf => None,
+            Endpoint::Finite(item) => Some(item.clone()),
+            Endpoint::PosInf => panic!("interval low endpoint cannot be +inf"),
+        };
+        let hi = match interval.hi() {
+            Endpoint::PosInf => None,
+            Endpoint::Finite(item) => Some(item.clone()),
+            Endpoint::NegInf => panic!("interval high endpoint cannot be -inf"),
+        };
+        for side in [&lo, &hi].into_iter().flatten() {
+            let label = side.label();
+            assert!(!label.is_empty(), "finite label must be non-empty");
+            assert!(
+                label.last().is_some_and(|b| *b != 0),
+                "label must not end in 0x00"
+            );
+        }
+        if let (Some(a), Some(b)) = (&lo, &hi) {
+            assert!(a < b, "run generator requires lo < hi");
+        }
+        RunGenerator { lo, hi, count }
+    }
+
+    /// Number of virtual items in the run.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The run's exclusive low endpoint, if finite.
+    pub fn lo(&self) -> Option<&Item> {
+        self.lo.as_ref()
+    }
+
+    /// The run's exclusive high endpoint, if finite.
+    pub fn hi(&self) -> Option<&Item> {
+        self.hi.as_ref()
+    }
+
+    /// The label of the `j`-th (0-based, in label order) virtual item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= count`.
+    pub fn label_at(&self, j: u64) -> Vec<u8> {
+        assert!(j < self.count, "run index {j} out of range {}", self.count);
+        let mut lo: Option<Vec<u8>> = self.lo.as_ref().map(|i| i.label().to_vec());
+        let mut hi: Option<Vec<u8>> = self.hi.as_ref().map(|i| i.label().to_vec());
+        let mut n = self.count;
+        let mut j = j;
+        let mut mid = Vec::new();
+        loop {
+            let m = n / 2;
+            between_labels_into(lo.as_deref(), hi.as_deref(), &mut mid);
+            match j.cmp(&m) {
+                std::cmp::Ordering::Equal => return mid,
+                std::cmp::Ordering::Less => {
+                    hi = Some(std::mem::take(&mut mid));
+                    n = m;
+                }
+                std::cmp::Ordering::Greater => {
+                    lo = Some(std::mem::take(&mut mid));
+                    j -= m + 1;
+                    n -= m + 1;
+                }
+            }
+        }
+    }
+
+    /// [`label_at`](Self::label_at) wrapped into a freshly minted
+    /// [`Item`]. The mint gets its own arena id, but it compares equal
+    /// to any other materialization of the same virtual item — equality
+    /// is decided by the label bytes.
+    pub fn item_at(&self, j: u64) -> Item {
+        Item::from_label(self.label_at(j))
+    }
+
+    /// How many of the run's virtual items have labels strictly below
+    /// `q`. The probe may be any byte string, inside the interval or
+    /// not.
+    pub fn count_less(&self, q: &[u8]) -> u64 {
+        match self.descend(q) {
+            Descent::Hit(idx) => idx,
+            Descent::Miss(below) => below,
+        }
+    }
+
+    /// How many of the run's virtual items have labels `<= q`.
+    pub fn count_le(&self, q: &[u8]) -> u64 {
+        match self.descend(q) {
+            Descent::Hit(idx) => idx + 1,
+            Descent::Miss(below) => below,
+        }
+    }
+
+    /// The in-run index of the virtual item with label exactly `q`, if
+    /// the run contains one.
+    pub fn index_of(&self, q: &[u8]) -> Option<u64> {
+        match self.descend(q) {
+            Descent::Hit(idx) => Some(idx),
+            Descent::Miss(_) => None,
+        }
+    }
+
+    /// Shared descent of the point queries. At each level the probe is
+    /// compared against the level's midpoint label: an equal probe *is*
+    /// the level's emitted label (in-run index = accumulated left count
+    /// plus the left half's size), smaller probes descend left, larger
+    /// descend right accumulating the left half plus the midpoint.
+    fn descend(&self, q: &[u8]) -> Descent {
+        let mut lo: Option<Vec<u8>> = self.lo.as_ref().map(|i| i.label().to_vec());
+        let mut hi: Option<Vec<u8>> = self.hi.as_ref().map(|i| i.label().to_vec());
+        let mut n = self.count;
+        let mut acc = 0u64;
+        let mut mid = Vec::new();
+        while n > 0 {
+            let m = n / 2;
+            between_labels_into(lo.as_deref(), hi.as_deref(), &mut mid);
+            match q.cmp(mid.as_slice()) {
+                std::cmp::Ordering::Equal => return Descent::Hit(acc + m),
+                std::cmp::Ordering::Less => {
+                    hi = Some(std::mem::take(&mut mid));
+                    n = m;
+                }
+                std::cmp::Ordering::Greater => {
+                    acc += m + 1;
+                    lo = Some(std::mem::take(&mut mid));
+                    n -= m + 1;
+                }
+            }
+        }
+        Descent::Miss(acc)
+    }
+}
+
+/// Where a point-query descent ended: exactly on the virtual item at
+/// an in-run index, or between items with `Miss(number of items below)`.
+enum Descent {
+    Hit(u64),
+    Miss(u64),
+}
+
+impl std::fmt::Debug for RunGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RunGenerator({:?}..{:?} x{})",
+            self.lo, self.hi, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_increasing;
+
+    fn check_against_materialized(iv: &Interval, n: u64) {
+        let items = generate_increasing(iv, n as usize);
+        let gen = RunGenerator::new(iv, n);
+        assert_eq!(gen.count(), n);
+        for (j, it) in items.iter().enumerate() {
+            assert_eq!(
+                gen.label_at(j as u64),
+                it.label(),
+                "label_at({j}) diverged from materialized run"
+            );
+            assert_eq!(gen.index_of(it.label()), Some(j as u64));
+            assert_eq!(gen.count_less(it.label()), j as u64);
+            assert_eq!(gen.count_le(it.label()), j as u64 + 1);
+            assert_eq!(gen.item_at(j as u64), *it);
+        }
+        // Probes strictly between adjacent run items.
+        for w in items.windows(2) {
+            let probe = crate::between_labels(Some(w[0].label()), Some(w[1].label()));
+            let r = gen.count_less(w[1].label());
+            assert_eq!(gen.count_less(&probe), r);
+            assert_eq!(gen.count_le(&probe), r);
+            assert_eq!(gen.index_of(&probe), None);
+        }
+    }
+
+    #[test]
+    fn replays_whole_universe_run() {
+        check_against_materialized(&Interval::whole(), 0);
+        check_against_materialized(&Interval::whole(), 1);
+        check_against_materialized(&Interval::whole(), 2);
+        check_against_materialized(&Interval::whole(), 37);
+        check_against_materialized(&Interval::whole(), 128);
+    }
+
+    #[test]
+    fn replays_tight_interval_run() {
+        let a = Item::from_label(vec![7]);
+        let b = Item::from_label(vec![7, 1]);
+        check_against_materialized(&Interval::open(a, b), 63);
+    }
+
+    #[test]
+    fn replays_one_sided_intervals() {
+        let a = Item::from_label(vec![128]);
+        let above = Interval::new(Endpoint::Finite(a.clone()), Endpoint::PosInf);
+        check_against_materialized(&above, 41);
+        let below = Interval::new(Endpoint::NegInf, Endpoint::Finite(a));
+        check_against_materialized(&below, 17);
+    }
+
+    #[test]
+    fn probes_outside_the_interval_clamp() {
+        let a = Item::from_label(vec![50]);
+        let b = Item::from_label(vec![60]);
+        let gen = RunGenerator::new(&Interval::open(a.clone(), b.clone()), 33);
+        assert_eq!(gen.count_less(a.label()), 0);
+        assert_eq!(gen.count_le(a.label()), 0);
+        assert_eq!(gen.count_less(b.label()), 33);
+        assert_eq!(gen.count_le(b.label()), 33);
+        assert_eq!(gen.count_less(&[0]), 0);
+        assert_eq!(gen.count_less(&[255]), 33);
+        assert_eq!(gen.index_of(a.label()), None);
+        assert_eq!(gen.index_of(&[0, 1]), None);
+    }
+
+    #[test]
+    fn nested_generators_compose_like_nested_runs() {
+        // A run minted inside an interval whose endpoints are themselves
+        // items of an outer run — the refinement pattern.
+        let outer = generate_increasing(&Interval::whole(), 16);
+        let iv = Interval::open(outer[7].clone(), outer[8].clone());
+        check_against_materialized(&iv, 29);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_at_rejects_out_of_range() {
+        RunGenerator::new(&Interval::whole(), 4).label_at(4);
+    }
+}

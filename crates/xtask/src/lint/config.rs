@@ -173,6 +173,7 @@ pub const COMMON_METHOD_NAMES: &[&str] = &[
     "first",
     "flush",
     "fmt",
+    "for_each",
     "from",
     "get",
     "get_mut",
