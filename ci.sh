@@ -8,6 +8,7 @@
 #   ./ci.sh --lint     # only fmt + the static-analysis lint gate
 #   ./ci.sh --faults   # only the fault-matrix smoke (debug build)
 #   ./ci.sh --recovery # only the crash/resume smoke (release build)
+#   ./ci.sh --service  # only the sharded-service smoke (release build)
 #   ./ci.sh --large-n  # only the large-N smoke (one N ≈ 1.34e8
 #                      # interval-compressed cell, crash/resume;
 #                      # ~2 cell runs of wall-clock — minutes)
@@ -59,6 +60,25 @@ recovery_smoke() {
     cargo run --release -q -p cqs-cli --bin cqs-tool -- recover
 }
 
+service_smoke() {
+    # Sharded-service smoke: `cqs service` drives the concurrent
+    # registry end to end (multi-key parallel ingest, background merge
+    # worker, one-pass export) and runs the adversary-driven
+    # error-composition differential inside the command — a rank answer
+    # escaping the composed shards*eps*N budget exits 7. The exported
+    # snapshot must be byte-identical across ingest thread counts (the
+    # --jobs determinism contract, applied to ingest).
+    local root=target/service-smoke
+    rm -rf "$root"
+    mkdir -p "$root"
+    for t in 1 4; do
+        cargo run --release -q -p cqs-cli --bin cqs-tool -- service \
+            --n 20000 --shards 8 --threads "$t" \
+            --export "$root/export-t$t.qsvc"
+    done
+    cmp "$root/export-t1.qsvc" "$root/export-t4.qsvc"
+}
+
 large_n_smoke() {
     # Billion-item representation smoke: the single interval-compressed
     # N ≈ 1.34e8 cell (ε = 1/1024, k = 17, StreamRepr::Implicit) run
@@ -108,6 +128,13 @@ if [[ "${1:-}" == "--faults" ]]; then
     echo "==> fault-matrix smoke (cqs faults, gk, eps=1/16, k=6)"
     faults_smoke
     echo "ci: faults smoke green"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--service" ]]; then
+    echo "==> sharded-service smoke (cqs service, threads 1 & 4, export byte-diff)"
+    service_smoke
+    echo "ci: service smoke green"
     exit 0
 fi
 
@@ -177,6 +204,9 @@ if [[ $fast -eq 0 ]]; then
 
     echo "==> crash/resume smoke (thm22 --smoke, crash after 2 cells, jobs 1 & 4)"
     recovery_smoke
+
+    echo "==> sharded-service smoke (cqs service, threads 1 & 4, export byte-diff)"
+    service_smoke
 fi
 
 echo "ci: all green"

@@ -12,6 +12,7 @@
 //! cargo run -p cqs-bench --release --bin perf_baseline -- --smoke --out-dir target/bench-smoke
 //! cargo run -p cqs-bench --release --bin perf_baseline -- --verify target/bench-smoke
 //! cargo run -p cqs-bench --release --bin perf_baseline -- --large-n --merge
+//! cargo run -p cqs-bench --release --bin perf_baseline -- --sharded --merge
 //! ```
 //!
 //! `--large-n` switches the adversary phase (default phase name
@@ -40,6 +41,16 @@
 //! The summaries file also records a `snapshot_roundtrip` mode — the
 //! cost of one `cqs-snapshot` serialize + restore cycle per summary —
 //! so `--verify` guards against checkpointing regressing the hot path.
+//!
+//! A `sharded_ingest` mode times the `cqs-service` registry over a
+//! threads × shards grid: the 1×1 cell is the unsharded baseline
+//! (phase `pre_change`), the threaded 8-shard cells are the service
+//! path (phase `post_change`), and every row records the host core
+//! count so single-core hosts are not mistaken for scaling failures.
+//! `--verify` requires the mode and its grid keys to be present.
+//! `--sharded` runs the grid alone and records only
+//! `BENCH_summaries.json` (that is how the committed sharded rows are
+//! refreshed without re-timing every other section).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -52,8 +63,9 @@ use cqs_bench::checkpoint::{
 use cqs_bench::exec::{parse_jobs, run_cells, CellOutcome};
 use cqs_bench::json::{parse, Json};
 use cqs_bench::{attack_repr, Target};
-use cqs_core::{ComparisonSummary, Eps, StreamRepr};
+use cqs_core::{ComparisonSummary, Eps, MergeableSummary, StreamRepr};
 use cqs_gk::{GkSummary, GreedyGk};
+use cqs_service::{parallel_ingest, QuantileRegistry, ServiceConfig};
 use cqs_snapshot::{RestoreError, SnapshotRead, SnapshotWrite};
 use cqs_streams::{workload, Workload};
 
@@ -68,6 +80,7 @@ struct Opts {
     out_dir: PathBuf,
     smoke: bool,
     large_n: bool,
+    sharded_only: bool,
     verify: Option<PathBuf>,
     jobs: usize,
     resume: Option<PathBuf>,
@@ -85,6 +98,7 @@ fn parse_opts() -> Result<Opts, String> {
         out_dir: workspace_root(),
         smoke: false,
         large_n: false,
+        sharded_only: false,
         verify: None,
         jobs: 1,
         resume: None,
@@ -96,6 +110,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--merge" => opts.merge = true,
             "--smoke" => opts.smoke = true,
             "--large-n" => opts.large_n = true,
+            "--sharded" => opts.sharded_only = true,
             "--jobs" => opts.jobs = parse_jobs(&args.next().ok_or("--jobs needs a value")?)?,
             "--out-dir" => {
                 opts.out_dir = PathBuf::from(args.next().ok_or("--out-dir needs a value")?)
@@ -223,6 +238,119 @@ fn summary_run<S: ComparisonSummary<u64>>(
             Json::Num(summary.stored_count() as f64),
         ),
     ])
+}
+
+/// One timed sharded-service ingest configuration: `values`, cut into
+/// `batch`-sized batches, drive a fresh [`QuantileRegistry`] through
+/// [`parallel_ingest`] with the given worker-thread count, then one
+/// fold. Ingest wall time is the headline (items/s); the untimed fold
+/// supplies the honest stored-count and composed-ε figures. Placement
+/// is positional (batch `b` → shard `b mod S`), so `final_stored` and
+/// `composed_eps` are byte-identical for every `threads` value — only
+/// the timing columns move. `cores` records the host's available
+/// parallelism: on a single-core host the threaded rows measure
+/// scheduling overhead, not scaling, and the ≥4x target needs ≥8 cores.
+///
+/// The `threads = shards = 1` cell is tagged phase `pre_change` (the
+/// unsharded ingest the service replaces); every other cell is
+/// `post_change`. Both land in one invocation so they share machine
+/// state, which is what makes the speedup column honest.
+fn sharded_run(values: &[u64], batch: usize, shards: usize, threads: usize) -> Json {
+    let phase = if shards == 1 && threads == 1 {
+        "pre_change"
+    } else {
+        "post_change"
+    };
+    let batches: Vec<Vec<u64>> = values.chunks(batch).map(|c| c.to_vec()).collect();
+    let reg: QuantileRegistry<u64, GkSummary<u64>> = QuantileRegistry::new(
+        ServiceConfig {
+            shards,
+            stripes: 4,
+            fold_cadence: u64::MAX,
+        },
+        || GkSummary::new(0.01),
+    );
+    let handle = reg.handle("bench");
+    let started = Instant::now();
+    let ingested = parallel_ingest(&handle, &batches, threads);
+    let elapsed = started.elapsed();
+    let folded = handle
+        .folded()
+        .expect("identically-built shards merge")
+        .expect("non-empty stream");
+    let composed = folded.eps_bound().unwrap_or(0.0);
+    assert_eq!(ingested, values.len() as u64, "sharded ingest lost items");
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let ips = values.len() as f64 / secs;
+    println!(
+        "  sharded {:>10}  threads={:<2} shards={:<2} n={:>7}  {:>8.1} ms  {:>12.0} items/s  (eps {:.3})",
+        "gk", threads, shards, values.len(), secs * 1e3, ips, composed
+    );
+    Json::Obj(vec![
+        ("phase".into(), Json::Str(phase.into())),
+        ("summary".into(), Json::Str("gk".into())),
+        ("workload".into(), Json::Str("shuffled".into())),
+        ("mode".into(), Json::Str("sharded_ingest".into())),
+        ("chunk".into(), Json::Num(batch as f64)),
+        ("threads".into(), Json::Num(threads as f64)),
+        ("shards".into(), Json::Num(shards as f64)),
+        ("cores".into(), Json::Num(cores as f64)),
+        ("n".into(), Json::Num(values.len() as f64)),
+        ("elapsed_ms".into(), Json::Num(secs * 1e3)),
+        ("items_per_sec".into(), Json::Num(ips)),
+        (
+            "final_stored".into(),
+            Json::Num(folded.stored_count() as f64),
+        ),
+        ("composed_eps".into(), Json::Num(composed)),
+    ])
+}
+
+/// The sharded-ingest section: the threads × shards grid. The 1×1
+/// cell is the unsharded ingest baseline (phase `pre_change`); the
+/// threaded 8-shard cells are the service path (phase `post_change`)
+/// — see [`sharded_run`].
+fn sharded_section(smoke: bool) -> Vec<Json> {
+    println!("== sharded service ingest ==");
+    let (shard_n, shard_batch, grid): (u64, usize, &[(usize, usize)]) = if smoke {
+        (5_000, 256, &[(1, 1), (4, 8)])
+    } else {
+        (400_000, 4096, &[(1, 1), (1, 8), (2, 8), (4, 8), (8, 8)])
+    };
+    let shard_values = workload(Workload::Shuffled, shard_n, 42).expect("n > 0");
+    grid.iter()
+        .map(|&(threads, shards)| sharded_run(&shard_values, shard_batch, shards, threads))
+        .collect()
+}
+
+/// Prints the sharded-ingest speedup: the last `pre_change` row
+/// (threads = shards = 1) against the best threaded row, the
+/// acceptance figure for the sharded service.
+fn report_sharded_speedup(runs: &[Json]) {
+    let ips = |r: &Json| r.get("items_per_sec").and_then(Json::as_f64);
+    let sharded: Vec<&Json> = runs
+        .iter()
+        .filter(|r| r.get("mode").and_then(Json::as_str) == Some("sharded_ingest"))
+        .collect();
+    let pre = sharded
+        .iter()
+        .filter(|r| r.get("phase").and_then(Json::as_str) == Some("pre_change"))
+        .filter_map(|r| ips(r))
+        .next_back();
+    let post = sharded
+        .iter()
+        .filter(|r| r.get("phase").and_then(Json::as_str) == Some("post_change"))
+        .filter_map(|r| ips(r))
+        .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))));
+    if let (Some(pre), Some(post)) = (pre, post) {
+        println!(
+            "  sharded speedup: {:>10.0} -> {:>10.0} items/s  ({:.2}x, 1x1 -> best threaded cell)",
+            pre,
+            post,
+            post / pre
+        );
+    }
 }
 
 /// One timed snapshot/restore overhead configuration: the summary is
@@ -405,14 +533,34 @@ fn verify(dir: &Path) -> Result<(), String> {
                 }
             }
         }
-        if file == SUMMARIES_FILE
-            && !runs
+        if file == SUMMARIES_FILE {
+            if !runs
                 .iter()
                 .any(|r| r.get("mode").and_then(Json::as_str) == Some("snapshot_roundtrip"))
-        {
-            return Err(format!(
-                "{file}: no snapshot_roundtrip runs — snapshot overhead is not being tracked"
-            ));
+            {
+                return Err(format!(
+                    "{file}: no snapshot_roundtrip runs — snapshot overhead is not being tracked"
+                ));
+            }
+            // Sharded rows additionally carry the grid coordinates; a
+            // missing key here means the service benchmark quietly
+            // stopped recording where on the grid a number came from.
+            let sharded: Vec<&Json> = runs
+                .iter()
+                .filter(|r| r.get("mode").and_then(Json::as_str) == Some("sharded_ingest"))
+                .collect();
+            if sharded.is_empty() {
+                return Err(format!(
+                    "{file}: no sharded_ingest runs — service ingest is not being tracked"
+                ));
+            }
+            for run in sharded {
+                for req in ["threads", "shards", "cores", "composed_eps"] {
+                    if run.get(req).is_none() {
+                        return Err(format!("{file}: a sharded_ingest run lacks key {req:?}"));
+                    }
+                }
+            }
         }
         println!("[verify] {} ok ({} runs)", path.display(), runs.len());
     }
@@ -426,6 +574,20 @@ fn run(opts: &Opts) -> Result<(), String> {
     std::fs::create_dir_all(&opts.out_dir)
         .map_err(|e| format!("{}: {e}", opts.out_dir.display()))?;
     let phase = opts.phase.as_str();
+
+    if opts.sharded_only {
+        // The sharded grid is a summaries-only phase (its rows name
+        // their own pre/post phases); re-timing the adversary and
+        // plain-summary sections alongside it would just append noise.
+        let runs = sharded_section(opts.smoke);
+        report_sharded_speedup(&runs);
+        return write_runs(
+            &opts.out_dir.join(SUMMARIES_FILE),
+            SUMMARIES_SCHEMA,
+            opts.merge,
+            runs,
+        );
+    }
 
     println!("== adversary throughput (phase: {phase}) ==");
     use StreamRepr::{Implicit, Materialized};
@@ -594,6 +756,9 @@ fn run(opts: &Opts) -> Result<(), String> {
         &snap_values,
         rounds,
     ));
+
+    summary_runs.extend(sharded_section(opts.smoke));
+    report_sharded_speedup(&summary_runs);
 
     let adv_path = opts.out_dir.join(ADVERSARY_FILE);
     write_runs(&adv_path, ADVERSARY_SCHEMA, opts.merge, adversary_runs)?;

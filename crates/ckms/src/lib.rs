@@ -32,7 +32,7 @@
 //! assert!((95..=105).contains(&low));
 //! ```
 
-use cqs_core::{ComparisonSummary, RankEstimator};
+use cqs_core::{ComparisonSummary, MergeError, MergeableSummary, RankEstimator};
 
 /// One CKMS tuple (same shape as GK's).
 #[derive(Clone, Debug)]
@@ -190,6 +190,82 @@ impl<T: Ord + Clone> CkmsSummary<T> {
         true
     }
 
+    /// Merges another CKMS summary of the *same bias direction* into
+    /// this one: the standard widened-bounds tuple interleave (each
+    /// emitted tuple's rank bounds widen by the bracketing tuples of the
+    /// other list), then a compress under the composed budget. `self`
+    /// adopts ε_A + ε_B; the biased guarantee composes the same way the
+    /// uniform one does — error at rank r grows to (ε_A + ε_B)·r.
+    ///
+    /// Bias directions cannot be mixed (their invariants pull opposite
+    /// ways); use [`MergeableSummary::try_merge`] for the checked path.
+    fn merge_same_bias(&mut self, other: &CkmsSummary<T>) {
+        if other.tuples.is_empty() {
+            return;
+        }
+        if self.tuples.is_empty() {
+            self.tuples = other.tuples.clone();
+            self.n = other.n;
+            self.eps = (self.eps + other.eps).min(0.499);
+            return;
+        }
+        let bounds = |ts: &[CkmsTuple<T>]| -> Vec<(u64, u64)> {
+            let mut out = Vec::with_capacity(ts.len());
+            let mut r_min = 0u64;
+            for t in ts {
+                r_min += t.g;
+                out.push((r_min, r_min + t.delta));
+            }
+            out
+        };
+        let ba = bounds(&self.tuples);
+        let bb = bounds(&other.tuples);
+        let (na, nb) = (self.n, other.n);
+        let mut merged: Vec<(T, u64, u64)> = Vec::with_capacity(ba.len() + bb.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.tuples.len() || j < other.tuples.len() {
+            let take_a = match (self.tuples.get(i), other.tuples.get(j)) {
+                (Some(a), Some(b)) => a.v <= b.v,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            let (v, own, other_ts, other_bounds, other_n, pos) = if take_a {
+                (self.tuples[i].v.clone(), ba[i], &other.tuples, &bb, nb, j)
+            } else {
+                (other.tuples[j].v.clone(), bb[j], &self.tuples, &ba, na, i)
+            };
+            let pred_min = if pos == 0 { 0 } else { other_bounds[pos - 1].0 };
+            let succ_max = match other_ts.get(pos) {
+                Some(_) => other_bounds[pos].1.saturating_sub(1),
+                None => other_n,
+            };
+            let r_min = own.0 + pred_min;
+            let r_max = (own.1 + succ_max).max(r_min);
+            merged.push((v, r_min, r_max));
+            if take_a {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        let mut tuples = Vec::with_capacity(merged.len());
+        let mut prev_min = 0u64;
+        for (v, r_min, r_max) in merged {
+            let r_min = r_min.max(prev_min);
+            tuples.push(CkmsTuple {
+                v,
+                g: r_min - prev_min,
+                delta: r_max.saturating_sub(r_min),
+            });
+            prev_min = r_min;
+        }
+        self.tuples = tuples;
+        self.n = na + nb;
+        self.eps = (self.eps + other.eps).min(0.499);
+        self.compress_period = (1.0 / (2.0 * self.eps)).floor().max(1.0) as u64;
+        self.compress();
+    }
+
     fn compress(&mut self) {
         if self.tuples.len() < 3 {
             return;
@@ -278,6 +354,49 @@ impl<T: Ord + Clone> ComparisonSummary<T> for CkmsSummary<T> {
 
     fn name(&self) -> &'static str {
         "ckms"
+    }
+}
+
+impl<T: Ord + Clone> MergeableSummary<T> for CkmsSummary<T> {
+    /// Refuses mixed bias directions and out-of-range composed ε up
+    /// front, folds via the widened-bounds merge, then validates mass
+    /// conservation and sortedness of the merged tuple list. (The
+    /// rank-dependent span invariant is a *maintenance* invariant — the
+    /// widened merge can exceed it by a constant at the sharp end, which
+    /// subsequent compressions absorb; mass and order are the structural
+    /// properties every query path relies on.)
+    fn try_merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.bias != other.bias {
+            return Err(MergeError::IncompatibleParams {
+                what: "bias direction",
+                left: format!("{:?}", self.bias),
+                right: format!("{:?}", other.bias),
+            });
+        }
+        let composed = self.eps + other.eps;
+        if !(composed > 0.0 && composed < 0.5) {
+            return Err(MergeError::EpsOverflow { composed });
+        }
+        self.merge_same_bias(other);
+        let mass: u64 = self.tuples.iter().map(|t| t.g).sum();
+        if mass != self.n {
+            return Err(MergeError::InvariantViolated {
+                detail: format!("CKMS g mass {mass} disagrees with stream length {}", self.n),
+            });
+        }
+        if !self.tuples.windows(2).all(|w| match (w.first(), w.last()) {
+            (Some(a), Some(b)) => a.v <= b.v,
+            _ => true,
+        }) {
+            return Err(MergeError::InvariantViolated {
+                detail: "CKMS tuples out of order after merge".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn eps_bound(&self) -> Option<f64> {
+        Some(self.eps)
     }
 }
 

@@ -15,6 +15,8 @@ pub enum Cli {
     Faults(FaultsArgs),
     /// `cqs recover [--n N]`.
     Recover(RecoverArgs),
+    /// `cqs service [--n N] [--shards S] [--threads T] [--export PATH]`.
+    Service(ServiceArgs),
     /// `cqs help` (or `--help`).
     Help,
 }
@@ -116,6 +118,29 @@ pub struct RecoverArgs {
     pub n: u64,
 }
 
+/// Arguments of `cqs service`.
+#[derive(Clone, Debug)]
+pub struct ServiceArgs {
+    /// Items ingested per registry key.
+    pub n: u64,
+    /// Batch size handed to `parallel_ingest`.
+    pub batch: usize,
+    /// Summary shards per key.
+    pub shards: usize,
+    /// Ingest worker threads (capped at the shard count).
+    pub threads: usize,
+    /// Per-shard GK guarantee; the folded answer composes to at most
+    /// `shards * eps`.
+    pub eps: f64,
+    /// Integral 1/ε of the error-composition differential's adversary.
+    pub inv_eps: u64,
+    /// Recursion depth of the differential's adversary stream.
+    pub k: u32,
+    /// Where to write the exported `QuantileExport` snapshot bytes
+    /// (`None` = don't write).
+    pub export: Option<String>,
+}
+
 /// Usage text printed by `cqs help`.
 pub const USAGE: &str = "\
 cqs — comparison-based quantile summaries (and the proof they can't be smaller)
@@ -129,6 +154,8 @@ USAGE:
   cqs faults    [--inv-eps I] [--k K] [--target gk|gk-greedy|mrl] [--seed S]
                 [--jobs N]
   cqs recover   [--n N]
+  cqs service   [--n N] [--batch B] [--shards S] [--threads T] [--eps E]
+                [--inv-eps I] [--k K] [--export PATH]
   cqs help
 
 `cqs faults` sweeps the fault matrix (every FaultPlan kind plus a budget
@@ -149,6 +176,18 @@ snapshot and checks that every corruption is rejected with its expected
 typed RestoreError — zero silent restores. Exit codes: 0 = every fault
 detected as expected; 7 = a fault was silently restored or produced an
 unexpected verdict; 1 = usage error.
+
+`cqs service` smoke-drives the sharded concurrent quantile service: a
+multi-key registry ingests deterministic workloads over `--threads`
+workers and `--shards` summary shards per key, a background merge
+worker folds on cadence, and one export pass snapshots every key's
+percentile grid (`--export` writes the wire bytes — byte-identical for
+every `--threads`). It then replays the lower-bound adversary's stream
+through the sharded registry and checks every rank answer of the fold
+against the composed guarantee shards·ε·N (the error-composition
+differential). Exit codes: 0 = export round-trips and the differential
+holds; 7 = a rank answer escaped the composed-eps budget or the export
+failed to round-trip; 1 = usage error.
 ";
 
 /// Parses an argument list (without the program name).
@@ -164,6 +203,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
         "compare" => parse_compare(&rest).map(Cli::Compare),
         "faults" => parse_faults(&rest).map(Cli::Faults),
         "recover" => parse_recover(&rest).map(Cli::Recover),
+        "service" => parse_service(&rest).map(Cli::Service),
         "help" | "--help" | "-h" => Ok(Cli::Help),
         other => Err(CliError::new(format!(
             "unknown command: {other}; try `cqs help`"
@@ -308,6 +348,39 @@ fn parse_recover(words: &[String]) -> Result<RecoverArgs, CliError> {
     while let Some(flag) = f.next_flag() {
         match flag {
             "--n" => out.n = parse_u64(flag, f.value(flag)?)?.clamp(16, 10_000_000),
+            other => return Err(CliError::new(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_service(words: &[String]) -> Result<ServiceArgs, CliError> {
+    let mut out = ServiceArgs {
+        n: 20_000,
+        batch: 512,
+        shards: 8,
+        threads: 1,
+        eps: 0.001,
+        inv_eps: 32,
+        k: 4,
+        export: None,
+    };
+    let mut f = Flags::new(words);
+    while let Some(flag) = f.next_flag() {
+        match flag {
+            "--n" => out.n = parse_u64(flag, f.value(flag)?)?.clamp(16, 10_000_000),
+            "--batch" => out.batch = parse_u64(flag, f.value(flag)?)?.clamp(1, 1 << 20) as usize,
+            "--shards" => out.shards = parse_u64(flag, f.value(flag)?)?.clamp(1, 64) as usize,
+            "--threads" => out.threads = parse_u64(flag, f.value(flag)?)?.clamp(1, 64) as usize,
+            "--eps" => out.eps = check_eps(parse_f64(flag, f.value(flag)?)?)?,
+            "--inv-eps" => {
+                out.inv_eps = parse_u64(flag, f.value(flag)?)?;
+                if out.inv_eps == 0 {
+                    return Err(CliError::new("--inv-eps must be positive"));
+                }
+            }
+            "--k" => out.k = parse_u64(flag, f.value(flag)?)?.clamp(1, 12) as u32,
+            "--export" => out.export = Some(f.value(flag)?.to_string()),
             other => return Err(CliError::new(format!("unknown flag: {other}"))),
         }
     }

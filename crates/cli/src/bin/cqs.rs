@@ -4,7 +4,8 @@ use std::io;
 use std::process::ExitCode;
 
 use cqs_cli::{
-    parse_args, run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, run_recover_cmd, Cli,
+    parse_args, run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, run_recover_cmd,
+    run_service_cmd, Cli,
 };
 
 fn main() -> ExitCode {
@@ -30,6 +31,27 @@ fn main() -> ExitCode {
             return match run_faults_cmd(fa) {
                 Ok((out, code)) => {
                     print!("{out}");
+                    ExitCode::from(code)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Cli::Service(s) => {
+            // Same exit-code shape as faults/recover; additionally the
+            // exported snapshot bytes land at --export (if given) so CI
+            // can byte-diff them across --threads values.
+            return match run_service_cmd(s) {
+                Ok((out, code, bytes)) => {
+                    print!("{out}");
+                    if let Some(path) = &s.export {
+                        if let Err(e) = std::fs::write(path, &bytes) {
+                            eprintln!("error: {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
                     ExitCode::from(code)
                 }
                 Err(e) => {

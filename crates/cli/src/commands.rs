@@ -9,7 +9,9 @@ use cqs_bench::exec::{default_jobs, run_cells, CellOutcome};
 use cqs_ckms::CkmsSummary;
 use cqs_core::adversary::run_adversary;
 use cqs_core::failure::quantile_failure_witness;
-use cqs_core::{Adversary, AdversaryBudget, ComparisonSummary, Eps, Item, RunVerdict};
+use cqs_core::{
+    Adversary, AdversaryBudget, ComparisonSummary, Eps, Item, MergeableSummary, RunVerdict,
+};
 use cqs_faults::{
     apply_storage_fault, storage_fault_matrix, FaultKind, FaultPlan, FaultySummary, StorageFault,
 };
@@ -19,8 +21,10 @@ use cqs_mrl::MrlSummary;
 use cqs_sampling::ReservoirSummary;
 use cqs_streams::{OrdF64, Table};
 
+use cqs_service::{parallel_ingest, QuantileExport, QuantileRegistry, ServiceConfig};
+
 use crate::args::{
-    AdversaryArgs, CompareArgs, FaultsArgs, QuantilesArgs, RecoverArgs, SummaryKind,
+    AdversaryArgs, CompareArgs, FaultsArgs, QuantilesArgs, RecoverArgs, ServiceArgs, SummaryKind,
 };
 
 /// A user-facing CLI error (bad flags, bad input data).
@@ -238,6 +242,10 @@ struct FaultCell {
 fn sharding_send_audit() {
     fn assert_send<T: Send>() {}
     assert_send::<FaultCell>();
+    // `cqs service` arguments and errors cross the parallel-ingest
+    // worker scope by reference from the driving thread.
+    assert_send::<ServiceArgs>();
+    assert_send::<CliError>();
 }
 
 /// The standard fault matrix: every [`FaultKind`] plus the zero-fault
@@ -543,6 +551,171 @@ pub fn run_recover_cmd(args: &RecoverArgs) -> Result<(String, u8), CliError> {
         ),
         if mismatches == 0 { 0 } else { 7 },
     ))
+}
+
+/// Deterministic shuffled batches for one service key: the values
+/// `1..=n` permuted by an LCG seeded per key, cut into `batch`-sized
+/// chunks. Every invocation with the same arguments produces the same
+/// batches, which is what makes the exported snapshot diffable across
+/// runs and thread counts.
+fn service_batches(n: u64, batch: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut vals: Vec<u64> = (1..=n).collect();
+    let mut state = seed | 1;
+    for i in (1..vals.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((state >> 33) % (i as u64 + 1)) as usize;
+        vals.swap(i, j);
+    }
+    vals.chunks(batch).map(|c| c.to_vec()).collect()
+}
+
+/// `cqs service`: smoke-drive the sharded concurrent quantile service
+/// end to end — multi-key parallel ingest, background merge worker,
+/// one-pass export — then replay the lower-bound adversary's stream π
+/// through the sharded registry and check every rank answer of the
+/// fold against the composed guarantee shards·ε·N (the
+/// error-composition differential).
+///
+/// Returns the rendered report, the exit code (0 = export round-trips
+/// and the differential holds, 7 otherwise), and the exported snapshot
+/// bytes for `--export`. The bytes are a pure function of the
+/// arguments — never of `--threads` — so CI diffs them across thread
+/// counts.
+pub fn run_service_cmd(args: &ServiceArgs) -> Result<(String, u8, Vec<u8>), CliError> {
+    use cqs_snapshot::{SnapshotRead as _, SnapshotWrite as _};
+
+    let eps0 = args.eps;
+    let reg: QuantileRegistry<u64, GkSummary<u64>> = QuantileRegistry::new(
+        ServiceConfig {
+            shards: args.shards,
+            stripes: 8,
+            fold_cadence: 1024,
+        },
+        move || GkSummary::new(eps0),
+    );
+    let worker = reg.start_merge_worker();
+    let keys = ["checkout", "ingest", "search"];
+    for (i, key) in keys.iter().enumerate() {
+        let handle = reg.handle(key);
+        let batches = service_batches(args.n, args.batch, 0x5EED ^ ((i as u64) << 16));
+        let ingested = parallel_ingest(&handle, &batches, args.threads);
+        if ingested != args.n {
+            return Err(CliError::new(format!(
+                "key {key}: ingested {ingested} of {} items",
+                args.n
+            )));
+        }
+    }
+    let phis = [0.5, 0.9, 0.99];
+    let export = reg
+        .export_quantiles(&phis)
+        .map_err(|e| CliError::new(format!("export fold failed: {e}")))?;
+    let bytes = export.to_snapshot_bytes();
+    let roundtrip_ok = QuantileExport::<u64>::from_snapshot_bytes(&bytes)
+        .map(|back| back == export)
+        .unwrap_or(false);
+    let fold_errors = worker.fold_errors();
+    worker.shutdown();
+
+    let mut t = Table::new(&["key", "n", "p50", "p90", "p99", "eps"]);
+    for row in &export.keys {
+        let v = |i: usize| {
+            row.values[i]
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row(&[
+            &row.key,
+            &row.n.to_string(),
+            &v(0),
+            &v(1),
+            &v(2),
+            &row.eps_bound
+                .map(|e| format!("{e:.4}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+
+    // --- Error-composition differential. ------------------------------
+    // The hardest comparison-based input we can construct (the Theorem
+    // 2.2 adversary's π), sharded through the registry itself and
+    // probed at *every* rank against the stream's ground truth.
+    let aeps = Eps::from_inverse(args.inv_eps);
+    let n = aeps.stream_len(args.k);
+    if n > 4_000_000 {
+        return Err(CliError::new(format!(
+            "differential stream length {n} too large; lower --k or --inv-eps"
+        )));
+    }
+    let out = run_adversary(aeps, args.k, move || GkSummary::<Item>::new(aeps.value()));
+    let mut arrivals: Vec<(u64, Item)> = Vec::new();
+    out.pi
+        .for_each_arrival(&mut |item, tag| arrivals.push((tag, item.clone())));
+    arrivals.sort_unstable_by_key(|&(tag, _)| tag);
+
+    let diff_reg: QuantileRegistry<Item, GkSummary<Item>> = QuantileRegistry::new(
+        ServiceConfig {
+            shards: args.shards,
+            stripes: 1,
+            fold_cadence: u64::MAX,
+        },
+        move || GkSummary::new(eps0),
+    );
+    let dh = diff_reg.handle("pi");
+    for (_, item) in &arrivals {
+        dh.record(item.clone());
+    }
+    let merged = dh
+        .folded()
+        .map_err(|e| CliError::new(format!("differential fold failed: {e}")))?
+        .ok_or_else(|| CliError::new("differential stream is empty"))?;
+    let composed = merged
+        .eps_bound()
+        .ok_or_else(|| CliError::new("folded gk lost its eps bound"))?;
+    let budget = (composed * n as f64).ceil() as u64 + 1;
+    let mut worst = 0u64;
+    let mut violations = 0u64;
+    for r in 1..=n {
+        let err = match merged.query_rank(r) {
+            Some(answer) => out.pi.rank_error(&answer, r),
+            None => n,
+        };
+        worst = worst.max(err);
+        if err > budget {
+            violations += 1;
+        }
+    }
+    let composed_ok = composed <= eps0 * args.shards as f64 + 1e-12;
+
+    let ok = roundtrip_ok && fold_errors == 0 && violations == 0 && composed_ok;
+    let report = format!(
+        "sharded quantile service (keys = {}, n = {} each, shards = {}, threads = {}, eps = {})\n\n\
+         {}\n\
+         merge worker fold errors   : {fold_errors}\n\
+         export snapshot            : {} bytes, round-trip {}\n\n\
+         error-composition differential (adversary eps = {aeps}, k = {}, N = {n}):\n\
+         composed eps after fold    : {composed} (<= shards * eps: {composed_ok})\n\
+         worst rank error / budget  : {worst} / {budget}\n\
+         rank violations            : {violations} of {n}\n\
+         verdict: {}\n",
+        keys.len(),
+        args.n,
+        args.shards,
+        args.threads,
+        args.eps,
+        t.render(),
+        bytes.len(),
+        if roundtrip_ok { "ok" } else { "FAILED" },
+        args.k,
+        if ok {
+            "sharded fold stays within the composed guarantee"
+        } else {
+            "COMPOSITION VIOLATED"
+        },
+    );
+    Ok((report, if ok { 0 } else { 7 }, bytes))
 }
 
 /// `cqs compare`: every algorithm over the same stdin numbers.

@@ -13,7 +13,13 @@
 //!   print a space/answer table;
 //! * `cqs faults` — sweep the `cqs-faults` fault matrix against a
 //!   summary and check every injected fault maps to its documented
-//!   `RunVerdict` (distinct exit codes per mismatch class).
+//!   `RunVerdict` (distinct exit codes per mismatch class);
+//! * `cqs recover` — run the storage fault matrix against a GK
+//!   snapshot and check every corruption draws a typed `RestoreError`;
+//! * `cqs service` — smoke-drive the sharded concurrent quantile
+//!   service (parallel ingest, background merge worker, one-pass
+//!   export) and run the adversary-driven error-composition
+//!   differential.
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy
 //! admits no CLI framework); this library half holds the parsing and
@@ -25,10 +31,11 @@ mod commands;
 
 pub use args::{
     parse_args, AdversaryArgs, Cli, CompareArgs, FaultsArgs, QuantilesArgs, RecoverArgs,
-    SummaryKind, USAGE,
+    ServiceArgs, SummaryKind, USAGE,
 };
 pub use commands::{
-    run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, run_recover_cmd, CliError,
+    run_adversary_cmd, run_compare, run_faults_cmd, run_quantiles, run_recover_cmd,
+    run_service_cmd, CliError,
 };
 
 #[cfg(test)]
@@ -163,6 +170,72 @@ mod tests {
             other => panic!("wrong command: {other:?}"),
         }
         assert!(parse(&["recover", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn parses_service_defaults_and_options() {
+        match parse(&["service"]).unwrap() {
+            Cli::Service(s) => {
+                assert_eq!(s.n, 20_000);
+                assert_eq!(s.batch, 512);
+                assert_eq!(s.shards, 8);
+                assert_eq!(s.threads, 1);
+                assert_eq!(s.eps, 0.001);
+                assert_eq!(s.inv_eps, 32);
+                assert_eq!(s.k, 4);
+                assert!(s.export.is_none());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&[
+            "service",
+            "--n",
+            "4096",
+            "--batch",
+            "128",
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+            "--export",
+            "/tmp/x.qsvc",
+        ])
+        .unwrap()
+        {
+            Cli::Service(s) => {
+                assert_eq!(s.n, 4096);
+                assert_eq!(s.batch, 128);
+                assert_eq!(s.shards, 4);
+                assert_eq!(s.threads, 2);
+                assert_eq!(s.export.as_deref(), Some("/tmp/x.qsvc"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&["service", "--bogus"]).is_err());
+        assert!(parse(&["service", "--inv-eps", "0"]).is_err());
+    }
+
+    #[test]
+    fn service_command_end_to_end_and_thread_invariant() {
+        let args = |threads| ServiceArgs {
+            n: 1_000,
+            batch: 64,
+            shards: 4,
+            threads,
+            eps: 0.005,
+            inv_eps: 32,
+            k: 4,
+            export: None,
+        };
+        let (out, code, bytes) = run_service_cmd(&args(1)).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("composed guarantee"), "{out}");
+        assert!(out.contains("round-trip ok"), "{out}");
+        // The exported snapshot is a function of the workload, never of
+        // the thread count — the CI leg's byte-diff, in miniature.
+        let (_, code4, bytes4) = run_service_cmd(&args(4)).unwrap();
+        assert_eq!(code4, 0);
+        assert_eq!(bytes, bytes4, "export bytes differ across thread counts");
     }
 
     #[test]

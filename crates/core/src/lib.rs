@@ -58,6 +58,7 @@ pub mod gap;
 pub mod histogram;
 mod implicit;
 pub mod median;
+pub mod merge;
 pub mod model;
 pub mod offline;
 #[cfg(feature = "proptest")]
@@ -79,6 +80,7 @@ pub use eps::Eps;
 pub use failure::{quantile_failure_witness, FailureWitness};
 pub use gap::{compute_gap, compute_gap_scratch, GapInfo, GapScratch};
 pub use histogram::{equi_depth_histogram, EquiDepthHistogram};
+pub use merge::{MergeError, MergeableSummary};
 pub use model::{ComparisonSummary, MaxSpaceTracker, RankEstimator};
 pub use refine::{refine_intervals, RefineError};
 pub use rng::SplitMix64;
@@ -105,4 +107,6 @@ fn sharding_send_audit<S: ComparisonSummary<Item> + Send>() {
     assert_send::<RunVerdict>();
     assert_send::<AdversaryBudget>();
     assert_send::<Eps>();
+    // The service's fold worker carries merge refusals across threads.
+    assert_send::<MergeError>();
 }

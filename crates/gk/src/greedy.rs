@@ -7,11 +7,11 @@
 //! Section 6 of the lower-bound paper. The ablation benches compare the
 //! two head-to-head, including on the adversarial streams.
 
-use cqs_core::{ComparisonSummary, RankEstimator};
+use cqs_core::{ComparisonSummary, MergeError, MergeableSummary, RankEstimator};
 
 use crate::tuple::{
-    estimate_rank_from_tuples, merge_sorted_chunk, query_rank_from_tuples, validate_tuple_parts,
-    GkTuple,
+    estimate_rank_from_tuples, merge_sorted_chunk, merge_tuple_lists, query_rank_from_tuples,
+    validate_tuple_parts, GkTuple,
 };
 
 /// Greedy-merge GK summary.
@@ -97,6 +97,32 @@ impl<T: Ord + Clone> GreedyGk<T> {
 
     fn threshold(&self) -> u64 {
         (2.0 * self.eps * self.n as f64).floor() as u64
+    }
+
+    /// Merges another greedy-GK summary into this one: the same
+    /// widened-bounds tuple interleave as [`crate::GkSummary::merge`]
+    /// (shared via the tuple plumbing), followed by a greedy compress.
+    /// `self` adopts ε_A + ε_B, so the merged summary answers within
+    /// (ε_A + ε_B)·(n_A + n_B).
+    pub fn merge(&mut self, other: &GreedyGk<T>) {
+        if other.tuples.is_empty() {
+            return;
+        }
+        if self.tuples.is_empty() {
+            // Adopting the other side wholesale is the one unavoidable
+            // copy: merge takes `&other` by contract.
+            // cqs-lint: allow(hot-path-alloc)
+            self.tuples = other.tuples.clone();
+            self.n = other.n;
+            self.eps = (self.eps + other.eps).min(0.499);
+            return;
+        }
+        let (na, nb) = (self.n, other.n);
+        self.tuples = merge_tuple_lists(&self.tuples, &other.tuples, na, nb);
+        self.n = na + nb;
+        self.eps = (self.eps + other.eps).min(0.499);
+        self.compress_period = (1.0 / (2.0 * self.eps)).floor().max(1.0) as u64;
+        self.compress(self.threshold());
     }
 
     /// The correctness invariant shared with the banded variant.
@@ -258,6 +284,28 @@ impl<T: Ord + Clone> ComparisonSummary<T> for GreedyGk<T> {
 impl<T: Ord + Clone> RankEstimator<T> for GreedyGk<T> {
     fn estimate_rank(&self, q: &T) -> u64 {
         estimate_rank_from_tuples(&self.tuples, q, self.n)
+    }
+}
+
+impl<T: Ord + Clone> MergeableSummary<T> for GreedyGk<T> {
+    /// Same contract as the banded variant: composed-ε range check up
+    /// front, widened-bounds fold, span-invariant re-validation after.
+    fn try_merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        let composed = self.eps + other.eps;
+        if !(composed > 0.0 && composed < 0.5) {
+            return Err(MergeError::EpsOverflow { composed });
+        }
+        self.merge(other);
+        if !self.invariant_holds() {
+            return Err(MergeError::InvariantViolated {
+                detail: format!("GK span invariant g+Δ ≤ ⌊2εn⌋ at eps {}", self.eps),
+            });
+        }
+        Ok(())
+    }
+
+    fn eps_bound(&self) -> Option<f64> {
+        Some(self.eps)
     }
 }
 

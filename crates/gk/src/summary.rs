@@ -1,11 +1,11 @@
 //! The original banded Greenwald–Khanna summary.
 
-use cqs_core::{ComparisonSummary, RankEstimator};
+use cqs_core::{ComparisonSummary, MergeError, MergeableSummary, RankEstimator};
 
 use crate::band::band;
 use crate::tuple::{
-    estimate_rank_from_tuples, merge_sorted_chunk, query_rank_from_tuples, validate_tuple_parts,
-    GkTuple,
+    estimate_rank_from_tuples, merge_sorted_chunk, merge_tuple_lists, query_rank_from_tuples,
+    validate_tuple_parts, GkTuple,
 };
 
 /// The Greenwald–Khanna ε-approximate quantile summary (SIGMOD 2001),
@@ -137,69 +137,8 @@ impl<T: Ord + Clone> GkSummary<T> {
             self.eps = (self.eps + other.eps).min(0.499);
             return;
         }
-        // Prefix rank bounds for both sides.
-        let bounds = |ts: &[GkTuple<T>]| -> Vec<(u64, u64)> {
-            let mut out = Vec::with_capacity(ts.len());
-            let mut r_min = 0u64;
-            for t in ts {
-                r_min += t.g;
-                out.push((r_min, r_min + t.delta));
-            }
-            out
-        };
-        let ba = bounds(&self.tuples);
-        let bb = bounds(&other.tuples);
         let (na, nb) = (self.n, other.n);
-
-        // Merge by value; for each emitted tuple compute widened bounds.
-        let mut merged: Vec<(T, u64, u64)> = Vec::with_capacity(ba.len() + bb.len());
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.tuples.len() || j < other.tuples.len() {
-            // The loop condition guarantees at least one side is
-            // non-empty, so (None, None) cannot occur; folding it into
-            // the take-b arm keeps the merge panic-free.
-            let take_a = match (self.tuples.get(i), other.tuples.get(j)) {
-                (Some(a), Some(b)) => a.v <= b.v,
-                (Some(_), None) => true,
-                (None, _) => false,
-            };
-            let (v, own, other_ts, other_bounds, other_n, pos) = if take_a {
-                (self.tuples[i].v.clone(), ba[i], &other.tuples, &bb, nb, j)
-            } else {
-                (other.tuples[j].v.clone(), bb[j], &self.tuples, &ba, na, i)
-            };
-            // pred: last tuple of the other side with value <= v is at
-            // pos−1 (the cursor has consumed exactly those); succ is at
-            // pos.
-            let pred_min = if pos == 0 { 0 } else { other_bounds[pos - 1].0 };
-            let succ_max = match other_ts.get(pos) {
-                Some(_) => other_bounds[pos].1.saturating_sub(1),
-                None => other_n,
-            };
-            let r_min = own.0 + pred_min;
-            let r_max = (own.1 + succ_max).max(r_min);
-            merged.push((v, r_min, r_max));
-            if take_a {
-                i += 1;
-            } else {
-                j += 1;
-            }
-        }
-
-        // Re-derive (g, Δ) from the widened bounds.
-        let mut tuples = Vec::with_capacity(merged.len());
-        let mut prev_min = 0u64;
-        for (v, r_min, r_max) in merged {
-            let r_min = r_min.max(prev_min); // monotone by construction; guard anyway
-            tuples.push(GkTuple {
-                v,
-                g: r_min - prev_min,
-                delta: r_max.saturating_sub(r_min),
-            });
-            prev_min = r_min;
-        }
-        debug_assert_eq!(prev_min, na + nb, "merged rank mass mismatch");
-        self.tuples = tuples;
+        self.tuples = merge_tuple_lists(&self.tuples, &other.tuples, na, nb);
         self.n = na + nb;
         self.eps = (self.eps + other.eps).min(0.499);
         self.compress_period = (1.0 / (2.0 * self.eps)).floor().max(1.0) as u64;
@@ -417,6 +356,30 @@ impl<T: Ord + Clone> ComparisonSummary<T> for GkSummary<T> {
 impl<T: Ord + Clone> RankEstimator<T> for GkSummary<T> {
     fn estimate_rank(&self, q: &T) -> u64 {
         estimate_rank_from_tuples(&self.tuples, q, self.n)
+    }
+}
+
+impl<T: Ord + Clone> MergeableSummary<T> for GkSummary<T> {
+    /// The principled merge path: refuse up front when the composed ε
+    /// leaves (0, 0.5), fold via [`GkSummary::merge`], then re-validate
+    /// the GK span invariant under the composed ε — the check that makes
+    /// shard composition trustworthy rather than assumed.
+    fn try_merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        let composed = self.eps + other.eps;
+        if !(composed > 0.0 && composed < 0.5) {
+            return Err(MergeError::EpsOverflow { composed });
+        }
+        self.merge(other);
+        if !self.invariant_holds() {
+            return Err(MergeError::InvariantViolated {
+                detail: format!("GK span invariant g+Δ ≤ ⌊2εn⌋ at eps {}", self.eps),
+            });
+        }
+        Ok(())
+    }
+
+    fn eps_bound(&self) -> Option<f64> {
+        Some(self.eps)
     }
 }
 

@@ -101,6 +101,89 @@ pub(crate) fn estimate_rank_from_tuples<T: Ord>(tuples: &[GkTuple<T>], q: &T, n:
     n
 }
 
+/// Merges two GK tuple lists by value with widened rank bounds — the
+/// standard mergeable-summaries composition (Agarwal et al.): each
+/// emitted tuple's bounds are those of its source widened by the
+/// bracketing tuples of the *other* list,
+///
+/// ```text
+///   r_min'(x) = r_min_A(x) + r_min_B(pred_B(x))
+///   r_max'(x) = r_max_A(x) + r_max_B(succ_B(x)) − 1
+/// ```
+///
+/// after which `(g, Δ)` are re-derived from the widened bounds. The
+/// result summarises the concatenated streams (lengths `na + nb`) with
+/// error at most (ε_A + ε_B)·(n_A + n_B); both the banded and the
+/// greedy variant compress it under their own policy afterwards.
+pub(crate) fn merge_tuple_lists<T: Ord + Clone>(
+    a: &[GkTuple<T>],
+    b: &[GkTuple<T>],
+    na: u64,
+    nb: u64,
+) -> Vec<GkTuple<T>> {
+    // Prefix rank bounds for both sides.
+    let bounds = |ts: &[GkTuple<T>]| -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(ts.len());
+        let mut r_min = 0u64;
+        for t in ts {
+            r_min += t.g;
+            out.push((r_min, r_min + t.delta));
+        }
+        out
+    };
+    let ba = bounds(a);
+    let bb = bounds(b);
+
+    // Merge by value; for each emitted tuple compute widened bounds.
+    let mut merged: Vec<(T, u64, u64)> = Vec::with_capacity(ba.len() + bb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        // The loop condition guarantees at least one side is non-empty,
+        // so (None, None) cannot occur; folding it into the take-b arm
+        // keeps the merge panic-free.
+        let take_a = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => x.v <= y.v,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let (v, own, other_ts, other_bounds, other_n, pos) = if take_a {
+            (a[i].v.clone(), ba[i], b, &bb, nb, j)
+        } else {
+            (b[j].v.clone(), bb[j], a, &ba, na, i)
+        };
+        // pred: last tuple of the other side with value <= v is at
+        // pos−1 (the cursor has consumed exactly those); succ is at pos.
+        let pred_min = if pos == 0 { 0 } else { other_bounds[pos - 1].0 };
+        let succ_max = match other_ts.get(pos) {
+            Some(_) => other_bounds[pos].1.saturating_sub(1),
+            None => other_n,
+        };
+        let r_min = own.0 + pred_min;
+        let r_max = (own.1 + succ_max).max(r_min);
+        merged.push((v, r_min, r_max));
+        if take_a {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+
+    // Re-derive (g, Δ) from the widened bounds.
+    let mut tuples = Vec::with_capacity(merged.len());
+    let mut prev_min = 0u64;
+    for (v, r_min, r_max) in merged {
+        let r_min = r_min.max(prev_min); // monotone by construction; guard anyway
+        tuples.push(GkTuple {
+            v,
+            g: r_min - prev_min,
+            delta: r_max.saturating_sub(r_min),
+        });
+        prev_min = r_min;
+    }
+    debug_assert_eq!(prev_min, na + nb, "merged rank mass mismatch");
+    tuples
+}
+
 /// Merges a non-decreasing `chunk` of fresh items into `tuples` in one
 /// pass, replicating — tuple for tuple — what the sequential
 /// `insert_value` loop would build, minus the per-item binary search and

@@ -40,7 +40,7 @@ mod sampled;
 pub use sampled::SampledKll;
 
 use cqs_core::rng::SplitMix64;
-use cqs_core::{ComparisonSummary, RankEstimator};
+use cqs_core::{ComparisonSummary, MergeError, MergeableSummary, RankEstimator};
 
 /// Default geometric capacity decay ratio between compactor levels.
 const DECAY: f64 = 2.0 / 3.0;
@@ -262,6 +262,32 @@ impl<T: Ord + Clone> ComparisonSummary<T> for KllSketch<T> {
 
     fn name(&self) -> &'static str {
         "kll"
+    }
+}
+
+impl<T: Ord + Clone> MergeableSummary<T> for KllSketch<T> {
+    /// KLL is fully mergeable — any two sketches compose (levels align
+    /// by weight regardless of k), so the only check is post-merge
+    /// weight conservation.
+    fn try_merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.merge(other);
+        if self.total_weight() != self.n {
+            return Err(MergeError::InvariantViolated {
+                detail: format!(
+                    "KLL weight {} disagrees with stream length {}",
+                    self.total_weight(),
+                    self.n
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// `None`: KLL's guarantee is probabilistic (with high probability
+    /// over the compaction coin flips), not a deterministic worst-case ε
+    /// — callers composing shards must budget for that themselves.
+    fn eps_bound(&self) -> Option<f64> {
+        None
     }
 }
 

@@ -34,7 +34,7 @@
 //! assert!((49_000..=51_000).contains(&med));
 //! ```
 
-use cqs_core::{ComparisonSummary, RankEstimator};
+use cqs_core::{ComparisonSummary, MergeError, MergeableSummary, RankEstimator};
 
 /// One full buffer: `items` are sorted and each represents `2^level`
 /// stream items.
@@ -355,6 +355,41 @@ impl<T: Ord + Clone> ComparisonSummary<T> for MrlSummary<T> {
 
     fn name(&self) -> &'static str {
         "mrl"
+    }
+}
+
+impl<T: Ord + Clone> MergeableSummary<T> for MrlSummary<T> {
+    /// The non-panicking face of [`MrlSummary::merge`]: a capacity
+    /// mismatch (different ε / expected N sizing) comes back as a typed
+    /// refusal instead of reaching the inherent merge's assert, and the
+    /// composed ε is re-validated for range.
+    fn try_merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.k != other.k {
+            return Err(MergeError::IncompatibleParams {
+                what: "buffer capacity (eps / expected N sizing)",
+                left: self.k.to_string(),
+                right: other.k.to_string(),
+            });
+        }
+        self.merge(other);
+        if self.total_weight() != self.n {
+            return Err(MergeError::InvariantViolated {
+                detail: format!(
+                    "MRL weight {} disagrees with stream length {}",
+                    self.total_weight(),
+                    self.n
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// MRL's ε holds while the stream stays within the `expected_n` the
+    /// buffers were sized for; merging same-capacity shards keeps the
+    /// per-item guarantee (the carry chain is exactly the single-stream
+    /// collapse cascade), so the sized ε is the honest bound.
+    fn eps_bound(&self) -> Option<f64> {
+        Some(self.eps)
     }
 }
 

@@ -32,6 +32,48 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Typed refusal of a q-digest merge: the two digests were built over
+/// different parameter spaces, so their dyadic trees are not
+/// comparable and adding node counts would silently corrupt both the
+/// ranges and the error guarantee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeMismatch {
+    /// The universes differ: node ids index different dyadic trees.
+    Universe {
+        /// Receiver's log₂ universe size.
+        left: u32,
+        /// Argument's log₂ universe size.
+        right: u32,
+    },
+    /// The compression factors differ: the merged digest's ⌊n/k⌋
+    /// pruning threshold — and with it the ε·n error bound — would be
+    /// silently governed by whichever k the receiver happened to have.
+    Compression {
+        /// Receiver's compression factor.
+        left: u64,
+        /// Argument's compression factor.
+        right: u64,
+    },
+}
+
+impl fmt::Display for MergeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeMismatch::Universe { left, right } => write!(
+                f,
+                "q-digest merge requires identical universes (2^{left} vs 2^{right})"
+            ),
+            MergeMismatch::Compression { left, right } => write!(
+                f,
+                "q-digest merge requires identical compression factors ({left} vs {right})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeMismatch {}
 
 /// A q-digest over the universe [0, 2^log_universe).
 #[derive(Clone, Debug)]
@@ -108,19 +150,29 @@ impl QDigest {
     /// the same universe): node counts add, then a compress restores the
     /// size bound. Error bounds add in the worst case.
     ///
-    /// # Panics
-    ///
-    /// Panics if the universes differ.
-    pub fn merge(&mut self, other: &QDigest) {
-        assert_eq!(
-            self.log_universe, other.log_universe,
-            "q-digest merge requires identical universes"
-        );
+    /// Mismatched universes or compression factors come back as a typed
+    /// [`MergeMismatch`] with `self` unchanged — a digest over a
+    /// different dyadic tree, or pruned against a different ⌊n/k⌋
+    /// threshold, must never be silently absorbed.
+    pub fn merge(&mut self, other: &QDigest) -> Result<(), MergeMismatch> {
+        if self.log_universe != other.log_universe {
+            return Err(MergeMismatch::Universe {
+                left: self.log_universe,
+                right: other.log_universe,
+            });
+        }
+        if self.k != other.k {
+            return Err(MergeMismatch::Compression {
+                left: self.k,
+                right: other.k,
+            });
+        }
         for (&id, &c) in &other.counts {
             *self.counts.entry(id).or_insert(0) += c;
         }
         self.n += other.n;
         self.compress();
+        Ok(())
     }
 
     /// The q-digest COMPRESS: bottom-up, merge under-full sibling pairs

@@ -109,11 +109,13 @@ pub struct ModelCertificate {
     pub assumptions: usize,
 }
 
-/// Runs certification for every summary / bounded-universe crate.
+/// Runs certification for every purity-certified crate (summaries and
+/// the service facade — see [`Role::purity_certified`]), plus the
+/// by-construction refusal for bounded-universe sketches.
 pub fn run(ws: &Workspace, out: &mut AnalysisResult) {
     let mut crates: BTreeSet<(&str, Role)> = BTreeSet::new();
     for f in &ws.files {
-        if matches!(f.role, Role::Summary | Role::BoundedUniverse) {
+        if f.role.purity_certified() || f.role == Role::BoundedUniverse {
             crates.insert((f.crate_name.as_str(), f.role));
         }
     }

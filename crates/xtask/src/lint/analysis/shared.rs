@@ -18,8 +18,11 @@
 //!
 //! Every derived type must keep a compile-time `assert_send::<T>()`
 //! audit line somewhere in its defining crate (any non-test line — the
-//! audit function can sit next to a private type). The line proves
-//! `T: Send` at compile time; the rule's job is to keep it from being
+//! audit function can sit next to a private type). An
+//! `assert_sync::<T>()` line also counts: shared facades like the
+//! service registry are crossed *by reference* from many threads, and
+//! their audits assert `Sync` alongside `Send`. The line proves the
+//! bound at compile time; the rule's job is to keep it from being
 //! deleted, and — unlike the table — the *requirement* now appears the
 //! moment a call site starts moving the type.
 
@@ -117,15 +120,17 @@ pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         }
     }
 
-    // Audit check: an `assert_send` line naming the type, anywhere in
-    // the defining crate's non-test code.
+    // Audit check: an `assert_send` (or `assert_sync`) line naming the
+    // type, anywhere in the defining crate's non-test code.
     let mut audited: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new(); // crate -> type names
     for file in &ws.files {
         if file.test_file {
             continue;
         }
         for line in &file.scanned.lines {
-            if line.in_test || !line.code.contains("assert_send") {
+            if line.in_test
+                || !(line.code.contains("assert_send") || line.code.contains("assert_sync"))
+            {
                 continue;
             }
             let per_crate = audited.entry(file.crate_name.as_str()).or_default();
@@ -151,7 +156,8 @@ pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
                 severity: Severity::Error,
                 message: format!(
                     "type `{}` rides the parallel sweep pool (spawned by `{}`, via `{}`) \
-                     but crate `{}` has no compile-time `assert_send` audit line for it",
+                     but crate `{}` has no compile-time `assert_send`/`assert_sync` audit \
+                     line for it",
                     ty.name, ws.index.fns[s].name, ws.index.fns[p].name, ty.crate_name
                 ),
                 baselined: false,

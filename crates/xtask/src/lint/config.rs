@@ -40,6 +40,12 @@ pub enum Role {
     /// from item opacity — serialization legitimately reads label bytes
     /// and reconstructs `Item`s via `from_label`.
     Snapshot,
+    /// `cqs-service`: the concurrent registry/handle facade. Carries the
+    /// Core-strength determinism rules (its merge worker must be woken
+    /// by counters, never a clock) *and* a model-purity certificate —
+    /// handles move items into summaries and must stay item-opaque —
+    /// plus the driver no-panic analysis for its snapshot restore path.
+    Service,
     /// This lint engine itself.
     Tooling,
 }
@@ -78,7 +84,15 @@ impl Role {
     /// the same promise — every corruption is a typed `RestoreError` —
     /// so its roots (`read_sections` and friends) are analysed too.
     pub fn driver_rules(self) -> bool {
-        matches!(self, Role::Core | Role::Snapshot)
+        matches!(self, Role::Core | Role::Snapshot | Role::Service)
+    }
+
+    /// Whether the crate earns a model-purity certificate: summaries by
+    /// definition, and the service facade — its registry and handles
+    /// are generic over the summaries they move items into, and the
+    /// certificate proves they never inspect those items on the way.
+    pub fn purity_certified(self) -> bool {
+        matches!(self, Role::Summary | Role::Service)
     }
 }
 
@@ -91,6 +105,7 @@ pub fn role_of(crate_name: &str) -> Role {
         "qdigest" => Role::BoundedUniverse,
         "streams" => Role::Substrate,
         "snapshot" => Role::Snapshot,
+        "service" => Role::Service,
         "bench" | "cli" | "faults" => Role::Harness,
         "xtask" => Role::Tooling,
         // Strictest by default: new crates opt *out* of summary rules by
@@ -268,6 +283,25 @@ mod tests {
     #[test]
     fn unknown_crates_default_to_summary() {
         assert_eq!(role_of("brand-new-sketch"), Role::Summary);
+    }
+
+    #[test]
+    fn service_keeps_core_rules_and_earns_a_certificate() {
+        let s = role_of("service");
+        assert_eq!(s, Role::Service);
+        // Core-strength profile: deterministic, clock-free, no lexical
+        // item rules (the purity certificate covers opacity instead).
+        assert!(s.determinism_rules());
+        assert!(s.wall_clock_rule());
+        assert!(!s.comparison_rules());
+        assert!(!s.hot_path_rules());
+        assert!(!s.may_mint_items());
+        // Its snapshot restore path shares the no-panic promise.
+        assert!(s.driver_rules());
+        // And it is purity-certified alongside the summaries.
+        assert!(s.purity_certified());
+        assert!(role_of("gk").purity_certified());
+        assert!(!role_of("core").purity_certified());
     }
 
     #[test]

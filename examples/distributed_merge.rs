@@ -1,18 +1,22 @@
-//! Domain scenario: distributed quantile aggregation.
+//! Domain scenario: distributed quantile aggregation, as a service.
 //!
 //! The paper's introduction lists "balancing parallel computations"
 //! among quantile-summary applications: partition-then-merge is how
-//! engines like Spark pick range boundaries. Here a 800k-item stream is
-//! split over 8 shards; each shard builds its own summary; a balanced
-//! merge tree combines them, and the merged summaries pick range-
-//! partition boundaries whose imbalance we audit against ground truth.
+//! engines like Spark pick range boundaries. Here an 800k-item stream
+//! arrives as batches at a [`QuantileRegistry`]: `parallel_ingest`
+//! spreads the batches over 8 summary shards deterministically (batch
+//! `b` → shard `b mod 8`, so the result is identical for any thread
+//! count), the fold path combines the shards with `try_merge` — the
+//! mergeable-summaries composition, composed ε ≤ 8·ε₀ — and the folded
+//! summary picks range-partition boundaries whose imbalance we audit
+//! against ground truth.
 //!
 //! Run: `cargo run --release --example distributed_merge`
 
 use cqs::core::histogram::equi_depth_histogram;
 use cqs::prelude::*;
 
-fn shard_data(total: u64, shards: usize, seed: u64) -> Vec<Vec<u64>> {
+fn shuffled_batches(total: u64, batch: usize, seed: u64) -> Vec<Vec<u64>> {
     let mut all: Vec<u64> = (1..=total).collect();
     let mut s = seed | 1;
     for i in (1..all.len()).rev() {
@@ -22,59 +26,52 @@ fn shard_data(total: u64, shards: usize, seed: u64) -> Vec<Vec<u64>> {
         let j = (s >> 33) as usize % (i + 1);
         all.swap(i, j);
     }
-    all.chunks(all.len() / shards).map(|c| c.to_vec()).collect()
+    all.chunks(batch).map(|c| c.to_vec()).collect()
 }
 
 fn main() {
     let total = 800_000u64;
     let shards = 8usize;
     let eps = 0.001;
-    let parts = shard_data(total, shards, 0xABCD);
+    let batches = shuffled_batches(total, 4096, 0xABCD);
 
-    // --- GK: summarise each shard, merge in a balanced tree. ----------
-    let mut gks: Vec<GkSummary<u64>> = parts
-        .iter()
-        .map(|chunk| {
-            let mut s = GkSummary::new(eps);
-            for &v in chunk {
-                s.insert(v);
-            }
-            s
-        })
+    // --- GK behind the service registry. ------------------------------
+    let reg: QuantileRegistry<u64, GkSummary<u64>> = QuantileRegistry::new(
+        ServiceConfig {
+            shards,
+            stripes: 4,
+            fold_cadence: 64,
+        },
+        move || GkSummary::new(eps),
+    );
+    let handle = reg.handle("range-keys");
+    let ingested = parallel_ingest(&handle, &batches, shards);
+    let gk = handle
+        .folded()
+        .expect("identically-built shards merge")
+        .expect("stream is non-empty");
+    let composed = handle
+        .composed_eps()
+        .expect("fold")
+        .expect("gk reports a composed eps");
+
+    // --- KLL: same shards, folded by hand with `try_merge`. -----------
+    let mut klls: Vec<KllSketch<u64>> = (0..shards)
+        .map(|i| KllSketch::with_seed(400, 0xF00 + i as u64))
         .collect();
-    while gks.len() > 1 {
-        let mut next = Vec::with_capacity(gks.len() / 2);
-        while gks.len() >= 2 {
-            let mut a = gks.remove(0);
-            let b = gks.remove(0);
-            a.merge(&b);
-            next.push(a);
+    for (b, chunk) in batches.iter().enumerate() {
+        for &v in chunk {
+            klls[b % shards].insert(v);
         }
-        next.append(&mut gks);
-        gks = next;
     }
-    let gk = &gks[0];
-
-    // --- KLL: same exercise. -------------------------------------------
-    let mut klls: Vec<KllSketch<u64>> = parts
-        .iter()
-        .enumerate()
-        .map(|(i, chunk)| {
-            let mut s = KllSketch::with_seed(400, 0xF00 + i as u64);
-            for &v in chunk {
-                s.insert(v);
-            }
-            s
-        })
-        .collect();
     let mut kll = klls.remove(0);
     for other in &klls {
-        kll.merge(other);
+        kll.try_merge(other).expect("kll shards always merge");
     }
 
     println!(
-        "merged {shards} shards of {} items each\n",
-        total / shards as u64
+        "ingested {ingested} items as {} batches over {shards} shards (composed eps {composed})\n",
+        batches.len()
     );
     println!("summary  items-stored  p50-err  p99-err");
     for (name, p50, p99, stored) in [
@@ -94,9 +91,9 @@ fn main() {
         println!("{name:<8} {stored:<13} {p50:<8} {p99:<8}");
     }
 
-    // --- Range partitioning: 16 balanced partitions from the merged GK.
-    let hist = equi_depth_histogram(gk, 16).expect("non-empty");
-    let mut all: Vec<u64> = parts.into_iter().flatten().collect();
+    // --- Range partitioning: 16 balanced partitions from the fold. ----
+    let hist = equi_depth_histogram(&gk, 16).expect("non-empty");
+    let mut all: Vec<u64> = batches.into_iter().flatten().collect();
     all.sort_unstable();
     let worst = hist.max_depth_error(&all);
     println!(
@@ -107,12 +104,12 @@ fn main() {
         "  worst bucket deviation: {worst} items ({:.3}% of target)",
         100.0 * worst as f64 / hist.target_depth as f64
     );
-    // Merge tree has 3 levels => ε·2³ rank error per boundary, both
+    // The left fold composes ε ≤ 8·ε₀; each boundary can err on both
     // sides => tolerance 2·8εN.
-    let tolerance = (16.0 * eps * total as f64) as u64;
+    let tolerance = (2.0 * composed * total as f64) as u64;
     assert!(
         worst <= tolerance,
         "imbalance {worst} exceeds tolerance {tolerance}"
     );
-    println!("  within the merge-tree tolerance of {tolerance} — balanced parallel work.");
+    println!("  within the composed-eps tolerance of {tolerance} — balanced parallel work.");
 }

@@ -21,6 +21,7 @@
 //! | CKMS biased quantiles | [`ckms`] | Theorem 6.5's upper-bound side \[3\] |
 //! | Workloads & reporting | [`streams`] | experiment harness support |
 //! | Fault injection & verdicts | [`faults`] | "any summary" really means any (Theorem 2.2) |
+//! | Sharded concurrent service | [`service`] | mergeable summaries \[1\] at serving scale |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use cqs_mrl as mrl;
 pub use cqs_ostree as ostree;
 pub use cqs_qdigest as qdigest;
 pub use cqs_sampling as sampling;
+pub use cqs_service as service;
 pub use cqs_streams as streams;
 pub use cqs_universe as universe;
 pub use cqs_window as window;
@@ -65,14 +67,18 @@ pub mod prelude {
     pub use cqs_ckms::{Bias, CkmsSummary};
     pub use cqs_core::{
         equi_depth_histogram, run_lower_bound, try_run_adversary, AdversaryBudget, AdversaryError,
-        ComparisonSummary, Eps, Item, MaxSpaceTracker, RankEstimator, RunVerdict,
+        ComparisonSummary, Eps, Item, MaxSpaceTracker, MergeError, MergeableSummary, RankEstimator,
+        RunVerdict,
     };
     pub use cqs_faults::{FaultKind, FaultPlan, FaultySummary};
     pub use cqs_gk::{CappedGk, GkSummary, GreedyGk};
     pub use cqs_kll::{KllSketch, SampledKll};
     pub use cqs_mrl::MrlSummary;
-    pub use cqs_qdigest::QDigest;
+    pub use cqs_qdigest::{MergeMismatch, QDigest};
     pub use cqs_sampling::ReservoirSummary;
+    pub use cqs_service::{
+        parallel_ingest, QuantileRegistry, ServiceConfig, SummaryHandle, DEFAULT_PHI_GRID,
+    };
     pub use cqs_streams::{workload, OrdF64, Workload};
     pub use cqs_universe::{generate_increasing, Interval};
     pub use cqs_window::SlidingWindowGk;

@@ -168,7 +168,7 @@ fn qdigest_merge_adds_counts() {
     for v in shuffled(20_000, 6) {
         b.insert(v % 65_536);
     }
-    a.merge(&b);
+    a.merge(&b).expect("matching universes and compression");
     assert_eq!(a.items_processed(), 40_000);
     // Median of the union of two identical-distribution shards.
     let med = a.quantile(0.5);
@@ -176,11 +176,42 @@ fn qdigest_merge_adds_counts() {
 }
 
 #[test]
-#[should_panic(expected = "identical universes")]
 fn qdigest_merge_rejects_mismatched_universe() {
     let mut a = QDigest::new(16, 0.05);
     let b = QDigest::new(12, 0.05);
-    a.merge(&b);
+    for v in 0..100u64 {
+        a.insert(v);
+    }
+    let err = a
+        .merge(&b)
+        .expect_err("mismatched universes must be refused");
+    assert!(
+        err.to_string().contains("identical universes"),
+        "unexpected refusal: {err}"
+    );
+    // The typed refusal leaves the receiver untouched.
+    assert_eq!(a.items_processed(), 100);
+}
+
+#[test]
+fn qdigest_merge_rejects_mismatched_compression() {
+    // Same universe, different ε ⇒ different compression factor k. The
+    // old merge silently accepted this, producing a digest whose error
+    // guarantee matched neither input.
+    let mut a = QDigest::new(16, 0.05);
+    let mut b = QDigest::new(16, 0.005);
+    for v in 0..100u64 {
+        a.insert(v);
+        b.insert(v);
+    }
+    let err = a
+        .merge(&b)
+        .expect_err("mismatched compression must be refused");
+    assert!(
+        err.to_string().contains("compression"),
+        "unexpected refusal: {err}"
+    );
+    assert_eq!(a.items_processed(), 100);
 }
 
 #[test]
@@ -189,4 +220,140 @@ fn mrl_merge_rejects_mismatched_capacity() {
     let mut a: MrlSummary<u64> = MrlSummary::new(0.01, 10_000);
     let b: MrlSummary<u64> = MrlSummary::new(0.05, 10_000);
     a.merge(&b);
+}
+
+// ---------------------------------------------------------------------
+// Adversary-driven error composition: shard the Theorem 2.2 stream π
+// (the hardest comparison-based input we can construct), summarise each
+// shard independently, fold the shards with `try_merge`, and probe
+// *every* rank against the stream's ground truth. The composed error
+// must stay within the merged summary's own `eps_bound` — the
+// mergeable-summaries contract under maximal adversarial pressure.
+// ---------------------------------------------------------------------
+
+/// The adversarial stream π in arrival order, with its ground-truth
+/// state (ranks are computed against the live order index).
+fn adversarial_stream() -> (
+    cqs::core::StreamState<MaxSpaceTracker<GkSummary<Item>>>,
+    Vec<Item>,
+) {
+    let eps = Eps::from_inverse(32);
+    let out = cqs::core::adversary::run_adversary(eps, 4, || GkSummary::<Item>::new(eps.value()));
+    let mut arrivals: Vec<(u64, Item)> = Vec::new();
+    out.pi
+        .for_each_arrival(&mut |item, tag| arrivals.push((tag, item.clone())));
+    arrivals.sort_unstable_by_key(|&(tag, _)| tag);
+    let items = arrivals.into_iter().map(|(_, item)| item).collect();
+    (out.pi, items)
+}
+
+/// Shards `items` round-robin, folds the shards left-to-right with
+/// `try_merge`, and returns the merged summary.
+fn fold_shards<S, F>(items: &[Item], shards: usize, make: F) -> S
+where
+    S: MergeableSummary<Item>,
+    F: Fn() -> S,
+{
+    let mut parts: Vec<S> = (0..shards).map(|_| make()).collect();
+    for (i, item) in items.iter().enumerate() {
+        parts[i % shards].insert(item.clone());
+    }
+    let mut merged = parts.remove(0);
+    for part in &parts {
+        merged
+            .try_merge(part)
+            .expect("identically-built shards must be mergeable");
+    }
+    merged
+}
+
+/// Probes every rank of π and asserts the summary's answer is within
+/// `budget` of the truth.
+fn assert_all_ranks_within<S: ComparisonSummary<Item>>(
+    state: &cqs::core::StreamState<MaxSpaceTracker<GkSummary<Item>>>,
+    merged: &S,
+    budget: u64,
+    label: &str,
+) {
+    let n = state.len();
+    assert_eq!(merged.items_processed(), n, "{label}: merged item count");
+    for r in 1..=n {
+        let answer = merged
+            .query_rank(r)
+            .unwrap_or_else(|| panic!("{label}: no answer for rank {r}"));
+        let err = state.rank_error(&answer, r);
+        assert!(
+            err <= budget,
+            "{label}: rank {r} answered with error {err} > budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn adversarial_composition_gk_within_composed_eps() {
+    let (state, items) = adversarial_stream();
+    let n = state.len();
+    for shards in [2usize, 4] {
+        let merged = fold_shards(&items, shards, || GkSummary::<Item>::new(0.01));
+        let composed = merged.eps_bound().expect("gk reports a composed eps");
+        assert!(
+            composed <= 0.01 * shards as f64 + 1e-12,
+            "composed eps {composed} exceeds shards * eps0"
+        );
+        let budget = (composed * n as f64).ceil() as u64 + 1;
+        assert_all_ranks_within(&state, &merged, budget, &format!("gk x{shards}"));
+    }
+}
+
+#[test]
+fn adversarial_composition_greedy_gk_within_composed_eps() {
+    let (state, items) = adversarial_stream();
+    let n = state.len();
+    let shards = 4usize;
+    let merged = fold_shards(&items, shards, || GreedyGk::<Item>::new(0.01));
+    let composed = merged
+        .eps_bound()
+        .expect("greedy gk reports a composed eps");
+    assert!(composed <= 0.01 * shards as f64 + 1e-12);
+    let budget = (composed * n as f64).ceil() as u64 + 1;
+    assert_all_ranks_within(&state, &merged, budget, "greedy-gk x4");
+}
+
+#[test]
+fn adversarial_composition_mrl_within_composed_eps() {
+    let (state, items) = adversarial_stream();
+    let n = state.len();
+    let shards = 4usize;
+    let merged = fold_shards(&items, shards, || MrlSummary::<Item>::new(0.02, n));
+    let composed = merged.eps_bound().expect("mrl reports a composed eps");
+    let budget = (composed * n as f64).ceil() as u64 + 1;
+    assert_all_ranks_within(&state, &merged, budget, "mrl x4");
+}
+
+#[test]
+fn adversarial_composition_kll_conserves_weight() {
+    // KLL's guarantee is probabilistic (`eps_bound` is `None` by
+    // design), so the differential checks the structural half of the
+    // contract — exact weight conservation through the fold — plus a
+    // generous empirical error ceiling with fixed seeds.
+    let (state, items) = adversarial_stream();
+    let n = state.len();
+    let shards = 4usize;
+    let mut parts: Vec<KllSketch<Item>> = (0..shards)
+        .map(|i| KllSketch::with_seed(256, 900 + i as u64))
+        .collect();
+    for (i, item) in items.iter().enumerate() {
+        parts[i % shards].insert(item.clone());
+    }
+    let mut merged = parts.remove(0);
+    for part in &parts {
+        merged.try_merge(part).expect("kll shards always merge");
+    }
+    assert!(
+        merged.eps_bound().is_none(),
+        "kll must not claim a deterministic eps"
+    );
+    assert_eq!(merged.total_weight(), n);
+    let budget = n / 8;
+    assert_all_ranks_within(&state, &merged, budget, "kll x4");
 }
